@@ -1,0 +1,57 @@
+//! Table 2 — compilation time of the analysis pass.
+//!
+//! The paper reports wall-clock compile times with and without its analysis
+//! (Table 2); gcc is the slowest because of its complex control flow. This
+//! bench measures our pass over the benchmark analogues and prints the
+//! Table 2 analogue.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdiq_compiler::{CompilerPass, PassConfig};
+use sdiq_core::Experiment;
+use sdiq_workloads::Benchmark;
+use std::hint::black_box;
+
+fn compile_time(c: &mut Criterion) {
+    // Print the Table 2 analogue once.
+    let experiment = Experiment {
+        scale: 0.25,
+        ..Experiment::paper()
+    };
+    println!("\n== Table 2 (analogue): compile time without / with the analysis pass ==");
+    for (benchmark, baseline, limited) in experiment.compile_times(&Benchmark::ALL) {
+        println!(
+            "  {:10} baseline {:>10.3?}   with pass {:>10.3?}",
+            benchmark.name(),
+            baseline,
+            limited
+        );
+    }
+
+    // Criterion measurements of the pass itself on representative programs.
+    let mut group = c.benchmark_group("compiler_pass");
+    for benchmark in [Benchmark::Gzip, Benchmark::Gcc, Benchmark::Vortex] {
+        let program = benchmark.build();
+        group.bench_with_input(
+            BenchmarkId::new("noop_insertion", benchmark.name()),
+            &program,
+            |b, program| {
+                b.iter(|| black_box(CompilerPass::new(PassConfig::noop_insertion()).run(program)))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("improved", benchmark.name()),
+            &program,
+            |b, program| {
+                b.iter(|| black_box(CompilerPass::new(PassConfig::improved()).run(program)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = compile_time
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Figure 10 — normalised IPC loss of the Extension and Improved techniques
+//! (with the NOOP scheme and `abella` for comparison).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdiq_core::{experiments, Experiment, Technique};
+use sdiq_workloads::Benchmark;
+use std::hint::black_box;
+
+fn figure10(c: &mut Criterion) {
+    let experiment = Experiment {
+        scale: 0.08,
+        ..Experiment::paper()
+    };
+    let suite = experiment.run_matrix(
+        &Benchmark::ALL,
+        &[
+            Technique::Baseline,
+            Technique::Noop,
+            Technique::Extension,
+            Technique::Improved,
+            Technique::Abella,
+        ],
+    );
+
+    println!("\n== Figure 10 (reduced scale): normalised IPC loss (%) ==");
+    for series in experiments::figure10(&suite) {
+        print!("{}", series.render());
+    }
+
+    c.bench_function("figure10/series_from_suite", |b| {
+        b.iter(|| black_box(experiments::figure10(black_box(&suite))))
+    });
+    c.bench_function("figure10/improved_run_vortex", |b| {
+        b.iter(|| black_box(experiment.run(Benchmark::Vortex, Technique::Improved)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = figure10
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Figure 6 — normalised IPC loss of the NOOP technique vs the `abella`
+//! comparator. Running this bench regenerates the figure's data series (at a
+//! reduced workload scale) and measures the cost of producing it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdiq_core::{experiments, Experiment, Technique};
+use sdiq_workloads::Benchmark;
+use std::hint::black_box;
+
+fn figure6(c: &mut Criterion) {
+    let experiment = Experiment {
+        scale: 0.08,
+        ..Experiment::paper()
+    };
+    let suite = experiment.run_matrix(
+        &Benchmark::ALL,
+        &[Technique::Baseline, Technique::Noop, Technique::Abella],
+    );
+
+    println!("\n== Figure 6 (reduced scale): normalised IPC loss (%) ==");
+    for series in experiments::figure6(&suite) {
+        print!("{}", series.render());
+    }
+
+    c.bench_function("figure6/series_from_suite", |b| {
+        b.iter(|| black_box(experiments::figure6(black_box(&suite))))
+    });
+    c.bench_function("figure6/noop_run_gzip", |b| {
+        b.iter(|| black_box(experiment.run(Benchmark::Gzip, Technique::Noop)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = figure6
+}
+criterion_main!(benches);

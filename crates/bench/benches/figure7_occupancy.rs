@@ -1,0 +1,31 @@
+//! Figure 7 — issue-queue occupancy reduction under the NOOP technique.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdiq_core::{experiments, Experiment, Technique};
+use sdiq_workloads::Benchmark;
+use std::hint::black_box;
+
+fn figure7(c: &mut Criterion) {
+    let experiment = Experiment {
+        scale: 0.08,
+        ..Experiment::paper()
+    };
+    let suite = experiment.run_matrix(&Benchmark::ALL, &[Technique::Baseline, Technique::Noop]);
+
+    println!("\n== Figure 7 (reduced scale): IQ occupancy reduction (%) ==");
+    print!("{}", experiments::figure7(&suite).render());
+
+    c.bench_function("figure7/series_from_suite", |b| {
+        b.iter(|| black_box(experiments::figure7(black_box(&suite))))
+    });
+    c.bench_function("figure7/baseline_run_vpr", |b| {
+        b.iter(|| black_box(experiment.run(Benchmark::Vpr, Technique::Baseline)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = figure7
+}
+criterion_main!(benches);

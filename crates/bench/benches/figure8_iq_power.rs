@@ -1,0 +1,47 @@
+//! Figure 8 — issue-queue power savings (NOOP vs nonEmpty vs abella).
+//! Running this bench regenerates the figure's data series at a reduced
+//! workload scale and measures the cost of producing it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdiq_core::{experiments, Experiment, Technique};
+use sdiq_workloads::Benchmark;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let experiment = Experiment {
+        scale: 0.08,
+        ..Experiment::paper()
+    };
+    let suite = experiment.run_matrix(&Benchmark::ALL, &TECHNIQUES);
+
+    let figure = experiments::figure8(&suite);
+    println!("\n== Figure 8 (reduced scale): issue-queue dynamic power savings (%) ==");
+    for series in &figure.dynamic {
+        print!("{}", series.render());
+    }
+    println!("== Figure 8 (reduced scale): issue-queue static power savings (%) ==");
+    for series in &figure.static_ {
+        print!("{}", series.render());
+    }
+
+    c.bench_function("figure8/series_from_suite", |b| {
+        b.iter(|| black_box(experiments::figure8(black_box(&suite))))
+    });
+    c.bench_function("figure8/end_to_end_run", |b| {
+        b.iter(|| black_box(experiment.run(Benchmark::Crafty, Technique::NonEmpty)))
+    });
+}
+
+const TECHNIQUES: [Technique; 4] = [
+    Technique::Baseline,
+    Technique::NonEmpty,
+    Technique::Noop,
+    Technique::Abella,
+];
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

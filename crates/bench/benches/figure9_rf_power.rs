@@ -1,0 +1,46 @@
+//! Figure 9 — integer register-file power savings (NOOP vs abella).
+//! Running this bench regenerates the figure's data series at a reduced
+//! workload scale and measures the cost of producing it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdiq_core::{experiments, Experiment, Technique};
+use sdiq_workloads::Benchmark;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let experiment = Experiment {
+        scale: 0.08,
+        ..Experiment::paper()
+    };
+    let suite = experiment.run_matrix(&Benchmark::ALL, &TECHNIQUES);
+
+    let figure = experiments::figure9(&suite);
+    println!("\n== Figure 9 (reduced scale): integer register-file dynamic power savings (%) ==");
+    for series in &figure.dynamic {
+        print!("{}", series.render());
+    }
+    println!("== Figure 9 (reduced scale): integer register-file static power savings (%) ==");
+    for series in &figure.static_ {
+        print!("{}", series.render());
+    }
+
+    c.bench_function("figure9/series_from_suite", |b| {
+        b.iter(|| black_box(experiments::figure9(black_box(&suite))))
+    });
+    c.bench_function("figure9/end_to_end_run", |b| {
+        b.iter(|| black_box(experiment.run(Benchmark::Parser, Technique::Abella)))
+    });
+}
+
+const TECHNIQUES: [Technique; 3] = [
+    Technique::Baseline,
+    Technique::Noop,
+    Technique::Abella,
+];
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

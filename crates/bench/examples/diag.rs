@@ -1,0 +1,48 @@
+//! Diagnostic dump of raw simulator statistics for a few representative
+//! benchmarks and techniques. Useful when tuning the machine model or the
+//! workload generator: prints IPC, cycle counts, issue-queue / ROB /
+//! register-file occupancies, bank activity and stall counters side by side.
+//!
+//! ```text
+//! cargo run --release -p sdiq-bench --example diag
+//! ```
+
+use sdiq_core::{Experiment, Technique};
+use sdiq_workloads::Benchmark;
+
+fn main() {
+    let exp = Experiment {
+        scale: 0.5,
+        ..Experiment::paper()
+    };
+    for b in [
+        Benchmark::Gzip,
+        Benchmark::Crafty,
+        Benchmark::Mcf,
+        Benchmark::Vortex,
+    ] {
+        for t in [
+            Technique::Baseline,
+            Technique::Noop,
+            Technique::Extension,
+            Technique::Abella,
+        ] {
+            let r = exp.run(b, t);
+            println!(
+                "{:8} {:10} ipc={:5.2} cyc={:7} occ={:5.1} banks_on={:4.1} rob_occ={:5.1} rf_occ={:5.1} rf_banks={:4.1} disp_stall={:6} hints={:5} resz={}",
+                b.name(),
+                t.name(),
+                r.stats.ipc(),
+                r.stats.cycles,
+                r.stats.avg_iq_occupancy(),
+                r.stats.avg_iq_banks_on(),
+                r.stats.avg_rob_occupancy(),
+                r.stats.avg_int_rf_occupancy(),
+                r.stats.avg_int_rf_banks_on(),
+                r.stats.dispatch_limit_stall_cycles,
+                r.stats.committed_hints,
+                r.adaptive_resizes
+            );
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! `repro` — regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro [--scale <f64>] [--table1] [--table2] [--figure6] [--figure7]
+//!       [--figure8] [--figure9] [--figure10] [--figure11] [--figure12]
+//!       [--overall] [--summary] [--all]
+//! ```
+//!
+//! With no selection flags, `--all` is assumed. `--scale` shrinks or grows
+//! every workload's outer loop (1.0 = the default reproduction scale).
+
+use sdiq_core::{
+    experiments, Experiment, Suite, Technique,
+};
+use sdiq_sim::SimConfig;
+use sdiq_workloads::Benchmark;
+use std::collections::BTreeSet;
+
+#[derive(Debug, Default)]
+struct Options {
+    scale: Option<f64>,
+    selections: BTreeSet<String>,
+}
+
+fn parse_args() -> Options {
+    let mut options = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let value = args
+                    .next()
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .unwrap_or(1.0);
+                options.scale = Some(value);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "repro [--scale <f>] [--table1] [--table2] [--figure6..12] [--overall] [--summary] [--all]"
+                );
+                std::process::exit(0);
+            }
+            flag if flag.starts_with("--") => {
+                options.selections.insert(flag.trim_start_matches("--").to_string());
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if options.selections.is_empty() {
+        options.selections.insert("all".to_string());
+    }
+    options
+}
+
+fn wants(options: &Options, what: &str) -> bool {
+    options.selections.contains("all") || options.selections.contains(what)
+}
+
+fn print_power_figure(title: &str, figure: &experiments::PowerFigure) {
+    println!("{title} — dynamic power savings (%)");
+    for series in &figure.dynamic {
+        print!("{}", series.render());
+    }
+    println!("{title} — static power savings (%)");
+    for series in &figure.static_ {
+        print!("{}", series.render());
+    }
+}
+
+fn main() {
+    let options = parse_args();
+    let mut experiment = Experiment::paper();
+    if let Some(scale) = options.scale {
+        experiment.scale = scale;
+    }
+
+    if wants(&options, "table1") {
+        println!("== Table 1: processor configuration ==");
+        print!("{}", experiments::table1(&SimConfig::hpca2005()));
+        println!();
+    }
+
+    if wants(&options, "table2") {
+        println!("== Table 2: compilation time (baseline vs with analysis pass) ==");
+        for (benchmark, baseline, limited) in experiment.compile_times(&Benchmark::ALL) {
+            println!(
+                "  {:10} baseline {:>10.3?}   with pass {:>10.3?}   growth {:>5.2}x",
+                benchmark.name(),
+                baseline,
+                limited,
+                if baseline.as_secs_f64() > 0.0 {
+                    limited.as_secs_f64() / baseline.as_secs_f64()
+                } else {
+                    f64::NAN
+                }
+            );
+        }
+        println!();
+    }
+
+    let needs_suite = ["figure6", "figure7", "figure8", "figure9", "figure10", "figure11",
+        "figure12", "overall", "summary", "all"]
+        .iter()
+        .any(|f| options.selections.contains(*f))
+        || options.selections.contains("all");
+
+    let suite: Option<Suite> = if needs_suite {
+        eprintln!(
+            "running {} benchmarks x {} techniques at scale {} ...",
+            Benchmark::ALL.len(),
+            Technique::ALL.len(),
+            experiment.scale
+        );
+        Some(experiment.run_matrix(&Benchmark::ALL, &Technique::ALL))
+    } else {
+        None
+    };
+
+    if let Some(suite) = &suite {
+        if wants(&options, "figure6") {
+            println!("== Figure 6: normalised IPC loss, NOOP technique (%) ==");
+            for series in experiments::figure6(suite) {
+                print!("{}", series.render());
+            }
+            println!();
+        }
+        if wants(&options, "figure7") {
+            println!("== Figure 7: issue-queue occupancy reduction, NOOP technique (%) ==");
+            print!("{}", experiments::figure7(suite).render());
+            println!();
+        }
+        if wants(&options, "figure8") {
+            print_power_figure(
+                "== Figure 8: issue-queue power savings, NOOP technique ==",
+                &experiments::figure8(suite),
+            );
+            println!();
+        }
+        if wants(&options, "figure9") {
+            print_power_figure(
+                "== Figure 9: integer register-file power savings, NOOP technique ==",
+                &experiments::figure9(suite),
+            );
+            println!();
+        }
+        if wants(&options, "figure10") {
+            println!("== Figure 10: normalised IPC loss, Extension and Improved (%) ==");
+            for series in experiments::figure10(suite) {
+                print!("{}", series.render());
+            }
+            println!();
+        }
+        if wants(&options, "figure11") {
+            print_power_figure(
+                "== Figure 11: issue-queue power savings, Extension and Improved ==",
+                &experiments::figure11(suite),
+            );
+            println!();
+        }
+        if wants(&options, "figure12") {
+            print_power_figure(
+                "== Figure 12: integer register-file power savings, Extension and Improved ==",
+                &experiments::figure12(suite),
+            );
+            println!();
+        }
+        if wants(&options, "overall") {
+            println!("== §6: overall processor dynamic power savings ==");
+            for technique in [Technique::Noop, Technique::Extension, Technique::Improved] {
+                let overall =
+                    experiments::overall_processor_savings(suite, technique, 0.22, 0.11);
+                println!("  {:10} {overall:5.1}% (IQ at 22%, int RF at 11% of processor power)",
+                    technique.name());
+            }
+            println!();
+        }
+        if wants(&options, "summary") {
+            println!("== Suite-average summary (paper headline numbers) ==");
+            println!(
+                "  {:10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+                "technique", "IPC loss", "IQ occ-", "IQ dyn", "IQ stat", "RF dyn", "RF stat"
+            );
+            for technique in Technique::EVALUATED {
+                let s = experiments::summarise(suite, technique);
+                println!(
+                    "  {:10} {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}%",
+                    technique.name(),
+                    s.ipc_loss_pct,
+                    s.iq_occupancy_reduction_pct,
+                    s.iq_dynamic_pct,
+                    s.iq_static_pct,
+                    s.rf_dynamic_pct,
+                    s.rf_static_pct
+                );
+            }
+            println!();
+        }
+    }
+}

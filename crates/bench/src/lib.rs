@@ -1,0 +1,61 @@
+//! # sdiq-bench — reproduction harness
+//!
+//! This crate hosts:
+//!
+//! * the `repro` binary, which regenerates every table and figure of the
+//!   paper's evaluation from the current code (see `repro --help`), and
+//! * one Criterion benchmark per table/figure plus throughput benchmarks for
+//!   the compiler pass and the simulator (under `benches/`).
+//!
+//! The library part only provides small shared helpers so that the binary
+//! and the benches agree on experiment scales.
+
+use sdiq_core::{Experiment, Suite, Technique};
+use sdiq_workloads::Benchmark;
+
+/// The benchmarks used by the harness (all eleven SPECint analogues).
+pub fn all_benchmarks() -> Vec<Benchmark> {
+    Benchmark::ALL.to_vec()
+}
+
+/// The experiment configuration used for figure regeneration at full scale.
+pub fn paper_experiment() -> Experiment {
+    Experiment::paper()
+}
+
+/// A reduced-scale experiment used by the Criterion benches so that a single
+/// iteration stays in the tens-of-milliseconds range.
+pub fn bench_experiment() -> Experiment {
+    Experiment {
+        scale: 0.1,
+        ..Experiment::paper()
+    }
+}
+
+/// Runs the (benchmarks × techniques) matrix needed by one figure, always
+/// including the baseline the savings are normalised against.
+pub fn run_for(experiment: &Experiment, techniques: &[Technique]) -> Suite {
+    let mut with_baseline = vec![Technique::Baseline];
+    for &t in techniques {
+        if !with_baseline.contains(&t) {
+            with_baseline.push(t);
+        }
+    }
+    experiment.run_matrix(&all_benchmarks(), &with_baseline)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_for_always_includes_the_baseline() {
+        let exp = Experiment {
+            scale: 0.03,
+            ..Experiment::paper()
+        };
+        let suite = run_for(&exp, &[Technique::Noop]);
+        assert!(suite.get(Benchmark::Gzip, Technique::Baseline).is_some());
+        assert!(suite.get(Benchmark::Gzip, Technique::Noop).is_some());
+    }
+}

@@ -1,0 +1,296 @@
+//! Emission of issue-queue size information into the program.
+//!
+//! The paper evaluates two mechanisms:
+//!
+//! * **NOOP insertion** (§3, §5.2): a special NOOP whose unused bits encode
+//!   `max_new_range` is inserted at the start of each annotated block. It is
+//!   fetched and decoded like a real instruction (and therefore occasionally
+//!   costs a dispatch slot) but is stripped in the last decode stage.
+//! * **Tagging** (*Extension*, §5.3): the same value is carried in redundant
+//!   bits of an existing instruction — here, attached to the first real
+//!   instruction of the annotated block — so no extra instructions enter the
+//!   pipeline.
+
+use sdiq_isa::{BlockRef, Instruction, Program};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// How the issue-queue size information is carried to the processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EmitKind {
+    /// Insert special NOOPs ([`sdiq_isa::Opcode::HintNoop`]).
+    NoopInsertion,
+    /// Tag existing instructions (the *Extension* technique).
+    Tagging,
+}
+
+/// The set of annotations the analysis computed for one program.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Annotations {
+    /// Issue-queue entries to advertise at the start of each annotated block.
+    pub block_entries: HashMap<BlockRef, u32>,
+    /// Issue-queue entries to advertise at the *end* of each listed block,
+    /// just before its terminator. Used for loop pre-headers: the hint is
+    /// encountered once, immediately before entering the loop, and stays in
+    /// effect for the whole loop execution ("the maximum number of IQ
+    /// entries needed until the next special NOOP").
+    pub loop_preheader_entries: HashMap<BlockRef, u32>,
+    /// Blocks whose terminating call targets a library routine: the queue is
+    /// opened to its maximum size immediately before the call (§4.4).
+    pub max_before_call: Vec<BlockRef>,
+}
+
+impl Annotations {
+    /// Number of annotated program points.
+    pub fn len(&self) -> usize {
+        self.block_entries.len() + self.loop_preheader_entries.len()
+    }
+
+    /// `true` if no annotation was produced.
+    pub fn is_empty(&self) -> bool {
+        self.block_entries.is_empty() && self.loop_preheader_entries.is_empty()
+    }
+}
+
+/// Clamps an entry count into the range encodable in a hint (1..=255, further
+/// clamped to the queue capacity by the caller).
+fn encode_entries(entries: u32) -> u8 {
+    entries.clamp(1, 255) as u8
+}
+
+/// Rewrites `program` so that it carries the `annotations` using the chosen
+/// `emit` mechanism, and returns the rewritten program.
+///
+/// The input program is left untouched; annotation works on a clone because
+/// the experiments always need the unannotated baseline as well.
+pub fn emit(program: &Program, annotations: &Annotations, emit: EmitKind) -> Program {
+    let mut out = program.clone();
+
+    for (block_ref, &entries) in &annotations.block_entries {
+        let value = encode_entries(entries);
+        let block = out.proc_mut(block_ref.proc).block_mut(block_ref.block);
+        match emit {
+            EmitKind::NoopInsertion => {
+                block.instructions.insert(0, Instruction::hint_noop(value));
+            }
+            EmitKind::Tagging => {
+                // Tag the first real (non-hint) instruction; if the block is
+                // somehow empty, fall back to a NOOP so the information is
+                // not lost.
+                if let Some(first) = block.instructions.iter_mut().find(|i| !i.is_hint_noop()) {
+                    first.iq_hint = Some(value);
+                } else {
+                    block.instructions.insert(0, Instruction::hint_noop(value));
+                }
+            }
+        }
+    }
+
+    for (block_ref, &entries) in &annotations.loop_preheader_entries {
+        let value = encode_entries(entries);
+        let block = out.proc_mut(block_ref.proc).block_mut(block_ref.block);
+        // Insert just before the terminator (or at the end if the block falls
+        // through), so the hint is the last thing decoded before the loop.
+        let pos = block.instructions.len().saturating_sub(
+            usize::from(block.terminator().map(|t| t.opcode.is_control()).unwrap_or(false)),
+        );
+        match emit {
+            EmitKind::NoopInsertion => {
+                block.instructions.insert(pos, Instruction::hint_noop(value));
+            }
+            EmitKind::Tagging => {
+                // Tag the terminator (the branch/jump/call entering the loop);
+                // its tag is processed at decode before the loop body arrives.
+                if let Some(last) = block.instructions.last_mut() {
+                    if last.iq_hint.is_none() {
+                        last.iq_hint = Some(value);
+                    } else {
+                        block.instructions.insert(pos, Instruction::hint_noop(value));
+                    }
+                } else {
+                    block.instructions.insert(pos, Instruction::hint_noop(value));
+                }
+            }
+        }
+    }
+
+    for block_ref in &annotations.max_before_call {
+        let block = out.proc_mut(block_ref.proc).block_mut(block_ref.block);
+        let call_pos = block
+            .instructions
+            .iter()
+            .position(|i| i.opcode == sdiq_isa::Opcode::Call);
+        if let Some(pos) = call_pos {
+            match emit {
+                EmitKind::NoopInsertion => {
+                    block.instructions.insert(pos, Instruction::hint_noop(255));
+                }
+                EmitKind::Tagging => {
+                    block.instructions[pos].iq_hint = Some(255);
+                }
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdiq_isa::builder::ProgramBuilder;
+    use sdiq_isa::reg::int_reg;
+    use sdiq_isa::{BlockId, Opcode, ProcId};
+
+    fn call_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let lib = b.library_procedure("libroutine");
+        {
+            let p = b.proc_mut(lib);
+            let e = p.block();
+            p.with_block(e, |bb| {
+                bb.nop();
+                bb.ret();
+            });
+            p.set_entry(e);
+        }
+        let main = b.procedure("main");
+        {
+            let p = b.proc_mut(main);
+            let b0 = p.block();
+            let b1 = p.block();
+            p.with_block(b0, |bb| {
+                bb.li(int_reg(1), 1);
+                bb.addi(int_reg(2), int_reg(1), 1);
+                bb.call(lib, b1);
+            });
+            p.with_block(b1, |bb| {
+                bb.addi(int_reg(3), int_reg(2), 1);
+                bb.ret();
+            });
+            p.set_entry(b0);
+        }
+        b.finish(main).unwrap()
+    }
+
+    fn simple_annotations(program: &Program) -> Annotations {
+        let main = program.proc_by_name("main").unwrap();
+        let mut block_entries = HashMap::new();
+        block_entries.insert(
+            BlockRef {
+                proc: main,
+                block: BlockId(0),
+            },
+            3,
+        );
+        block_entries.insert(
+            BlockRef {
+                proc: main,
+                block: BlockId(1),
+            },
+            2,
+        );
+        Annotations {
+            block_entries,
+            loop_preheader_entries: HashMap::new(),
+            max_before_call: vec![BlockRef {
+                proc: main,
+                block: BlockId(0),
+            }],
+        }
+    }
+
+    #[test]
+    fn noop_insertion_adds_hint_noops() {
+        let program = call_program();
+        let ann = simple_annotations(&program);
+        let out = emit(&program, &ann, EmitKind::NoopInsertion);
+        assert!(out.validate().is_ok());
+        // Two block hints + one max-before-call hint.
+        assert_eq!(out.hint_noop_count(), 3);
+        // Original program untouched.
+        assert_eq!(program.hint_noop_count(), 0);
+        // The block hint is the first instruction of the block.
+        let main = out.proc_by_name("main").unwrap();
+        let first = &out.proc(main).block(BlockId(0)).instructions[0];
+        assert!(first.is_hint_noop());
+        assert_eq!(first.iq_hint, Some(3));
+    }
+
+    #[test]
+    fn max_before_library_call_sits_just_before_the_call() {
+        let program = call_program();
+        let ann = simple_annotations(&program);
+        let out = emit(&program, &ann, EmitKind::NoopInsertion);
+        let main = out.proc_by_name("main").unwrap();
+        let instrs = &out.proc(main).block(BlockId(0)).instructions;
+        let call_pos = instrs
+            .iter()
+            .position(|i| i.opcode == Opcode::Call)
+            .unwrap();
+        let before = &instrs[call_pos - 1];
+        assert!(before.is_hint_noop());
+        assert_eq!(before.iq_hint, Some(255));
+    }
+
+    #[test]
+    fn tagging_adds_no_instructions() {
+        let program = call_program();
+        let ann = simple_annotations(&program);
+        let out = emit(&program, &ann, EmitKind::Tagging);
+        assert!(out.validate().is_ok());
+        assert_eq!(out.hint_noop_count(), 0);
+        assert_eq!(
+            out.static_instruction_count(),
+            program.static_instruction_count()
+        );
+        let main = out.proc_by_name("main").unwrap();
+        let first = &out.proc(main).block(BlockId(0)).instructions[0];
+        assert_eq!(first.iq_hint, Some(3));
+        // The call instruction is tagged with the maximum for the library call.
+        let call = out
+            .proc(main)
+            .block(BlockId(0))
+            .instructions
+            .iter()
+            .find(|i| i.opcode == Opcode::Call)
+            .unwrap();
+        assert_eq!(call.iq_hint, Some(255));
+    }
+
+    #[test]
+    fn entries_are_clamped_into_hint_range() {
+        let program = call_program();
+        let main = program.proc_by_name("main").unwrap();
+        let mut block_entries = HashMap::new();
+        block_entries.insert(
+            BlockRef {
+                proc: main,
+                block: BlockId(1),
+            },
+            100_000,
+        );
+        block_entries.insert(
+            BlockRef {
+                proc: ProcId(0),
+                block: BlockId(0),
+            },
+            0,
+        );
+        let ann = Annotations {
+            block_entries,
+            loop_preheader_entries: HashMap::new(),
+            max_before_call: Vec::new(),
+        };
+        let out = emit(&program, &ann, EmitKind::NoopInsertion);
+        let hints: Vec<u8> = out
+            .iter_locs()
+            .map(|l| out.instruction(l).clone())
+            .filter(|i| i.is_hint_noop())
+            .map(|i| i.iq_hint.unwrap())
+            .collect();
+        assert_eq!(hints.len(), 2);
+        assert!(hints.contains(&255));
+        assert!(hints.contains(&1));
+    }
+}

@@ -1,0 +1,272 @@
+//! Pseudo-issue-queue analysis of basic blocks (§4.2, Figure 3).
+//!
+//! "The algorithm used to determine the critical path is very similar to
+//! that which the scheduler in the processor uses to issue instructions. In
+//! the compiler we maintain a structure similar to the processor's issue
+//! queue. We place the first few instructions in this pseudo issue queue and
+//! then iterate over it several times, removing instructions that are able
+//! to issue, recording their writeback times and placing new ones at the
+//! tail. [...] Knowing how instructions will issue means that the number of
+//! IQ entries needed can be determined. On each cycle, the oldest
+//! instruction in the queue is known, as is the youngest. By counting the
+//! number of instructions between the two in the basic block, we can
+//! determine the number of IQ entries needed."
+
+use sdiq_ir::Ddg;
+use sdiq_isa::{FuClass, FuCounts, Instruction};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Result of analysing one basic block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockRequirement {
+    /// Maximum number of issue-queue entries the block needs so that its
+    /// critical path is not delayed.
+    pub entries: u32,
+    /// Number of cycles the pseudo issue queue took to drain the block
+    /// (the block's resource-constrained critical path).
+    pub cycles: u32,
+    /// Number of instructions analysed (special NOOPs excluded).
+    pub instructions: u32,
+}
+
+/// Analyses one basic block with the pseudo issue queue.
+///
+/// `issue_width` and `fu_counts` bound how many instructions can leave the
+/// queue per cycle overall and per functional-unit class; both come from the
+/// machine description the code is being compiled for (Table 1). Cache
+/// misses are not modelled: as §4.2 states, all memory accesses are assumed
+/// to hit in the L1 cache (the DDG already charges the hit latency).
+///
+/// Special NOOP hints already present in the block are ignored — they never
+/// occupy an issue-queue entry.
+pub fn analyse_block(
+    instructions: &[Instruction],
+    issue_width: usize,
+    fu_counts: &FuCounts,
+) -> BlockRequirement {
+    // Work on the real instructions only, but keep the original indices so
+    // the "distance in the basic block" measure matches the paper (hint
+    // NOOPs never appear in blocks before annotation anyway).
+    let real: Vec<(usize, &Instruction)> = instructions
+        .iter()
+        .enumerate()
+        .filter(|(_, i)| !i.is_hint_noop())
+        .collect();
+    if real.is_empty() {
+        return BlockRequirement {
+            entries: 1,
+            cycles: 0,
+            instructions: 0,
+        };
+    }
+
+    let filtered: Vec<Instruction> = real.iter().map(|(_, i)| (*i).clone()).collect();
+    let ddg = Ddg::for_block(&filtered);
+    let n = filtered.len();
+
+    // writeback[i] = cycle at which instruction i's result becomes available
+    // (valid once issued[i]).
+    let mut issued = vec![false; n];
+    let mut writeback: Vec<u64> = vec![0; n];
+    let mut issued_count = 0usize;
+    let mut cycle: u64 = 0;
+    let mut max_entries: u32 = 1;
+
+    // Safety valve: every instruction issues in at most
+    // `n * max_latency + n` cycles; anything beyond that indicates a cycle in
+    // the DDG of a straight-line block, which cannot happen.
+    let max_cycles = (n as u64 + 1) * 16 + 64;
+
+    while issued_count < n && cycle < max_cycles {
+        // Oldest instruction still waiting in the queue at the start of this
+        // cycle.
+        let oldest = issued.iter().position(|&b| !b).expect("unissued remains");
+
+        // Select instructions that can issue this cycle: all data
+        // dependences satisfied (producer writeback <= current cycle), within
+        // the issue width, and within per-class functional-unit counts.
+        let mut per_class: HashMap<FuClass, usize> = HashMap::new();
+        let mut issuing: Vec<usize> = Vec::new();
+        for idx in 0..n {
+            if issued[idx] || issuing.len() >= issue_width {
+                continue;
+            }
+            let deps_ready = ddg
+                .preds(idx)
+                .all(|e| issued[e.from] && writeback[e.from] <= cycle);
+            if !deps_ready {
+                continue;
+            }
+            let class = filtered[idx].fu_class();
+            let used = per_class.entry(class).or_insert(0);
+            if *used >= fu_counts.for_class(class) {
+                continue;
+            }
+            *used += 1;
+            issuing.push(idx);
+        }
+
+        if !issuing.is_empty() {
+            let youngest = *issuing.iter().max().expect("non-empty");
+            // Entries needed so the oldest resident and the youngest issuing
+            // instruction fit in the queue simultaneously.
+            let span = (youngest - oldest + 1) as u32;
+            max_entries = max_entries.max(span);
+            for idx in issuing {
+                issued[idx] = true;
+                issued_count += 1;
+                writeback[idx] = cycle + 1 + u64::from(ddg.latency_of(idx).saturating_sub(1));
+            }
+        }
+        cycle += 1;
+    }
+
+    BlockRequirement {
+        entries: max_entries,
+        cycles: cycle as u32,
+        instructions: n as u32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdiq_isa::reg::int_reg;
+    use sdiq_isa::Opcode;
+
+    fn fu() -> FuCounts {
+        FuCounts::hpca2005()
+    }
+
+    /// Figure 3's example: six instructions a..f where
+    /// a → {b, d}; b → c; d → {e}; and c,e,f depend such that
+    /// iteration 0 issues a, iteration 1 issues b and d, iteration 2 issues
+    /// c, e and f. Needs 4 entries overall.
+    fn figure3_block() -> Vec<Instruction> {
+        // a: defines r1
+        // b: r2 = r1 + 1      (depends on a)
+        // c: r3 = r2 + 1      (depends on b)
+        // d: r4 = r1 + 2      (depends on a)
+        // e: r5 = r4 + 1      (depends on d)
+        // f: r6 = r2 + r4     (depends on b and d)
+        vec![
+            Instruction::ri(Opcode::Li, int_reg(1), 7),
+            Instruction::rri(Opcode::Addi, int_reg(2), int_reg(1), 1),
+            Instruction::rri(Opcode::Addi, int_reg(3), int_reg(2), 1),
+            Instruction::rri(Opcode::Addi, int_reg(4), int_reg(1), 2),
+            Instruction::rri(Opcode::Addi, int_reg(5), int_reg(4), 1),
+            Instruction::rrr(Opcode::Add, int_reg(6), int_reg(2), int_reg(4)),
+        ]
+    }
+
+    #[test]
+    fn figure3_needs_four_entries() {
+        let req = analyse_block(&figure3_block(), 8, &fu());
+        // Iteration 0: a issues (1 entry). Iteration 1: b and d issue while
+        // b is the oldest resident → span b..d = 3. Iteration 2: c, e, f
+        // issue while c is the oldest → span c..f = 4.
+        assert_eq!(req.entries, 4);
+        assert_eq!(req.instructions, 6);
+        assert_eq!(req.cycles, 3);
+    }
+
+    #[test]
+    fn independent_instructions_all_issue_at_once() {
+        let block: Vec<Instruction> = (0..6)
+            .map(|k| Instruction::ri(Opcode::Li, int_reg(k as u8 + 1), k))
+            .collect();
+        let req = analyse_block(&block, 8, &fu());
+        assert_eq!(req.entries, 6);
+        assert_eq!(req.cycles, 1);
+    }
+
+    #[test]
+    fn alu_pool_limits_parallel_issue() {
+        // 12 independent integer instructions: the issue width is 8 but there
+        // are only 6 integer ALUs, so 6 issue per cycle. The widest window is
+        // the 6 instructions issuing together in the first cycle.
+        let block: Vec<Instruction> = (0..12)
+            .map(|k| Instruction::ri(Opcode::Li, int_reg((k % 30) as u8 + 1), k))
+            .collect();
+        let req = analyse_block(&block, 8, &fu());
+        assert_eq!(req.entries, 6);
+        assert_eq!(req.cycles, 2);
+    }
+
+    #[test]
+    fn fu_contention_serialises_same_class() {
+        // Four independent multiplies but only 3 integer multipliers: the
+        // fourth issues a cycle later on its own, so the resident window the
+        // critical path needs never exceeds the 3 that issue together.
+        let block: Vec<Instruction> = (0..4)
+            .map(|k| {
+                Instruction::rrr(
+                    Opcode::Mul,
+                    int_reg(10 + k as u8),
+                    int_reg(1),
+                    int_reg(2),
+                )
+            })
+            .collect();
+        let req = analyse_block(&block, 8, &fu());
+        assert_eq!(req.cycles, 2);
+        assert_eq!(req.entries, 3);
+    }
+
+    #[test]
+    fn dependent_chain_needs_single_entry_per_cycle() {
+        // A pure chain: each instruction depends on the previous one, so only
+        // one is ever issuing and the oldest is always the issuing one.
+        let block: Vec<Instruction> = (0..5)
+            .map(|k| Instruction::rri(Opcode::Addi, int_reg(1), int_reg(1), k))
+            .collect();
+        let req = analyse_block(&block, 8, &fu());
+        assert_eq!(req.entries, 1);
+        assert_eq!(req.cycles, 5);
+    }
+
+    #[test]
+    fn long_latency_producer_stretches_the_window() {
+        // A multiply (3 cycles) followed by its consumer and several
+        // independent instructions: while the consumer waits, younger
+        // independent instructions issue, widening the window.
+        let block = vec![
+            Instruction::rrr(Opcode::Mul, int_reg(3), int_reg(1), int_reg(2)),
+            Instruction::rri(Opcode::Addi, int_reg(4), int_reg(3), 1),
+            Instruction::ri(Opcode::Li, int_reg(5), 1),
+            Instruction::ri(Opcode::Li, int_reg(6), 2),
+            Instruction::ri(Opcode::Li, int_reg(7), 3),
+        ];
+        let req = analyse_block(&block, 8, &fu());
+        // Cycle 0: mul + the three li's issue (span 0..4 = 5). The addi waits
+        // for the mul's 3-cycle latency.
+        assert_eq!(req.entries, 5);
+        assert!(req.cycles >= 4);
+    }
+
+    #[test]
+    fn empty_block_needs_one_entry() {
+        let req = analyse_block(&[], 8, &fu());
+        assert_eq!(req.entries, 1);
+        assert_eq!(req.instructions, 0);
+    }
+
+    #[test]
+    fn hint_noops_are_ignored_by_the_analysis() {
+        let mut block = figure3_block();
+        block.insert(0, Instruction::hint_noop(32));
+        let req = analyse_block(&block, 8, &fu());
+        assert_eq!(req.instructions, 6);
+        assert_eq!(req.entries, 4);
+    }
+
+    #[test]
+    fn narrower_issue_width_cannot_need_more_entries() {
+        let block = figure3_block();
+        let wide = analyse_block(&block, 8, &fu());
+        let narrow = analyse_block(&block, 2, &fu());
+        assert!(narrow.entries <= wide.entries);
+        assert!(narrow.cycles >= wide.cycles);
+    }
+}

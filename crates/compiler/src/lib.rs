@@ -1,0 +1,65 @@
+//! # sdiq-compiler — the paper's compiler analysis pass
+//!
+//! This crate implements §4 of *Software Directed Issue Queue Power
+//! Reduction*: the compiler pass that determines, for every program region,
+//! the maximum number of issue-queue entries the region needs in order to
+//! issue along its critical path, and communicates that number to the
+//! processor.
+//!
+//! The pass follows Figure 5 of the paper:
+//!
+//! 1. find natural loops (via [`sdiq_ir::LoopNest`]); inner loops are
+//!    analysed separately from their enclosing loops,
+//! 2. form DAGs from the remaining blocks, starting at the procedure entry
+//!    and at blocks following calls ([`sdiq_ir::DagRegions`]),
+//! 3. build the DDG of each DAG block / loop body,
+//! 4. for DAG blocks, simulate a *pseudo issue queue* honouring the machine's
+//!    issue width and functional-unit pools to find how many entries must be
+//!    simultaneously resident ([`dag_analysis`]),
+//! 5. for loops, find the cyclic dependence sets, derive per-instruction
+//!    iteration-offset equations, and compute the entries needed for
+//!    pipeline-parallel execution across iterations ([`loop_analysis`]),
+//! 6. encode the results in the program, either as special NOOPs (the NOOP
+//!    technique) or as tags on existing instructions (the *Extension*
+//!    technique) ([`annotate`]).
+//!
+//! The *Improved* technique of §5.3 additionally models functional-unit
+//! contention across procedure boundaries for hot procedures; this is the
+//! [`PassConfig::interprocedural_fu`] switch.
+//!
+//! # Example
+//!
+//! ```
+//! use sdiq_compiler::{CompilerPass, EmitKind, PassConfig};
+//! use sdiq_isa::builder::ProgramBuilder;
+//! use sdiq_isa::reg::int_reg;
+//!
+//! let mut b = ProgramBuilder::new();
+//! let main = b.procedure("main");
+//! {
+//!     let p = b.proc_mut(main);
+//!     let entry = p.block();
+//!     p.with_block(entry, |bb| {
+//!         bb.li(int_reg(1), 1);
+//!         bb.addi(int_reg(2), int_reg(1), 2);
+//!         bb.ret();
+//!     });
+//!     p.set_entry(entry);
+//! }
+//! let program = b.finish(main).unwrap();
+//!
+//! let pass = CompilerPass::new(PassConfig::noop_insertion());
+//! let compiled = pass.run(&program);
+//! assert!(compiled.program.hint_noop_count() > 0);
+//! assert_eq!(compiled.config.emit, EmitKind::NoopInsertion);
+//! ```
+
+pub mod annotate;
+pub mod dag_analysis;
+pub mod loop_analysis;
+pub mod pass;
+
+pub use annotate::EmitKind;
+pub use dag_analysis::{analyse_block, BlockRequirement};
+pub use loop_analysis::{analyse_loop_body, LoopRequirement};
+pub use pass::{CompileStats, CompiledProgram, CompilerPass, PassConfig, ProcedureStats};

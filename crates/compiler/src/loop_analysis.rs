@@ -1,0 +1,252 @@
+//! Loop analysis via cyclic dependence sets (§4.3, Figure 4).
+//!
+//! Out-of-order execution overlaps instructions from different loop
+//! iterations, so a loop's issue-queue requirement cannot be derived from a
+//! single iteration alone. The paper's method:
+//!
+//! 1. find the *cyclic dependence sets* (CDSs) — cycles of dependences that
+//!    close through a loop-carried edge — and pick the one with the greatest
+//!    latency: it dictates the recurrence-limited initiation interval,
+//! 2. write an equation for every instruction expressing when it can leave
+//!    the issue queue relative to a CDS instruction in some iteration
+//!    ("`e_i = a_{i+3}`" in Figure 4), and
+//! 3. count how many instructions must be resident so that the furthest
+//!    iteration offset can be in the queue at the same time as the current
+//!    iteration's tail — 15 entries in the Figure 4 example.
+
+use sdiq_ir::graph::{cycle_latency, longest_paths_forward};
+use sdiq_ir::Ddg;
+use sdiq_isa::Instruction;
+use serde::{Deserialize, Serialize};
+
+/// Result of analysing one loop body.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoopRequirement {
+    /// Issue-queue entries needed for pipeline-parallel execution of the
+    /// loop without delaying its recurrence-limited critical path. `None`
+    /// means the loop has no cyclic dependence set at all (fully parallel
+    /// iterations), in which case the paper's analysis cannot bound the
+    /// requirement and the queue is left at its maximum size.
+    pub entries: Option<u32>,
+    /// Latency of the most critical cyclic dependence set (the
+    /// recurrence-limited initiation interval), if any.
+    pub recurrence_latency: u32,
+    /// Number of instructions in the analysed loop body.
+    pub body_len: u32,
+    /// Iteration offsets assigned to each body instruction by the equation
+    /// step (index-aligned with the body; offset of the CDS representative
+    /// is 0).
+    pub iteration_offsets: Vec<u32>,
+}
+
+/// Analyses a loop body (the concatenated instructions of the loop's
+/// exclusive blocks, in control-flow order).
+///
+/// `iq_capacity` caps the reported requirement: a loop that would profit
+/// from more entries than the hardware has simply gets the full queue.
+pub fn analyse_loop_body(body: &[Instruction], iq_capacity: u32) -> LoopRequirement {
+    let real: Vec<Instruction> = body
+        .iter()
+        .filter(|i| !i.is_hint_noop())
+        .cloned()
+        .collect();
+    let n = real.len();
+    if n == 0 {
+        return LoopRequirement {
+            entries: Some(1),
+            recurrence_latency: 0,
+            body_len: 0,
+            iteration_offsets: Vec::new(),
+        };
+    }
+
+    let ddg = Ddg::for_loop_body(&real);
+    let cds_list = ddg.cyclic_dependence_sets();
+    if cds_list.is_empty() {
+        // No recurrence: iterations are fully independent, the analysis
+        // cannot bound the window.
+        return LoopRequirement {
+            entries: None,
+            recurrence_latency: 0,
+            body_len: n as u32,
+            iteration_offsets: vec![0; n],
+        };
+    }
+
+    // Critical CDS = the one with the greatest latency around the cycle.
+    let latency_between = |from: usize, _to: usize| u64::from(ddg.latency_of(from));
+    let (critical_cds, recurrence_latency) = cds_list
+        .iter()
+        .map(|cds| (cds, cycle_latency(cds, latency_between)))
+        .max_by_key(|(_, lat)| *lat)
+        .expect("at least one CDS");
+    let recurrence_latency = recurrence_latency.max(1) as u32;
+
+    // A recurrence that goes through memory (e.g. pointer chasing) has an
+    // unknown true latency: the analysis assumes cache hits (§4.2), but a
+    // miss makes the real initiation interval far larger, in which case the
+    // window computed below would needlessly serialise the independent work
+    // that hides the miss. Such loops are left unbounded.
+    if critical_cds.iter().any(|&idx| real[idx].opcode.is_load()) {
+        return LoopRequirement {
+            entries: None,
+            recurrence_latency,
+            body_len: n as u32,
+            iteration_offsets: vec![0; n],
+        };
+    }
+
+    // Representative: the earliest instruction of the critical CDS.
+    let representative = *critical_cds.iter().min().expect("non-empty CDS");
+
+    // Longest dataflow distance (in cycles) from the representative to every
+    // instruction along intra-iteration edges. Rewriting the per-instruction
+    // equations to eliminate constants (Figure 4(c)) is equivalent to
+    // converting these distances into iteration offsets of the
+    // representative: offset = ceil(distance / recurrence_latency).
+    let forward = ddg.forward_weighted_edges();
+    let dist = longest_paths_forward(n, representative, &forward);
+    let offsets: Vec<u32> = (0..n)
+        .map(|idx| match dist[idx] {
+            Some(d) => ((d + u64::from(recurrence_latency) - 1) / u64::from(recurrence_latency))
+                as u32,
+            None => 0,
+        })
+        .collect();
+
+    // Entry requirement: for instruction j with offset k, the queue must hold
+    // the tail of iteration i starting at j, the (k-1) full intermediate
+    // iterations, and iteration i+k up to and including the representative.
+    let rep_idx = representative as u32;
+    let body_len = n as u32;
+    let mut entries: u32 = 1;
+    for (idx, &k) in offsets.iter().enumerate() {
+        let idx = idx as u32;
+        let needed = if k == 0 {
+            if rep_idx >= idx {
+                rep_idx - idx + 1
+            } else {
+                1
+            }
+        } else {
+            (body_len - idx) + (k - 1) * body_len + (rep_idx + 1)
+        };
+        entries = entries.max(needed);
+    }
+
+    LoopRequirement {
+        entries: Some(entries.min(iq_capacity.max(1))),
+        recurrence_latency,
+        body_len,
+        iteration_offsets: offsets,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdiq_isa::reg::int_reg;
+    use sdiq_isa::Opcode;
+
+    /// The loop body of Figure 4:
+    /// a: a = a + 1 ; b: b = a + 1 ; c: c = b + 1 ; d: d = b + 1 ;
+    /// e: e = d + 1 ; f: f = c + 1   (all unit latency).
+    fn figure4_body() -> Vec<Instruction> {
+        vec![
+            Instruction::rri(Opcode::Addi, int_reg(1), int_reg(1), 1), // a
+            Instruction::rri(Opcode::Addi, int_reg(2), int_reg(1), 1), // b
+            Instruction::rri(Opcode::Addi, int_reg(3), int_reg(2), 1), // c
+            Instruction::rri(Opcode::Addi, int_reg(4), int_reg(2), 1), // d
+            Instruction::rri(Opcode::Addi, int_reg(5), int_reg(4), 1), // e
+            Instruction::rri(Opcode::Addi, int_reg(6), int_reg(3), 1), // f
+        ]
+    }
+
+    #[test]
+    fn figure4_needs_fifteen_entries() {
+        let req = analyse_loop_body(&figure4_body(), 80);
+        assert_eq!(req.entries, Some(15));
+        assert_eq!(req.recurrence_latency, 1);
+        assert_eq!(req.body_len, 6);
+    }
+
+    #[test]
+    fn figure4_iteration_offsets_match_the_paper() {
+        let req = analyse_loop_body(&figure4_body(), 80);
+        // b leaves with a of the next iteration, c and d two iterations out,
+        // e and f three iterations out (Figure 4(c)).
+        assert_eq!(req.iteration_offsets, vec![0, 1, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn requirement_is_capped_at_queue_capacity() {
+        let req = analyse_loop_body(&figure4_body(), 8);
+        assert_eq!(req.entries, Some(8));
+    }
+
+    #[test]
+    fn slow_recurrence_shrinks_the_window() {
+        // The recurrence goes through a multiply (3 cycles): consumers only
+        // run one iteration ahead per 3 cycles of dataflow, so fewer entries
+        // are needed than with a unit-latency recurrence.
+        let body = vec![
+            Instruction::rrr(Opcode::Mul, int_reg(1), int_reg(1), int_reg(7)), // a = a * k
+            Instruction::rri(Opcode::Addi, int_reg(2), int_reg(1), 1),         // b = a + 1
+            Instruction::rri(Opcode::Addi, int_reg(3), int_reg(2), 1),         // c = b + 1
+        ];
+        let req = analyse_loop_body(&body, 80);
+        assert_eq!(req.recurrence_latency, 3);
+        // offsets: a=0, b=ceil(3/3)=1, c=ceil(4/3)=2
+        assert_eq!(req.iteration_offsets, vec![0, 1, 2]);
+        // entries: from c: (3-2) + (2-1)*3 + 1 = 5.
+        assert_eq!(req.entries, Some(5));
+    }
+
+    #[test]
+    fn fully_parallel_loop_is_unbounded() {
+        // No loop-carried dependence at all (each iteration writes registers
+        // it first defines itself).
+        let body = vec![
+            Instruction::ri(Opcode::Li, int_reg(1), 3),
+            Instruction::rri(Opcode::Addi, int_reg(2), int_reg(1), 1),
+        ];
+        let req = analyse_loop_body(&body, 80);
+        assert_eq!(req.entries, None);
+    }
+
+    #[test]
+    fn single_instruction_recurrence_needs_whole_iteration_window() {
+        // Just the induction variable: a = a + 1. Only one entry is needed —
+        // the next iteration's a can enter as soon as this one leaves.
+        let body = vec![Instruction::rri(Opcode::Addi, int_reg(1), int_reg(1), 1)];
+        let req = analyse_loop_body(&body, 80);
+        assert_eq!(req.entries, Some(1));
+        assert_eq!(req.iteration_offsets, vec![0]);
+    }
+
+    #[test]
+    fn empty_body_needs_one_entry() {
+        let req = analyse_loop_body(&[], 80);
+        assert_eq!(req.entries, Some(1));
+    }
+
+    #[test]
+    fn hint_noops_in_body_are_ignored() {
+        let mut body = figure4_body();
+        body.insert(0, Instruction::hint_noop(9));
+        let req = analyse_loop_body(&body, 80);
+        assert_eq!(req.entries, Some(15));
+        assert_eq!(req.body_len, 6);
+    }
+
+    #[test]
+    fn larger_body_with_same_recurrence_needs_more_entries() {
+        let small = analyse_loop_body(&figure4_body(), 1024);
+        let mut big_body = figure4_body();
+        // Extend the chain after f with two more dependent adds.
+        big_body.push(Instruction::rri(Opcode::Addi, int_reg(7), int_reg(6), 1));
+        big_body.push(Instruction::rri(Opcode::Addi, int_reg(8), int_reg(7), 1));
+        let big = analyse_loop_body(&big_body, 1024);
+        assert!(big.entries.unwrap() > small.entries.unwrap());
+    }
+}

@@ -1,0 +1,525 @@
+//! The whole-program compiler pass (Figure 5 of the paper).
+
+use crate::annotate::{emit, Annotations, EmitKind};
+use crate::dag_analysis::{analyse_block, BlockRequirement};
+use crate::loop_analysis::{analyse_loop_body, LoopRequirement};
+use sdiq_ir::ProcedureAnalysis;
+use sdiq_isa::{BlockId, BlockRef, FuCounts, Instruction, MachineWidths, ProcId, Program};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Configuration of the compiler pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PassConfig {
+    /// Pipeline widths and capacities of the target machine (Table 1).
+    pub widths: MachineWidths,
+    /// Functional-unit pools of the target machine (Table 1).
+    pub fu_counts: FuCounts,
+    /// How resize information is carried to the processor.
+    pub emit: EmitKind,
+    /// Model functional-unit contention across procedure boundaries (the
+    /// *Improved* technique of §5.3).
+    pub interprocedural_fu: bool,
+    /// Floor applied to every advertised window.
+    ///
+    /// The analysis of §4.2 can report requirements smaller than the
+    /// machine's dispatch width for very small basic blocks (a couple of
+    /// instructions). Advertising fewer entries than the dispatch width can
+    /// starve the front end for regions whose upward-exposed operands are
+    /// produced by long-latency instructions in *earlier* regions — a
+    /// situation the paper's conservative control-flow summarisation absorbs
+    /// on real SPEC basic blocks. Flooring the advertised value (at two
+    /// dispatch groups' worth of instructions by default) keeps the
+    /// synthetic workloads' many tiny blocks from throttling dispatch while
+    /// leaving loop and large-block windows untouched.
+    pub min_advertised_entries: u32,
+}
+
+impl PassConfig {
+    /// The paper's base NOOP-insertion technique (§5.2).
+    pub fn noop_insertion() -> Self {
+        let widths = MachineWidths::hpca2005();
+        PassConfig {
+            widths,
+            fu_counts: FuCounts::hpca2005(),
+            emit: EmitKind::NoopInsertion,
+            interprocedural_fu: false,
+            min_advertised_entries: 2 * widths.pipeline_width as u32,
+        }
+    }
+
+    /// The *Extension* technique: resize information passed via instruction
+    /// tags instead of special NOOPs (§5.3).
+    pub fn tagging() -> Self {
+        PassConfig {
+            emit: EmitKind::Tagging,
+            ..PassConfig::noop_insertion()
+        }
+    }
+
+    /// The *Improved* technique: tagging plus inter-procedural functional-
+    /// unit contention analysis (§5.3).
+    pub fn improved() -> Self {
+        PassConfig {
+            emit: EmitKind::Tagging,
+            interprocedural_fu: true,
+            ..PassConfig::noop_insertion()
+        }
+    }
+}
+
+impl Default for PassConfig {
+    fn default() -> Self {
+        PassConfig::noop_insertion()
+    }
+}
+
+/// Per-procedure compile statistics (the raw material of Table 2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProcedureStats {
+    /// Procedure name.
+    pub name: String,
+    /// Number of DAG blocks analysed with the pseudo issue queue.
+    pub blocks_analysed: usize,
+    /// Number of loops analysed with the CDS method.
+    pub loops_analysed: usize,
+    /// Number of DAG regions formed.
+    pub dag_regions: usize,
+    /// Wall-clock time spent analysing the procedure.
+    pub duration: Duration,
+}
+
+/// Whole-program compile statistics.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CompileStats {
+    /// One entry per analysed (non-library) procedure.
+    pub per_procedure: Vec<ProcedureStats>,
+    /// Total wall-clock time of the pass, including annotation emission.
+    pub total_duration: Duration,
+    /// Number of blocks that received an annotation.
+    pub annotated_blocks: usize,
+    /// Number of special NOOPs present in the output program.
+    pub hint_noops_inserted: usize,
+}
+
+/// Requirement computed for one loop.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoopInfo {
+    /// Procedure owning the loop.
+    pub proc: ProcId,
+    /// Header block of the loop.
+    pub header: BlockId,
+    /// The computed requirement.
+    pub requirement: LoopRequirement,
+}
+
+/// The output of the compiler pass.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    /// The rewritten program carrying the issue-queue size information.
+    pub program: Program,
+    /// The annotations that were emitted (useful for inspection and tests).
+    pub annotations: Annotations,
+    /// The configuration the pass ran with.
+    pub config: PassConfig,
+    /// Compile statistics.
+    pub stats: CompileStats,
+    /// Pseudo-issue-queue results per analysed DAG block.
+    pub block_requirements: HashMap<BlockRef, BlockRequirement>,
+    /// CDS results per analysed loop.
+    pub loop_requirements: Vec<LoopInfo>,
+}
+
+/// The compiler pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompilerPass {
+    config: PassConfig,
+}
+
+impl CompilerPass {
+    /// Creates a pass with the given configuration.
+    pub fn new(config: PassConfig) -> Self {
+        CompilerPass { config }
+    }
+
+    /// The pass configuration.
+    pub fn config(&self) -> &PassConfig {
+        &self.config
+    }
+
+    /// Runs the pass over `program`, returning the annotated program plus
+    /// all intermediate analysis results.
+    pub fn run(&self, program: &Program) -> CompiledProgram {
+        let start = Instant::now();
+        let iq_capacity = self.config.widths.iq_capacity as u32;
+        let issue_width = self.config.widths.pipeline_width;
+
+        let mut annotations = Annotations::default();
+        let mut block_requirements: HashMap<BlockRef, BlockRequirement> = HashMap::new();
+        let mut loop_requirements: Vec<LoopInfo> = Vec::new();
+        let mut per_procedure = Vec::new();
+        // Remember which annotated blocks end in a call, and to whom, for the
+        // inter-procedural adjustment below.
+        let mut call_sites: Vec<(BlockRef, ProcId)> = Vec::new();
+
+        for (pid, proc) in program.iter_procs() {
+            if proc.is_library {
+                continue;
+            }
+            let proc_start = Instant::now();
+            let analysis = ProcedureAnalysis::analyse(proc);
+
+            // Loops: analyse the exclusive body of each loop and annotate its
+            // header.
+            for (loop_idx, natural_loop) in analysis.loops.loops().iter().enumerate() {
+                let mut blocks: Vec<BlockId> = analysis
+                    .loops
+                    .exclusive_blocks(loop_idx)
+                    .into_iter()
+                    .collect();
+                blocks.sort_by_key(|b| analysis.cfg.rpo_index(*b).unwrap_or(usize::MAX));
+                let body: Vec<Instruction> = blocks
+                    .iter()
+                    .flat_map(|b| proc.block(*b).instructions.iter().cloned())
+                    .collect();
+                let requirement = analyse_loop_body(&body, iq_capacity);
+                let value = requirement
+                    .entries
+                    .unwrap_or(iq_capacity)
+                    .clamp(self.config.min_advertised_entries.min(iq_capacity), iq_capacity);
+                // The hint is placed in the loop's pre-header(s): every CFG
+                // predecessor of the header that lies outside the loop. It is
+                // decoded once on entry and stays in force for the whole loop,
+                // so the advertised window bounds the loop's total residency
+                // (placing it inside the loop would reset the region every
+                // iteration and defeat the limit).
+                let mut placed = false;
+                for &pred in analysis.cfg.preds(natural_loop.header) {
+                    if !natural_loop.body.contains(&pred) {
+                        annotations.loop_preheader_entries.insert(
+                            BlockRef { proc: pid, block: pred },
+                            value,
+                        );
+                        placed = true;
+                    }
+                }
+                if !placed {
+                    // Fallback (header with no out-of-loop predecessor, e.g. a
+                    // procedure entry that is itself a loop header).
+                    annotations.block_entries.insert(
+                        BlockRef {
+                            proc: pid,
+                            block: natural_loop.header,
+                        },
+                        value,
+                    );
+                }
+                loop_requirements.push(LoopInfo {
+                    proc: pid,
+                    header: natural_loop.header,
+                    requirement,
+                });
+            }
+
+            // DAG regions: analyse every block individually (§4.2) in
+            // breadth-first region order.
+            let mut blocks_analysed = 0usize;
+            for region in analysis.regions.regions() {
+                for &bid in &region.blocks {
+                    let block = proc.block(bid);
+                    let requirement =
+                        analyse_block(&block.instructions, issue_width, &self.config.fu_counts);
+                    let block_ref = BlockRef { proc: pid, block: bid };
+                    let value = requirement
+                        .entries
+                        .clamp(self.config.min_advertised_entries.min(iq_capacity), iq_capacity);
+                    annotations.block_entries.insert(block_ref, value);
+                    block_requirements.insert(block_ref, requirement);
+                    blocks_analysed += 1;
+                }
+            }
+
+            // Call handling (§4.4): library callees force the maximum size
+            // immediately before the call; other callees are recorded for the
+            // optional inter-procedural adjustment.
+            for (bid, block) in proc.iter_blocks() {
+                if let Some(callee) = block.callee() {
+                    let block_ref = BlockRef { proc: pid, block: bid };
+                    if program.proc(callee).is_library {
+                        annotations.max_before_call.push(block_ref);
+                    } else {
+                        call_sites.push((block_ref, callee));
+                    }
+                }
+            }
+
+            per_procedure.push(ProcedureStats {
+                name: proc.name.clone(),
+                blocks_analysed,
+                loops_analysed: analysis.loops.loops().len(),
+                dag_regions: analysis.regions.regions().len(),
+                duration: proc_start.elapsed(),
+            });
+        }
+
+        // Improved technique: functional-unit contention across procedure
+        // boundaries. Instructions of the calling region are still in flight
+        // (between `head` and `new_head`) while the callee starts executing,
+        // competing for functional units. Giving the callee's entry region
+        // and the post-call region a window that also covers the caller's
+        // in-flight instructions lets the scheduler find enough independent
+        // work, which is what removes most of the residual IPC loss in §5.3.
+        if self.config.interprocedural_fu {
+            let mut adjustments: HashMap<BlockRef, u32> = HashMap::new();
+            let mut preheader_adjustments: HashMap<BlockRef, u32> = HashMap::new();
+            for (caller_block, callee) in &call_sites {
+                let caller_req = annotations
+                    .block_entries
+                    .get(caller_block)
+                    .copied()
+                    .unwrap_or(1);
+                let callee_entry = BlockRef {
+                    proc: *callee,
+                    block: program.proc(*callee).entry,
+                };
+                let callee_req = annotations
+                    .block_entries
+                    .get(&callee_entry)
+                    .copied()
+                    .unwrap_or(1);
+                // Callee entry sees the caller's leftovers.
+                let e = adjustments.entry(callee_entry).or_insert(callee_req);
+                *e = (*e).max(callee_req + caller_req).min(iq_capacity);
+                // If the callee's entry block is also the pre-header of its
+                // hot loop, widen the loop window by the same amount — the
+                // loop's instructions contend for functional units with the
+                // caller's still-in-flight region.
+                if let Some(&loop_value) = annotations.loop_preheader_entries.get(&callee_entry) {
+                    let e = preheader_adjustments
+                        .entry(callee_entry)
+                        .or_insert(loop_value);
+                    *e = (*e).max(loop_value + caller_req).min(iq_capacity);
+                }
+                // The post-call block sees the callee's leftovers.
+                if let Some(after) = program
+                    .proc(caller_block.proc)
+                    .block(caller_block.block)
+                    .fallthrough
+                {
+                    let after_ref = BlockRef {
+                        proc: caller_block.proc,
+                        block: after,
+                    };
+                    let after_req = annotations
+                        .block_entries
+                        .get(&after_ref)
+                        .copied()
+                        .unwrap_or(1);
+                    let e = adjustments.entry(after_ref).or_insert(after_req);
+                    *e = (*e).max(after_req + callee_req).min(iq_capacity);
+                }
+            }
+            for (block_ref, value) in adjustments {
+                annotations.block_entries.insert(block_ref, value);
+            }
+            for (block_ref, value) in preheader_adjustments {
+                annotations.loop_preheader_entries.insert(block_ref, value);
+            }
+        }
+
+        let annotated_program = emit(program, &annotations, self.config.emit);
+        let stats = CompileStats {
+            annotated_blocks: annotations.block_entries.len(),
+            hint_noops_inserted: annotated_program.hint_noop_count(),
+            per_procedure,
+            total_duration: start.elapsed(),
+        };
+
+        CompiledProgram {
+            program: annotated_program,
+            annotations,
+            config: self.config,
+            stats,
+            block_requirements,
+            loop_requirements,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdiq_isa::builder::ProgramBuilder;
+    use sdiq_isa::reg::int_reg;
+
+    /// A program with a loop, a call to a helper and a call to a library
+    /// routine.
+    fn mixed_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let lib = b.library_procedure("memcpy");
+        {
+            let p = b.proc_mut(lib);
+            let e = p.block();
+            p.with_block(e, |bb| {
+                bb.nop();
+                bb.ret();
+            });
+            p.set_entry(e);
+        }
+        let helper = b.procedure("helper");
+        {
+            let p = b.proc_mut(helper);
+            let e = p.block();
+            p.with_block(e, |bb| {
+                bb.addi(int_reg(10), int_reg(10), 1);
+                bb.addi(int_reg(11), int_reg(10), 2);
+                bb.addi(int_reg(12), int_reg(11), 3);
+                bb.ret();
+            });
+            p.set_entry(e);
+        }
+        let main = b.procedure("main");
+        {
+            let p = b.proc_mut(main);
+            let entry = p.block();
+            let loop_body = p.block();
+            let after_loop = p.block();
+            let after_helper = p.block();
+            let after_lib = p.block();
+            p.with_block(entry, |bb| {
+                bb.li(int_reg(1), 0);
+                bb.li(int_reg(2), 0);
+                bb.jump(loop_body);
+            });
+            p.with_block(loop_body, |bb| {
+                bb.addi(int_reg(2), int_reg(2), 3);
+                bb.addi(int_reg(3), int_reg(2), 1);
+                bb.addi(int_reg(1), int_reg(1), 1);
+                bb.blt(int_reg(1), 50, loop_body, after_loop);
+            });
+            p.with_block(after_loop, |bb| {
+                bb.call(helper, after_helper);
+            });
+            p.with_block(after_helper, |bb| {
+                bb.call(lib, after_lib);
+            });
+            p.with_block(after_lib, |bb| {
+                bb.addi(int_reg(4), int_reg(3), 1);
+                bb.ret();
+            });
+            p.set_entry(entry);
+        }
+        b.finish(main).unwrap()
+    }
+
+    #[test]
+    fn noop_pass_annotates_blocks_and_loops() {
+        let program = mixed_program();
+        let compiled = CompilerPass::new(PassConfig::noop_insertion()).run(&program);
+        assert!(compiled.program.validate().is_ok());
+        assert!(compiled.program.hint_noop_count() > 0);
+        assert_eq!(compiled.loop_requirements.len(), 1);
+        assert!(compiled.stats.annotated_blocks >= 5);
+        // Library call gets a max hint just before it.
+        assert_eq!(compiled.annotations.max_before_call.len(), 1);
+        // The library procedure itself is not annotated.
+        let lib = program.proc_by_name("memcpy").unwrap();
+        assert!(!compiled
+            .annotations
+            .block_entries
+            .keys()
+            .any(|r| r.proc == lib));
+    }
+
+    #[test]
+    fn tagging_pass_adds_no_instructions() {
+        let program = mixed_program();
+        let compiled = CompilerPass::new(PassConfig::tagging()).run(&program);
+        assert_eq!(compiled.program.hint_noop_count(), 0);
+        assert_eq!(
+            compiled.program.static_instruction_count(),
+            program.static_instruction_count()
+        );
+        // But the tags are present.
+        let tags = compiled
+            .program
+            .iter_locs()
+            .filter(|l| compiled.program.instruction(*l).iq_hint.is_some())
+            .count();
+        assert!(tags >= compiled.stats.annotated_blocks);
+    }
+
+    #[test]
+    fn improved_pass_never_shrinks_windows() {
+        let program = mixed_program();
+        let base = CompilerPass::new(PassConfig::tagging()).run(&program);
+        let improved = CompilerPass::new(PassConfig::improved()).run(&program);
+        for (block, &value) in &base.annotations.block_entries {
+            let new_value = improved.annotations.block_entries[block];
+            assert!(new_value >= value, "{block:?} shrank from {value} to {new_value}");
+        }
+        // At least the helper's entry block grows.
+        let helper = program.proc_by_name("helper").unwrap();
+        let helper_entry = BlockRef {
+            proc: helper,
+            block: program.proc(helper).entry,
+        };
+        assert!(
+            improved.annotations.block_entries[&helper_entry]
+                > base.annotations.block_entries[&helper_entry]
+        );
+    }
+
+    #[test]
+    fn loop_value_is_advertised_once_in_the_preheader() {
+        let program = mixed_program();
+        let compiled = CompilerPass::new(PassConfig::noop_insertion()).run(&program);
+        let info = &compiled.loop_requirements[0];
+        // The value lands in a pre-header block, not in the loop header
+        // itself (otherwise it would be re-applied every iteration).
+        let header_ref = BlockRef {
+            proc: info.proc,
+            block: info.header,
+        };
+        assert!(!compiled
+            .annotations
+            .loop_preheader_entries
+            .contains_key(&header_ref));
+        let floor = compiled.config.min_advertised_entries;
+        let expected = info.requirement.entries.unwrap().max(floor);
+        assert!(compiled
+            .annotations
+            .loop_preheader_entries
+            .values()
+            .any(|&v| v == expected));
+        // And the emitted program still validates.
+        assert!(compiled.program.validate().is_ok());
+    }
+
+    #[test]
+    fn requirements_never_exceed_queue_capacity() {
+        let program = mixed_program();
+        let compiled = CompilerPass::new(PassConfig::improved()).run(&program);
+        let cap = compiled.config.widths.iq_capacity as u32;
+        for &v in compiled.annotations.block_entries.values() {
+            assert!(v >= 1 && v <= cap);
+        }
+    }
+
+    #[test]
+    fn stats_cover_all_non_library_procedures() {
+        let program = mixed_program();
+        let compiled = CompilerPass::new(PassConfig::noop_insertion()).run(&program);
+        let names: Vec<_> = compiled
+            .stats
+            .per_procedure
+            .iter()
+            .map(|p| p.name.as_str())
+            .collect();
+        assert!(names.contains(&"main"));
+        assert!(names.contains(&"helper"));
+        assert!(!names.contains(&"memcpy"));
+        assert!(compiled.stats.total_duration.as_nanos() > 0);
+    }
+}

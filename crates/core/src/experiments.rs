@@ -1,0 +1,470 @@
+//! Regeneration of the paper's tables and figures from a [`Suite`] of runs.
+//!
+//! Every public function here corresponds to one table or figure of the
+//! paper's evaluation (§5); the `repro` binary in `sdiq-bench` prints their
+//! output, and `EXPERIMENTS.md` records the measured values next to the
+//! paper's.
+
+use crate::runner::Suite;
+use crate::technique::Technique;
+use sdiq_sim::SimConfig;
+use sdiq_workloads::Benchmark;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One series of per-benchmark values plus its average — one group of bars
+/// in a paper figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigureSeries {
+    /// Series label (technique name).
+    pub label: String,
+    /// `(benchmark, value)` pairs in figure order.
+    pub points: Vec<(String, f64)>,
+    /// Arithmetic mean over the benchmarks (the paper's `SPECINT` bar).
+    pub average: f64,
+}
+
+impl FigureSeries {
+    fn from_values(label: &str, points: Vec<(String, f64)>) -> Self {
+        let average = if points.is_empty() {
+            0.0
+        } else {
+            points.iter().map(|(_, v)| v).sum::<f64>() / points.len() as f64
+        };
+        FigureSeries {
+            label: label.to_string(),
+            points,
+            average,
+        }
+    }
+
+    /// Renders the series as an aligned text table row block.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "  {}:", self.label);
+        for (name, value) in &self.points {
+            let _ = writeln!(out, "    {name:10} {value:8.2}");
+        }
+        let _ = writeln!(out, "    {:10} {:8.2}", "AVERAGE", self.average);
+        out
+    }
+}
+
+/// A figure with a dynamic-power panel and a static-power panel (Figures 8,
+/// 9, 11 and 12 all have this two-panel shape).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerFigure {
+    /// Left panel: dynamic power savings (percent).
+    pub dynamic: Vec<FigureSeries>,
+    /// Right panel: static power savings (percent).
+    pub static_: Vec<FigureSeries>,
+}
+
+fn series_over<F>(suite: &Suite, technique: Technique, f: F) -> FigureSeries
+where
+    F: Fn(Benchmark) -> Option<f64>,
+{
+    let points: Vec<(String, f64)> = suite
+        .benchmarks()
+        .into_iter()
+        .filter_map(|b| f(b).map(|v| (b.name().to_string(), v)))
+        .collect();
+    FigureSeries::from_values(technique.name(), points)
+}
+
+/// Figure 6: normalised IPC loss for the NOOP technique, with the `abella`
+/// comparator.
+pub fn figure6(suite: &Suite) -> Vec<FigureSeries> {
+    [Technique::Noop, Technique::Abella]
+        .iter()
+        .map(|&t| {
+            series_over(suite, t, |b| {
+                suite.comparison(b, t).map(|c| c.ipc_loss_percent)
+            })
+        })
+        .collect()
+}
+
+/// Figure 7: normalised issue-queue occupancy reduction for the NOOP
+/// technique.
+pub fn figure7(suite: &Suite) -> FigureSeries {
+    series_over(suite, Technique::Noop, |b| {
+        suite
+            .comparison(b, Technique::Noop)
+            .map(|c| c.iq_occupancy_reduction_percent)
+    })
+}
+
+/// Figure 8: issue-queue dynamic and static power savings for the NOOP
+/// technique, with the `nonEmpty` and `abella` comparators.
+pub fn figure8(suite: &Suite) -> PowerFigure {
+    let techniques = [Technique::NonEmpty, Technique::Noop, Technique::Abella];
+    PowerFigure {
+        dynamic: techniques
+            .iter()
+            .map(|&t| {
+                series_over(suite, t, |b| {
+                    suite.comparison(b, t).map(|c| c.savings.iq_dynamic_pct)
+                })
+            })
+            .collect(),
+        static_: techniques
+            .iter()
+            .map(|&t| {
+                series_over(suite, t, |b| {
+                    suite.comparison(b, t).map(|c| c.savings.iq_static_pct)
+                })
+            })
+            .collect(),
+    }
+}
+
+/// Figure 9: integer register-file dynamic and static power savings for the
+/// NOOP technique and the `abella` comparator.
+pub fn figure9(suite: &Suite) -> PowerFigure {
+    let techniques = [Technique::Noop, Technique::Abella];
+    PowerFigure {
+        dynamic: techniques
+            .iter()
+            .map(|&t| {
+                series_over(suite, t, |b| {
+                    suite.comparison(b, t).map(|c| c.savings.rf_dynamic_pct)
+                })
+            })
+            .collect(),
+        static_: techniques
+            .iter()
+            .map(|&t| {
+                series_over(suite, t, |b| {
+                    suite.comparison(b, t).map(|c| c.savings.rf_static_pct)
+                })
+            })
+            .collect(),
+    }
+}
+
+/// Figure 10: normalised IPC loss for the Extension and Improved techniques
+/// (with the NOOP scheme and `abella` shown for comparison, as in the
+/// paper).
+pub fn figure10(suite: &Suite) -> Vec<FigureSeries> {
+    [
+        Technique::Extension,
+        Technique::Improved,
+        Technique::Noop,
+        Technique::Abella,
+    ]
+    .iter()
+    .map(|&t| {
+        series_over(suite, t, |b| {
+            suite.comparison(b, t).map(|c| c.ipc_loss_percent)
+        })
+    })
+    .collect()
+}
+
+/// Figure 11: issue-queue power savings for Extension and Improved.
+pub fn figure11(suite: &Suite) -> PowerFigure {
+    let techniques = [Technique::Extension, Technique::Improved];
+    PowerFigure {
+        dynamic: techniques
+            .iter()
+            .map(|&t| {
+                series_over(suite, t, |b| {
+                    suite.comparison(b, t).map(|c| c.savings.iq_dynamic_pct)
+                })
+            })
+            .collect(),
+        static_: techniques
+            .iter()
+            .map(|&t| {
+                series_over(suite, t, |b| {
+                    suite.comparison(b, t).map(|c| c.savings.iq_static_pct)
+                })
+            })
+            .collect(),
+    }
+}
+
+/// Figure 12: integer register-file power savings for Extension and
+/// Improved.
+pub fn figure12(suite: &Suite) -> PowerFigure {
+    let techniques = [Technique::Extension, Technique::Improved];
+    PowerFigure {
+        dynamic: techniques
+            .iter()
+            .map(|&t| {
+                series_over(suite, t, |b| {
+                    suite.comparison(b, t).map(|c| c.savings.rf_dynamic_pct)
+                })
+            })
+            .collect(),
+        static_: techniques
+            .iter()
+            .map(|&t| {
+                series_over(suite, t, |b| {
+                    suite.comparison(b, t).map(|c| c.savings.rf_static_pct)
+                })
+            })
+            .collect(),
+    }
+}
+
+/// §6's overall-processor estimate: dynamic power saving of the whole chip
+/// assuming the issue queue consumes `iq_share` (22%) and the integer
+/// register file `rf_share` (11%) of total processor power.
+pub fn overall_processor_savings(
+    suite: &Suite,
+    technique: Technique,
+    iq_share: f64,
+    rf_share: f64,
+) -> f64 {
+    let benchmarks = suite.benchmarks();
+    if benchmarks.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for b in benchmarks {
+        if let Some(c) = suite.comparison(b, technique) {
+            total += sdiq_power::overall_processor_dynamic_savings(&c.savings, iq_share, rf_share);
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+/// Table 1: the processor configuration, rendered as a text table.
+pub fn table1(config: &SimConfig) -> String {
+    let mut out = String::new();
+    let mut row = |k: &str, v: String| {
+        let _ = writeln!(out, "  {k:32} {v}");
+    };
+    row(
+        "Fetch/decode/commit width",
+        format!("{} instructions", config.widths.pipeline_width),
+    );
+    row(
+        "Branch predictor",
+        format!(
+            "Hybrid {}K gshare, {}K bimodal, {}K selector",
+            config.branch.gshare_entries / 1024,
+            config.branch.bimodal_entries / 1024,
+            config.branch.selector_entries / 1024
+        ),
+    );
+    row(
+        "BTB",
+        format!(
+            "{} entries, {}-way",
+            config.branch.btb_entries, config.branch.btb_ways
+        ),
+    );
+    row(
+        "L1 Icache",
+        format!(
+            "{}KB, {}-way, {}B line, {} cycle hit",
+            config.l1i.size_bytes / 1024,
+            config.l1i.ways,
+            config.l1i.line_bytes,
+            config.l1i.hit_latency
+        ),
+    );
+    row(
+        "L1 Dcache",
+        format!(
+            "{}KB, {}-way, {}B line, {} cycles hit",
+            config.l1d.size_bytes / 1024,
+            config.l1d.ways,
+            config.l1d.line_bytes,
+            config.l1d.hit_latency
+        ),
+    );
+    row(
+        "Unified L2 cache",
+        format!(
+            "{}KB, {}-way, {}B line, {} cycles hit, {} cycles miss",
+            config.l2.size_bytes / 1024,
+            config.l2.ways,
+            config.l2.line_bytes,
+            config.l2.hit_latency,
+            config.memory_latency
+        ),
+    );
+    row("ROB size", format!("{} entries", config.widths.rob_capacity));
+    row(
+        "Issue queue",
+        format!(
+            "{} entries ({} banks of {})",
+            config.iq.entries,
+            config.iq.banks(),
+            config.iq.bank_size
+        ),
+    );
+    row(
+        "Int register file",
+        format!(
+            "{} entries ({} banks of {})",
+            config.int_rf.regs_per_class,
+            config.int_rf.banks(),
+            config.int_rf.bank_size
+        ),
+    );
+    row(
+        "FP register file",
+        format!(
+            "{} entries ({} banks of {})",
+            config.fp_rf.regs_per_class,
+            config.fp_rf.banks(),
+            config.fp_rf.bank_size
+        ),
+    );
+    row(
+        "Int FUs",
+        format!(
+            "{} ALU (1 cycle), {} Mul (3 cycles)",
+            config.fu_counts.int_alu, config.fu_counts.int_mul
+        ),
+    );
+    row(
+        "FP FUs",
+        format!(
+            "{} ALU (2 cycles), {} MultDiv (4 cycles mult, 12 cycles div)",
+            config.fu_counts.fp_alu, config.fu_counts.fp_mul_div
+        ),
+    );
+    out
+}
+
+/// Headline numbers used by `EXPERIMENTS.md` and the integration tests:
+/// suite-average IPC loss and power savings per technique.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct TechniqueSummary {
+    /// Average IPC loss, percent.
+    pub ipc_loss_pct: f64,
+    /// Average issue-queue occupancy reduction, percent.
+    pub iq_occupancy_reduction_pct: f64,
+    /// Average issue-queue dynamic power saving, percent.
+    pub iq_dynamic_pct: f64,
+    /// Average issue-queue static power saving, percent.
+    pub iq_static_pct: f64,
+    /// Average integer register-file dynamic power saving, percent.
+    pub rf_dynamic_pct: f64,
+    /// Average integer register-file static power saving, percent.
+    pub rf_static_pct: f64,
+    /// Average fraction of issue-queue banks turned off, percent.
+    pub iq_banks_off_pct: f64,
+}
+
+/// Computes the suite-average summary for one technique.
+pub fn summarise(suite: &Suite, technique: Technique) -> TechniqueSummary {
+    let mut summary = TechniqueSummary::default();
+    let mut count = 0usize;
+    for b in suite.benchmarks() {
+        if let Some(c) = suite.comparison(b, technique) {
+            summary.ipc_loss_pct += c.ipc_loss_percent;
+            summary.iq_occupancy_reduction_pct += c.iq_occupancy_reduction_percent;
+            summary.iq_dynamic_pct += c.savings.iq_dynamic_pct;
+            summary.iq_static_pct += c.savings.iq_static_pct;
+            summary.rf_dynamic_pct += c.savings.rf_dynamic_pct;
+            summary.rf_static_pct += c.savings.rf_static_pct;
+            summary.iq_banks_off_pct += c.iq_banks_off_percent;
+            count += 1;
+        }
+    }
+    if count > 0 {
+        let n = count as f64;
+        summary.ipc_loss_pct /= n;
+        summary.iq_occupancy_reduction_pct /= n;
+        summary.iq_dynamic_pct /= n;
+        summary.iq_static_pct /= n;
+        summary.rf_dynamic_pct /= n;
+        summary.rf_static_pct /= n;
+        summary.iq_banks_off_pct /= n;
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::Experiment;
+
+    fn small_suite() -> Suite {
+        let exp = Experiment {
+            scale: 0.05,
+            ..Experiment::paper()
+        };
+        exp.run_matrix(
+            &[Benchmark::Gzip, Benchmark::Mcf],
+            &[
+                Technique::Baseline,
+                Technique::NonEmpty,
+                Technique::Noop,
+                Technique::Abella,
+            ],
+        )
+    }
+
+    #[test]
+    fn figure_series_average_is_mean_of_points() {
+        let s = FigureSeries::from_values(
+            "x",
+            vec![("a".into(), 2.0), ("b".into(), 4.0), ("c".into(), 6.0)],
+        );
+        assert!((s.average - 4.0).abs() < 1e-9);
+        assert!(s.render().contains("AVERAGE"));
+    }
+
+    #[test]
+    fn figures_cover_the_requested_benchmarks() {
+        let suite = small_suite();
+        let f6 = figure6(&suite);
+        assert_eq!(f6.len(), 2);
+        assert_eq!(f6[0].points.len(), 2);
+        let f7 = figure7(&suite);
+        assert_eq!(f7.points.len(), 2);
+        let f8 = figure8(&suite);
+        assert_eq!(f8.dynamic.len(), 3);
+        assert_eq!(f8.static_.len(), 3);
+        let f9 = figure9(&suite);
+        assert_eq!(f9.dynamic.len(), 2);
+    }
+
+    #[test]
+    fn noop_saves_more_dynamic_power_than_nonempty_gating_alone() {
+        let suite = small_suite();
+        let f8 = figure8(&suite);
+        let nonempty = f8.dynamic.iter().find(|s| s.label == "nonEmpty").unwrap();
+        let noop = f8.dynamic.iter().find(|s| s.label == "noop").unwrap();
+        assert!(
+            noop.average > nonempty.average,
+            "noop {} should beat nonEmpty {}",
+            noop.average,
+            nonempty.average
+        );
+    }
+
+    #[test]
+    fn table1_mentions_the_key_structures() {
+        let text = table1(&SimConfig::hpca2005());
+        assert!(text.contains("80 entries"));
+        assert!(text.contains("128 entries"));
+        assert!(text.contains("112 entries"));
+        assert!(text.contains("6 ALU (1 cycle), 3 Mul (3 cycles)"));
+    }
+
+    #[test]
+    fn summary_averages_are_finite_and_consistent() {
+        let suite = small_suite();
+        let s = summarise(&suite, Technique::Noop);
+        assert!(s.iq_dynamic_pct.is_finite());
+        assert!(s.iq_dynamic_pct > 0.0);
+        assert!(s.iq_occupancy_reduction_pct > 0.0);
+        let overall = overall_processor_savings(&suite, Technique::Noop, 0.22, 0.11);
+        assert!(overall > 0.0);
+    }
+}

@@ -1,0 +1,39 @@
+//! # sdiq-core — experiment layer of the SDIQ reproduction
+//!
+//! This crate ties the substrates together into the paper's evaluation
+//! methodology:
+//!
+//! * [`Technique`] — the configurations compared in the paper's figures:
+//!   the unmanaged baseline, Folegnani-style `nonEmpty` wakeup gating, the
+//!   paper's NOOP / Extension / Improved software techniques, and the
+//!   Abella & González adaptive-hardware comparator,
+//! * [`Experiment`] — runs a (benchmark, technique) pair end to end:
+//!   compiler pass → functional execution → cycle-level simulation → power
+//!   model, and whole matrices of such runs in parallel,
+//! * [`experiments`] — turns a matrix of runs ([`Suite`]) into the data
+//!   behind every table and figure of §5 (per-experiment index in
+//!   `DESIGN.md`).
+//!
+//! # Example
+//!
+//! ```
+//! use sdiq_core::{Experiment, Technique};
+//! use sdiq_workloads::Benchmark;
+//!
+//! let experiment = Experiment::quick();
+//! let baseline = experiment.run(Benchmark::Gzip, Technique::Baseline);
+//! let noop = experiment.run(Benchmark::Gzip, Technique::Noop);
+//! let comparison = noop.compared_to(&baseline);
+//! assert!(comparison.savings.iq_dynamic_pct > 0.0);
+//! ```
+
+pub mod experiments;
+pub mod runner;
+pub mod technique;
+
+pub use experiments::{
+    figure10, figure11, figure12, figure6, figure7, figure8, figure9,
+    overall_processor_savings, summarise, table1, FigureSeries, PowerFigure, TechniqueSummary,
+};
+pub use runner::{Comparison, Experiment, RunReport, Suite};
+pub use technique::Technique;

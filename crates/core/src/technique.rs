@@ -1,0 +1,173 @@
+//! The techniques compared in the paper's evaluation.
+
+use sdiq_compiler::PassConfig;
+use sdiq_power::WakeupScheme;
+use sdiq_sim::{AdaptiveConfig, ResizePolicy};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One bar group of the paper's figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Technique {
+    /// The unmanaged processor: full 80-entry queue, every entry woken on
+    /// every broadcast. All savings are normalised against this run.
+    Baseline,
+    /// Folegnani & González's wakeup gating of empty entries — the
+    /// `nonEmpty` bar of Figure 8. Timing is identical to the baseline; only
+    /// the wakeup accounting changes.
+    NonEmpty,
+    /// The paper's base technique (§5.2): compiler analysis communicated via
+    /// special NOOPs inserted in the instruction stream.
+    Noop,
+    /// The *Extension* technique (§5.3): the same analysis communicated via
+    /// tags on existing instructions, removing the NOOP fetch/dispatch
+    /// overhead.
+    Extension,
+    /// The *Improved* technique (§5.3): Extension plus inter-procedural
+    /// functional-unit contention analysis.
+    Improved,
+    /// The hardware comparator: Abella & González's adaptive issue queue +
+    /// ROB (IqRob64), referred to as `abella` in the paper's figures.
+    Abella,
+}
+
+impl Technique {
+    /// Every technique, in the order the paper discusses them.
+    pub const ALL: [Technique; 6] = [
+        Technique::Baseline,
+        Technique::NonEmpty,
+        Technique::Noop,
+        Technique::Extension,
+        Technique::Improved,
+        Technique::Abella,
+    ];
+
+    /// The techniques that appear in the main comparison figures (everything
+    /// except the baseline itself).
+    pub const EVALUATED: [Technique; 5] = [
+        Technique::NonEmpty,
+        Technique::Noop,
+        Technique::Extension,
+        Technique::Improved,
+        Technique::Abella,
+    ];
+
+    /// Short label used in figures and tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Technique::Baseline => "baseline",
+            Technique::NonEmpty => "nonEmpty",
+            Technique::Noop => "noop",
+            Technique::Extension => "extension",
+            Technique::Improved => "improved",
+            Technique::Abella => "abella",
+        }
+    }
+
+    /// The compiler pass configuration this technique needs, if any.
+    pub fn pass_config(&self) -> Option<PassConfig> {
+        match self {
+            Technique::Noop => Some(PassConfig::noop_insertion()),
+            Technique::Extension => Some(PassConfig::tagging()),
+            Technique::Improved => Some(PassConfig::improved()),
+            Technique::Baseline | Technique::NonEmpty | Technique::Abella => None,
+        }
+    }
+
+    /// The simulator resize policy this technique runs with.
+    pub fn resize_policy(&self) -> ResizePolicy {
+        match self {
+            Technique::Baseline | Technique::NonEmpty => ResizePolicy::Fixed,
+            Technique::Noop | Technique::Extension | Technique::Improved => {
+                ResizePolicy::SoftwareHint
+            }
+            Technique::Abella => ResizePolicy::Adaptive(AdaptiveConfig::iqrob64()),
+        }
+    }
+
+    /// The wakeup accounting scheme used when turning activity into energy.
+    pub fn wakeup_scheme(&self) -> WakeupScheme {
+        match self {
+            Technique::Baseline => WakeupScheme::Full,
+            Technique::NonEmpty => WakeupScheme::NonEmptyOnly,
+            _ => WakeupScheme::Gated,
+        }
+    }
+
+    /// `true` if the technique runs the compiler pass.
+    pub fn is_software(&self) -> bool {
+        self.pass_config().is_some()
+    }
+
+    /// `true` if the configuration can switch unused issue-queue and
+    /// register-file banks off. The unmanaged baseline and the pure
+    /// wakeup-gating `nonEmpty` configuration cannot; every resizing scheme
+    /// (software or adaptive hardware) can.
+    pub fn bank_gating(&self) -> bool {
+        !matches!(self, Technique::Baseline | Technique::NonEmpty)
+    }
+}
+
+impl fmt::Display for Technique {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdiq_compiler::EmitKind;
+
+    #[test]
+    fn names_are_unique() {
+        let names: std::collections::HashSet<_> =
+            Technique::ALL.iter().map(|t| t.name()).collect();
+        assert_eq!(names.len(), Technique::ALL.len());
+    }
+
+    #[test]
+    fn software_techniques_have_the_right_pass_configs() {
+        assert!(Technique::Baseline.pass_config().is_none());
+        assert!(Technique::NonEmpty.pass_config().is_none());
+        assert!(Technique::Abella.pass_config().is_none());
+        assert_eq!(
+            Technique::Noop.pass_config().unwrap().emit,
+            EmitKind::NoopInsertion
+        );
+        assert_eq!(
+            Technique::Extension.pass_config().unwrap().emit,
+            EmitKind::Tagging
+        );
+        let improved = Technique::Improved.pass_config().unwrap();
+        assert_eq!(improved.emit, EmitKind::Tagging);
+        assert!(improved.interprocedural_fu);
+        assert!(!Technique::Extension.pass_config().unwrap().interprocedural_fu);
+    }
+
+    #[test]
+    fn policies_and_schemes_match_the_paper() {
+        assert_eq!(Technique::Baseline.wakeup_scheme(), WakeupScheme::Full);
+        assert_eq!(Technique::NonEmpty.wakeup_scheme(), WakeupScheme::NonEmptyOnly);
+        assert_eq!(Technique::Noop.wakeup_scheme(), WakeupScheme::Gated);
+        assert_eq!(Technique::Abella.wakeup_scheme(), WakeupScheme::Gated);
+        assert!(matches!(
+            Technique::Abella.resize_policy(),
+            ResizePolicy::Adaptive(_)
+        ));
+        assert!(matches!(
+            Technique::Extension.resize_policy(),
+            ResizePolicy::SoftwareHint
+        ));
+        assert!(matches!(
+            Technique::NonEmpty.resize_policy(),
+            ResizePolicy::Fixed
+        ));
+        assert!(Technique::Improved.is_software());
+        assert!(!Technique::Abella.is_software());
+        assert!(!Technique::Baseline.bank_gating());
+        assert!(!Technique::NonEmpty.bank_gating());
+        assert!(Technique::Noop.bank_gating());
+        assert!(Technique::Abella.bank_gating());
+    }
+}

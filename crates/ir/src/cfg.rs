@@ -1,0 +1,220 @@
+//! Per-procedure control-flow graph.
+
+use sdiq_isa::{BlockId, Procedure};
+use std::collections::HashSet;
+
+/// Control-flow graph of one procedure.
+///
+/// Blocks are indexed by their [`BlockId`]; unreachable blocks are kept in
+/// the successor/predecessor tables (they simply have no predecessors and do
+/// not appear in the reverse post-order).
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    entry: BlockId,
+    succs: Vec<Vec<BlockId>>,
+    preds: Vec<Vec<BlockId>>,
+    rpo: Vec<BlockId>,
+    rpo_index: Vec<Option<usize>>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `proc` from the successor structure of its blocks.
+    pub fn build(proc: &Procedure) -> Self {
+        let n = proc.blocks.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for (bid, block) in proc.iter_blocks() {
+            let ss = block.successors();
+            for s in &ss {
+                preds[s.0].push(bid);
+            }
+            succs[bid.0] = ss;
+        }
+
+        // Reverse post-order over reachable blocks via iterative DFS.
+        let mut visited = vec![false; n];
+        let mut postorder = Vec::with_capacity(n);
+        let mut stack: Vec<(BlockId, usize)> = vec![(proc.entry, 0)];
+        visited[proc.entry.0] = true;
+        while let Some(&mut (block, ref mut next)) = stack.last_mut() {
+            if *next < succs[block.0].len() {
+                let succ = succs[block.0][*next];
+                *next += 1;
+                if !visited[succ.0] {
+                    visited[succ.0] = true;
+                    stack.push((succ, 0));
+                }
+            } else {
+                postorder.push(block);
+                stack.pop();
+            }
+        }
+        let rpo: Vec<BlockId> = postorder.into_iter().rev().collect();
+        let mut rpo_index = vec![None; n];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_index[b.0] = Some(i);
+        }
+
+        Cfg {
+            entry: proc.entry,
+            succs,
+            preds,
+            rpo,
+            rpo_index,
+        }
+    }
+
+    /// The procedure's entry block.
+    pub fn entry(&self) -> BlockId {
+        self.entry
+    }
+
+    /// Number of blocks (reachable or not).
+    pub fn block_count(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Successors of `block`.
+    pub fn succs(&self, block: BlockId) -> &[BlockId] {
+        &self.succs[block.0]
+    }
+
+    /// Predecessors of `block`.
+    pub fn preds(&self, block: BlockId) -> &[BlockId] {
+        &self.preds[block.0]
+    }
+
+    /// Reverse post-order over reachable blocks (entry first).
+    pub fn reverse_postorder(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// Position of `block` in the reverse post-order, if reachable.
+    pub fn rpo_index(&self, block: BlockId) -> Option<usize> {
+        self.rpo_index[block.0]
+    }
+
+    /// `true` if `block` is reachable from the entry.
+    pub fn is_reachable(&self, block: BlockId) -> bool {
+        self.rpo_index[block.0].is_some()
+    }
+
+    /// Blocks reachable from `from` without passing *through* any block in
+    /// `barrier` (the starting block is always included, even if it is a
+    /// barrier). Used by natural-loop body computation and DAG-region
+    /// formation.
+    pub fn reachable_avoiding(&self, from: BlockId, barrier: &HashSet<BlockId>) -> HashSet<BlockId> {
+        let mut seen = HashSet::new();
+        let mut stack = vec![from];
+        seen.insert(from);
+        while let Some(b) = stack.pop() {
+            if b != from && barrier.contains(&b) {
+                continue;
+            }
+            for &s in self.succs(b) {
+                if seen.insert(s) {
+                    stack.push(s);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdiq_isa::builder::ProgramBuilder;
+    use sdiq_isa::reg::int_reg;
+    use sdiq_isa::Program;
+
+    /// Diamond CFG: entry → (left | right) → join → exit.
+    fn diamond() -> (Program, usize) {
+        let mut b = ProgramBuilder::new();
+        let main = b.procedure("main");
+        {
+            let p = b.proc_mut(main);
+            let entry = p.block();
+            let left = p.block();
+            let right = p.block();
+            let join = p.block();
+            p.with_block(entry, |bb| {
+                bb.li(int_reg(1), 5);
+                bb.bgt(int_reg(1), 3, left, right);
+            });
+            p.with_block(left, |bb| {
+                bb.addi(int_reg(2), int_reg(1), 1);
+                bb.jump(join);
+            });
+            p.with_block(right, |bb| {
+                bb.addi(int_reg(2), int_reg(1), 2);
+                bb.jump(join);
+            });
+            p.with_block(join, |bb| {
+                bb.ret();
+            });
+            p.set_entry(entry);
+        }
+        (b.finish(main).unwrap(), 4)
+    }
+
+    #[test]
+    fn diamond_has_expected_edges() {
+        let (program, n) = diamond();
+        let cfg = Cfg::build(program.proc(program.entry));
+        assert_eq!(cfg.block_count(), n);
+        assert_eq!(cfg.succs(BlockId(0)).len(), 2);
+        assert_eq!(cfg.preds(BlockId(3)).len(), 2);
+        assert_eq!(cfg.preds(BlockId(0)).len(), 0);
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_respects_topology() {
+        let (program, _) = diamond();
+        let cfg = Cfg::build(program.proc(program.entry));
+        let rpo = cfg.reverse_postorder();
+        assert_eq!(rpo[0], BlockId(0));
+        // The join block must come after both branches.
+        let join_pos = cfg.rpo_index(BlockId(3)).unwrap();
+        assert!(join_pos > cfg.rpo_index(BlockId(1)).unwrap());
+        assert!(join_pos > cfg.rpo_index(BlockId(2)).unwrap());
+    }
+
+    #[test]
+    fn unreachable_blocks_are_flagged() {
+        let mut b = ProgramBuilder::new();
+        let main = b.procedure("main");
+        {
+            let p = b.proc_mut(main);
+            let entry = p.block();
+            let orphan = p.block();
+            p.with_block(entry, |bb| {
+                bb.ret();
+            });
+            p.with_block(orphan, |bb| {
+                bb.ret();
+            });
+            p.set_entry(entry);
+        }
+        let program = b.finish(main).unwrap();
+        let cfg = Cfg::build(program.proc(program.entry));
+        assert!(cfg.is_reachable(BlockId(0)));
+        assert!(!cfg.is_reachable(BlockId(1)));
+        assert_eq!(cfg.reverse_postorder().len(), 1);
+    }
+
+    #[test]
+    fn reachable_avoiding_respects_barriers() {
+        let (program, _) = diamond();
+        let cfg = Cfg::build(program.proc(program.entry));
+        let mut barrier = HashSet::new();
+        barrier.insert(BlockId(1));
+        barrier.insert(BlockId(2));
+        let reach = cfg.reachable_avoiding(BlockId(0), &barrier);
+        // We can reach the branch blocks themselves but not through them to
+        // the join block.
+        assert!(reach.contains(&BlockId(1)));
+        assert!(reach.contains(&BlockId(2)));
+        assert!(!reach.contains(&BlockId(3)));
+    }
+}

@@ -1,0 +1,186 @@
+//! Dominator analysis.
+//!
+//! Implements the iterative dominator algorithm of Cooper, Harvey and
+//! Kennedy ("A Simple, Fast Dominance Algorithm"), operating on the reverse
+//! post-order supplied by [`crate::cfg::Cfg`]. Dominators are needed to find
+//! the back edges that define natural loops (§4.1 of the paper).
+
+use crate::cfg::Cfg;
+use sdiq_isa::BlockId;
+
+/// Immediate-dominator table for one procedure.
+#[derive(Debug, Clone)]
+pub struct Dominators {
+    /// `idom[b]` is the immediate dominator of block `b`; the entry block is
+    /// its own immediate dominator; unreachable blocks have `None`.
+    idom: Vec<Option<BlockId>>,
+    entry: BlockId,
+}
+
+impl Dominators {
+    /// Computes dominators for `cfg`.
+    pub fn compute(cfg: &Cfg) -> Self {
+        let n = cfg.block_count();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        let entry = cfg.entry();
+        idom[entry.0] = Some(entry);
+
+        let rpo = cfg.reverse_postorder();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                // First processed predecessor (one with an idom already set).
+                let mut new_idom: Option<BlockId> = None;
+                for &p in cfg.preds(b) {
+                    if idom[p.0].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => Self::intersect(cfg, &idom, cur, p),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.0] != Some(ni) {
+                        idom[b.0] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        Dominators { idom, entry }
+    }
+
+    fn intersect(cfg: &Cfg, idom: &[Option<BlockId>], a: BlockId, b: BlockId) -> BlockId {
+        let mut finger1 = a;
+        let mut finger2 = b;
+        // Compare positions in reverse post-order; walk the deeper one up.
+        let pos = |x: BlockId| cfg.rpo_index(x).expect("reachable block");
+        while finger1 != finger2 {
+            while pos(finger1) > pos(finger2) {
+                finger1 = idom[finger1.0].expect("processed block");
+            }
+            while pos(finger2) > pos(finger1) {
+                finger2 = idom[finger2.0].expect("processed block");
+            }
+        }
+        finger1
+    }
+
+    /// Immediate dominator of `block` (`None` for unreachable blocks; the
+    /// entry block is its own immediate dominator).
+    pub fn idom(&self, block: BlockId) -> Option<BlockId> {
+        self.idom[block.0]
+    }
+
+    /// `true` if `a` dominates `b` (every block dominates itself).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.idom[b.0].is_none() {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            if cur == self.entry {
+                return a == self.entry;
+            }
+            match self.idom[cur.0] {
+                Some(next) if next != cur => cur = next,
+                _ => return false,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdiq_isa::builder::ProgramBuilder;
+    use sdiq_isa::reg::int_reg;
+    use sdiq_isa::Program;
+
+    /// entry(0) → {left(1), right(2)} → join(3); join → loop body(4) → join
+    /// (back edge); join → exit(5).
+    fn program_with_diamond_and_loop() -> Program {
+        let mut b = ProgramBuilder::new();
+        let main = b.procedure("main");
+        {
+            let p = b.proc_mut(main);
+            let entry = p.block();
+            let left = p.block();
+            let right = p.block();
+            let join = p.block();
+            let body = p.block();
+            let exit = p.block();
+            p.with_block(entry, |bb| {
+                bb.li(int_reg(1), 1);
+                bb.bgt(int_reg(1), 0, left, right);
+            });
+            p.with_block(left, |bb| {
+                bb.jump(join);
+            });
+            p.with_block(right, |bb| {
+                bb.jump(join);
+            });
+            p.with_block(join, |bb| {
+                bb.addi(int_reg(1), int_reg(1), 1);
+                bb.blt(int_reg(1), 10, body, exit);
+            });
+            p.with_block(body, |bb| {
+                bb.addi(int_reg(2), int_reg(2), 1);
+                bb.jump(join);
+            });
+            p.with_block(exit, |bb| {
+                bb.ret();
+            });
+            p.set_entry(entry);
+        }
+        b.finish(main).unwrap()
+    }
+
+    #[test]
+    fn entry_dominates_everything() {
+        let program = program_with_diamond_and_loop();
+        let cfg = Cfg::build(program.proc(program.entry));
+        let dom = Dominators::compute(&cfg);
+        for b in 0..cfg.block_count() {
+            assert!(dom.dominates(BlockId(0), BlockId(b)), "entry should dominate bb{b}");
+        }
+    }
+
+    #[test]
+    fn join_block_is_dominated_by_entry_not_branches() {
+        let program = program_with_diamond_and_loop();
+        let cfg = Cfg::build(program.proc(program.entry));
+        let dom = Dominators::compute(&cfg);
+        assert_eq!(dom.idom(BlockId(3)), Some(BlockId(0)));
+        assert!(!dom.dominates(BlockId(1), BlockId(3)));
+        assert!(!dom.dominates(BlockId(2), BlockId(3)));
+    }
+
+    #[test]
+    fn loop_header_dominates_loop_body() {
+        let program = program_with_diamond_and_loop();
+        let cfg = Cfg::build(program.proc(program.entry));
+        let dom = Dominators::compute(&cfg);
+        assert!(dom.dominates(BlockId(3), BlockId(4)));
+        assert!(dom.dominates(BlockId(3), BlockId(5)));
+        assert!(!dom.dominates(BlockId(4), BlockId(3)));
+    }
+
+    #[test]
+    fn dominance_is_reflexive_and_antisymmetric_for_distinct_chain() {
+        let program = program_with_diamond_and_loop();
+        let cfg = Cfg::build(program.proc(program.entry));
+        let dom = Dominators::compute(&cfg);
+        for b in 0..cfg.block_count() {
+            assert!(dom.dominates(BlockId(b), BlockId(b)));
+        }
+        assert!(dom.dominates(BlockId(0), BlockId(5)));
+        assert!(!dom.dominates(BlockId(5), BlockId(0)));
+    }
+}

@@ -1,0 +1,221 @@
+//! Small graph utilities used by the dependence analyses: Tarjan's strongly
+//! connected components and longest paths over forward (acyclic) edge sets.
+
+/// A weighted directed edge between node indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WeightedEdge {
+    /// Source node index.
+    pub from: usize,
+    /// Destination node index.
+    pub to: usize,
+    /// Edge weight (latency in cycles for dependence edges).
+    pub weight: u32,
+}
+
+/// Computes the strongly connected components of a directed graph with
+/// `node_count` nodes and the given edges, using Tarjan's algorithm
+/// (iterative formulation to avoid recursion limits on large blocks).
+///
+/// Components are returned in reverse topological order (callees before
+/// callers), each as a sorted list of node indices. Trivial single-node
+/// components without a self-edge are included.
+pub fn strongly_connected_components(
+    node_count: usize,
+    edges: &[(usize, usize)],
+) -> Vec<Vec<usize>> {
+    let mut adj = vec![Vec::new(); node_count];
+    for &(from, to) in edges {
+        adj[from].push(to);
+    }
+
+    #[derive(Clone, Copy)]
+    struct NodeState {
+        index: Option<usize>,
+        lowlink: usize,
+        on_stack: bool,
+    }
+
+    let mut state = vec![
+        NodeState {
+            index: None,
+            lowlink: 0,
+            on_stack: false,
+        };
+        node_count
+    ];
+    let mut next_index = 0usize;
+    let mut stack: Vec<usize> = Vec::new();
+    let mut components: Vec<Vec<usize>> = Vec::new();
+
+    // Iterative Tarjan: (node, next child position) call frames.
+    for start in 0..node_count {
+        if state[start].index.is_some() {
+            continue;
+        }
+        let mut call_stack: Vec<(usize, usize)> = vec![(start, 0)];
+        state[start].index = Some(next_index);
+        state[start].lowlink = next_index;
+        state[start].on_stack = true;
+        stack.push(start);
+        next_index += 1;
+
+        while let Some(&mut (v, ref mut child_pos)) = call_stack.last_mut() {
+            if *child_pos < adj[v].len() {
+                let w = adj[v][*child_pos];
+                *child_pos += 1;
+                if state[w].index.is_none() {
+                    state[w].index = Some(next_index);
+                    state[w].lowlink = next_index;
+                    state[w].on_stack = true;
+                    stack.push(w);
+                    next_index += 1;
+                    call_stack.push((w, 0));
+                } else if state[w].on_stack {
+                    state[v].lowlink = state[v].lowlink.min(state[w].index.unwrap());
+                }
+            } else {
+                call_stack.pop();
+                if let Some(&(parent, _)) = call_stack.last() {
+                    let v_low = state[v].lowlink;
+                    state[parent].lowlink = state[parent].lowlink.min(v_low);
+                }
+                if state[v].lowlink == state[v].index.unwrap() {
+                    let mut component = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("SCC stack underflow");
+                        state[w].on_stack = false;
+                        component.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    component.sort_unstable();
+                    components.push(component);
+                }
+            }
+        }
+    }
+
+    components
+}
+
+/// Longest-path distances from `source` over a set of *forward* edges
+/// (`from < to` is required, which makes the graph acyclic and lets a single
+/// index-order pass compute the answer). Nodes unreachable from `source`
+/// get `None`.
+///
+/// # Panics
+///
+/// Panics (debug assertion) if an edge is not forward.
+pub fn longest_paths_forward(
+    node_count: usize,
+    source: usize,
+    edges: &[WeightedEdge],
+) -> Vec<Option<u64>> {
+    let mut dist: Vec<Option<u64>> = vec![None; node_count];
+    if source < node_count {
+        dist[source] = Some(0);
+    }
+    let mut by_source: Vec<Vec<&WeightedEdge>> = vec![Vec::new(); node_count];
+    for e in edges {
+        debug_assert!(e.from < e.to, "longest_paths_forward requires forward edges");
+        by_source[e.from].push(e);
+    }
+    for from in 0..node_count {
+        if let Some(d) = dist[from] {
+            for e in &by_source[from] {
+                let cand = d + u64::from(e.weight);
+                let slot = &mut dist[e.to];
+                if slot.map_or(true, |cur| cand > cur) {
+                    *slot = Some(cand);
+                }
+            }
+        }
+    }
+    dist
+}
+
+/// Sum of weights around a cycle given as a node list (in any rotation),
+/// where `weight_of(from, to)` supplies the weight of the edge taken from
+/// `from` towards `to` (dependence edges store the producer latency, so this
+/// is the producer's latency). Returns the total latency of one trip around
+/// the cycle, used to rank cyclic dependence sets by criticality.
+pub fn cycle_latency<F>(cycle: &[usize], mut weight_of: F) -> u64
+where
+    F: FnMut(usize, usize) -> u64,
+{
+    if cycle.is_empty() {
+        return 0;
+    }
+    let mut total = 0;
+    for i in 0..cycle.len() {
+        let from = cycle[i];
+        let to = cycle[(i + 1) % cycle.len()];
+        total += weight_of(from, to);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sccs_of_simple_cycle() {
+        // 0 → 1 → 2 → 0 and 3 isolated.
+        let comps = strongly_connected_components(4, &[(0, 1), (1, 2), (2, 0)]);
+        let cyclic: Vec<_> = comps.iter().filter(|c| c.len() > 1).collect();
+        assert_eq!(cyclic.len(), 1);
+        assert_eq!(cyclic[0], &vec![0, 1, 2]);
+        assert_eq!(comps.iter().map(|c| c.len()).sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn sccs_of_dag_are_all_singletons() {
+        let comps = strongly_connected_components(5, &[(0, 1), (1, 2), (0, 3), (3, 4)]);
+        assert_eq!(comps.len(), 5);
+        assert!(comps.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn sccs_handle_nested_cycles() {
+        // Two overlapping cycles form one component: 0→1→2→0 and 1→3→1.
+        let comps =
+            strongly_connected_components(4, &[(0, 1), (1, 2), (2, 0), (1, 3), (3, 1)]);
+        let big: Vec<_> = comps.into_iter().filter(|c| c.len() > 1).collect();
+        assert_eq!(big.len(), 1);
+        assert_eq!(big[0], vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn longest_path_prefers_heavier_route() {
+        // 0 →(1) 1 →(1) 3, 0 →(5) 2 →(1) 3.
+        let edges = [
+            WeightedEdge { from: 0, to: 1, weight: 1 },
+            WeightedEdge { from: 1, to: 3, weight: 1 },
+            WeightedEdge { from: 0, to: 2, weight: 5 },
+            WeightedEdge { from: 2, to: 3, weight: 1 },
+        ];
+        let dist = longest_paths_forward(4, 0, &edges);
+        assert_eq!(dist[0], Some(0));
+        assert_eq!(dist[1], Some(1));
+        assert_eq!(dist[2], Some(5));
+        assert_eq!(dist[3], Some(6));
+    }
+
+    #[test]
+    fn longest_path_marks_unreachable_nodes() {
+        let edges = [WeightedEdge { from: 0, to: 1, weight: 2 }];
+        let dist = longest_paths_forward(3, 0, &edges);
+        assert_eq!(dist[2], None);
+    }
+
+    #[test]
+    fn cycle_latency_sums_edges_once_around() {
+        let latency = cycle_latency(&[0, 1, 2], |from, _to| (from + 1) as u64);
+        // edges 0→1 (1), 1→2 (2), 2→0 (3)
+        assert_eq!(latency, 6);
+        assert_eq!(cycle_latency(&[5], |_, _| 4), 4);
+        assert_eq!(cycle_latency(&[], |_, _| 4), 0);
+    }
+}

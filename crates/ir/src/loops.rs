@@ -1,0 +1,372 @@
+//! Natural-loop detection.
+//!
+//! §4.1 of the paper: "MachineSUIF contains analysis libraries to identify
+//! the natural loops in a procedure. Where a loop has an inner loop, this is
+//! considered separately, so the inner loop's basic blocks form one loop and
+//! those that are only in the outer loop form another."
+//!
+//! We find back edges `n → h` (where `h` dominates `n`), build the natural
+//! loop of each header as the union of the back-edge natural loops, and then
+//! compute the loop nesting forest so that the *exclusive* block set of each
+//! loop (its body minus all inner-loop bodies) is available to the compiler
+//! pass, matching the paper's "analyse inner loops once" rule.
+
+use crate::cfg::Cfg;
+use crate::dominators::Dominators;
+use sdiq_isa::BlockId;
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// One natural loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NaturalLoop {
+    /// The loop header (target of the back edge(s)).
+    pub header: BlockId,
+    /// All blocks in the loop, including the header and any nested loops.
+    pub body: BTreeSet<BlockId>,
+    /// Index (into [`LoopNest::loops`]) of the innermost enclosing loop.
+    pub parent: Option<usize>,
+    /// Nesting depth (outermost loops have depth 0).
+    pub depth: usize,
+}
+
+impl NaturalLoop {
+    /// Number of blocks in the loop body (including nested loops).
+    pub fn len(&self) -> usize {
+        self.body.len()
+    }
+
+    /// `true` if the loop body is empty (cannot happen for loops produced by
+    /// [`LoopNest::find`], which always contain at least the header).
+    pub fn is_empty(&self) -> bool {
+        self.body.is_empty()
+    }
+
+    /// `true` if `block` belongs to this loop (possibly via a nested loop).
+    pub fn contains(&self, block: BlockId) -> bool {
+        self.body.contains(&block)
+    }
+}
+
+/// The set of natural loops of a procedure, with nesting information.
+#[derive(Debug, Clone, Default)]
+pub struct LoopNest {
+    loops: Vec<NaturalLoop>,
+    /// For each block, the index of the innermost loop containing it.
+    innermost: HashMap<BlockId, usize>,
+}
+
+impl LoopNest {
+    /// Finds all natural loops of `cfg` using `dominators`.
+    pub fn find(cfg: &Cfg, dominators: &Dominators) -> Self {
+        // 1. Find back edges and group them by header.
+        let mut back_edges: HashMap<BlockId, Vec<BlockId>> = HashMap::new();
+        for &b in cfg.reverse_postorder() {
+            for &succ in cfg.succs(b) {
+                if dominators.dominates(succ, b) {
+                    back_edges.entry(succ).or_default().push(b);
+                }
+            }
+        }
+
+        // 2. Natural loop of a header = header ∪ blocks that reach a back-edge
+        //    source without passing through the header.
+        let mut loops: Vec<NaturalLoop> = Vec::new();
+        let mut headers: Vec<BlockId> = back_edges.keys().copied().collect();
+        headers.sort_unstable();
+        for header in headers {
+            let mut body: BTreeSet<BlockId> = BTreeSet::new();
+            body.insert(header);
+            let mut stack: Vec<BlockId> = Vec::new();
+            for &tail in &back_edges[&header] {
+                if body.insert(tail) {
+                    stack.push(tail);
+                }
+            }
+            while let Some(b) = stack.pop() {
+                for &p in cfg.preds(b) {
+                    if cfg.is_reachable(p) && body.insert(p) {
+                        if p != header {
+                            stack.push(p);
+                        }
+                    }
+                }
+            }
+            loops.push(NaturalLoop {
+                header,
+                body,
+                parent: None,
+                depth: 0,
+            });
+        }
+
+        // 3. Nesting: loop A is nested in B if A ≠ B and A's header is in B's
+        //    body and A's body ⊆ B's body. The parent is the smallest such B.
+        let mut parents: Vec<Option<usize>> = vec![None; loops.len()];
+        for a in 0..loops.len() {
+            let mut best: Option<usize> = None;
+            for b in 0..loops.len() {
+                if a == b {
+                    continue;
+                }
+                if loops[b].body.contains(&loops[a].header)
+                    && loops[a].body.is_subset(&loops[b].body)
+                    && loops[a].body.len() < loops[b].body.len()
+                {
+                    best = match best {
+                        None => Some(b),
+                        Some(cur) if loops[b].body.len() < loops[cur].body.len() => Some(b),
+                        other => other,
+                    };
+                }
+            }
+            parents[a] = best;
+        }
+        for (i, parent) in parents.iter().enumerate() {
+            loops[i].parent = *parent;
+        }
+        // Depth: walk parent chains.
+        for i in 0..loops.len() {
+            let mut depth = 0;
+            let mut cur = loops[i].parent;
+            while let Some(p) = cur {
+                depth += 1;
+                cur = loops[p].parent;
+            }
+            loops[i].depth = depth;
+        }
+
+        // 4. Innermost-loop map: the loop with the smallest body containing
+        //    each block.
+        let mut innermost: HashMap<BlockId, usize> = HashMap::new();
+        for (i, l) in loops.iter().enumerate() {
+            for &b in &l.body {
+                match innermost.get(&b) {
+                    Some(&existing) if loops[existing].body.len() <= l.body.len() => {}
+                    _ => {
+                        innermost.insert(b, i);
+                    }
+                }
+            }
+        }
+
+        LoopNest { loops, innermost }
+    }
+
+    /// All loops, outermost-first order is *not* guaranteed; use
+    /// [`NaturalLoop::depth`] when order matters.
+    pub fn loops(&self) -> &[NaturalLoop] {
+        &self.loops
+    }
+
+    /// The innermost loop containing `block`, if any.
+    pub fn innermost_loop_of(&self, block: BlockId) -> Option<usize> {
+        self.innermost.get(&block).copied()
+    }
+
+    /// `true` if `block` belongs to any loop.
+    pub fn in_any_loop(&self, block: BlockId) -> bool {
+        self.innermost.contains_key(&block)
+    }
+
+    /// The blocks of loop `index` that do *not* belong to any nested loop —
+    /// the unit the paper analyses ("the inner loop's basic blocks form one
+    /// loop and those that are only in the outer loop form another").
+    pub fn exclusive_blocks(&self, index: usize) -> BTreeSet<BlockId> {
+        let loop_ = &self.loops[index];
+        let mut out = loop_.body.clone();
+        for (j, other) in self.loops.iter().enumerate() {
+            if j != index && other.parent == Some(index) {
+                for b in &other.body {
+                    out.remove(b);
+                }
+            }
+        }
+        // Also remove blocks of deeper descendants (grand-children).
+        for &b in &loop_.body {
+            if let Some(inner) = self.innermost.get(&b) {
+                if *inner != index && self.loops[*inner].body.len() < loop_.body.len() {
+                    out.remove(&b);
+                }
+            }
+        }
+        out
+    }
+
+    /// Set of all blocks that belong to at least one loop.
+    pub fn all_loop_blocks(&self) -> HashSet<BlockId> {
+        self.innermost.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdiq_isa::builder::ProgramBuilder;
+    use sdiq_isa::reg::int_reg;
+    use sdiq_isa::Program;
+
+    /// A doubly nested loop:
+    /// entry(0) → outer_header(1) → inner_header(2) → inner_body(3) → 2
+    ///          inner exits to outer_latch(4) → 1; outer exits to exit(5).
+    fn nested_loops() -> Program {
+        let mut b = ProgramBuilder::new();
+        let main = b.procedure("main");
+        {
+            let p = b.proc_mut(main);
+            let entry = p.block();
+            let outer = p.block();
+            let inner = p.block();
+            let inner_body = p.block();
+            let latch = p.block();
+            let exit = p.block();
+            p.with_block(entry, |bb| {
+                bb.li(int_reg(1), 0);
+                bb.jump(outer);
+            });
+            p.with_block(outer, |bb| {
+                bb.li(int_reg(2), 0);
+                bb.jump(inner);
+            });
+            p.with_block(inner, |bb| {
+                bb.addi(int_reg(2), int_reg(2), 1);
+                bb.blt(int_reg(2), 5, inner_body, latch);
+            });
+            p.with_block(inner_body, |bb| {
+                bb.addi(int_reg(3), int_reg(3), 1);
+                bb.jump(inner);
+            });
+            p.with_block(latch, |bb| {
+                bb.addi(int_reg(1), int_reg(1), 1);
+                bb.blt(int_reg(1), 3, outer, exit);
+            });
+            p.with_block(exit, |bb| {
+                bb.ret();
+            });
+            p.set_entry(entry);
+        }
+        b.finish(main).unwrap()
+    }
+
+    fn analyse(program: &Program) -> (Cfg, LoopNest) {
+        let proc = program.proc(program.entry);
+        let cfg = Cfg::build(proc);
+        let dom = Dominators::compute(&cfg);
+        let nest = LoopNest::find(&cfg, &dom);
+        (cfg, nest)
+    }
+
+    #[test]
+    fn finds_both_loops() {
+        let program = nested_loops();
+        let (_, nest) = analyse(&program);
+        assert_eq!(nest.loops().len(), 2);
+        let headers: BTreeSet<_> = nest.loops().iter().map(|l| l.header).collect();
+        assert!(headers.contains(&BlockId(1)));
+        assert!(headers.contains(&BlockId(2)));
+    }
+
+    #[test]
+    fn inner_loop_is_nested_in_outer() {
+        let program = nested_loops();
+        let (_, nest) = analyse(&program);
+        let inner = nest
+            .loops()
+            .iter()
+            .position(|l| l.header == BlockId(2))
+            .unwrap();
+        let outer = nest
+            .loops()
+            .iter()
+            .position(|l| l.header == BlockId(1))
+            .unwrap();
+        assert_eq!(nest.loops()[inner].parent, Some(outer));
+        assert_eq!(nest.loops()[inner].depth, 1);
+        assert_eq!(nest.loops()[outer].depth, 0);
+        assert!(nest.loops()[outer].body.is_superset(&nest.loops()[inner].body));
+    }
+
+    #[test]
+    fn exclusive_blocks_separate_inner_from_outer() {
+        let program = nested_loops();
+        let (_, nest) = analyse(&program);
+        let inner = nest
+            .loops()
+            .iter()
+            .position(|l| l.header == BlockId(2))
+            .unwrap();
+        let outer = nest
+            .loops()
+            .iter()
+            .position(|l| l.header == BlockId(1))
+            .unwrap();
+        let outer_excl = nest.exclusive_blocks(outer);
+        let inner_excl = nest.exclusive_blocks(inner);
+        // Outer-exclusive blocks must not include any inner block.
+        assert!(outer_excl.is_disjoint(&inner_excl));
+        assert!(outer_excl.contains(&BlockId(1)));
+        assert!(outer_excl.contains(&BlockId(4)));
+        assert!(!outer_excl.contains(&BlockId(2)));
+        assert!(inner_excl.contains(&BlockId(2)));
+        assert!(inner_excl.contains(&BlockId(3)));
+    }
+
+    #[test]
+    fn innermost_loop_map_prefers_smaller_loop() {
+        let program = nested_loops();
+        let (_, nest) = analyse(&program);
+        let inner_idx = nest.innermost_loop_of(BlockId(3)).unwrap();
+        assert_eq!(nest.loops()[inner_idx].header, BlockId(2));
+        let latch_idx = nest.innermost_loop_of(BlockId(4)).unwrap();
+        assert_eq!(nest.loops()[latch_idx].header, BlockId(1));
+        assert!(nest.innermost_loop_of(BlockId(5)).is_none());
+        assert!(!nest.in_any_loop(BlockId(0)));
+    }
+
+    #[test]
+    fn straight_line_code_has_no_loops() {
+        let mut b = ProgramBuilder::new();
+        let main = b.procedure("main");
+        {
+            let p = b.proc_mut(main);
+            let entry = p.block();
+            p.with_block(entry, |bb| {
+                bb.li(int_reg(1), 1);
+                bb.ret();
+            });
+            p.set_entry(entry);
+        }
+        let program = b.finish(main).unwrap();
+        let (_, nest) = analyse(&program);
+        assert!(nest.loops().is_empty());
+        assert!(nest.all_loop_blocks().is_empty());
+    }
+
+    #[test]
+    fn self_loop_is_detected() {
+        let mut b = ProgramBuilder::new();
+        let main = b.procedure("main");
+        {
+            let p = b.proc_mut(main);
+            let entry = p.block();
+            let body = p.block();
+            let exit = p.block();
+            p.with_block(entry, |bb| {
+                bb.li(int_reg(1), 0);
+                bb.jump(body);
+            });
+            p.with_block(body, |bb| {
+                bb.addi(int_reg(1), int_reg(1), 1);
+                bb.blt(int_reg(1), 10, body, exit);
+            });
+            p.with_block(exit, |bb| {
+                bb.ret();
+            });
+            p.set_entry(entry);
+        }
+        let program = b.finish(main).unwrap();
+        let (_, nest) = analyse(&program);
+        assert_eq!(nest.loops().len(), 1);
+        assert_eq!(nest.loops()[0].header, BlockId(1));
+        assert_eq!(nest.loops()[0].body.len(), 1);
+    }
+}

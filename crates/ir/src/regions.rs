@@ -1,0 +1,276 @@
+//! DAG-region formation.
+//!
+//! §4.1: "DAGs are formed from the basic blocks in the procedure using
+//! control flow analysis. The first block in a DAG is the first block in the
+//! procedure, or a block immediately following a function call."
+//!
+//! Blocks that belong to natural loops are handled by the loop analysis and
+//! are excluded from DAG regions. Every reachable non-loop block is assigned
+//! to exactly one region: regions are grown from their start blocks in
+//! reverse post-order, claiming blocks breadth-first, and a block already
+//! claimed by an earlier region (or belonging to a loop) acts as a barrier.
+
+use crate::cfg::Cfg;
+use crate::loops::LoopNest;
+use sdiq_isa::{BlockId, Procedure};
+use std::collections::{BTreeSet, HashSet, VecDeque};
+
+/// One DAG region: a set of non-loop blocks analysed together.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DagRegion {
+    /// The block the region starts at (procedure entry or a post-call block).
+    pub start: BlockId,
+    /// Blocks belonging to the region, in breadth-first discovery order.
+    pub blocks: Vec<BlockId>,
+}
+
+impl DagRegion {
+    /// Number of blocks in the region.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// `true` if the region contains no blocks (never produced by
+    /// [`DagRegions::find`]).
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+}
+
+/// All DAG regions of a procedure.
+#[derive(Debug, Clone, Default)]
+pub struct DagRegions {
+    regions: Vec<DagRegion>,
+}
+
+impl DagRegions {
+    /// Forms DAG regions for `proc` given its CFG and loop nest.
+    pub fn find(proc: &Procedure, cfg: &Cfg, loops: &LoopNest) -> Self {
+        let loop_blocks = loops.all_loop_blocks();
+
+        // Region start candidates: procedure entry + every fall-through
+        // successor of a block that ends in a call. Only reachable, non-loop
+        // blocks can start a region.
+        let mut starts: Vec<BlockId> = Vec::new();
+        let push_start = |b: BlockId, starts: &mut Vec<BlockId>| {
+            if cfg.is_reachable(b) && !loop_blocks.contains(&b) && !starts.contains(&b) {
+                starts.push(b);
+            }
+        };
+        push_start(proc.entry, &mut starts);
+        for (bid, block) in proc.iter_blocks() {
+            if block.callee().is_some() {
+                if let Some(after) = block.fallthrough {
+                    let _ = bid;
+                    push_start(after, &mut starts);
+                }
+            }
+        }
+        // Process starts in reverse post-order so earlier program points claim
+        // blocks first (deterministic assignment).
+        starts.sort_by_key(|b| cfg.rpo_index(*b).unwrap_or(usize::MAX));
+
+        let start_set: HashSet<BlockId> = starts.iter().copied().collect();
+        let mut claimed: HashSet<BlockId> = HashSet::new();
+        let mut regions = Vec::new();
+        for &start in &starts {
+            if claimed.contains(&start) {
+                continue;
+            }
+            let mut blocks = Vec::new();
+            let mut queue = VecDeque::new();
+            queue.push_back(start);
+            claimed.insert(start);
+            while let Some(b) = queue.pop_front() {
+                blocks.push(b);
+                for &s in cfg.succs(b) {
+                    if claimed.contains(&s)
+                        || loop_blocks.contains(&s)
+                        || start_set.contains(&s)
+                        || !cfg.is_reachable(s)
+                    {
+                        continue;
+                    }
+                    claimed.insert(s);
+                    queue.push_back(s);
+                }
+            }
+            regions.push(DagRegion { start, blocks });
+        }
+
+        // Sweep up any reachable non-loop blocks not reachable from a start
+        // without crossing loops (e.g. blocks only reachable through a loop
+        // exit). Each becomes the start of its own region grown the same way.
+        let mut leftovers: Vec<BlockId> = cfg
+            .reverse_postorder()
+            .iter()
+            .copied()
+            .filter(|b| !loop_blocks.contains(b) && !claimed.contains(b))
+            .collect();
+        while !leftovers.is_empty() {
+            let start = leftovers[0];
+            let mut blocks = Vec::new();
+            let mut queue = VecDeque::new();
+            queue.push_back(start);
+            claimed.insert(start);
+            while let Some(b) = queue.pop_front() {
+                blocks.push(b);
+                for &s in cfg.succs(b) {
+                    if claimed.contains(&s) || loop_blocks.contains(&s) || !cfg.is_reachable(s) {
+                        continue;
+                    }
+                    claimed.insert(s);
+                    queue.push_back(s);
+                }
+            }
+            regions.push(DagRegion { start, blocks });
+            leftovers.retain(|b| !claimed.contains(b));
+        }
+
+        DagRegions { regions }
+    }
+
+    /// The regions, in formation order (entry region first).
+    pub fn regions(&self) -> &[DagRegion] {
+        &self.regions
+    }
+
+    /// Total number of blocks covered by all regions.
+    pub fn total_blocks(&self) -> usize {
+        self.regions.iter().map(|r| r.len()).sum()
+    }
+
+    /// The set of all blocks covered by any region.
+    pub fn covered_blocks(&self) -> BTreeSet<BlockId> {
+        self.regions
+            .iter()
+            .flat_map(|r| r.blocks.iter().copied())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dominators::Dominators;
+    use sdiq_isa::builder::ProgramBuilder;
+    use sdiq_isa::reg::int_reg;
+    use sdiq_isa::Program;
+
+    /// main: b0 (calls callee) → b1 → b2(loop) → b3; callee is trivial.
+    fn program_with_call_and_loop() -> Program {
+        let mut b = ProgramBuilder::new();
+        let callee = b.procedure("callee");
+        {
+            let p = b.proc_mut(callee);
+            let e = p.block();
+            p.with_block(e, |bb| {
+                bb.addi(int_reg(9), int_reg(9), 1);
+                bb.ret();
+            });
+            p.set_entry(e);
+        }
+        let main = b.procedure("main");
+        {
+            let p = b.proc_mut(main);
+            let b0 = p.block();
+            let b1 = p.block();
+            let b2 = p.block();
+            let b3 = p.block();
+            p.with_block(b0, |bb| {
+                bb.li(int_reg(1), 0);
+                bb.call(callee, b1);
+            });
+            p.with_block(b1, |bb| {
+                bb.li(int_reg(2), 0);
+                bb.jump(b2);
+            });
+            p.with_block(b2, |bb| {
+                bb.addi(int_reg(2), int_reg(2), 1);
+                bb.blt(int_reg(2), 8, b2, b3);
+            });
+            p.with_block(b3, |bb| {
+                bb.ret();
+            });
+            p.set_entry(b0);
+        }
+        b.finish(main).unwrap()
+    }
+
+    fn analyse(program: &Program, name: &str) -> (Cfg, LoopNest, DagRegions) {
+        let pid = program.proc_by_name(name).unwrap();
+        let proc = program.proc(pid);
+        let cfg = Cfg::build(proc);
+        let dom = Dominators::compute(&cfg);
+        let loops = LoopNest::find(&cfg, &dom);
+        let regions = DagRegions::find(proc, &cfg, &loops);
+        (cfg, loops, regions)
+    }
+
+    #[test]
+    fn post_call_block_starts_a_new_region() {
+        let program = program_with_call_and_loop();
+        let (_, _, regions) = analyse(&program, "main");
+        let starts: Vec<BlockId> = regions.regions().iter().map(|r| r.start).collect();
+        assert!(starts.contains(&BlockId(0)), "entry region");
+        assert!(starts.contains(&BlockId(1)), "post-call region");
+    }
+
+    #[test]
+    fn loop_blocks_are_not_in_any_region() {
+        let program = program_with_call_and_loop();
+        let (_, loops, regions) = analyse(&program, "main");
+        assert_eq!(loops.loops().len(), 1);
+        let covered = regions.covered_blocks();
+        assert!(!covered.contains(&BlockId(2)));
+        // Non-loop reachable blocks are all covered exactly once.
+        assert!(covered.contains(&BlockId(0)));
+        assert!(covered.contains(&BlockId(1)));
+        assert!(covered.contains(&BlockId(3)));
+        assert_eq!(regions.total_blocks(), covered.len());
+    }
+
+    #[test]
+    fn every_reachable_non_loop_block_is_covered_exactly_once() {
+        let program = program_with_call_and_loop();
+        let (cfg, loops, regions) = analyse(&program, "main");
+        let mut count = std::collections::HashMap::new();
+        for r in regions.regions() {
+            for b in &r.blocks {
+                *count.entry(*b).or_insert(0) += 1;
+            }
+        }
+        for &b in cfg.reverse_postorder() {
+            if !loops.in_any_loop(b) {
+                assert_eq!(count.get(&b), Some(&1), "block {b} covered once");
+            }
+        }
+    }
+
+    #[test]
+    fn procedure_without_calls_or_loops_has_one_region() {
+        let mut b = ProgramBuilder::new();
+        let main = b.procedure("main");
+        {
+            let p = b.proc_mut(main);
+            let b0 = p.block();
+            let b1 = p.block();
+            let b2 = p.block();
+            p.with_block(b0, |bb| {
+                bb.li(int_reg(1), 3);
+                bb.bgt(int_reg(1), 0, b2, b1);
+            });
+            p.with_block(b1, |bb| {
+                bb.jump(b2);
+            });
+            p.with_block(b2, |bb| {
+                bb.ret();
+            });
+            p.set_entry(b0);
+        }
+        let program = b.finish(main).unwrap();
+        let (_, _, regions) = analyse(&program, "main");
+        assert_eq!(regions.regions().len(), 1);
+        assert_eq!(regions.regions()[0].len(), 3);
+    }
+}

@@ -1,0 +1,522 @@
+//! Fluent builders for constructing [`Program`]s.
+//!
+//! The workload generator, the compiler tests and the examples all construct
+//! programs through this API rather than filling in struct fields by hand,
+//! which keeps block/procedure references consistent and validated.
+
+use crate::inst::Instruction;
+use crate::opcode::Opcode;
+use crate::program::{BasicBlock, BlockId, ProcId, Procedure, Program};
+use crate::reg::ArchReg;
+
+/// Builder for a whole [`Program`].
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    procedures: Vec<ProcedureBuilder>,
+    name: String,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty program builder.
+    pub fn new() -> Self {
+        ProgramBuilder {
+            procedures: Vec::new(),
+            name: "program".to_string(),
+        }
+    }
+
+    /// Sets the program's descriptive name.
+    pub fn name(&mut self, name: impl Into<String>) -> &mut Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Adds a new (initially empty) procedure and returns its id.
+    pub fn procedure(&mut self, name: impl Into<String>) -> ProcId {
+        let id = ProcId(self.procedures.len());
+        self.procedures.push(ProcedureBuilder::new(name, false));
+        id
+    }
+
+    /// Adds a new library procedure (§4.4: the compiler does not analyse
+    /// library routines and lets the issue queue grow to maximum size before
+    /// calling them).
+    pub fn library_procedure(&mut self, name: impl Into<String>) -> ProcId {
+        let id = ProcId(self.procedures.len());
+        self.procedures.push(ProcedureBuilder::new(name, true));
+        id
+    }
+
+    /// Mutable access to a procedure builder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not returned by this builder.
+    pub fn proc_mut(&mut self, id: ProcId) -> &mut ProcedureBuilder {
+        &mut self.procedures[id.0]
+    }
+
+    /// Number of procedures added so far.
+    pub fn proc_count(&self) -> usize {
+        self.procedures.len()
+    }
+
+    /// Finishes the program with `entry` as the entry procedure.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first validation error found (see [`Program::validate`]).
+    pub fn finish(self, entry: ProcId) -> Result<Program, String> {
+        let program = Program {
+            procedures: self
+                .procedures
+                .into_iter()
+                .map(ProcedureBuilder::into_procedure)
+                .collect(),
+            entry,
+            name: self.name,
+        };
+        program.validate()?;
+        Ok(program)
+    }
+}
+
+/// Builder for a single [`Procedure`].
+#[derive(Debug)]
+pub struct ProcedureBuilder {
+    name: String,
+    blocks: Vec<BasicBlock>,
+    entry: BlockId,
+    is_library: bool,
+}
+
+impl ProcedureBuilder {
+    fn new(name: impl Into<String>, is_library: bool) -> Self {
+        ProcedureBuilder {
+            name: name.into(),
+            blocks: Vec::new(),
+            entry: BlockId(0),
+            is_library,
+        }
+    }
+
+    /// Adds a new empty basic block and returns its id.
+    pub fn block(&mut self) -> BlockId {
+        let id = BlockId(self.blocks.len());
+        self.blocks.push(BasicBlock::new());
+        id
+    }
+
+    /// Sets the procedure's entry block.
+    pub fn set_entry(&mut self, entry: BlockId) {
+        self.entry = entry;
+    }
+
+    /// Populates block `id` through a [`BlockBuilder`] closure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not created by [`ProcedureBuilder::block`].
+    pub fn with_block<F>(&mut self, id: BlockId, f: F)
+    where
+        F: FnOnce(&mut BlockBuilder<'_>),
+    {
+        let mut builder = BlockBuilder {
+            block: &mut self.blocks[id.0],
+        };
+        f(&mut builder);
+    }
+
+    /// Number of blocks created so far.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    fn into_procedure(self) -> Procedure {
+        Procedure {
+            name: self.name,
+            blocks: self.blocks,
+            entry: self.entry,
+            is_library: self.is_library,
+        }
+    }
+}
+
+/// Builder for the instructions of one basic block.
+///
+/// Every method appends one instruction. Control-flow helpers also set the
+/// block's fall-through successor where appropriate.
+#[derive(Debug)]
+pub struct BlockBuilder<'a> {
+    block: &'a mut BasicBlock,
+}
+
+impl<'a> BlockBuilder<'a> {
+    /// Appends an arbitrary pre-built instruction.
+    pub fn push(&mut self, inst: Instruction) -> &mut Self {
+        self.block.instructions.push(inst);
+        self
+    }
+
+    /// Sets the block's fall-through successor explicitly.
+    pub fn fallthrough(&mut self, target: BlockId) -> &mut Self {
+        self.block.fallthrough = Some(target);
+        self
+    }
+
+    // --- integer arithmetic -------------------------------------------------
+
+    /// `dest = imm`
+    pub fn li(&mut self, dest: ArchReg, imm: i64) -> &mut Self {
+        self.push(Instruction::ri(Opcode::Li, dest, imm))
+    }
+
+    /// `dest = src`
+    pub fn mov(&mut self, dest: ArchReg, src: ArchReg) -> &mut Self {
+        self.push(Instruction {
+            dest: Some(dest),
+            srcs: [Some(src), None],
+            ..Instruction::new(Opcode::Mov)
+        })
+    }
+
+    /// `dest = a + b`
+    pub fn add(&mut self, dest: ArchReg, a: ArchReg, b: ArchReg) -> &mut Self {
+        self.push(Instruction::rrr(Opcode::Add, dest, a, b))
+    }
+
+    /// `dest = a + imm`
+    pub fn addi(&mut self, dest: ArchReg, a: ArchReg, imm: i64) -> &mut Self {
+        self.push(Instruction::rri(Opcode::Addi, dest, a, imm))
+    }
+
+    /// `dest = a - b`
+    pub fn sub(&mut self, dest: ArchReg, a: ArchReg, b: ArchReg) -> &mut Self {
+        self.push(Instruction::rrr(Opcode::Sub, dest, a, b))
+    }
+
+    /// `dest = a - imm`
+    pub fn subi(&mut self, dest: ArchReg, a: ArchReg, imm: i64) -> &mut Self {
+        self.push(Instruction::rri(Opcode::Subi, dest, a, imm))
+    }
+
+    /// `dest = a * b`
+    pub fn mul(&mut self, dest: ArchReg, a: ArchReg, b: ArchReg) -> &mut Self {
+        self.push(Instruction::rrr(Opcode::Mul, dest, a, b))
+    }
+
+    /// `dest = a / b`
+    pub fn div(&mut self, dest: ArchReg, a: ArchReg, b: ArchReg) -> &mut Self {
+        self.push(Instruction::rrr(Opcode::Div, dest, a, b))
+    }
+
+    /// `dest = a & b`
+    pub fn and(&mut self, dest: ArchReg, a: ArchReg, b: ArchReg) -> &mut Self {
+        self.push(Instruction::rrr(Opcode::And, dest, a, b))
+    }
+
+    /// `dest = a | b`
+    pub fn or(&mut self, dest: ArchReg, a: ArchReg, b: ArchReg) -> &mut Self {
+        self.push(Instruction::rrr(Opcode::Or, dest, a, b))
+    }
+
+    /// `dest = a ^ b`
+    pub fn xor(&mut self, dest: ArchReg, a: ArchReg, b: ArchReg) -> &mut Self {
+        self.push(Instruction::rrr(Opcode::Xor, dest, a, b))
+    }
+
+    /// `dest = a << b`
+    pub fn shl(&mut self, dest: ArchReg, a: ArchReg, b: ArchReg) -> &mut Self {
+        self.push(Instruction::rrr(Opcode::Shl, dest, a, b))
+    }
+
+    /// `dest = a >> b`
+    pub fn shr(&mut self, dest: ArchReg, a: ArchReg, b: ArchReg) -> &mut Self {
+        self.push(Instruction::rrr(Opcode::Shr, dest, a, b))
+    }
+
+    /// `dest = (a < b) as i64`
+    pub fn slt(&mut self, dest: ArchReg, a: ArchReg, b: ArchReg) -> &mut Self {
+        self.push(Instruction::rrr(Opcode::Slt, dest, a, b))
+    }
+
+    /// `dest = (a < imm) as i64`
+    pub fn slti(&mut self, dest: ArchReg, a: ArchReg, imm: i64) -> &mut Self {
+        self.push(Instruction::rri(Opcode::Slti, dest, a, imm))
+    }
+
+    // --- memory -------------------------------------------------------------
+
+    /// `dest = mem[base + offset]`
+    pub fn load(&mut self, dest: ArchReg, base: ArchReg, offset: i64) -> &mut Self {
+        self.push(Instruction::load(Opcode::Load, dest, base, offset))
+    }
+
+    /// `mem[base + offset] = value`
+    pub fn store(&mut self, value: ArchReg, base: ArchReg, offset: i64) -> &mut Self {
+        self.push(Instruction::store(Opcode::Store, value, base, offset))
+    }
+
+    /// `dest(fp) = mem[base + offset]`
+    pub fn fload(&mut self, dest: ArchReg, base: ArchReg, offset: i64) -> &mut Self {
+        self.push(Instruction::load(Opcode::FLoad, dest, base, offset))
+    }
+
+    /// `mem[base + offset] = value(fp)`
+    pub fn fstore(&mut self, value: ArchReg, base: ArchReg, offset: i64) -> &mut Self {
+        self.push(Instruction::store(Opcode::FStore, value, base, offset))
+    }
+
+    // --- floating point -----------------------------------------------------
+
+    /// `dest = a + b` (FP)
+    pub fn fadd(&mut self, dest: ArchReg, a: ArchReg, b: ArchReg) -> &mut Self {
+        self.push(Instruction::rrr(Opcode::FAdd, dest, a, b))
+    }
+
+    /// `dest = a - b` (FP)
+    pub fn fsub(&mut self, dest: ArchReg, a: ArchReg, b: ArchReg) -> &mut Self {
+        self.push(Instruction::rrr(Opcode::FSub, dest, a, b))
+    }
+
+    /// `dest = a * b` (FP)
+    pub fn fmul(&mut self, dest: ArchReg, a: ArchReg, b: ArchReg) -> &mut Self {
+        self.push(Instruction::rrr(Opcode::FMul, dest, a, b))
+    }
+
+    /// `dest = a / b` (FP)
+    pub fn fdiv(&mut self, dest: ArchReg, a: ArchReg, b: ArchReg) -> &mut Self {
+        self.push(Instruction::rrr(Opcode::FDiv, dest, a, b))
+    }
+
+    /// FP register move.
+    pub fn fmov(&mut self, dest: ArchReg, src: ArchReg) -> &mut Self {
+        self.push(Instruction {
+            dest: Some(dest),
+            srcs: [Some(src), None],
+            ..Instruction::new(Opcode::FMov)
+        })
+    }
+
+    /// Integer → FP conversion.
+    pub fn itof(&mut self, dest: ArchReg, src: ArchReg) -> &mut Self {
+        self.push(Instruction {
+            dest: Some(dest),
+            srcs: [Some(src), None],
+            ..Instruction::new(Opcode::ItoF)
+        })
+    }
+
+    /// FP → integer conversion.
+    pub fn ftoi(&mut self, dest: ArchReg, src: ArchReg) -> &mut Self {
+        self.push(Instruction {
+            dest: Some(dest),
+            srcs: [Some(src), None],
+            ..Instruction::new(Opcode::FtoI)
+        })
+    }
+
+    // --- control flow -------------------------------------------------------
+
+    /// Conditional branch `if a == b goto taken else fallthrough`.
+    pub fn beq_rr(&mut self, a: ArchReg, b: ArchReg, taken: BlockId, ft: BlockId) -> &mut Self {
+        self.block.fallthrough = Some(ft);
+        self.push(Instruction::branch_rr(Opcode::Beq, a, b, taken))
+    }
+
+    /// Conditional branch `if a == imm goto taken else fallthrough`.
+    pub fn beq(&mut self, a: ArchReg, imm: i64, taken: BlockId, ft: BlockId) -> &mut Self {
+        self.block.fallthrough = Some(ft);
+        self.push(Instruction::branch_ri(Opcode::Beq, a, imm, taken))
+    }
+
+    /// Conditional branch `if a != imm goto taken else fallthrough`.
+    pub fn bne(&mut self, a: ArchReg, imm: i64, taken: BlockId, ft: BlockId) -> &mut Self {
+        self.block.fallthrough = Some(ft);
+        self.push(Instruction::branch_ri(Opcode::Bne, a, imm, taken))
+    }
+
+    /// Conditional branch `if a != b goto taken else fallthrough`.
+    pub fn bne_rr(&mut self, a: ArchReg, b: ArchReg, taken: BlockId, ft: BlockId) -> &mut Self {
+        self.block.fallthrough = Some(ft);
+        self.push(Instruction::branch_rr(Opcode::Bne, a, b, taken))
+    }
+
+    /// Conditional branch `if a < imm goto taken else fallthrough`.
+    pub fn blt(&mut self, a: ArchReg, imm: i64, taken: BlockId, ft: BlockId) -> &mut Self {
+        self.block.fallthrough = Some(ft);
+        self.push(Instruction::branch_ri(Opcode::Blt, a, imm, taken))
+    }
+
+    /// Conditional branch `if a < b goto taken else fallthrough`.
+    pub fn blt_rr(&mut self, a: ArchReg, b: ArchReg, taken: BlockId, ft: BlockId) -> &mut Self {
+        self.block.fallthrough = Some(ft);
+        self.push(Instruction::branch_rr(Opcode::Blt, a, b, taken))
+    }
+
+    /// Conditional branch `if a >= imm goto taken else fallthrough`.
+    pub fn bge(&mut self, a: ArchReg, imm: i64, taken: BlockId, ft: BlockId) -> &mut Self {
+        self.block.fallthrough = Some(ft);
+        self.push(Instruction::branch_ri(Opcode::Bge, a, imm, taken))
+    }
+
+    /// Conditional branch `if a > imm goto taken else fallthrough`.
+    pub fn bgt(&mut self, a: ArchReg, imm: i64, taken: BlockId, ft: BlockId) -> &mut Self {
+        self.block.fallthrough = Some(ft);
+        self.push(Instruction::branch_ri(Opcode::Bgt, a, imm, taken))
+    }
+
+    /// Conditional branch `if a <= imm goto taken else fallthrough`.
+    pub fn ble(&mut self, a: ArchReg, imm: i64, taken: BlockId, ft: BlockId) -> &mut Self {
+        self.block.fallthrough = Some(ft);
+        self.push(Instruction::branch_ri(Opcode::Ble, a, imm, taken))
+    }
+
+    /// Unconditional jump.
+    pub fn jump(&mut self, target: BlockId) -> &mut Self {
+        self.push(Instruction::jump(target))
+    }
+
+    /// Procedure call; execution resumes at `return_to` after the callee
+    /// returns.
+    pub fn call(&mut self, callee: ProcId, return_to: BlockId) -> &mut Self {
+        self.block.fallthrough = Some(return_to);
+        self.push(Instruction::call(callee))
+    }
+
+    /// Return from the current procedure.
+    pub fn ret(&mut self) -> &mut Self {
+        self.push(Instruction::ret())
+    }
+
+    // --- hints / no-ops ------------------------------------------------------
+
+    /// Plain no-op.
+    pub fn nop(&mut self) -> &mut Self {
+        self.push(Instruction::new(Opcode::Nop))
+    }
+
+    /// Special NOOP carrying `max_new_range` (the paper's NOOP technique).
+    pub fn hint_noop(&mut self, max_new_range: u8) -> &mut Self {
+        self.push(Instruction::hint_noop(max_new_range))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::{fp_reg, int_reg};
+
+    #[test]
+    fn builder_produces_valid_single_block_program() {
+        let mut b = ProgramBuilder::new();
+        b.name("tiny");
+        let main = b.procedure("main");
+        {
+            let p = b.proc_mut(main);
+            let entry = p.block();
+            p.with_block(entry, |bb| {
+                bb.li(int_reg(1), 5);
+                bb.addi(int_reg(2), int_reg(1), 3);
+                bb.mul(int_reg(3), int_reg(1), int_reg(2));
+                bb.ret();
+            });
+            p.set_entry(entry);
+        }
+        let program = b.finish(main).unwrap();
+        assert_eq!(program.name, "tiny");
+        assert_eq!(program.static_instruction_count(), 4);
+        assert!(program.validate().is_ok());
+    }
+
+    #[test]
+    fn branch_helpers_set_fallthrough() {
+        let mut b = ProgramBuilder::new();
+        let main = b.procedure("main");
+        {
+            let p = b.proc_mut(main);
+            let entry = p.block();
+            let body = p.block();
+            let exit = p.block();
+            p.with_block(entry, |bb| {
+                bb.li(int_reg(1), 0);
+                bb.bgt(int_reg(1), 10, exit, body);
+            });
+            p.with_block(body, |bb| {
+                bb.addi(int_reg(1), int_reg(1), 1);
+                bb.jump(exit);
+            });
+            p.with_block(exit, |bb| { bb.ret(); });
+            p.set_entry(entry);
+        }
+        let program = b.finish(main).unwrap();
+        let proc = program.proc(main);
+        assert_eq!(proc.block(BlockId(0)).fallthrough, Some(BlockId(1)));
+        assert_eq!(proc.block(BlockId(0)).successors(), vec![BlockId(2), BlockId(1)]);
+    }
+
+    #[test]
+    fn library_procedures_are_marked() {
+        let mut b = ProgramBuilder::new();
+        let lib = b.library_procedure("memcpy");
+        {
+            let p = b.proc_mut(lib);
+            let entry = p.block();
+            p.with_block(entry, |bb| {
+                bb.nop();
+                bb.ret();
+            });
+            p.set_entry(entry);
+        }
+        let main = b.procedure("main");
+        {
+            let p = b.proc_mut(main);
+            let b0 = p.block();
+            let b1 = p.block();
+            p.with_block(b0, |bb| {
+                bb.call(lib, b1);
+            });
+            p.with_block(b1, |bb| { bb.ret(); });
+            p.set_entry(b0);
+        }
+        let program = b.finish(main).unwrap();
+        assert!(program.proc(lib).is_library);
+        assert!(!program.proc(main).is_library);
+    }
+
+    #[test]
+    fn fp_helpers_build_valid_instructions() {
+        let mut b = ProgramBuilder::new();
+        let main = b.procedure("main");
+        {
+            let p = b.proc_mut(main);
+            let entry = p.block();
+            p.with_block(entry, |bb| {
+                bb.li(int_reg(1), 4);
+                bb.itof(fp_reg(0), int_reg(1));
+                bb.fadd(fp_reg(1), fp_reg(0), fp_reg(0));
+                bb.fmul(fp_reg(2), fp_reg(1), fp_reg(0));
+                bb.ftoi(int_reg(2), fp_reg(2));
+                bb.ret();
+            });
+            p.set_entry(entry);
+        }
+        assert!(b.finish(main).is_ok());
+    }
+
+    #[test]
+    fn finish_rejects_invalid_program() {
+        let mut b = ProgramBuilder::new();
+        let main = b.procedure("main");
+        {
+            let p = b.proc_mut(main);
+            let entry = p.block();
+            // Block without terminator or fall-through is invalid.
+            p.with_block(entry, |bb| {
+                bb.li(int_reg(1), 5);
+            });
+            p.set_entry(entry);
+        }
+        assert!(b.finish(main).is_err());
+    }
+}

@@ -1,0 +1,118 @@
+//! Machine parameters shared by the compiler pass and the timing simulator.
+//!
+//! Both sides of the paper's technique must agree on the processor's issue
+//! width and functional-unit pools (Table 1): the compiler's pseudo issue
+//! queue models them when computing how many entries a region needs, and the
+//! simulator enforces them when executing. Keeping the numbers here avoids a
+//! dependency between `sdiq-compiler` and `sdiq-sim`.
+
+use crate::opcode::FuClass;
+use serde::{Deserialize, Serialize};
+
+/// Number of functional units per pool (Table 1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FuCounts {
+    /// Integer ALUs (1-cycle latency).
+    pub int_alu: usize,
+    /// Integer multipliers (3-cycle latency).
+    pub int_mul: usize,
+    /// FP ALUs (2-cycle latency).
+    pub fp_alu: usize,
+    /// FP multiply/divide units (4-cycle mult, 12-cycle div).
+    pub fp_mul_div: usize,
+    /// Load/store ports into the L1 data cache.
+    pub mem_ports: usize,
+}
+
+impl FuCounts {
+    /// Functional-unit pools from Table 1 of the paper, plus the 2 memory
+    /// ports SimpleScalar's default out-of-order configuration provides.
+    pub const fn hpca2005() -> Self {
+        FuCounts {
+            int_alu: 6,
+            int_mul: 3,
+            fp_alu: 4,
+            fp_mul_div: 2,
+            mem_ports: 2,
+        }
+    }
+
+    /// Units available for a given class (`usize::MAX` for [`FuClass::None`],
+    /// which never competes for hardware).
+    pub fn for_class(&self, class: FuClass) -> usize {
+        match class {
+            FuClass::IntAlu => self.int_alu,
+            FuClass::IntMul => self.int_mul,
+            FuClass::FpAlu => self.fp_alu,
+            FuClass::FpMulDiv => self.fp_mul_div,
+            FuClass::MemPort => self.mem_ports,
+            FuClass::None => usize::MAX,
+        }
+    }
+
+    /// Total number of hardware functional units.
+    pub fn total(&self) -> usize {
+        self.int_alu + self.int_mul + self.fp_alu + self.fp_mul_div + self.mem_ports
+    }
+}
+
+impl Default for FuCounts {
+    fn default() -> Self {
+        FuCounts::hpca2005()
+    }
+}
+
+/// Front-end and window widths shared by compiler and simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MachineWidths {
+    /// Fetch, decode, dispatch and commit width (8 in Table 1).
+    pub pipeline_width: usize,
+    /// Issue-queue capacity in entries (80 in Table 1).
+    pub iq_capacity: usize,
+    /// Reorder-buffer capacity (128 in Table 1).
+    pub rob_capacity: usize,
+}
+
+impl MachineWidths {
+    /// Widths from Table 1 of the paper.
+    pub const fn hpca2005() -> Self {
+        MachineWidths {
+            pipeline_width: 8,
+            iq_capacity: 80,
+            rob_capacity: 128,
+        }
+    }
+}
+
+impl Default for MachineWidths {
+    fn default() -> Self {
+        MachineWidths::hpca2005()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_pools() {
+        let fu = FuCounts::hpca2005();
+        assert_eq!(fu.int_alu, 6);
+        assert_eq!(fu.int_mul, 3);
+        assert_eq!(fu.fp_alu, 4);
+        assert_eq!(fu.fp_mul_div, 2);
+        assert_eq!(fu.for_class(FuClass::IntAlu), 6);
+        assert_eq!(fu.for_class(FuClass::None), usize::MAX);
+        assert_eq!(fu.total(), 6 + 3 + 4 + 2 + 2);
+    }
+
+    #[test]
+    fn table1_widths() {
+        let w = MachineWidths::hpca2005();
+        assert_eq!(w.pipeline_width, 8);
+        assert_eq!(w.iq_capacity, 80);
+        assert_eq!(w.rob_capacity, 128);
+        assert_eq!(MachineWidths::default(), w);
+        assert_eq!(FuCounts::default(), FuCounts::hpca2005());
+    }
+}

@@ -1,0 +1,365 @@
+//! Opcodes, functional-unit classes and execution latencies.
+//!
+//! Latencies and functional-unit pools follow Table 1 of the paper:
+//!
+//! | Pool          | Units | Latency                     |
+//! |---------------|-------|-----------------------------|
+//! | Int ALU       | 6     | 1 cycle                     |
+//! | Int Mul       | 3     | 3 cycles                    |
+//! | FP ALU        | 4     | 2 cycles                    |
+//! | FP Mul/Div    | 2     | 4 cycles mult, 12 cycles div|
+//! | Memory port   | cfg   | L1D 2 cycles hit (see sim)  |
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Functional-unit class an instruction executes on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum FuClass {
+    /// Integer ALU (adds, logic, shifts, compares, branches).
+    IntAlu,
+    /// Integer multiplier (also hosts the rare integer divide).
+    IntMul,
+    /// Floating-point adder/comparator.
+    FpAlu,
+    /// Floating-point multiplier/divider.
+    FpMulDiv,
+    /// Load/store memory port (latency comes from the cache hierarchy).
+    MemPort,
+    /// Executes on no functional unit (special NOOPs are stripped at the
+    /// final decode stage and never enter the issue queue).
+    None,
+}
+
+impl FuClass {
+    /// All classes that correspond to real hardware pools.
+    pub const HARDWARE: [FuClass; 5] = [
+        FuClass::IntAlu,
+        FuClass::IntMul,
+        FuClass::FpAlu,
+        FuClass::FpMulDiv,
+        FuClass::MemPort,
+    ];
+}
+
+impl fmt::Display for FuClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FuClass::IntAlu => "int-alu",
+            FuClass::IntMul => "int-mul",
+            FuClass::FpAlu => "fp-alu",
+            FuClass::FpMulDiv => "fp-muldiv",
+            FuClass::MemPort => "mem-port",
+            FuClass::None => "none",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Instruction opcodes of the synthetic ISA.
+///
+/// The set is deliberately small but covers every behaviour the issue-queue
+/// study needs: integer and FP arithmetic with distinct latencies, loads and
+/// stores, conditional and unconditional control flow, calls/returns, and the
+/// special NOOP hint instruction that carries `max_new_range` from the
+/// compiler to the processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Opcode {
+    // --- integer arithmetic / logic ----------------------------------------
+    /// Load immediate: `dest = imm`.
+    Li,
+    /// Register move: `dest = src0`.
+    Mov,
+    /// `dest = src0 + src1`.
+    Add,
+    /// `dest = src0 + imm`.
+    Addi,
+    /// `dest = src0 - src1`.
+    Sub,
+    /// `dest = src0 - imm`.
+    Subi,
+    /// `dest = src0 * src1` (integer multiplier pool).
+    Mul,
+    /// `dest = src0 / src1` (0 if divisor is 0; integer multiplier pool).
+    Div,
+    /// `dest = src0 & src1`.
+    And,
+    /// `dest = src0 | src1`.
+    Or,
+    /// `dest = src0 ^ src1`.
+    Xor,
+    /// `dest = src0 << (src1 & 63)`.
+    Shl,
+    /// `dest = src0 >> (src1 & 63)` (arithmetic).
+    Shr,
+    /// Set-less-than: `dest = (src0 < src1) as i64`.
+    Slt,
+    /// Set-less-than-immediate: `dest = (src0 < imm) as i64`.
+    Slti,
+
+    // --- memory -------------------------------------------------------------
+    /// Integer load: `dest = mem[src0 + offset]`.
+    Load,
+    /// Integer store: `mem[src0 + offset] = src1`.
+    Store,
+    /// FP load: `dest(fp) = mem[src0 + offset]`.
+    FLoad,
+    /// FP store: `mem[src0 + offset] = src1(fp)`.
+    FStore,
+
+    // --- control flow -------------------------------------------------------
+    /// Branch if `src0 == src1` (or `imm` when only one source register).
+    Beq,
+    /// Branch if `src0 != src1` (or `imm`).
+    Bne,
+    /// Branch if `src0 < src1` (or `imm`).
+    Blt,
+    /// Branch if `src0 >= src1` (or `imm`).
+    Bge,
+    /// Branch if `src0 > src1` (or `imm`).
+    Bgt,
+    /// Branch if `src0 <= src1` (or `imm`).
+    Ble,
+    /// Unconditional jump to the block target.
+    Jump,
+    /// Procedure call (target procedure held by the instruction).
+    Call,
+    /// Return from procedure.
+    Return,
+
+    // --- floating point -----------------------------------------------------
+    /// `dest = src0 + src1` (FP).
+    FAdd,
+    /// `dest = src0 - src1` (FP).
+    FSub,
+    /// `dest = src0 * src1` (FP).
+    FMul,
+    /// `dest = src0 / src1` (FP; 0.0 if divisor is 0).
+    FDiv,
+    /// FP move.
+    FMov,
+    /// Convert integer to FP: `dest(fp) = src0(int) as f64`.
+    ItoF,
+    /// Convert FP to integer: `dest(int) = src0(fp) as i64`.
+    FtoI,
+
+    // --- hints / no-ops -----------------------------------------------------
+    /// Ordinary no-op. Occupies fetch/decode/dispatch/issue like a real
+    /// instruction (on the integer ALU pool).
+    Nop,
+    /// Special NOOP carrying the issue-queue size (`max_new_range`) in its
+    /// unused bits. It is stripped out of the instruction stream in the final
+    /// decode stage and never dispatched, but it *does* consume a fetch and
+    /// decode slot — the source of the small ILP loss §5.2.1 discusses.
+    HintNoop,
+}
+
+impl Opcode {
+    /// The functional-unit class this opcode executes on.
+    pub fn fu_class(&self) -> FuClass {
+        use Opcode::*;
+        match self {
+            Li | Mov | Add | Addi | Sub | Subi | And | Or | Xor | Shl | Shr | Slt | Slti => {
+                FuClass::IntAlu
+            }
+            Mul | Div => FuClass::IntMul,
+            Load | Store | FLoad | FStore => FuClass::MemPort,
+            Beq | Bne | Blt | Bge | Bgt | Ble | Jump | Call | Return => FuClass::IntAlu,
+            FAdd | FSub | FMov | ItoF | FtoI => FuClass::FpAlu,
+            FMul | FDiv => FuClass::FpMulDiv,
+            Nop => FuClass::IntAlu,
+            HintNoop => FuClass::None,
+        }
+    }
+
+    /// Execution latency in cycles, excluding memory-hierarchy latency for
+    /// loads/stores (the simulator adds the cache access time on top of the
+    /// 1-cycle address generation this returns).
+    pub fn latency(&self) -> u32 {
+        use Opcode::*;
+        match self {
+            Mul | Div => 3,
+            FAdd | FSub | FMov | ItoF | FtoI => 2,
+            FMul => 4,
+            FDiv => 12,
+            HintNoop => 0,
+            _ => 1,
+        }
+    }
+
+    /// `true` for conditional branches.
+    pub fn is_cond_branch(&self) -> bool {
+        matches!(
+            self,
+            Opcode::Beq | Opcode::Bne | Opcode::Blt | Opcode::Bge | Opcode::Bgt | Opcode::Ble
+        )
+    }
+
+    /// `true` for any control-transfer instruction (conditional branch,
+    /// jump, call or return).
+    pub fn is_control(&self) -> bool {
+        self.is_cond_branch() || matches!(self, Opcode::Jump | Opcode::Call | Opcode::Return)
+    }
+
+    /// `true` for loads (integer or FP).
+    pub fn is_load(&self) -> bool {
+        matches!(self, Opcode::Load | Opcode::FLoad)
+    }
+
+    /// `true` for stores (integer or FP).
+    pub fn is_store(&self) -> bool {
+        matches!(self, Opcode::Store | Opcode::FStore)
+    }
+
+    /// `true` for any memory access.
+    pub fn is_mem(&self) -> bool {
+        self.is_load() || self.is_store()
+    }
+
+    /// `true` if this opcode operates on floating-point values.
+    pub fn is_fp(&self) -> bool {
+        matches!(
+            self,
+            Opcode::FAdd
+                | Opcode::FSub
+                | Opcode::FMul
+                | Opcode::FDiv
+                | Opcode::FMov
+                | Opcode::FLoad
+                | Opcode::FStore
+                | Opcode::ItoF
+        )
+    }
+
+    /// `true` for the special NOOP hint instruction.
+    pub fn is_hint(&self) -> bool {
+        matches!(self, Opcode::HintNoop)
+    }
+
+    /// A short mnemonic for display.
+    pub fn mnemonic(&self) -> &'static str {
+        use Opcode::*;
+        match self {
+            Li => "li",
+            Mov => "mov",
+            Add => "add",
+            Addi => "addi",
+            Sub => "sub",
+            Subi => "subi",
+            Mul => "mul",
+            Div => "div",
+            And => "and",
+            Or => "or",
+            Xor => "xor",
+            Shl => "shl",
+            Shr => "shr",
+            Slt => "slt",
+            Slti => "slti",
+            Load => "ld",
+            Store => "st",
+            FLoad => "fld",
+            FStore => "fst",
+            Beq => "beq",
+            Bne => "bne",
+            Blt => "blt",
+            Bge => "bge",
+            Bgt => "bgt",
+            Ble => "ble",
+            Jump => "j",
+            Call => "call",
+            Return => "ret",
+            FAdd => "fadd",
+            FSub => "fsub",
+            FMul => "fmul",
+            FDiv => "fdiv",
+            FMov => "fmov",
+            ItoF => "itof",
+            FtoI => "ftoi",
+            Nop => "nop",
+            HintNoop => "hint.iq",
+        }
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latencies_match_table1() {
+        assert_eq!(Opcode::Add.latency(), 1);
+        assert_eq!(Opcode::Mul.latency(), 3);
+        assert_eq!(Opcode::FAdd.latency(), 2);
+        assert_eq!(Opcode::FMul.latency(), 4);
+        assert_eq!(Opcode::FDiv.latency(), 12);
+    }
+
+    #[test]
+    fn fu_classes_match_table1_pools() {
+        assert_eq!(Opcode::Add.fu_class(), FuClass::IntAlu);
+        assert_eq!(Opcode::Mul.fu_class(), FuClass::IntMul);
+        assert_eq!(Opcode::Div.fu_class(), FuClass::IntMul);
+        assert_eq!(Opcode::FAdd.fu_class(), FuClass::FpAlu);
+        assert_eq!(Opcode::FMul.fu_class(), FuClass::FpMulDiv);
+        assert_eq!(Opcode::FDiv.fu_class(), FuClass::FpMulDiv);
+        assert_eq!(Opcode::Load.fu_class(), FuClass::MemPort);
+        assert_eq!(Opcode::Store.fu_class(), FuClass::MemPort);
+    }
+
+    #[test]
+    fn hint_noop_uses_no_functional_unit() {
+        assert_eq!(Opcode::HintNoop.fu_class(), FuClass::None);
+        assert_eq!(Opcode::HintNoop.latency(), 0);
+        assert!(Opcode::HintNoop.is_hint());
+        assert!(!Opcode::Nop.is_hint());
+    }
+
+    #[test]
+    fn control_flow_classification() {
+        assert!(Opcode::Beq.is_cond_branch());
+        assert!(Opcode::Beq.is_control());
+        assert!(Opcode::Jump.is_control());
+        assert!(!Opcode::Jump.is_cond_branch());
+        assert!(Opcode::Call.is_control());
+        assert!(Opcode::Return.is_control());
+        assert!(!Opcode::Add.is_control());
+    }
+
+    #[test]
+    fn memory_classification() {
+        assert!(Opcode::Load.is_load());
+        assert!(Opcode::FLoad.is_load());
+        assert!(Opcode::Store.is_store());
+        assert!(Opcode::FStore.is_store());
+        assert!(Opcode::Load.is_mem());
+        assert!(!Opcode::Add.is_mem());
+    }
+
+    #[test]
+    fn fp_classification() {
+        assert!(Opcode::FAdd.is_fp());
+        assert!(Opcode::FLoad.is_fp());
+        assert!(!Opcode::Load.is_fp());
+        // FtoI produces an integer result even though it runs on the FP ALU.
+        assert!(!Opcode::FtoI.is_fp());
+        assert_eq!(Opcode::FtoI.fu_class(), FuClass::FpAlu);
+    }
+
+    #[test]
+    fn mnemonics_are_unique() {
+        use Opcode::*;
+        let all = [
+            Li, Mov, Add, Addi, Sub, Subi, Mul, Div, And, Or, Xor, Shl, Shr, Slt, Slti, Load,
+            Store, FLoad, FStore, Beq, Bne, Blt, Bge, Bgt, Ble, Jump, Call, Return, FAdd, FSub,
+            FMul, FDiv, FMov, ItoF, FtoI, Nop, HintNoop,
+        ];
+        let set: std::collections::HashSet<_> = all.iter().map(|o| o.mnemonic()).collect();
+        assert_eq!(set.len(), all.len());
+    }
+}

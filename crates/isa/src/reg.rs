@@ -1,0 +1,181 @@
+//! Architectural registers.
+//!
+//! The synthetic ISA has 32 integer and 32 floating-point architectural
+//! registers, mirroring the Alpha-like machine modelled by the paper. The
+//! timing simulator renames these onto the banked physical register files
+//! described in Table 1 (112 integer + 112 FP physical registers, 14 banks
+//! of 8 each).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of integer architectural registers.
+pub const NUM_ARCH_INT_REGS: u8 = 32;
+/// Number of floating-point architectural registers.
+pub const NUM_ARCH_FP_REGS: u8 = 32;
+
+/// Register class: integer or floating point.
+///
+/// The paper only reports results for the *integer* register file because the
+/// SPECint benchmarks contain few FP instructions, but the machine model (and
+/// this reproduction) carries both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RegClass {
+    /// Integer registers `r0..r31`.
+    Int,
+    /// Floating-point registers `f0..f31`.
+    Fp,
+}
+
+impl fmt::Display for RegClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegClass::Int => write!(f, "int"),
+            RegClass::Fp => write!(f, "fp"),
+        }
+    }
+}
+
+/// An architectural register (class + index).
+///
+/// Construct with [`int_reg`] / [`fp_reg`] or [`ArchReg::new`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ArchReg {
+    class: RegClass,
+    index: u8,
+}
+
+impl ArchReg {
+    /// Creates a new architectural register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range for the class (>= 32).
+    pub fn new(class: RegClass, index: u8) -> Self {
+        let limit = match class {
+            RegClass::Int => NUM_ARCH_INT_REGS,
+            RegClass::Fp => NUM_ARCH_FP_REGS,
+        };
+        assert!(
+            index < limit,
+            "architectural register index {index} out of range for class {class}"
+        );
+        ArchReg { class, index }
+    }
+
+    /// The register class.
+    pub fn class(&self) -> RegClass {
+        self.class
+    }
+
+    /// The register index within its class.
+    pub fn index(&self) -> u8 {
+        self.index
+    }
+
+    /// Returns `true` if this is an integer register.
+    pub fn is_int(&self) -> bool {
+        self.class == RegClass::Int
+    }
+
+    /// Returns `true` if this is a floating-point register.
+    pub fn is_fp(&self) -> bool {
+        self.class == RegClass::Fp
+    }
+
+    /// A dense index over both classes (`0..32` int, `32..64` fp), handy for
+    /// rename-table lookups.
+    pub fn flat_index(&self) -> usize {
+        match self.class {
+            RegClass::Int => self.index as usize,
+            RegClass::Fp => NUM_ARCH_INT_REGS as usize + self.index as usize,
+        }
+    }
+
+    /// Total number of architectural registers over both classes.
+    pub const fn flat_count() -> usize {
+        NUM_ARCH_INT_REGS as usize + NUM_ARCH_FP_REGS as usize
+    }
+}
+
+impl fmt::Display for ArchReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.class {
+            RegClass::Int => write!(f, "r{}", self.index),
+            RegClass::Fp => write!(f, "f{}", self.index),
+        }
+    }
+}
+
+/// Shorthand constructor for an integer register.
+///
+/// # Panics
+///
+/// Panics if `index >= 32`.
+pub fn int_reg(index: u8) -> ArchReg {
+    ArchReg::new(RegClass::Int, index)
+}
+
+/// Shorthand constructor for a floating-point register.
+///
+/// # Panics
+///
+/// Panics if `index >= 32`.
+pub fn fp_reg(index: u8) -> ArchReg {
+    ArchReg::new(RegClass::Fp, index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_reg_roundtrip() {
+        let r = int_reg(7);
+        assert_eq!(r.class(), RegClass::Int);
+        assert_eq!(r.index(), 7);
+        assert!(r.is_int());
+        assert!(!r.is_fp());
+        assert_eq!(r.to_string(), "r7");
+    }
+
+    #[test]
+    fn fp_reg_roundtrip() {
+        let r = fp_reg(31);
+        assert_eq!(r.class(), RegClass::Fp);
+        assert_eq!(r.index(), 31);
+        assert!(r.is_fp());
+        assert_eq!(r.to_string(), "f31");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn int_reg_out_of_range_panics() {
+        let _ = int_reg(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn fp_reg_out_of_range_panics() {
+        let _ = fp_reg(200);
+    }
+
+    #[test]
+    fn flat_index_is_dense_and_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..NUM_ARCH_INT_REGS {
+            assert!(seen.insert(int_reg(i).flat_index()));
+        }
+        for i in 0..NUM_ARCH_FP_REGS {
+            assert!(seen.insert(fp_reg(i).flat_index()));
+        }
+        assert_eq!(seen.len(), ArchReg::flat_count());
+        assert!(seen.iter().all(|&i| i < ArchReg::flat_count()));
+    }
+
+    #[test]
+    fn ordering_groups_by_class_then_index() {
+        assert!(int_reg(31) < fp_reg(0));
+        assert!(int_reg(3) < int_reg(4));
+    }
+}

@@ -1,0 +1,30 @@
+//! # sdiq-power — Wattch-style activity-based power model
+//!
+//! The paper reports issue-queue and register-file power savings measured
+//! with Wattch on top of SimpleScalar. Wattch's methodology is simple and
+//! reproducible: every microarchitectural event (a CAM comparison, an array
+//! read, a selection, a bank's leakage for one cycle) carries a fixed energy,
+//! and the simulator's activity counts turn into energy by multiplication.
+//! This crate applies that methodology to the [`sdiq_sim::ActivityStats`]
+//! produced by the timing simulator.
+//!
+//! Absolute Joule values are meaningless here (the per-event energies are
+//! relative weights, not extracted from a circuit model), but every number
+//! the paper reports is a *normalised saving* against the baseline machine,
+//! which only needs relative energies — exactly what this model provides.
+//!
+//! The crate distinguishes the three wakeup-accounting schemes compared in
+//! the paper's Figure 8:
+//!
+//! * [`WakeupScheme::Full`] — the unmanaged baseline: every operand of every
+//!   entry of the 80-entry queue is woken on every result broadcast,
+//! * [`WakeupScheme::NonEmptyOnly`] — Folegnani & González's gating of empty
+//!   entries (the `nonEmpty` bar),
+//! * [`WakeupScheme::Gated`] — empty *and* ready operands gated, the
+//!   assumption the paper's technique (and the Abella comparator) runs with.
+
+pub mod model;
+pub mod savings;
+
+pub use model::{EnergyModel, PowerBreakdown, StructurePower, WakeupScheme};
+pub use savings::{overall_processor_dynamic_savings, PowerSavings};

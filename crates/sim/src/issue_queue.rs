@@ -1,0 +1,496 @@
+//! The banked, non-collapsible issue queue with the paper's `new_head`
+//! pointer and `max_new_range` dispatch limiting (§3.1).
+//!
+//! The queue is a circular buffer of `entries` slots split into banks.
+//! Instructions are dispatched at `tail` in program order and issue out of
+//! order, leaving holes (the queue is non-collapsible, as in Folegnani &
+//! González and Buyuktosunoglu et al. — compaction would cost significant
+//! energy every cycle). `head` tracks the oldest resident instruction.
+//!
+//! The paper adds a second pointer, `new_head`, which marks the start of the
+//! *current program region*. When the compiler's hint (special NOOP or tag)
+//! is processed at dispatch, `new_head` is set to `tail` and `max_new_range`
+//! to the advertised number of entries: dispatch then stalls whenever the
+//! region between `new_head` and `tail` already holds `max_new_range`
+//! instructions. When the instruction `new_head` points at issues, the
+//! pointer advances towards `tail` until it finds a non-empty slot (or
+//! becomes `tail`), exactly as Figure 2 describes.
+//!
+//! Wakeup gating follows Folegnani & González: empty entries and already-
+//! ready operands are not woken. The counters distinguish the three schemes
+//! compared in Figure 8 (full wakeup, non-empty wakeup, gated wakeup).
+
+use crate::config::IssueQueueConfig;
+use crate::regfile::PhysReg;
+use sdiq_isa::FuClass;
+
+/// One resident instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IqEntry {
+    /// Identifier of the in-flight instruction (index into the pipeline's
+    /// in-flight table).
+    pub id: u64,
+    /// Source operands and their readiness.
+    pub operands: [Option<(PhysReg, bool)>; 2],
+    /// Functional-unit class the instruction needs.
+    pub fu: FuClass,
+}
+
+impl IqEntry {
+    /// `true` once every present operand is ready.
+    pub fn is_ready(&self) -> bool {
+        self.operands
+            .iter()
+            .flatten()
+            .all(|(_, ready)| *ready)
+    }
+
+    /// Number of operands still waiting for a value.
+    pub fn waiting_operands(&self) -> usize {
+        self.operands
+            .iter()
+            .flatten()
+            .filter(|(_, ready)| !*ready)
+            .count()
+    }
+}
+
+/// Wakeup activity produced by one result broadcast.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WakeupActivity {
+    /// Comparisons if every entry of the full queue were woken.
+    pub full: u64,
+    /// Comparisons if every *non-empty* entry were woken.
+    pub non_empty: u64,
+    /// Comparisons actually performed with empty/ready operands gated.
+    pub gated: u64,
+    /// Operands that matched and became ready.
+    pub matches: u64,
+}
+
+/// The issue queue.
+#[derive(Debug, Clone)]
+pub struct IssueQueue {
+    slots: Vec<Option<IqEntry>>,
+    bank_size: usize,
+    head: usize,
+    tail: usize,
+    new_head: usize,
+    count: usize,
+    /// Software limit (the compiler's `max_new_range`); `None` until a hint
+    /// has been seen.
+    max_new_range: Option<usize>,
+    /// Hardware limit on resident entries (used by the Abella-style adaptive
+    /// baseline); `None` = full capacity.
+    hard_limit: Option<usize>,
+}
+
+impl IssueQueue {
+    /// Creates an empty queue with the given geometry.
+    pub fn new(config: IssueQueueConfig) -> Self {
+        IssueQueue {
+            slots: vec![None; config.entries],
+            bank_size: config.bank_size,
+            head: 0,
+            tail: 0,
+            new_head: 0,
+            count: 0,
+            max_new_range: None,
+            hard_limit: None,
+        }
+    }
+
+    /// Total capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of resident instructions.
+    pub fn occupancy(&self) -> usize {
+        self.count
+    }
+
+    /// `true` if no instruction is resident.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Number of banks holding at least one resident instruction.
+    pub fn banks_on(&self) -> usize {
+        let banks = self.total_banks();
+        (0..banks)
+            .filter(|b| {
+                let lo = b * self.bank_size;
+                let hi = ((b + 1) * self.bank_size).min(self.slots.len());
+                self.slots[lo..hi].iter().any(|s| s.is_some())
+            })
+            .count()
+    }
+
+    /// Total number of banks.
+    pub fn total_banks(&self) -> usize {
+        (self.slots.len() + self.bank_size - 1) / self.bank_size
+    }
+
+    /// Applies a compiler hint: a new program region starts at the current
+    /// tail and may use at most `max_new_range` entries.
+    pub fn apply_hint(&mut self, max_new_range: usize) {
+        self.new_head = self.tail;
+        self.max_new_range = Some(max_new_range.max(1));
+    }
+
+    /// Sets (or clears) the hardware resident-entry limit used by the
+    /// adaptive-baseline policy.
+    pub fn set_hard_limit(&mut self, limit: Option<usize>) {
+        self.hard_limit = limit.map(|l| l.clamp(1, self.capacity()));
+    }
+
+    /// Current hardware limit, if any.
+    pub fn hard_limit(&self) -> Option<usize> {
+        self.hard_limit
+    }
+
+    /// Current software limit, if any.
+    pub fn max_new_range(&self) -> Option<usize> {
+        self.max_new_range
+    }
+
+    /// Number of resident instructions in the current region
+    /// (between `new_head` and `tail`).
+    pub fn new_region_occupancy(&self) -> usize {
+        self.count_filled_between(self.new_head, self.tail)
+    }
+
+    /// `true` if `slot` lies within the youngest bank of the usable window:
+    /// its position relative to `head` falls in the last `bank_size` slots of
+    /// a window of `limit` entries. The adaptive-baseline heuristic monitors
+    /// how much this portion contributes to issue (Folegnani & González's
+    /// "youngest portion of the queue").
+    pub fn is_in_youngest_portion(&self, slot: usize, limit: usize) -> bool {
+        let cap = self.capacity();
+        let position = (slot + cap - self.head) % cap;
+        let limit = limit.clamp(self.bank_size, cap);
+        position + self.bank_size >= limit && position < limit
+    }
+
+    fn count_filled_between(&self, from: usize, to: usize) -> usize {
+        let cap = self.capacity();
+        let mut count = 0;
+        let mut pos = from;
+        // Walk at most `cap` slots from `from` (exclusive of `to`).
+        let span = (to + cap - from) % cap;
+        for _ in 0..span {
+            if self.slots[pos].is_some() {
+                count += 1;
+            }
+            pos = (pos + 1) % cap;
+        }
+        count
+    }
+
+    /// `true` if another instruction may be dispatched right now, honouring
+    /// the physical capacity, the software region limit and the hardware
+    /// limit.
+    pub fn can_dispatch(&self) -> bool {
+        // Physical capacity: the tail slot must be free, and the queue must
+        // not have wrapped onto its own head.
+        if self.count >= self.capacity() || self.slots[self.tail].is_some() {
+            return false;
+        }
+        if let Some(limit) = self.hard_limit {
+            if self.count >= limit {
+                return false;
+            }
+        }
+        if let Some(range) = self.max_new_range {
+            if self.new_region_occupancy() >= range {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Dispatches an entry at the tail, returning its slot index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`IssueQueue::can_dispatch`] is false.
+    pub fn dispatch(&mut self, entry: IqEntry) -> usize {
+        assert!(self.can_dispatch(), "dispatch called on a full or limited queue");
+        let slot = self.tail;
+        self.slots[slot] = Some(entry);
+        self.tail = (self.tail + 1) % self.capacity();
+        self.count += 1;
+        slot
+    }
+
+    /// Iterates resident entries oldest-first, yielding `(slot, entry)`.
+    pub fn iter_in_age_order(&self) -> impl Iterator<Item = (usize, &IqEntry)> {
+        let cap = self.capacity();
+        let head = self.head;
+        let count = self.count;
+        // Walk the whole circular span from head; stop after `count` hits.
+        (0..cap)
+            .map(move |off| (head + off) % cap)
+            .filter_map(move |pos| self.slots[pos].as_ref().map(|e| (pos, e)))
+            .take(count)
+    }
+
+    /// Removes the entry in `slot` (it issued), advancing `head` and
+    /// `new_head` over empty slots as required.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is already empty.
+    pub fn remove(&mut self, slot: usize) {
+        assert!(self.slots[slot].is_some(), "removing an empty issue-queue slot");
+        self.slots[slot] = None;
+        self.count -= 1;
+        let cap = self.capacity();
+        if self.count == 0 {
+            self.head = self.tail;
+            self.new_head = self.tail;
+            return;
+        }
+        // Advance head past empty slots to the oldest resident instruction.
+        // (Bounded walk: with count > 0 there is always a filled slot, and in
+        // the completely-wrapped case head may legitimately step past tail.)
+        let mut steps = 0;
+        while self.slots[self.head].is_none() && steps < cap {
+            self.head = (self.head + 1) % cap;
+            steps += 1;
+        }
+        // Advance new_head the same way (it only ever moves towards tail).
+        while self.new_head != self.tail && self.slots[self.new_head].is_none() {
+            self.new_head = (self.new_head + 1) % cap;
+        }
+    }
+
+    /// Marks operand readiness directly (used when a value becomes ready
+    /// between rename and dispatch).
+    pub fn entry_mut(&mut self, slot: usize) -> Option<&mut IqEntry> {
+        self.slots[slot].as_mut()
+    }
+
+    /// Broadcasts a completed destination register to all resident entries,
+    /// waking matching operands, and returns the wakeup activity under the
+    /// three accounting schemes of Figure 8.
+    pub fn wakeup(&mut self, dest: PhysReg) -> WakeupActivity {
+        let mut activity = WakeupActivity {
+            full: 2 * self.capacity() as u64,
+            non_empty: 2 * self.count as u64,
+            gated: 0,
+            matches: 0,
+        };
+        for slot in self.slots.iter_mut() {
+            if let Some(entry) = slot {
+                for operand in entry.operands.iter_mut().flatten() {
+                    if !operand.1 {
+                        activity.gated += 1;
+                        if operand.0 == dest {
+                            operand.1 = true;
+                            activity.matches += 1;
+                        }
+                    }
+                }
+            }
+        }
+        activity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdiq_isa::RegClass;
+
+    fn queue(entries: usize, bank: usize) -> IssueQueue {
+        IssueQueue::new(IssueQueueConfig {
+            entries,
+            bank_size: bank,
+        })
+    }
+
+    fn entry(id: u64, srcs: &[(usize, bool)]) -> IqEntry {
+        let mut operands = [None, None];
+        for (i, &(index, ready)) in srcs.iter().take(2).enumerate() {
+            operands[i] = Some((
+                PhysReg {
+                    class: RegClass::Int,
+                    index,
+                },
+                ready,
+            ));
+        }
+        IqEntry {
+            id,
+            operands,
+            fu: FuClass::IntAlu,
+        }
+    }
+
+    #[test]
+    fn dispatch_and_age_order() {
+        let mut q = queue(8, 4);
+        for id in 0..5 {
+            assert!(q.can_dispatch());
+            q.dispatch(entry(id, &[(1, true)]));
+        }
+        assert_eq!(q.occupancy(), 5);
+        let ids: Vec<u64> = q.iter_in_age_order().map(|(_, e)| e.id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+        assert_eq!(q.banks_on(), 2);
+    }
+
+    #[test]
+    fn capacity_limit_blocks_dispatch() {
+        let mut q = queue(4, 4);
+        for id in 0..4 {
+            q.dispatch(entry(id, &[]));
+        }
+        assert!(!q.can_dispatch());
+    }
+
+    #[test]
+    fn out_of_order_removal_leaves_holes_and_head_tracks_oldest() {
+        let mut q = queue(8, 4);
+        let slots: Vec<usize> = (0..4).map(|id| q.dispatch(entry(id, &[]))).collect();
+        // Remove the second and third (out of order issue).
+        q.remove(slots[1]);
+        q.remove(slots[2]);
+        assert_eq!(q.occupancy(), 2);
+        let ids: Vec<u64> = q.iter_in_age_order().map(|(_, e)| e.id).collect();
+        assert_eq!(ids, vec![0, 3]);
+        // Remove the oldest → head advances past the holes to id 3.
+        q.remove(slots[0]);
+        let ids: Vec<u64> = q.iter_in_age_order().map(|(_, e)| e.id).collect();
+        assert_eq!(ids, vec![3]);
+    }
+
+    #[test]
+    fn hint_limits_new_region_dispatch_like_figure2() {
+        let mut q = queue(16, 4);
+        // Older region: 2 instructions already resident.
+        q.dispatch(entry(0, &[]));
+        q.dispatch(entry(1, &[]));
+        // Compiler hint: the next region needs 4 entries.
+        q.apply_hint(4);
+        let mut dispatched = 0;
+        while q.can_dispatch() {
+            q.dispatch(entry(10 + dispatched, &[]));
+            dispatched += 1;
+        }
+        assert_eq!(dispatched, 4, "region limited to max_new_range");
+        assert_eq!(q.occupancy(), 6);
+        assert_eq!(q.new_region_occupancy(), 4);
+        // One of the region's instructions issues → one more may dispatch.
+        let slot = q
+            .iter_in_age_order()
+            .find(|(_, e)| e.id == 10)
+            .map(|(s, _)| s)
+            .unwrap();
+        q.remove(slot);
+        assert!(q.can_dispatch());
+        q.dispatch(entry(20, &[]));
+        assert!(!q.can_dispatch());
+    }
+
+    #[test]
+    fn new_head_advances_to_next_non_empty_slot() {
+        let mut q = queue(16, 4);
+        q.apply_hint(8);
+        let slots: Vec<usize> = (0..4).map(|id| q.dispatch(entry(id, &[]))).collect();
+        assert_eq!(q.new_region_occupancy(), 4);
+        // Issue the middle two, then the first: new_head must skip the holes.
+        q.remove(slots[1]);
+        q.remove(slots[2]);
+        q.remove(slots[0]);
+        assert_eq!(q.new_region_occupancy(), 1);
+    }
+
+    #[test]
+    fn hard_limit_caps_occupancy() {
+        let mut q = queue(16, 4);
+        q.set_hard_limit(Some(3));
+        let mut n = 0;
+        while q.can_dispatch() {
+            q.dispatch(entry(n, &[]));
+            n += 1;
+        }
+        assert_eq!(n, 3);
+        q.set_hard_limit(None);
+        assert!(q.can_dispatch());
+    }
+
+    #[test]
+    fn wakeup_counts_follow_figure8_schemes() {
+        let mut q = queue(8, 4);
+        // Three resident entries: one fully ready, one with a waiting operand
+        // that matches, one with two waiting operands that do not match.
+        q.dispatch(entry(0, &[(1, true), (2, true)]));
+        q.dispatch(entry(1, &[(5, false)]));
+        q.dispatch(entry(2, &[(6, false), (7, false)]));
+        let activity = q.wakeup(PhysReg {
+            class: RegClass::Int,
+            index: 5,
+        });
+        assert_eq!(activity.full, 16, "2 operands × 8 entries");
+        assert_eq!(activity.non_empty, 6, "2 operands × 3 resident entries");
+        assert_eq!(activity.gated, 3, "only waiting operands are compared");
+        assert_eq!(activity.matches, 1);
+        // The woken entry is now ready to issue.
+        let ready: Vec<u64> = q
+            .iter_in_age_order()
+            .filter(|(_, e)| e.is_ready())
+            .map(|(_, e)| e.id)
+            .collect();
+        assert_eq!(ready, vec![0, 1]);
+    }
+
+    #[test]
+    fn wraparound_dispatch_works() {
+        let mut q = queue(4, 2);
+        let s0 = q.dispatch(entry(0, &[]));
+        let s1 = q.dispatch(entry(1, &[]));
+        q.remove(s0);
+        q.remove(s1);
+        // Queue empty; head == tail == 2. Fill it completely across the wrap.
+        for id in 2..6 {
+            assert!(q.can_dispatch());
+            q.dispatch(entry(id, &[]));
+        }
+        assert!(!q.can_dispatch());
+        let ids: Vec<u64> = q.iter_in_age_order().map(|(_, e)| e.id).collect();
+        assert_eq!(ids, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn banks_power_off_as_entries_drain() {
+        let mut q = queue(8, 2);
+        let slots: Vec<usize> = (0..8).map(|id| q.dispatch(entry(id, &[]))).collect();
+        assert_eq!(q.banks_on(), 4);
+        for &s in &slots[0..6] {
+            q.remove(s);
+        }
+        assert_eq!(q.banks_on(), 1);
+        assert_eq!(q.occupancy(), 2);
+    }
+
+    #[test]
+    fn empty_queue_resets_pointers_to_tail() {
+        let mut q = queue(8, 4);
+        q.apply_hint(2);
+        let s0 = q.dispatch(entry(0, &[]));
+        let s1 = q.dispatch(entry(1, &[]));
+        q.remove(s0);
+        q.remove(s1);
+        assert!(q.is_empty());
+        // After draining, the full region limit is available again.
+        let mut n = 0;
+        while q.can_dispatch() {
+            q.dispatch(entry(10 + n, &[]));
+            n += 1;
+        }
+        assert_eq!(n, 2, "max_new_range still applies to the new region");
+    }
+}

@@ -1,0 +1,294 @@
+//! Register renaming and the banked physical register files.
+//!
+//! Table 1: 112 integer and 112 FP physical registers, organised as 14 banks
+//! of 8. Architectural registers are renamed onto physical registers at
+//! dispatch; the previous mapping is released when the renaming instruction
+//! commits. Allocation always picks the lowest-numbered free register so
+//! that live registers cluster into the low banks, which is what lets unused
+//! banks be switched off (§1, §5.2.3).
+
+use crate::config::RegFileConfig;
+use sdiq_isa::{ArchReg, RegClass, NUM_ARCH_INT_REGS};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// A physical register: class + index within that class's file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PhysReg {
+    /// Register class.
+    pub class: RegClass,
+    /// Index within the class's physical register file.
+    pub index: usize,
+}
+
+/// Rename table + free list + physical register state for one class.
+#[derive(Debug, Clone)]
+pub struct RenamedRegFile {
+    class: RegClass,
+    config: RegFileConfig,
+    rename_map: Vec<usize>,
+    free: BTreeSet<usize>,
+    allocated: Vec<bool>,
+    ready: Vec<bool>,
+    reads: u64,
+    writes: u64,
+}
+
+impl RenamedRegFile {
+    /// Creates a register file for `class`; architectural register `i` is
+    /// initially mapped to physical register `i` (ready), the rest are free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file has fewer physical registers than architectural
+    /// registers.
+    pub fn new(class: RegClass, config: RegFileConfig) -> Self {
+        let arch_count = NUM_ARCH_INT_REGS as usize;
+        assert!(
+            config.regs_per_class >= arch_count,
+            "physical register file must cover the architectural registers"
+        );
+        let mut free = BTreeSet::new();
+        for i in arch_count..config.regs_per_class {
+            free.insert(i);
+        }
+        let mut allocated = vec![false; config.regs_per_class];
+        let mut ready = vec![false; config.regs_per_class];
+        for slot in allocated.iter_mut().take(arch_count) {
+            *slot = true;
+        }
+        for slot in ready.iter_mut().take(arch_count) {
+            *slot = true;
+        }
+        RenamedRegFile {
+            class,
+            config,
+            rename_map: (0..arch_count).collect(),
+            free,
+            allocated,
+            ready,
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// The register class this file holds.
+    pub fn class(&self) -> RegClass {
+        self.class
+    }
+
+    /// Current mapping of an architectural source register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arch` belongs to a different class.
+    pub fn rename_source(&self, arch: ArchReg) -> PhysReg {
+        assert_eq!(arch.class(), self.class);
+        PhysReg {
+            class: self.class,
+            index: self.rename_map[arch.index() as usize],
+        }
+    }
+
+    /// `true` if a physical register can be allocated right now.
+    pub fn has_free(&self) -> bool {
+        !self.free.is_empty()
+    }
+
+    /// Allocates a new physical register for a write to `arch`, returning the
+    /// new mapping and the previous one (to be freed when the instruction
+    /// commits). Returns `None` when the free list is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arch` belongs to a different class.
+    pub fn allocate_dest(&mut self, arch: ArchReg) -> Option<(PhysReg, PhysReg)> {
+        assert_eq!(arch.class(), self.class);
+        let new_index = *self.free.iter().next()?;
+        self.free.remove(&new_index);
+        self.allocated[new_index] = true;
+        self.ready[new_index] = false;
+        let old_index = self.rename_map[arch.index() as usize];
+        self.rename_map[arch.index() as usize] = new_index;
+        Some((
+            PhysReg {
+                class: self.class,
+                index: new_index,
+            },
+            PhysReg {
+                class: self.class,
+                index: old_index,
+            },
+        ))
+    }
+
+    /// Marks a physical register's value as produced (writeback) and counts
+    /// the write port activity.
+    pub fn write_value(&mut self, reg: PhysReg) {
+        debug_assert_eq!(reg.class, self.class);
+        self.ready[reg.index] = true;
+        self.writes += 1;
+    }
+
+    /// Counts a read-port access (operand read at issue).
+    pub fn read_value(&mut self, reg: PhysReg) {
+        debug_assert_eq!(reg.class, self.class);
+        self.reads += 1;
+    }
+
+    /// `true` once the value of `reg` has been produced.
+    pub fn is_ready(&self, reg: PhysReg) -> bool {
+        debug_assert_eq!(reg.class, self.class);
+        self.ready[reg.index]
+    }
+
+    /// Releases a physical register (the *previous* mapping of a committed
+    /// instruction's destination).
+    pub fn release(&mut self, reg: PhysReg) {
+        debug_assert_eq!(reg.class, self.class);
+        // Never release a register that is currently mapped (can happen only
+        // through misuse; guard to keep the invariant).
+        if self.rename_map.contains(&reg.index) {
+            return;
+        }
+        if self.allocated[reg.index] {
+            self.allocated[reg.index] = false;
+            self.ready[reg.index] = false;
+            self.free.insert(reg.index);
+        }
+    }
+
+    /// Number of currently allocated (live) physical registers.
+    pub fn occupancy(&self) -> usize {
+        self.allocated.iter().filter(|&&a| a).count()
+    }
+
+    /// Number of banks holding at least one allocated register.
+    pub fn banks_on(&self) -> usize {
+        let bank_size = self.config.bank_size;
+        let banks = self.config.banks();
+        (0..banks)
+            .filter(|b| {
+                let lo = b * bank_size;
+                let hi = ((b + 1) * bank_size).min(self.config.regs_per_class);
+                self.allocated[lo..hi].iter().any(|&a| a)
+            })
+            .count()
+    }
+
+    /// Total banks in the file.
+    pub fn total_banks(&self) -> usize {
+        self.config.banks()
+    }
+
+    /// (read-port accesses, write-port accesses) so far.
+    pub fn port_stats(&self) -> (u64, u64) {
+        (self.reads, self.writes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdiq_isa::reg::{fp_reg, int_reg};
+
+    fn int_file() -> RenamedRegFile {
+        RenamedRegFile::new(
+            RegClass::Int,
+            RegFileConfig {
+                regs_per_class: 112,
+                bank_size: 8,
+            },
+        )
+    }
+
+    #[test]
+    fn initial_state_maps_arch_to_identity() {
+        let rf = int_file();
+        for i in 0..32u8 {
+            let p = rf.rename_source(int_reg(i));
+            assert_eq!(p.index, i as usize);
+            assert!(rf.is_ready(p));
+        }
+        assert_eq!(rf.occupancy(), 32);
+        // 32 live registers in banks of 8 → 4 banks on out of 14.
+        assert_eq!(rf.banks_on(), 4);
+        assert_eq!(rf.total_banks(), 14);
+    }
+
+    #[test]
+    fn allocation_renames_and_marks_not_ready() {
+        let mut rf = int_file();
+        let (new, old) = rf.allocate_dest(int_reg(5)).unwrap();
+        assert_eq!(old.index, 5);
+        assert_eq!(new.index, 32, "lowest free register is picked");
+        assert!(!rf.is_ready(new));
+        assert_eq!(rf.rename_source(int_reg(5)), new);
+        rf.write_value(new);
+        assert!(rf.is_ready(new));
+        assert_eq!(rf.port_stats(), (0, 1));
+    }
+
+    #[test]
+    fn release_returns_register_to_free_list() {
+        let mut rf = int_file();
+        let before = rf.occupancy();
+        let (_, old) = rf.allocate_dest(int_reg(3)).unwrap();
+        assert_eq!(rf.occupancy(), before + 1);
+        rf.release(old);
+        assert_eq!(rf.occupancy(), before);
+        // The released register (index 3) is reused before higher indices.
+        let (new, _) = rf.allocate_dest(int_reg(4)).unwrap();
+        assert_eq!(new.index, 3);
+    }
+
+    #[test]
+    fn release_of_still_mapped_register_is_ignored() {
+        let mut rf = int_file();
+        let mapped = rf.rename_source(int_reg(7));
+        rf.release(mapped);
+        // Still allocated because it is the live mapping of r7.
+        assert_eq!(rf.occupancy(), 32);
+        assert_eq!(rf.rename_source(int_reg(7)), mapped);
+    }
+
+    #[test]
+    fn exhaustion_returns_none_and_recovers() {
+        let mut rf = int_file();
+        let mut olds = Vec::new();
+        // 112 - 32 = 80 free registers.
+        for k in 0..80 {
+            let (_, old) = rf
+                .allocate_dest(int_reg((k % 32) as u8))
+                .expect("still free");
+            olds.push(old);
+        }
+        assert!(!rf.has_free());
+        assert!(rf.allocate_dest(int_reg(0)).is_none());
+        // Committing the instructions releases their previous mappings and
+        // replenishes the free list (still-mapped registers are skipped by
+        // the guard in `release`).
+        for old in olds {
+            rf.release(old);
+        }
+        assert!(rf.has_free());
+        assert!(rf.allocate_dest(int_reg(0)).is_some());
+    }
+
+    #[test]
+    fn banks_grow_with_occupancy() {
+        let mut rf = int_file();
+        let initial = rf.banks_on();
+        for k in 0..9 {
+            rf.allocate_dest(int_reg(k)).unwrap();
+        }
+        assert!(rf.banks_on() > initial);
+    }
+
+    #[test]
+    #[should_panic(expected = "assertion")]
+    fn class_mismatch_panics() {
+        let rf = int_file();
+        let _ = rf.rename_source(fp_reg(0));
+    }
+}

@@ -1,0 +1,476 @@
+//! The synthetic program generator.
+//!
+//! Programs follow a common template whose dimensions are set by the
+//! [`WorkloadProfile`]:
+//!
+//! ```text
+//! main:    init → outer loop {
+//!              dispatch switch (gcc/perlbmk-style, optional)
+//!              call helper_0 … call helper_(n-1)   (some through a library stub)
+//!          } → exit
+//! helper_i: init → inner loop { ALU chains, multiplies, loads/stores } →
+//!           if/else diamonds → return
+//! libstub:  small library routine (marked `is_library`, §4.4)
+//! ```
+//!
+//! All loops are bounded by induction variables, so every generated program
+//! terminates; register `r31` is reserved for the outer induction variable
+//! and is never written by helpers.
+
+use crate::profile::WorkloadProfile;
+use crate::Benchmark;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sdiq_isa::builder::{BlockBuilder, ProgramBuilder};
+use sdiq_isa::reg::int_reg;
+use sdiq_isa::{BlockId, ProcId, Program};
+
+/// Outer-loop induction variable (never clobbered by helpers).
+const OUTER_INDUCTION: u8 = 31;
+/// Inner-loop induction variable (reset at every helper entry).
+const INNER_INDUCTION: u8 = 30;
+/// Strided-access base address register.
+const MEM_BASE: u8 = 28;
+/// Pointer-chasing address register.
+const PTR_REG: u8 = 27;
+/// Switch-case index register.
+const SWITCH_INDEX: u8 = 26;
+/// Register holding the number of switch cases.
+const SWITCH_CASES_REG: u8 = 25;
+
+/// Base of the synthetic data segment.
+const DATA_BASE: i64 = 0x1000_0000;
+
+/// Register carrying the loop's serial recurrence (the critical cyclic
+/// dependence set of §4.3).
+const RECURRENCE_REG: u8 = 2;
+/// Registers receiving loaded values (`r10`, `r11`, ...).
+const LOAD_VALUE_BASE: u8 = 10;
+
+/// Emits the inner-loop memory traffic: the loads whose values feed the
+/// iteration's parallel work, one store, and the stride advance of the base
+/// address. For pointer-chasing profiles the loads *are* the recurrence.
+fn emit_memory(bb: &mut BlockBuilder<'_>, profile: &WorkloadProfile) -> usize {
+    if profile.pointer_chasing {
+        // mcf-style: the loaded value becomes the next address, scattering
+        // accesses over a large footprint (most will miss). This load chain
+        // is the loop's critical recurrence.
+        for _ in 0..profile.mem_ops_per_iteration {
+            bb.load(int_reg(PTR_REG), int_reg(PTR_REG), 0);
+        }
+        // A consumer of the chased pointer that the parallel work reads.
+        bb.addi(int_reg(LOAD_VALUE_BASE), int_reg(PTR_REG), 1);
+        1
+    } else {
+        let loads = profile.mem_ops_per_iteration.max(1);
+        for m in 0..loads {
+            let dest = int_reg(LOAD_VALUE_BASE + (m % 6) as u8);
+            bb.load(dest, int_reg(MEM_BASE), (m as i64) * 8);
+        }
+        // One store back plus a stride advance of the base.
+        bb.store(int_reg(RECURRENCE_REG), int_reg(MEM_BASE), 0);
+        bb.addi(int_reg(MEM_BASE), int_reg(MEM_BASE), profile.mem_stride);
+        loads.min(6)
+    }
+}
+
+/// Emits the loop's serial recurrence chain: a dependent sequence of
+/// `length` operations on [`RECURRENCE_REG`], including multiplies so that
+/// the recurrence-limited initiation interval is several cycles. This is
+/// what makes the synthetic loops *recurrence bound*: fetch outruns issue,
+/// the unmanaged queue fills with instructions from future iterations, and
+/// the compiler's loop analysis can bound the window without slowing the
+/// critical path.
+fn emit_recurrence(bb: &mut BlockBuilder<'_>, length: usize, with_multiplies: bool) {
+    let r = int_reg(RECURRENCE_REG);
+    for k in 0..length.max(1) {
+        if with_multiplies && k % 3 == 0 {
+            bb.mul(r, r, int_reg(3));
+        } else {
+            bb.addi(r, r, (k as i64 % 5) + 1);
+        }
+    }
+}
+
+/// Emits the iteration's parallel work: `chains` mutually independent
+/// dependence chains of `length` instructions, each seeded from one of the
+/// iteration's loaded values (so they are *not* loop carried and can overlap
+/// freely across iterations).
+fn emit_parallel_chains(
+    bb: &mut BlockBuilder<'_>,
+    rng: &mut SmallRng,
+    chains: usize,
+    length: usize,
+    live_loads: usize,
+) {
+    for c in 0..chains {
+        let reg = int_reg(20 + (c % 6) as u8);
+        let seed = int_reg(LOAD_VALUE_BASE + (c % live_loads.max(1)) as u8);
+        bb.add(reg, seed, int_reg(1));
+        for k in 1..length.max(1) {
+            bb.addi(reg, reg, (k as i64 % 7) + 1);
+        }
+        let _ = rng;
+    }
+}
+
+/// Builds one helper procedure and returns its id.
+fn build_helper(
+    b: &mut ProgramBuilder,
+    profile: &WorkloadProfile,
+    rng: &mut SmallRng,
+    index: usize,
+) -> ProcId {
+    let proc = b.procedure(format!("helper_{index}"));
+    let p = b.proc_mut(proc);
+
+    let entry = p.block();
+    let loop_body = p.block();
+    // One (cond, then, else, join) quadruple per diamond.
+    let diamond_blocks: Vec<(BlockId, BlockId, BlockId, BlockId)> = (0..profile.diamonds)
+        .map(|_| (p.block(), p.block(), p.block(), p.block()))
+        .collect();
+    let exit = p.block();
+    let after_loop = diamond_blocks.first().map(|d| d.0).unwrap_or(exit);
+
+    // Entry: set up the base address and induction variable.
+    let footprint_slice = (profile.mem_footprint / (profile.helper_procedures.max(1) as i64))
+        .max(4096);
+    let base_addr = DATA_BASE + index as i64 * footprint_slice;
+    p.with_block(entry, |bb| {
+        bb.li(int_reg(MEM_BASE), base_addr);
+        if profile.pointer_chasing {
+            bb.li(int_reg(PTR_REG), DATA_BASE + profile.mem_footprint / 2);
+        }
+        bb.li(int_reg(INNER_INDUCTION), 0);
+        bb.li(int_reg(1), index as i64 + 1);
+        bb.li(int_reg(RECURRENCE_REG), 3 + index as i64);
+        bb.li(int_reg(3), 5);
+        bb.jump(loop_body);
+    });
+
+    // Inner loop body: loads, the serial recurrence, the parallel work, the
+    // induction update and the back edge.
+    p.with_block(loop_body, |bb| {
+        let live_loads = emit_memory(bb, profile);
+        emit_recurrence(bb, profile.chain_length, true);
+        for m in 0..profile.multiplies_per_iteration {
+            let dest = int_reg(20 + (m % 4) as u8);
+            bb.mul(dest, int_reg(LOAD_VALUE_BASE + (m % live_loads.max(1)) as u8), int_reg(3));
+        }
+        emit_parallel_chains(bb, rng, profile.ilp_chains, profile.chain_length, live_loads);
+        bb.addi(int_reg(INNER_INDUCTION), int_reg(INNER_INDUCTION), 1);
+        bb.blt(
+            int_reg(INNER_INDUCTION),
+            profile.inner_trip_count,
+            loop_body,
+            after_loop,
+        );
+    });
+
+    // Diamonds after the loop.
+    for (d, &(cond, then_b, else_b, join)) in diamond_blocks.iter().enumerate() {
+        let next = diamond_blocks
+            .get(d + 1)
+            .map(|q| q.0)
+            .unwrap_or(exit);
+        let threshold = rng.gen_range(-3..4);
+        p.with_block(cond, |bb| {
+            if profile.data_dependent_branches {
+                // Condition on loaded (hash-initialised) data: ≈50% taken,
+                // poorly predictable.
+                bb.load(int_reg(20), int_reg(MEM_BASE), 16 + d as i64 * 8);
+                bb.slti(int_reg(21), int_reg(20), threshold);
+                bb.bne(int_reg(21), 0, then_b, else_b);
+            } else {
+                // Condition on deterministic per-call state: predictable.
+                bb.slti(int_reg(21), int_reg(1), (index as i64 % 3) + 1);
+                bb.bne(int_reg(21), 0, then_b, else_b);
+            }
+        });
+        p.with_block(then_b, |bb| {
+            bb.addi(int_reg(22), int_reg(1), 7);
+            bb.addi(int_reg(23), int_reg(22), 1);
+            bb.jump(join);
+        });
+        p.with_block(else_b, |bb| {
+            bb.subi(int_reg(22), int_reg(1), 3);
+            bb.xor(int_reg(23), int_reg(22), int_reg(1));
+            bb.jump(join);
+        });
+        p.with_block(join, |bb| {
+            bb.addi(int_reg(24), int_reg(23), 2);
+            bb.jump(next);
+        });
+    }
+
+    p.with_block(exit, |bb| {
+        bb.ret();
+    });
+    p.set_entry(entry);
+    proc
+}
+
+/// Builds the shared library stub (marked `is_library`; the compiler pass
+/// never analyses it and opens the queue before calls to it, §4.4).
+fn build_library_stub(b: &mut ProgramBuilder) -> ProcId {
+    let proc = b.library_procedure("lib_memops");
+    let p = b.proc_mut(proc);
+    let entry = p.block();
+    let body = p.block();
+    let exit = p.block();
+    p.with_block(entry, |bb| {
+        bb.li(int_reg(29), 0);
+        bb.jump(body);
+    });
+    p.with_block(body, |bb| {
+        bb.load(int_reg(18), int_reg(MEM_BASE), 0);
+        bb.addi(int_reg(18), int_reg(18), 1);
+        bb.store(int_reg(18), int_reg(MEM_BASE), 0);
+        bb.addi(int_reg(29), int_reg(29), 1);
+        bb.blt(int_reg(29), 4, body, exit);
+    });
+    p.with_block(exit, |bb| {
+        bb.ret();
+    });
+    p.set_entry(entry);
+    proc
+}
+
+/// Generates the synthetic program for `benchmark` under `profile`.
+pub fn generate(benchmark: Benchmark, profile: &WorkloadProfile) -> Program {
+    let mut rng = SmallRng::seed_from_u64(profile.seed);
+    let mut b = ProgramBuilder::new();
+    b.name(benchmark.name());
+
+    // Helpers and (optionally) the library stub.
+    let helpers: Vec<ProcId> = (0..profile.helper_procedures)
+        .map(|i| build_helper(&mut b, profile, &mut rng, i))
+        .collect();
+    let library = if profile.library_call_fraction > 0.0 {
+        Some(build_library_stub(&mut b))
+    } else {
+        None
+    };
+
+    // Main procedure.
+    let main = b.procedure("main");
+    {
+        let p = b.proc_mut(main);
+        let entry = p.block();
+        let outer_hdr = p.block();
+
+        // Switch dispatch blocks (cascade of compares) + case bodies + join.
+        let switch_cases = profile.switch_cases;
+        let dispatch_blocks: Vec<BlockId> = (0..switch_cases).map(|_| p.block()).collect();
+        let case_blocks: Vec<BlockId> = (0..switch_cases).map(|_| p.block()).collect();
+        let after_switch = p.block();
+
+        // One call block per helper call site, plus the loop latch and exit.
+        let call_blocks: Vec<BlockId> = helpers.iter().map(|_| p.block()).collect();
+        let latch = p.block();
+        let exit = p.block();
+
+        let first_after_header = if switch_cases > 0 {
+            dispatch_blocks[0]
+        } else {
+            after_switch
+        };
+        let first_call = call_blocks.first().copied().unwrap_or(latch);
+
+        p.with_block(entry, |bb| {
+            bb.li(int_reg(OUTER_INDUCTION), 0);
+            bb.li(int_reg(SWITCH_CASES_REG), switch_cases.max(1) as i64);
+            bb.li(int_reg(MEM_BASE), DATA_BASE);
+            bb.jump(outer_hdr);
+        });
+
+        p.with_block(outer_hdr, |bb| {
+            // A little per-iteration work plus the switch index computation
+            // (index = outer_iteration mod cases, via div/mul/sub).
+            bb.addi(int_reg(2), int_reg(OUTER_INDUCTION), 13);
+            bb.addi(int_reg(3), int_reg(2), 5);
+            if switch_cases > 0 {
+                bb.div(int_reg(4), int_reg(OUTER_INDUCTION), int_reg(SWITCH_CASES_REG));
+                bb.mul(int_reg(5), int_reg(4), int_reg(SWITCH_CASES_REG));
+                bb.sub(int_reg(SWITCH_INDEX), int_reg(OUTER_INDUCTION), int_reg(5));
+            }
+            bb.jump(first_after_header);
+        });
+
+        // Cascade dispatch: block i tests `index == i`.
+        for i in 0..switch_cases {
+            let next_dispatch = dispatch_blocks.get(i + 1).copied().unwrap_or(after_switch);
+            let case = case_blocks[i];
+            p.with_block(dispatch_blocks[i], |bb| {
+                bb.beq(int_reg(SWITCH_INDEX), i as i64, case, next_dispatch);
+            });
+            p.with_block(case, |bb| {
+                bb.addi(int_reg(6), int_reg(SWITCH_INDEX), i as i64);
+                bb.xor(int_reg(7), int_reg(6), int_reg(2));
+                bb.addi(int_reg(8), int_reg(7), 3);
+                bb.jump(after_switch);
+            });
+        }
+
+        p.with_block(after_switch, |bb| {
+            bb.addi(int_reg(9), int_reg(3), 1);
+            bb.jump(first_call);
+        });
+
+        // Call sites: some are routed through the library stub.
+        for (i, helper) in helpers.iter().enumerate() {
+            let next = call_blocks.get(i + 1).copied().unwrap_or(latch);
+            let through_library = library.is_some()
+                && rng.gen_range(0.0..1.0) < profile.library_call_fraction;
+            let callee = if through_library {
+                library.unwrap()
+            } else {
+                *helper
+            };
+            p.with_block(call_blocks[i], |bb| {
+                bb.addi(int_reg(10), int_reg(9), i as i64);
+                bb.call(callee, next);
+            });
+        }
+
+        p.with_block(latch, |bb| {
+            bb.addi(int_reg(OUTER_INDUCTION), int_reg(OUTER_INDUCTION), 1);
+            bb.blt(
+                int_reg(OUTER_INDUCTION),
+                profile.outer_iterations,
+                outer_hdr,
+                exit,
+            );
+        });
+
+        p.with_block(exit, |bb| {
+            bb.ret();
+        });
+        p.set_entry(entry);
+    }
+
+    b.finish(main)
+        .expect("generated workload must be structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::profile_for;
+    use sdiq_isa::Executor;
+
+    #[test]
+    fn generated_programs_execute_and_terminate() {
+        for b in [Benchmark::Gzip, Benchmark::Mcf, Benchmark::Gcc, Benchmark::Vortex] {
+            let program = b.build();
+            let trace = Executor::new(&program)
+                .run(2_000_000)
+                .expect("executes cleanly");
+            assert!(
+                !trace.hit_cap,
+                "{b} should terminate before the 2M-instruction cap"
+            );
+            assert!(trace.len() > 10_000, "{b} produced only {}", trace.len());
+        }
+    }
+
+    #[test]
+    fn default_dynamic_budget_is_reached_by_every_benchmark() {
+        for b in Benchmark::ALL {
+            let program = b.build();
+            let budget = b.default_dynamic_instructions();
+            let trace = Executor::new(&program).run(budget).expect("executes");
+            assert_eq!(
+                trace.len() as u64,
+                budget.min(trace.len() as u64),
+                "{b} must supply at least the default budget or terminate",
+            );
+            assert!(trace.len() as u64 >= budget / 2, "{b} trace too short");
+        }
+    }
+
+    #[test]
+    fn pointer_chasing_produces_scattered_addresses() {
+        let program = Benchmark::Mcf.build();
+        let trace = Executor::new(&program).run(50_000).unwrap();
+        let addrs: Vec<u64> = trace.committed.iter().filter_map(|d| d.mem_addr).collect();
+        assert!(addrs.len() > 100);
+        let unique: std::collections::HashSet<_> = addrs.iter().collect();
+        // Pointer chasing touches far more distinct addresses than a strided
+        // benchmark of the same length.
+        let strided = Benchmark::Gzip.build();
+        let strided_trace = Executor::new(&strided).run(50_000).unwrap();
+        let strided_unique: std::collections::HashSet<_> = strided_trace
+            .committed
+            .iter()
+            .filter_map(|d| d.mem_addr)
+            .collect();
+        assert!(unique.len() > strided_unique.len());
+    }
+
+    #[test]
+    fn branch_predictability_differs_between_crafty_and_gzip() {
+        // crafty uses data-dependent diamonds, gzip does not: the taken ratio
+        // of crafty's conditional branches should sit closer to 50%.
+        let crafty = Benchmark::Crafty.build();
+        let gzip = Benchmark::Gzip.build();
+        let crafty_trace = Executor::new(&crafty).run(60_000).unwrap();
+        let gzip_trace = Executor::new(&gzip).run(60_000).unwrap();
+        assert!(crafty_trace.cond_branches > 500);
+        assert!(gzip_trace.cond_branches > 500);
+        // Not a strict invariant, but the generator should at least produce
+        // both kinds of conditional behaviour.
+        assert!(crafty_trace.taken_ratio() > 0.05 && crafty_trace.taken_ratio() < 0.99);
+        assert!(gzip_trace.taken_ratio() > 0.05 && gzip_trace.taken_ratio() < 1.0);
+    }
+
+    #[test]
+    fn library_fraction_creates_library_calls() {
+        let program = Benchmark::Vortex.build();
+        let lib = program.proc_by_name("lib_memops").expect("library stub exists");
+        assert!(program.proc(lib).is_library);
+        // At least one call site targets the stub.
+        let mut found = false;
+        for (_, proc) in program.iter_procs() {
+            for block in &proc.blocks {
+                if block.callee() == Some(lib) {
+                    found = true;
+                }
+            }
+        }
+        assert!(found, "vortex should route some calls through the library stub");
+    }
+
+    #[test]
+    fn gcc_has_the_most_basic_blocks() {
+        let counts: Vec<(Benchmark, usize)> = Benchmark::ALL
+            .iter()
+            .map(|b| {
+                let p = b.build();
+                (
+                    *b,
+                    p.procedures.iter().map(|pr| pr.blocks.len()).sum::<usize>(),
+                )
+            })
+            .collect();
+        let gcc = counts
+            .iter()
+            .find(|(b, _)| *b == Benchmark::Gcc)
+            .unwrap()
+            .1;
+        let max = counts.iter().map(|(_, c)| *c).max().unwrap();
+        assert_eq!(gcc, max, "gcc analogue should have the most complex CFG");
+    }
+
+    #[test]
+    fn custom_profile_is_respected() {
+        let mut profile = profile_for(Benchmark::Gzip);
+        profile.helper_procedures = 1;
+        profile.switch_cases = 0;
+        profile.library_call_fraction = 0.0;
+        let program = generate(Benchmark::Gzip, &profile);
+        // helpers + main (no library stub).
+        assert_eq!(program.procedures.len(), 2);
+    }
+}

@@ -1,0 +1,284 @@
+//! Per-benchmark workload profiles.
+//!
+//! Each field captures one structural characteristic of the original SPEC
+//! program that matters to the paper's technique. The values are qualitative
+//! (high/medium/low knobs translated into generator parameters), chosen so
+//! that the *relative* behaviour across the suite resembles the paper's:
+//! `mcf` is memory-bound with little ILP, `vortex` is dominated by calls,
+//! `gcc` has the most complex control flow, `crafty` is branchy but cache
+//! friendly, and so on.
+
+use crate::Benchmark;
+use serde::{Deserialize, Serialize};
+
+/// Generator parameters for one synthetic benchmark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadProfile {
+    /// RNG seed (fixed per benchmark → fully deterministic programs).
+    pub seed: u64,
+    /// Number of helper procedures called from the main loop.
+    pub helper_procedures: usize,
+    /// Iterations of each helper's inner loop.
+    pub inner_trip_count: i64,
+    /// Number of independent dependence chains per block (instruction-level
+    /// parallelism).
+    pub ilp_chains: usize,
+    /// Length of each dependent chain (serialisation within a block).
+    pub chain_length: usize,
+    /// Loads/stores per inner-loop iteration.
+    pub mem_ops_per_iteration: usize,
+    /// Stride between consecutive memory accesses in bytes (small strides
+    /// are cache friendly).
+    pub mem_stride: i64,
+    /// Size of the touched data region in bytes.
+    pub mem_footprint: i64,
+    /// `true` for pointer-chasing (`mcf`-style) memory behaviour instead of
+    /// strided accesses.
+    pub pointer_chasing: bool,
+    /// Number of if/else diamonds in each helper body.
+    pub diamonds: usize,
+    /// `true` if diamond conditions depend on loaded data (poorly
+    /// predictable) rather than on the induction variable (predictable).
+    pub data_dependent_branches: bool,
+    /// Number of cases in a `gcc`/`perlbmk`-style dispatch switch in the main
+    /// loop (0 = no switch).
+    pub switch_cases: usize,
+    /// Fraction of helpers whose call is routed through a library routine
+    /// (§4.4 forces the queue to maximum size before such calls).
+    pub library_call_fraction: f64,
+    /// Number of integer multiplies per inner-loop iteration (`gap`-style
+    /// arithmetic pressure).
+    pub multiplies_per_iteration: usize,
+    /// Iterations of the main outer loop (scales dynamic length).
+    pub outer_iterations: i64,
+}
+
+/// The profile for one benchmark.
+pub fn profile_for(benchmark: Benchmark) -> WorkloadProfile {
+    // A base profile; each arm below overrides the characteristic knobs.
+    let base = WorkloadProfile {
+        seed: 0,
+        helper_procedures: 2,
+        inner_trip_count: 24,
+        ilp_chains: 3,
+        chain_length: 3,
+        mem_ops_per_iteration: 2,
+        mem_stride: 8,
+        mem_footprint: 32 * 1024,
+        pointer_chasing: false,
+        diamonds: 1,
+        data_dependent_branches: false,
+        switch_cases: 0,
+        library_call_fraction: 0.0,
+        multiplies_per_iteration: 0,
+        outer_iterations: 60,
+    };
+    match benchmark {
+        Benchmark::Gzip => WorkloadProfile {
+            seed: 0x67_7a_69_70,
+            helper_procedures: 2,
+            inner_trip_count: 40,
+            ilp_chains: 4,
+            chain_length: 3,
+            mem_ops_per_iteration: 3,
+            mem_stride: 8,
+            mem_footprint: 48 * 1024,
+            outer_iterations: 45,
+            ..base
+        },
+        Benchmark::Vpr => WorkloadProfile {
+            seed: 0x76_70_72,
+            helper_procedures: 3,
+            inner_trip_count: 24,
+            ilp_chains: 3,
+            chain_length: 4,
+            mem_ops_per_iteration: 2,
+            mem_stride: 24,
+            mem_footprint: 96 * 1024,
+            diamonds: 2,
+            data_dependent_branches: true,
+            outer_iterations: 50,
+            ..base
+        },
+        Benchmark::Gcc => WorkloadProfile {
+            seed: 0x67_63_63,
+            helper_procedures: 5,
+            inner_trip_count: 8,
+            ilp_chains: 2,
+            chain_length: 3,
+            mem_ops_per_iteration: 2,
+            mem_stride: 16,
+            mem_footprint: 128 * 1024,
+            diamonds: 3,
+            data_dependent_branches: true,
+            switch_cases: 24,
+            library_call_fraction: 0.2,
+            outer_iterations: 110,
+            ..base
+        },
+        Benchmark::Mcf => WorkloadProfile {
+            seed: 0x6d_63_66,
+            helper_procedures: 1,
+            inner_trip_count: 32,
+            ilp_chains: 1,
+            chain_length: 5,
+            mem_ops_per_iteration: 4,
+            mem_stride: 4096,
+            mem_footprint: 4 * 1024 * 1024,
+            pointer_chasing: true,
+            diamonds: 1,
+            data_dependent_branches: true,
+            outer_iterations: 140,
+            ..base
+        },
+        Benchmark::Crafty => WorkloadProfile {
+            seed: 0x63_72_61,
+            helper_procedures: 3,
+            inner_trip_count: 16,
+            ilp_chains: 5,
+            chain_length: 2,
+            mem_ops_per_iteration: 1,
+            mem_stride: 8,
+            mem_footprint: 16 * 1024,
+            diamonds: 3,
+            data_dependent_branches: true,
+            outer_iterations: 70,
+            ..base
+        },
+        Benchmark::Parser => WorkloadProfile {
+            seed: 0x70_61_72,
+            helper_procedures: 4,
+            inner_trip_count: 12,
+            ilp_chains: 2,
+            chain_length: 3,
+            mem_ops_per_iteration: 2,
+            mem_stride: 32,
+            mem_footprint: 64 * 1024,
+            diamonds: 2,
+            data_dependent_branches: true,
+            library_call_fraction: 0.25,
+            outer_iterations: 100,
+            ..base
+        },
+        Benchmark::Perlbmk => WorkloadProfile {
+            seed: 0x70_65_72,
+            helper_procedures: 4,
+            inner_trip_count: 10,
+            ilp_chains: 3,
+            chain_length: 3,
+            mem_ops_per_iteration: 2,
+            mem_stride: 16,
+            mem_footprint: 64 * 1024,
+            diamonds: 2,
+            data_dependent_branches: true,
+            switch_cases: 16,
+            library_call_fraction: 0.25,
+            outer_iterations: 100,
+            ..base
+        },
+        Benchmark::Gap => WorkloadProfile {
+            seed: 0x67_61_70,
+            helper_procedures: 2,
+            inner_trip_count: 28,
+            ilp_chains: 4,
+            chain_length: 3,
+            mem_ops_per_iteration: 2,
+            mem_stride: 8,
+            mem_footprint: 48 * 1024,
+            multiplies_per_iteration: 3,
+            outer_iterations: 50,
+            ..base
+        },
+        Benchmark::Vortex => WorkloadProfile {
+            seed: 0x76_6f_72,
+            helper_procedures: 6,
+            inner_trip_count: 6,
+            ilp_chains: 3,
+            chain_length: 3,
+            mem_ops_per_iteration: 2,
+            mem_stride: 64,
+            mem_footprint: 128 * 1024,
+            diamonds: 1,
+            data_dependent_branches: false,
+            library_call_fraction: 0.35,
+            outer_iterations: 130,
+            ..base
+        },
+        Benchmark::Bzip2 => WorkloadProfile {
+            seed: 0x62_7a_32,
+            helper_procedures: 3,
+            inner_trip_count: 32,
+            ilp_chains: 5,
+            chain_length: 4,
+            mem_ops_per_iteration: 3,
+            mem_stride: 8,
+            mem_footprint: 96 * 1024,
+            diamonds: 1,
+            data_dependent_branches: true,
+            multiplies_per_iteration: 2,
+            outer_iterations: 40,
+            ..base
+        },
+        Benchmark::Twolf => WorkloadProfile {
+            seed: 0x74_77_6f,
+            helper_procedures: 3,
+            inner_trip_count: 20,
+            ilp_chains: 3,
+            chain_length: 4,
+            mem_ops_per_iteration: 2,
+            mem_stride: 40,
+            mem_footprint: 80 * 1024,
+            diamonds: 2,
+            data_dependent_branches: true,
+            outer_iterations: 50,
+            ..base
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_unique_per_benchmark() {
+        let seeds: std::collections::HashSet<_> = Benchmark::ALL
+            .iter()
+            .map(|b| profile_for(*b).seed)
+            .collect();
+        assert_eq!(seeds.len(), Benchmark::ALL.len());
+    }
+
+    #[test]
+    fn characteristic_knobs_follow_the_papers_narrative() {
+        let mcf = profile_for(Benchmark::Mcf);
+        let vortex = profile_for(Benchmark::Vortex);
+        let gcc = profile_for(Benchmark::Gcc);
+        let crafty = profile_for(Benchmark::Crafty);
+        // mcf is the memory-bound, low-ILP benchmark.
+        assert!(mcf.pointer_chasing);
+        assert!(mcf.mem_footprint > vortex.mem_footprint);
+        assert!(mcf.ilp_chains <= crafty.ilp_chains);
+        // vortex is the call-heavy benchmark.
+        assert!(vortex.helper_procedures >= Benchmark::ALL
+            .iter()
+            .map(|b| profile_for(*b).helper_procedures)
+            .max()
+            .unwrap());
+        // gcc has the most complex control flow.
+        assert!(gcc.switch_cases > 0);
+        assert!(gcc.diamonds >= 3);
+    }
+
+    #[test]
+    fn profiles_are_reasonable() {
+        for b in Benchmark::ALL {
+            let p = profile_for(b);
+            assert!(p.inner_trip_count > 0);
+            assert!(p.outer_iterations > 0);
+            assert!(p.ilp_chains >= 1);
+            assert!(p.chain_length >= 1);
+            assert!((0.0..=1.0).contains(&p.library_call_fraction));
+        }
+    }
+}

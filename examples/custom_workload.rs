@@ -1,0 +1,91 @@
+//! Builds a custom program with the `sdiq-isa` builder API, compiles it with
+//! the paper's pass, and compares the annotated and unannotated runs.
+//!
+//! ```text
+//! cargo run --release --example custom_workload
+//! ```
+//!
+//! The program is a small dot-product-style kernel: a recurrence-bound
+//! accumulation loop plus independent per-iteration work — exactly the kind
+//! of loop whose issue-queue requirement the paper's cyclic-dependence-set
+//! analysis can bound.
+
+use sdiq::compiler::{CompilerPass, PassConfig};
+use sdiq::core::{Experiment, Technique};
+use sdiq::isa::builder::ProgramBuilder;
+use sdiq::isa::reg::int_reg;
+use sdiq::isa::Program;
+
+fn build_kernel() -> Program {
+    let mut b = ProgramBuilder::new();
+    b.name("dotprod-kernel");
+    let main = b.procedure("main");
+    {
+        let p = b.proc_mut(main);
+        let entry = p.block();
+        let body = p.block();
+        let exit = p.block();
+        p.with_block(entry, |bb| {
+            bb.li(int_reg(1), 0); // induction
+            bb.li(int_reg(2), 0); // accumulator (the recurrence)
+            bb.li(int_reg(3), 0x2000_0000); // array base
+            bb.jump(body);
+        });
+        p.with_block(body, |bb| {
+            // Two loads feeding a multiply, accumulated into r2 (the
+            // loop-carried recurrence), plus independent bookkeeping.
+            bb.load(int_reg(4), int_reg(3), 0);
+            bb.load(int_reg(5), int_reg(3), 8);
+            bb.mul(int_reg(6), int_reg(4), int_reg(5));
+            bb.add(int_reg(2), int_reg(2), int_reg(6));
+            bb.addi(int_reg(7), int_reg(4), 3);
+            bb.addi(int_reg(8), int_reg(5), 5);
+            bb.addi(int_reg(3), int_reg(3), 16);
+            bb.addi(int_reg(1), int_reg(1), 1);
+            bb.blt(int_reg(1), 2000, body, exit);
+        });
+        p.with_block(exit, |bb| {
+            bb.ret();
+        });
+        p.set_entry(entry);
+    }
+    b.finish(main).expect("kernel is structurally valid")
+}
+
+fn main() {
+    let program = build_kernel();
+
+    // Show what the compiler pass decides for this kernel.
+    let compiled = CompilerPass::new(PassConfig::noop_insertion()).run(&program);
+    println!("compiler analysis of {}:", program.name);
+    for info in &compiled.loop_requirements {
+        println!(
+            "  loop headed by {}: recurrence latency {} cycles, window {:?} entries",
+            info.header, info.requirement.recurrence_latency, info.requirement.entries
+        );
+    }
+    println!(
+        "  {} block(s) annotated, {} special NOOP(s) inserted",
+        compiled.stats.annotated_blocks, compiled.stats.hint_noops_inserted
+    );
+    println!();
+
+    // Run it through the full experiment pipeline.
+    let experiment = Experiment::paper();
+    let baseline = experiment.run_program(&program, Technique::Baseline);
+    let noop = experiment.run_program(&program, Technique::Noop);
+    let extension = experiment.run_program(&program, Technique::Extension);
+
+    println!("results (relative to the unmanaged baseline):");
+    for report in [&noop, &extension] {
+        let cmp = report.compared_to(&baseline);
+        println!(
+            "  {:10} IPC loss {:>5.2}%   IQ occupancy -{:>4.1}%   IQ dynamic -{:>4.1}%   IQ static -{:>4.1}%",
+            report.technique.name(),
+            cmp.ipc_loss_percent,
+            cmp.iq_occupancy_reduction_percent,
+            cmp.savings.iq_dynamic_pct,
+            cmp.savings.iq_static_pct,
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! Quickstart: run the paper's technique end to end on one benchmark.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds the `gzip` analogue, runs the unmanaged baseline and the NOOP
+//! technique through the compiler pass → functional executor → cycle-level
+//! simulator → power model, and prints the headline comparison the paper
+//! reports (IPC loss, issue-queue occupancy reduction, dynamic/static power
+//! savings).
+
+use sdiq::core::{Experiment, Technique};
+use sdiq::workloads::Benchmark;
+
+fn main() {
+    let experiment = Experiment::quick();
+    let benchmark = Benchmark::Gzip;
+
+    println!("running {benchmark} under the baseline and the NOOP technique ...");
+    let baseline = experiment.run(benchmark, Technique::Baseline);
+    let noop = experiment.run(benchmark, Technique::Noop);
+    let comparison = noop.compared_to(&baseline);
+
+    println!();
+    println!("benchmark                 : {}", baseline.workload);
+    println!("baseline IPC              : {:.2}", baseline.ipc());
+    println!("NOOP technique IPC        : {:.2}", noop.ipc());
+    println!("IPC loss                  : {:.2}%", comparison.ipc_loss_percent);
+    println!(
+        "IQ occupancy reduction    : {:.1}%  ({:.1} → {:.1} entries)",
+        comparison.iq_occupancy_reduction_percent,
+        baseline.stats.avg_iq_occupancy(),
+        noop.stats.avg_iq_occupancy()
+    );
+    println!(
+        "IQ dynamic power saving   : {:.1}%",
+        comparison.savings.iq_dynamic_pct
+    );
+    println!(
+        "IQ static power saving    : {:.1}%",
+        comparison.savings.iq_static_pct
+    );
+    println!(
+        "int RF dynamic power save : {:.1}%",
+        comparison.savings.rf_dynamic_pct
+    );
+    println!(
+        "int RF static power save  : {:.1}%",
+        comparison.savings.rf_static_pct
+    );
+    println!(
+        "special NOOPs inserted    : {} static, {} dynamic",
+        noop.hint_noops_inserted, noop.stats.committed_hints
+    );
+}

@@ -1,0 +1,45 @@
+//! # sdiq — Software Directed Issue Queue Power Reduction
+//!
+//! This is the umbrella crate of the reproduction of *"Software Directed
+//! Issue Queue Power Reduction"* (Jones, O'Boyle, Abella, González — HPCA
+//! 2005). It re-exports every sub-crate of the workspace so that examples,
+//! integration tests and downstream users only need a single dependency.
+//!
+//! The workspace implements, from scratch:
+//!
+//! * a synthetic RISC-style ISA and functional executor ([`isa`]),
+//! * a compiler IR with CFG / dominator / natural-loop / DDG analyses ([`ir`]),
+//! * the paper's compiler pass: pseudo-issue-queue DAG analysis, loop cyclic
+//!   dependence set analysis, special-NOOP insertion and instruction tagging
+//!   ([`compiler`]),
+//! * a cycle-level out-of-order superscalar simulator with a banked,
+//!   non-collapsible issue queue extended with the `new_head` pointer and
+//!   `max_new_range` dispatch limiting ([`sim`]),
+//! * a Wattch-style activity-based power model ([`power`]),
+//! * a deterministic synthetic SPECint2000-analogue workload generator
+//!   ([`workloads`]), and
+//! * the experiment layer that regenerates every table and figure of the
+//!   paper's evaluation ([`core`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sdiq::core::{Experiment, Technique};
+//! use sdiq::workloads::Benchmark;
+//!
+//! // Run the paper's NOOP technique on the (scaled-down) gzip analogue.
+//! let experiment = Experiment::quick();
+//! let baseline = experiment.run(Benchmark::Gzip, Technique::Baseline);
+//! let noop = experiment.run(Benchmark::Gzip, Technique::Noop);
+//! let comparison = noop.compared_to(&baseline);
+//! assert!(comparison.ipc_loss_percent < 50.0);
+//! assert!(comparison.savings.iq_dynamic_pct > 0.0);
+//! ```
+
+pub use sdiq_compiler as compiler;
+pub use sdiq_core as core;
+pub use sdiq_ir as ir;
+pub use sdiq_isa as isa;
+pub use sdiq_power as power;
+pub use sdiq_sim as sim;
+pub use sdiq_workloads as workloads;

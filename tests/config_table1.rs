@@ -1,0 +1,76 @@
+//! Table 1 — the simulated processor configuration must match the paper.
+
+use sdiq::core::experiments::table1;
+use sdiq::sim::SimConfig;
+
+#[test]
+fn simulator_configuration_matches_table1() {
+    let c = SimConfig::hpca2005();
+
+    // Fetch, decode and commit width: 8 instructions.
+    assert_eq!(c.widths.pipeline_width, 8);
+    // Branch predictor: hybrid 2K gshare, 2K bimodal, 1K selector.
+    assert_eq!(c.branch.gshare_entries, 2048);
+    assert_eq!(c.branch.bimodal_entries, 2048);
+    assert_eq!(c.branch.selector_entries, 1024);
+    // BTB: 2048 entries, 4-way.
+    assert_eq!(c.branch.btb_entries, 2048);
+    assert_eq!(c.branch.btb_ways, 4);
+    // L1 Icache: 64KB, 2-way, 32B line, 1 cycle hit.
+    assert_eq!(c.l1i.size_bytes, 64 * 1024);
+    assert_eq!(c.l1i.ways, 2);
+    assert_eq!(c.l1i.line_bytes, 32);
+    assert_eq!(c.l1i.hit_latency, 1);
+    // L1 Dcache: 64KB, 4-way, 32B line, 2 cycles hit.
+    assert_eq!(c.l1d.size_bytes, 64 * 1024);
+    assert_eq!(c.l1d.ways, 4);
+    assert_eq!(c.l1d.line_bytes, 32);
+    assert_eq!(c.l1d.hit_latency, 2);
+    // Unified L2: 512KB, 8-way, 64B line, 10 cycles hit, 50 cycles miss.
+    assert_eq!(c.l2.size_bytes, 512 * 1024);
+    assert_eq!(c.l2.ways, 8);
+    assert_eq!(c.l2.line_bytes, 64);
+    assert_eq!(c.l2.hit_latency, 10);
+    assert_eq!(c.memory_latency, 50);
+    // ROB 128 entries, issue queue 80 entries.
+    assert_eq!(c.widths.rob_capacity, 128);
+    assert_eq!(c.widths.iq_capacity, 80);
+    assert_eq!(c.iq.entries, 80);
+    // Register files: 112 entries each, 14 banks of 8.
+    assert_eq!(c.int_rf.regs_per_class, 112);
+    assert_eq!(c.int_rf.bank_size, 8);
+    assert_eq!(c.int_rf.banks(), 14);
+    assert_eq!(c.fp_rf.regs_per_class, 112);
+    assert_eq!(c.fp_rf.banks(), 14);
+    // Functional units: 6 int ALU (1 cycle), 3 int mul (3 cycles),
+    // 4 FP ALU (2 cycles), 2 FP mult/div (4 / 12 cycles).
+    assert_eq!(c.fu_counts.int_alu, 6);
+    assert_eq!(c.fu_counts.int_mul, 3);
+    assert_eq!(c.fu_counts.fp_alu, 4);
+    assert_eq!(c.fu_counts.fp_mul_div, 2);
+    assert_eq!(sdiq::isa::Opcode::Add.latency(), 1);
+    assert_eq!(sdiq::isa::Opcode::Mul.latency(), 3);
+    assert_eq!(sdiq::isa::Opcode::FAdd.latency(), 2);
+    assert_eq!(sdiq::isa::Opcode::FMul.latency(), 4);
+    assert_eq!(sdiq::isa::Opcode::FDiv.latency(), 12);
+}
+
+#[test]
+fn rendered_table_contains_every_row_of_the_paper() {
+    let text = table1(&SimConfig::hpca2005());
+    for needle in [
+        "8 instructions",
+        "Hybrid 2K gshare, 2K bimodal, 1K selector",
+        "2048 entries, 4-way",
+        "64KB, 2-way, 32B line, 1 cycle hit",
+        "64KB, 4-way, 32B line, 2 cycles hit",
+        "512KB, 8-way, 64B line, 10 cycles hit, 50 cycles miss",
+        "128 entries",
+        "80 entries",
+        "112 entries",
+        "6 ALU (1 cycle), 3 Mul (3 cycles)",
+        "4 ALU (2 cycles), 2 MultDiv (4 cycles mult, 12 cycles div)",
+    ] {
+        assert!(text.contains(needle), "Table 1 text missing: {needle}\n{text}");
+    }
+}

@@ -1,0 +1,178 @@
+//! Property-based tests over the core data structures and analyses.
+//!
+//! These check invariants that must hold for *any* program the generator or
+//! a user could construct, not just the hand-written cases in the unit
+//! tests:
+//!
+//! * the functional executor is deterministic and respects its instruction
+//!   cap,
+//! * the timing simulator commits exactly the committed trace, under every
+//!   resize policy,
+//! * the pseudo-issue-queue analysis never needs more entries than the block
+//!   has instructions, and narrower machines never need more entries,
+//! * the loop analysis never exceeds the queue capacity and the compiler
+//!   pass always emits structurally valid programs whose hints are within
+//!   range.
+
+use proptest::prelude::*;
+use sdiq::compiler::{analyse_block, analyse_loop_body, CompilerPass, PassConfig};
+use sdiq::isa::builder::ProgramBuilder;
+use sdiq::isa::reg::int_reg;
+use sdiq::isa::{Executor, FuCounts, Instruction, Opcode, Program};
+use sdiq::sim::{ResizePolicy, SimConfig, Simulator};
+
+/// Strategy: a random straight-line instruction (ALU / load / store) using a
+/// handful of registers so that dependence chains appear frequently.
+fn arb_instruction() -> impl Strategy<Value = Instruction> {
+    let reg = || (1u8..12u8).prop_map(int_reg);
+    prop_oneof![
+        (reg(), reg(), reg()).prop_map(|(d, a, b)| Instruction::rrr(Opcode::Add, d, a, b)),
+        (reg(), reg(), -8i64..8i64).prop_map(|(d, a, i)| Instruction::rri(Opcode::Addi, d, a, i)),
+        (reg(), reg(), reg()).prop_map(|(d, a, b)| Instruction::rrr(Opcode::Mul, d, a, b)),
+        (reg(), reg(), 0i64..64i64).prop_map(|(d, a, o)| Instruction::load(Opcode::Load, d, a, o)),
+        (reg(), reg(), 0i64..64i64)
+            .prop_map(|(v, a, o)| Instruction::store(Opcode::Store, v, a, o)),
+        (reg(), -100i64..100i64).prop_map(|(d, i)| Instruction::ri(Opcode::Li, d, i)),
+    ]
+}
+
+/// Strategy: a whole single-loop program parameterised by trip count, body
+/// size and ILP shape. Always terminates.
+fn arb_loop_program() -> impl Strategy<Value = Program> {
+    (2i64..40i64, 1usize..6usize, 1usize..5usize).prop_map(|(trips, chains, chain_len)| {
+        let mut b = ProgramBuilder::new();
+        b.name("prop-loop");
+        let main = b.procedure("main");
+        {
+            let p = b.proc_mut(main);
+            let entry = p.block();
+            let body = p.block();
+            let exit = p.block();
+            p.with_block(entry, |bb| {
+                bb.li(int_reg(1), 0);
+                bb.li(int_reg(2), 7);
+                bb.li(int_reg(20), 0x3000_0000);
+                bb.jump(body);
+            });
+            p.with_block(body, |bb| {
+                bb.load(int_reg(10), int_reg(20), 0);
+                for c in 0..chains {
+                    let reg = int_reg(3 + c as u8);
+                    bb.add(reg, reg, int_reg(10));
+                    for k in 1..chain_len {
+                        bb.addi(reg, reg, k as i64);
+                    }
+                }
+                bb.addi(int_reg(20), int_reg(20), 8);
+                bb.addi(int_reg(1), int_reg(1), 1);
+                bb.blt(int_reg(1), trips, body, exit);
+            });
+            p.with_block(exit, |bb| {
+                bb.ret();
+            });
+            p.set_entry(entry);
+        }
+        b.finish(main).expect("generated loop program is valid")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn executor_is_deterministic_and_respects_the_cap(
+        program in arb_loop_program(),
+        cap in 16u64..5000u64,
+    ) {
+        let a = Executor::new(&program).run(cap).unwrap();
+        let b = Executor::new(&program).run(cap).unwrap();
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.len() as u64 <= cap);
+        if !a.hit_cap {
+            // Terminated: the last committed instruction is the return.
+            let last = program.instruction(a.committed.last().unwrap().loc);
+            prop_assert_eq!(last.opcode, Opcode::Return);
+        }
+    }
+
+    #[test]
+    fn block_analysis_is_bounded_and_monotone_in_width(
+        block in prop::collection::vec(arb_instruction(), 1..24),
+    ) {
+        let fu = FuCounts::hpca2005();
+        let wide = analyse_block(&block, 8, &fu);
+        let narrow = analyse_block(&block, 2, &fu);
+        prop_assert!(wide.entries >= 1);
+        prop_assert!(wide.entries as usize <= block.len());
+        prop_assert!(narrow.entries <= wide.entries);
+        prop_assert!(narrow.cycles >= wide.cycles);
+        prop_assert_eq!(wide.instructions as usize, block.len());
+    }
+
+    #[test]
+    fn loop_analysis_never_exceeds_capacity(
+        body in prop::collection::vec(arb_instruction(), 1..24),
+        capacity in 8u32..128u32,
+    ) {
+        let req = analyse_loop_body(&body, capacity);
+        if let Some(entries) = req.entries {
+            prop_assert!(entries >= 1);
+            prop_assert!(entries <= capacity);
+        }
+        prop_assert_eq!(req.iteration_offsets.len() as u32, req.body_len);
+    }
+
+    #[test]
+    fn compiler_pass_emits_valid_programs_with_hints_in_range(
+        program in arb_loop_program(),
+    ) {
+        for config in [PassConfig::noop_insertion(), PassConfig::tagging(), PassConfig::improved()] {
+            let compiled = CompilerPass::new(config).run(&program);
+            prop_assert!(compiled.program.validate().is_ok());
+            let capacity = config.widths.iq_capacity as u32;
+            for (_, &v) in &compiled.annotations.block_entries {
+                prop_assert!(v >= 1 && v <= capacity);
+            }
+            for (_, &v) in &compiled.annotations.loop_preheader_entries {
+                prop_assert!(v >= 1 && v <= capacity);
+            }
+            // The rewrite never loses real instructions.
+            prop_assert_eq!(
+                compiled.program.static_instruction_count() - compiled.program.hint_noop_count(),
+                program.static_instruction_count()
+            );
+        }
+    }
+}
+
+proptest! {
+    // The simulator property runs whole pipelines; keep the case count low so
+    // the suite stays fast.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn simulator_commits_the_whole_trace_under_every_policy(
+        program in arb_loop_program(),
+    ) {
+        let trace = Executor::new(&program).run(20_000).unwrap();
+        for policy in [
+            ResizePolicy::Fixed,
+            ResizePolicy::SoftwareHint,
+            ResizePolicy::Adaptive(sdiq::sim::AdaptiveConfig::iqrob64()),
+        ] {
+            let result = Simulator::new(SimConfig::hpca2005(), &program, &trace, policy)
+                .run()
+                .unwrap();
+            let hints: u64 = trace
+                .committed
+                .iter()
+                .filter(|d| program.instruction(d.loc).is_hint_noop())
+                .count() as u64;
+            prop_assert_eq!(result.stats.committed + result.stats.committed_hints,
+                trace.len() as u64);
+            prop_assert_eq!(result.stats.committed_hints, hints);
+            prop_assert!(result.stats.ipc() > 0.0);
+            prop_assert!(result.stats.avg_iq_occupancy() <= 80.0);
+        }
+    }
+}
