@@ -32,11 +32,7 @@ fn bench(c: &mut Criterion) {
     });
 }
 
-const TECHNIQUES: [Technique; 3] = [
-    Technique::Baseline,
-    Technique::Noop,
-    Technique::Abella,
-];
+const TECHNIQUES: [Technique; 3] = [Technique::Baseline, Technique::Noop, Technique::Abella];
 
 criterion_group! {
     name = benches;

@@ -18,7 +18,10 @@ fn simulator_throughput(c: &mut Criterion) {
     for (name, policy) in [
         ("fixed", ResizePolicy::Fixed),
         ("software_hint", ResizePolicy::SoftwareHint),
-        ("adaptive", ResizePolicy::Adaptive(AdaptiveConfig::iqrob64())),
+        (
+            "adaptive",
+            ResizePolicy::Adaptive(AdaptiveConfig::iqrob64()),
+        ),
     ] {
         group.bench_with_input(BenchmarkId::new("policy", name), &policy, |b, &policy| {
             b.iter(|| {

@@ -1,0 +1,82 @@
+//! Dumps the full `ActivityStats` of a deterministic matrix of
+//! (program × policy) simulations as stable text.
+//!
+//! Used to verify that simulator refactors keep every activity counter
+//! bit-identical: capture the output before and after a change and diff.
+//!
+//! ```text
+//! cargo run --release -p sdiq-bench --example stats_dump > stats.txt
+//! ```
+
+use sdiq_compiler::{CompilerPass, PassConfig};
+use sdiq_isa::builder::ProgramBuilder;
+use sdiq_isa::reg::int_reg;
+use sdiq_isa::{Executor, Program};
+use sdiq_sim::{AdaptiveConfig, ResizePolicy, SimConfig, Simulator};
+use sdiq_workloads::Benchmark;
+
+/// The pipeline unit-test loop program (mirrors `pipeline.rs` tests).
+fn loop_program(trips: i64, ilp: usize) -> Program {
+    let mut b = ProgramBuilder::new();
+    let main = b.procedure("main");
+    {
+        let p = b.proc_mut(main);
+        let entry = p.block();
+        let body = p.block();
+        let exit = p.block();
+        p.with_block(entry, |bb| {
+            bb.li(int_reg(1), 0);
+            bb.li(int_reg(2), 1000);
+            bb.jump(body);
+        });
+        p.with_block(body, |bb| {
+            for k in 0..ilp {
+                bb.addi(int_reg(3 + (k % 6) as u8), int_reg(2), k as i64);
+            }
+            bb.load(int_reg(10), int_reg(2), 0);
+            bb.addi(int_reg(11), int_reg(10), 1);
+            bb.addi(int_reg(1), int_reg(1), 1);
+            bb.blt(int_reg(1), trips, body, exit);
+        });
+        p.with_block(exit, |bb| {
+            bb.ret();
+        });
+        p.set_entry(entry);
+    }
+    b.finish(main).unwrap()
+}
+
+fn dump(label: &str, program: &Program) {
+    let trace = Executor::new(program).run(400_000).expect("trace executes");
+    for (policy_name, policy) in [
+        ("fixed", ResizePolicy::Fixed),
+        ("software_hint", ResizePolicy::SoftwareHint),
+        (
+            "adaptive",
+            ResizePolicy::Adaptive(AdaptiveConfig::iqrob64()),
+        ),
+    ] {
+        let result = Simulator::new(SimConfig::hpca2005(), program, &trace, policy)
+            .run()
+            .expect("simulation completes");
+        println!("== {label} / {policy_name}");
+        println!("{:#?}", result.stats);
+        println!("adaptive_resizes: {}", result.adaptive_resizes);
+    }
+}
+
+fn main() {
+    dump("loop_200x4", &loop_program(200, 4));
+    dump("loop_300x6", &loop_program(300, 6));
+    dump("loop_4000x2", &loop_program(4000, 2));
+
+    // Hinted variant: run the paper's compiler pass so SoftwareHint actually
+    // exercises `apply_hint` / `new_head` region accounting.
+    let hinted = CompilerPass::new(PassConfig::noop_insertion())
+        .run(&loop_program(500, 5))
+        .program;
+    dump("loop_500x5_noop_hints", &hinted);
+
+    // A real workload analogue for broader coverage (branchy + memory).
+    dump("gzip_scaled_0.05", &Benchmark::Gzip.build_scaled(0.05));
+}

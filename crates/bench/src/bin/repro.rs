@@ -9,9 +9,7 @@
 //! With no selection flags, `--all` is assumed. `--scale` shrinks or grows
 //! every workload's outer loop (1.0 = the default reproduction scale).
 
-use sdiq_core::{
-    experiments, Experiment, Suite, Technique,
-};
+use sdiq_core::{experiments, Experiment, Suite, Technique};
 use sdiq_sim::SimConfig;
 use sdiq_workloads::Benchmark;
 use std::collections::BTreeSet;
@@ -41,7 +39,9 @@ fn parse_args() -> Options {
                 std::process::exit(0);
             }
             flag if flag.starts_with("--") => {
-                options.selections.insert(flag.trim_start_matches("--").to_string());
+                options
+                    .selections
+                    .insert(flag.trim_start_matches("--").to_string());
             }
             other => {
                 eprintln!("unknown argument: {other}");
@@ -101,10 +101,12 @@ fn main() {
         println!();
     }
 
-    let needs_suite = ["figure6", "figure7", "figure8", "figure9", "figure10", "figure11",
-        "figure12", "overall", "summary", "all"]
-        .iter()
-        .any(|f| options.selections.contains(*f))
+    let needs_suite = [
+        "figure6", "figure7", "figure8", "figure9", "figure10", "figure11", "figure12", "overall",
+        "summary", "all",
+    ]
+    .iter()
+    .any(|f| options.selections.contains(*f))
         || options.selections.contains("all");
 
     let suite: Option<Suite> = if needs_suite {
@@ -170,10 +172,11 @@ fn main() {
         if wants(&options, "overall") {
             println!("== §6: overall processor dynamic power savings ==");
             for technique in [Technique::Noop, Technique::Extension, Technique::Improved] {
-                let overall =
-                    experiments::overall_processor_savings(suite, technique, 0.22, 0.11);
-                println!("  {:10} {overall:5.1}% (IQ at 22%, int RF at 11% of processor power)",
-                    technique.name());
+                let overall = experiments::overall_processor_savings(suite, technique, 0.22, 0.11);
+                println!(
+                    "  {:10} {overall:5.1}% (IQ at 22%, int RF at 11% of processor power)",
+                    technique.name()
+                );
             }
             println!();
         }

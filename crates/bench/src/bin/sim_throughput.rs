@@ -1,0 +1,174 @@
+//! `sim_throughput` — simulator wall-clock throughput smoke benchmark.
+//!
+//! ```text
+//! sim_throughput [--scale <f64>] [--repeats <n>] [--out <path>] [--quick]
+//! ```
+//!
+//! Runs the gzip-analogue trace through the cycle-level simulator under each
+//! resize policy, measures simulated instructions per second of wall-clock
+//! time, and emits the result as JSON (stdout and, unless `--out -`, to
+//! `BENCH_sim_throughput.json`). Unlike the Criterion bench this binary is
+//! cheap enough for CI, so the perf trajectory is tracked on every change:
+//! CI fails loudly if the smoke run regresses by an order of magnitude
+//! (simulation slower than `MIN_SIM_INSTRUCTIONS_PER_SECOND`).
+//!
+//! `--quick` shrinks the workload and repeat count for CI smoke runs.
+
+use sdiq_compiler::{CompilerPass, PassConfig};
+use sdiq_isa::Executor;
+use sdiq_sim::{AdaptiveConfig, ResizePolicy, SimConfig, Simulator};
+use sdiq_workloads::Benchmark;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Floor for the CI smoke check, in simulated instructions per second of
+/// wall-clock time. The O(1)-per-event hot path sustains well over 10M
+/// instructions/s in release builds on commodity hardware; 500k leaves an
+/// order of magnitude of headroom for slow CI machines while still catching
+/// accidental reintroduction of O(capacity) per-cycle scans.
+const MIN_SIM_INSTRUCTIONS_PER_SECOND: f64 = 500_000.0;
+
+struct Options {
+    scale: f64,
+    repeats: usize,
+    out: Option<String>,
+    quick: bool,
+}
+
+fn parse_args() -> Options {
+    let mut options = Options {
+        scale: 0.2,
+        repeats: 3,
+        out: Some("BENCH_sim_throughput.json".to_string()),
+        quick: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                options.scale = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("error: --scale needs a float value");
+                    std::process::exit(2);
+                });
+            }
+            "--repeats" => {
+                options.repeats = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("error: --repeats needs an integer value");
+                    std::process::exit(2);
+                });
+            }
+            "--out" => {
+                let path = args.next().unwrap_or_else(|| {
+                    eprintln!("error: --out needs a path (or - for stdout only)");
+                    std::process::exit(2);
+                });
+                options.out = if path == "-" { None } else { Some(path) };
+            }
+            "--quick" => options.quick = true,
+            "--help" | "-h" => {
+                println!(
+                    "sim_throughput [--scale <f64>] [--repeats <n>] [--out <path>|-] [--quick]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if options.quick {
+        options.scale = options.scale.min(0.05);
+        options.repeats = 1;
+    }
+    options.repeats = options.repeats.max(1);
+    options
+}
+
+fn main() {
+    let options = parse_args();
+    let program = Benchmark::Gzip.build_scaled(options.scale);
+    let trace = Executor::new(&program)
+        .run(2_000_000)
+        .expect("gzip analogue executes");
+    // The software-hint row must actually exercise the hint hot path
+    // (`apply_hint` / region accounting), so it runs the compiler-annotated
+    // program rather than the raw one.
+    let hinted_program = CompilerPass::new(PassConfig::noop_insertion())
+        .run(&program)
+        .program;
+    let hinted_trace = Executor::new(&hinted_program)
+        .run(2_000_000)
+        .expect("hinted gzip analogue executes");
+
+    let mut policies_json = String::new();
+    let mut slowest_rate = f64::INFINITY;
+    for (name, policy, program, trace) in [
+        ("fixed", ResizePolicy::Fixed, &program, &trace),
+        (
+            "software_hint",
+            ResizePolicy::SoftwareHint,
+            &hinted_program,
+            &hinted_trace,
+        ),
+        (
+            "adaptive",
+            ResizePolicy::Adaptive(AdaptiveConfig::iqrob64()),
+            &program,
+            &trace,
+        ),
+    ] {
+        let instructions = trace.len() as f64;
+        let mut best = f64::INFINITY;
+        let mut cycles = 0u64;
+        let mut committed = 0u64;
+        for _ in 0..options.repeats {
+            let start = Instant::now();
+            let result = Simulator::new(SimConfig::hpca2005(), program, trace, policy)
+                .run()
+                .expect("simulation completes");
+            let elapsed = start.elapsed().as_secs_f64();
+            best = best.min(elapsed);
+            cycles = result.stats.cycles;
+            committed = result.stats.committed + result.stats.committed_hints;
+        }
+        let rate = instructions / best;
+        slowest_rate = slowest_rate.min(rate);
+        eprintln!(
+            "{name:>14}: {rate:>12.0} sim-instructions/s  ({best:.3}s best of {}, {cycles} cycles)",
+            options.repeats
+        );
+        if !policies_json.is_empty() {
+            policies_json.push(',');
+        }
+        write!(
+            policies_json,
+            "\n    \"{name}\": {{\"wall_seconds_best\": {best:.6}, \
+             \"sim_instructions_per_second\": {rate:.0}, \
+             \"cycles\": {cycles}, \"instructions\": {committed}}}"
+        )
+        .unwrap();
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"simulator_throughput\",\n  \"workload\": \"gzip-analogue\",\n  \
+         \"scale\": {},\n  \"repeats\": {},\n  \"trace_instructions\": {},\n  \"policies\": {{{}\n  }}\n}}\n",
+        options.scale,
+        options.repeats,
+        trace.len(),
+        policies_json
+    );
+    print!("{json}");
+    if let Some(path) = &options.out {
+        std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
+
+    if slowest_rate < MIN_SIM_INSTRUCTIONS_PER_SECOND {
+        eprintln!(
+            "FAIL: slowest policy simulates {slowest_rate:.0} instructions/s, \
+             below the {MIN_SIM_INSTRUCTIONS_PER_SECOND:.0}/s floor"
+        );
+        std::process::exit(1);
+    }
+}

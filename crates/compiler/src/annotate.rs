@@ -91,12 +91,17 @@ pub fn emit(program: &Program, annotations: &Annotations, emit: EmitKind) -> Pro
         let block = out.proc_mut(block_ref.proc).block_mut(block_ref.block);
         // Insert just before the terminator (or at the end if the block falls
         // through), so the hint is the last thing decoded before the loop.
-        let pos = block.instructions.len().saturating_sub(
-            usize::from(block.terminator().map(|t| t.opcode.is_control()).unwrap_or(false)),
-        );
+        let pos = block.instructions.len().saturating_sub(usize::from(
+            block
+                .terminator()
+                .map(|t| t.opcode.is_control())
+                .unwrap_or(false),
+        ));
         match emit {
             EmitKind::NoopInsertion => {
-                block.instructions.insert(pos, Instruction::hint_noop(value));
+                block
+                    .instructions
+                    .insert(pos, Instruction::hint_noop(value));
             }
             EmitKind::Tagging => {
                 // Tag the terminator (the branch/jump/call entering the loop);
@@ -105,10 +110,14 @@ pub fn emit(program: &Program, annotations: &Annotations, emit: EmitKind) -> Pro
                     if last.iq_hint.is_none() {
                         last.iq_hint = Some(value);
                     } else {
-                        block.instructions.insert(pos, Instruction::hint_noop(value));
+                        block
+                            .instructions
+                            .insert(pos, Instruction::hint_noop(value));
                     }
                 } else {
-                    block.instructions.insert(pos, Instruction::hint_noop(value));
+                    block
+                        .instructions
+                        .insert(pos, Instruction::hint_noop(value));
                 }
             }
         }

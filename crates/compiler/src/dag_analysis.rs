@@ -200,14 +200,7 @@ mod tests {
         // fourth issues a cycle later on its own, so the resident window the
         // critical path needs never exceeds the 3 that issue together.
         let block: Vec<Instruction> = (0..4)
-            .map(|k| {
-                Instruction::rrr(
-                    Opcode::Mul,
-                    int_reg(10 + k as u8),
-                    int_reg(1),
-                    int_reg(2),
-                )
-            })
+            .map(|k| Instruction::rrr(Opcode::Mul, int_reg(10 + k as u8), int_reg(1), int_reg(2)))
             .collect();
         let req = analyse_block(&block, 8, &fu());
         assert_eq!(req.cycles, 2);
@@ -261,8 +254,13 @@ mod tests {
         assert_eq!(req.entries, 4);
     }
 
+    /// On the well-behaved Figure 3 chain a narrower machine needs no more
+    /// entries. This is *not* a general law — greedy list scheduling has
+    /// Graham-style anomalies where a narrower width needs more entries (see
+    /// the `block_analysis_is_bounded_and_deterministic` property test) —
+    /// but it documents the typical behaviour the paper relies on.
     #[test]
-    fn narrower_issue_width_cannot_need_more_entries() {
+    fn narrower_issue_width_needs_no_more_entries_on_figure3() {
         let block = figure3_block();
         let wide = analyse_block(&block, 8, &fu());
         let narrow = analyse_block(&block, 2, &fu());

@@ -45,11 +45,7 @@ pub struct LoopRequirement {
 /// `iq_capacity` caps the reported requirement: a loop that would profit
 /// from more entries than the hardware has simply gets the full queue.
 pub fn analyse_loop_body(body: &[Instruction], iq_capacity: u32) -> LoopRequirement {
-    let real: Vec<Instruction> = body
-        .iter()
-        .filter(|i| !i.is_hint_noop())
-        .cloned()
-        .collect();
+    let real: Vec<Instruction> = body.iter().filter(|i| !i.is_hint_noop()).cloned().collect();
     let n = real.len();
     if n == 0 {
         return LoopRequirement {
@@ -108,8 +104,7 @@ pub fn analyse_loop_body(body: &[Instruction], iq_capacity: u32) -> LoopRequirem
     let dist = longest_paths_forward(n, representative, &forward);
     let offsets: Vec<u32> = (0..n)
         .map(|idx| match dist[idx] {
-            Some(d) => ((d + u64::from(recurrence_latency) - 1) / u64::from(recurrence_latency))
-                as u32,
+            Some(d) => d.div_ceil(u64::from(recurrence_latency)) as u32,
             None => 0,
         })
         .collect();

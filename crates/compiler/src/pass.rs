@@ -184,10 +184,10 @@ impl CompilerPass {
                     .flat_map(|b| proc.block(*b).instructions.iter().cloned())
                     .collect();
                 let requirement = analyse_loop_body(&body, iq_capacity);
-                let value = requirement
-                    .entries
-                    .unwrap_or(iq_capacity)
-                    .clamp(self.config.min_advertised_entries.min(iq_capacity), iq_capacity);
+                let value = requirement.entries.unwrap_or(iq_capacity).clamp(
+                    self.config.min_advertised_entries.min(iq_capacity),
+                    iq_capacity,
+                );
                 // The hint is placed in the loop's pre-header(s): every CFG
                 // predecessor of the header that lies outside the loop. It is
                 // decoded once on entry and stays in force for the whole loop,
@@ -198,7 +198,10 @@ impl CompilerPass {
                 for &pred in analysis.cfg.preds(natural_loop.header) {
                     if !natural_loop.body.contains(&pred) {
                         annotations.loop_preheader_entries.insert(
-                            BlockRef { proc: pid, block: pred },
+                            BlockRef {
+                                proc: pid,
+                                block: pred,
+                            },
                             value,
                         );
                         placed = true;
@@ -230,10 +233,14 @@ impl CompilerPass {
                     let block = proc.block(bid);
                     let requirement =
                         analyse_block(&block.instructions, issue_width, &self.config.fu_counts);
-                    let block_ref = BlockRef { proc: pid, block: bid };
-                    let value = requirement
-                        .entries
-                        .clamp(self.config.min_advertised_entries.min(iq_capacity), iq_capacity);
+                    let block_ref = BlockRef {
+                        proc: pid,
+                        block: bid,
+                    };
+                    let value = requirement.entries.clamp(
+                        self.config.min_advertised_entries.min(iq_capacity),
+                        iq_capacity,
+                    );
                     annotations.block_entries.insert(block_ref, value);
                     block_requirements.insert(block_ref, requirement);
                     blocks_analysed += 1;
@@ -245,7 +252,10 @@ impl CompilerPass {
             // optional inter-procedural adjustment.
             for (bid, block) in proc.iter_blocks() {
                 if let Some(callee) = block.callee() {
-                    let block_ref = BlockRef { proc: pid, block: bid };
+                    let block_ref = BlockRef {
+                        proc: pid,
+                        block: bid,
+                    };
                     if program.proc(callee).is_library {
                         annotations.max_before_call.push(block_ref);
                     } else {
@@ -457,7 +467,10 @@ mod tests {
         let improved = CompilerPass::new(PassConfig::improved()).run(&program);
         for (block, &value) in &base.annotations.block_entries {
             let new_value = improved.annotations.block_entries[block];
-            assert!(new_value >= value, "{block:?} shrank from {value} to {new_value}");
+            assert!(
+                new_value >= value,
+                "{block:?} shrank from {value} to {new_value}"
+            );
         }
         // At least the helper's entry block grows.
         let helper = program.proc_by_name("helper").unwrap();

@@ -294,7 +294,10 @@ pub fn table1(config: &SimConfig) -> String {
             config.memory_latency
         ),
     );
-    row("ROB size", format!("{} entries", config.widths.rob_capacity));
+    row(
+        "ROB size",
+        format!("{} entries", config.widths.rob_capacity),
+    );
     row(
         "Issue queue",
         format!(

@@ -32,8 +32,8 @@ pub mod runner;
 pub mod technique;
 
 pub use experiments::{
-    figure10, figure11, figure12, figure6, figure7, figure8, figure9,
-    overall_processor_savings, summarise, table1, FigureSeries, PowerFigure, TechniqueSummary,
+    figure10, figure11, figure12, figure6, figure7, figure8, figure9, overall_processor_savings,
+    summarise, table1, FigureSeries, PowerFigure, TechniqueSummary,
 };
 pub use runner::{Comparison, Experiment, RunReport, Suite};
 pub use technique::Technique;

@@ -209,10 +209,8 @@ impl Experiment {
                 let program = b.build_scaled(self.scale);
                 let baseline = start.elapsed();
                 let pass_start = std::time::Instant::now();
-                let _ = CompilerPass::new(
-                    Technique::Noop.pass_config().expect("noop has a pass"),
-                )
-                .run(&program);
+                let _ = CompilerPass::new(Technique::Noop.pass_config().expect("noop has a pass"))
+                    .run(&program);
                 let limited = baseline + pass_start.elapsed();
                 (b, baseline, limited)
             })

@@ -121,8 +121,7 @@ mod tests {
 
     #[test]
     fn names_are_unique() {
-        let names: std::collections::HashSet<_> =
-            Technique::ALL.iter().map(|t| t.name()).collect();
+        let names: std::collections::HashSet<_> = Technique::ALL.iter().map(|t| t.name()).collect();
         assert_eq!(names.len(), Technique::ALL.len());
     }
 
@@ -142,13 +141,21 @@ mod tests {
         let improved = Technique::Improved.pass_config().unwrap();
         assert_eq!(improved.emit, EmitKind::Tagging);
         assert!(improved.interprocedural_fu);
-        assert!(!Technique::Extension.pass_config().unwrap().interprocedural_fu);
+        assert!(
+            !Technique::Extension
+                .pass_config()
+                .unwrap()
+                .interprocedural_fu
+        );
     }
 
     #[test]
     fn policies_and_schemes_match_the_paper() {
         assert_eq!(Technique::Baseline.wakeup_scheme(), WakeupScheme::Full);
-        assert_eq!(Technique::NonEmpty.wakeup_scheme(), WakeupScheme::NonEmptyOnly);
+        assert_eq!(
+            Technique::NonEmpty.wakeup_scheme(),
+            WakeupScheme::NonEmptyOnly
+        );
         assert_eq!(Technique::Noop.wakeup_scheme(), WakeupScheme::Gated);
         assert_eq!(Technique::Abella.wakeup_scheme(), WakeupScheme::Gated);
         assert!(matches!(

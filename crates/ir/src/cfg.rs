@@ -103,7 +103,11 @@ impl Cfg {
     /// `barrier` (the starting block is always included, even if it is a
     /// barrier). Used by natural-loop body computation and DAG-region
     /// formation.
-    pub fn reachable_avoiding(&self, from: BlockId, barrier: &HashSet<BlockId>) -> HashSet<BlockId> {
+    pub fn reachable_avoiding(
+        &self,
+        from: BlockId,
+        barrier: &HashSet<BlockId>,
+    ) -> HashSet<BlockId> {
         let mut seen = HashSet::new();
         let mut stack = vec![from];
         seen.insert(from);

@@ -96,7 +96,7 @@ impl Ddg {
     {
         let n = instructions.len();
         let mut edges: Vec<DdgEdge> = Vec::new();
-        let node_latency: Vec<u32> = instructions.iter().map(|i| latency(i)).collect();
+        let node_latency: Vec<u32> = instructions.iter().map(latency).collect();
 
         // Register RAW dependences within the sequence.
         let mut last_def: HashMap<ArchReg, usize> = HashMap::new();
@@ -259,13 +259,7 @@ impl Ddg {
         let comps = strongly_connected_components(self.node_count, &pairs);
         comps
             .into_iter()
-            .filter(|c| {
-                c.len() > 1
-                    || self
-                        .edges
-                        .iter()
-                        .any(|e| e.from == c[0] && e.to == c[0])
-            })
+            .filter(|c| c.len() > 1 || self.edges.iter().any(|e| e.from == c[0] && e.to == c[0]))
             .collect()
     }
 
@@ -329,7 +323,8 @@ mod tests {
         assert_eq!(ddg.node_count(), 6);
         // c depends on a, d depends on b, e depends on c and d, f depends on
         // b and d.
-        let has_edge = |from: usize, to: usize| ddg.edges().iter().any(|e| e.from == from && e.to == to);
+        let has_edge =
+            |from: usize, to: usize| ddg.edges().iter().any(|e| e.from == from && e.to == to);
         assert!(has_edge(0, 2));
         assert!(has_edge(1, 3));
         assert!(has_edge(2, 4));
@@ -348,7 +343,11 @@ mod tests {
             Instruction::rri(Opcode::Addi, int_reg(3), int_reg(1), 1),
         ];
         let ddg = Ddg::for_block(&instrs);
-        let edge = ddg.edges().iter().find(|e| e.from == 0 && e.to == 1).unwrap();
+        let edge = ddg
+            .edges()
+            .iter()
+            .find(|e| e.from == 0 && e.to == 1)
+            .unwrap();
         assert_eq!(edge.latency, 1 + ASSUMED_L1D_HIT_EXTRA);
     }
 
@@ -402,10 +401,7 @@ mod tests {
             Instruction::rrr(Opcode::Add, int_reg(2), int_reg(1), int_reg(2)),
         ];
         let ddg = Ddg::for_loop_body(&body);
-        let carried: Vec<_> = ddg
-            .loop_carried_edges()
-            .map(|e| (e.from, e.to))
-            .collect();
+        let carried: Vec<_> = ddg.loop_carried_edges().map(|e| (e.from, e.to)).collect();
         assert_eq!(carried, vec![(1, 1)]);
     }
 

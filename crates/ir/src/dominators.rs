@@ -148,7 +148,10 @@ mod tests {
         let cfg = Cfg::build(program.proc(program.entry));
         let dom = Dominators::compute(&cfg);
         for b in 0..cfg.block_count() {
-            assert!(dom.dominates(BlockId(0), BlockId(b)), "entry should dominate bb{b}");
+            assert!(
+                dom.dominates(BlockId(0), BlockId(b)),
+                "entry should dominate bb{b}"
+            );
         }
     }
 

@@ -118,7 +118,10 @@ pub fn longest_paths_forward(
     }
     let mut by_source: Vec<Vec<&WeightedEdge>> = vec![Vec::new(); node_count];
     for e in edges {
-        debug_assert!(e.from < e.to, "longest_paths_forward requires forward edges");
+        debug_assert!(
+            e.from < e.to,
+            "longest_paths_forward requires forward edges"
+        );
         by_source[e.from].push(e);
     }
     for from in 0..node_count {
@@ -126,7 +129,7 @@ pub fn longest_paths_forward(
             for e in &by_source[from] {
                 let cand = d + u64::from(e.weight);
                 let slot = &mut dist[e.to];
-                if slot.map_or(true, |cur| cand > cur) {
+                if slot.is_none_or(|cur| cand > cur) {
                     *slot = Some(cand);
                 }
             }
@@ -180,8 +183,7 @@ mod tests {
     #[test]
     fn sccs_handle_nested_cycles() {
         // Two overlapping cycles form one component: 0→1→2→0 and 1→3→1.
-        let comps =
-            strongly_connected_components(4, &[(0, 1), (1, 2), (2, 0), (1, 3), (3, 1)]);
+        let comps = strongly_connected_components(4, &[(0, 1), (1, 2), (2, 0), (1, 3), (3, 1)]);
         let big: Vec<_> = comps.into_iter().filter(|c| c.len() > 1).collect();
         assert_eq!(big.len(), 1);
         assert_eq!(big[0], vec![0, 1, 2, 3]);
@@ -191,10 +193,26 @@ mod tests {
     fn longest_path_prefers_heavier_route() {
         // 0 →(1) 1 →(1) 3, 0 →(5) 2 →(1) 3.
         let edges = [
-            WeightedEdge { from: 0, to: 1, weight: 1 },
-            WeightedEdge { from: 1, to: 3, weight: 1 },
-            WeightedEdge { from: 0, to: 2, weight: 5 },
-            WeightedEdge { from: 2, to: 3, weight: 1 },
+            WeightedEdge {
+                from: 0,
+                to: 1,
+                weight: 1,
+            },
+            WeightedEdge {
+                from: 1,
+                to: 3,
+                weight: 1,
+            },
+            WeightedEdge {
+                from: 0,
+                to: 2,
+                weight: 5,
+            },
+            WeightedEdge {
+                from: 2,
+                to: 3,
+                weight: 1,
+            },
         ];
         let dist = longest_paths_forward(4, 0, &edges);
         assert_eq!(dist[0], Some(0));
@@ -205,7 +223,11 @@ mod tests {
 
     #[test]
     fn longest_path_marks_unreachable_nodes() {
-        let edges = [WeightedEdge { from: 0, to: 1, weight: 2 }];
+        let edges = [WeightedEdge {
+            from: 0,
+            to: 1,
+            weight: 2,
+        }];
         let dist = longest_paths_forward(3, 0, &edges);
         assert_eq!(dist[2], None);
     }

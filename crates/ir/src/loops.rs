@@ -84,10 +84,8 @@ impl LoopNest {
             }
             while let Some(b) = stack.pop() {
                 for &p in cfg.preds(b) {
-                    if cfg.is_reachable(p) && body.insert(p) {
-                        if p != header {
-                            stack.push(p);
-                        }
+                    if cfg.is_reachable(p) && body.insert(p) && p != header {
+                        stack.push(p);
                     }
                 }
             }
@@ -282,7 +280,9 @@ mod tests {
         assert_eq!(nest.loops()[inner].parent, Some(outer));
         assert_eq!(nest.loops()[inner].depth, 1);
         assert_eq!(nest.loops()[outer].depth, 0);
-        assert!(nest.loops()[outer].body.is_superset(&nest.loops()[inner].body));
+        assert!(nest.loops()[outer]
+            .body
+            .is_superset(&nest.loops()[inner].body));
     }
 
     #[test]

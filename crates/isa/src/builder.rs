@@ -446,13 +446,18 @@ mod tests {
                 bb.addi(int_reg(1), int_reg(1), 1);
                 bb.jump(exit);
             });
-            p.with_block(exit, |bb| { bb.ret(); });
+            p.with_block(exit, |bb| {
+                bb.ret();
+            });
             p.set_entry(entry);
         }
         let program = b.finish(main).unwrap();
         let proc = program.proc(main);
         assert_eq!(proc.block(BlockId(0)).fallthrough, Some(BlockId(1)));
-        assert_eq!(proc.block(BlockId(0)).successors(), vec![BlockId(2), BlockId(1)]);
+        assert_eq!(
+            proc.block(BlockId(0)).successors(),
+            vec![BlockId(2), BlockId(1)]
+        );
     }
 
     #[test]
@@ -476,7 +481,9 @@ mod tests {
             p.with_block(b0, |bb| {
                 bb.call(lib, b1);
             });
-            p.with_block(b1, |bb| { bb.ret(); });
+            p.with_block(b1, |bb| {
+                bb.ret();
+            });
             p.set_entry(b0);
         }
         let program = b.finish(main).unwrap();

@@ -252,7 +252,10 @@ impl<'a> Executor<'a> {
             Div => {
                 let a = self.read_int(inst.srcs[0].unwrap());
                 let b = self.read_int(inst.srcs[1].unwrap());
-                self.write_int(inst.dest.unwrap(), if b == 0 { 0 } else { a.wrapping_div(b) });
+                self.write_int(
+                    inst.dest.unwrap(),
+                    if b == 0 { 0 } else { a.wrapping_div(b) },
+                );
             }
             And => {
                 let a = self.read_int(inst.srcs[0].unwrap());
@@ -519,7 +522,9 @@ mod tests {
                 bb.addi(int_reg(1), int_reg(1), 1);
                 bb.blt(int_reg(1), trips, body, exit);
             });
-            p.with_block(exit, |bb| { bb.ret(); });
+            p.with_block(exit, |bb| {
+                bb.ret();
+            });
             p.set_entry(entry);
         }
         b.finish(main).unwrap()
@@ -577,11 +582,7 @@ mod tests {
         assert!(!trace.hit_cap);
         assert_eq!(trace.mem_ops, 2);
         // The load and store share an effective address.
-        let addrs: Vec<_> = trace
-            .committed
-            .iter()
-            .filter_map(|d| d.mem_addr)
-            .collect();
+        let addrs: Vec<_> = trace.committed.iter().filter_map(|d| d.mem_addr).collect();
         assert_eq!(addrs.len(), 2);
         assert_eq!(addrs[0], addrs[1]);
         assert_eq!(addrs[0], 0x2008);
@@ -628,7 +629,9 @@ mod tests {
             p.with_block(b0, |bb| {
                 bb.call(mid, b1);
             });
-            p.with_block(b1, |bb| { bb.ret(); });
+            p.with_block(b1, |bb| {
+                bb.ret();
+            });
             p.set_entry(b0);
         }
         let program = b.finish(main).unwrap();
@@ -649,7 +652,9 @@ mod tests {
             p.with_block(b0, |bb| {
                 bb.call(rec, b1);
             });
-            p.with_block(b1, |bb| { bb.ret(); });
+            p.with_block(b1, |bb| {
+                bb.ret();
+            });
             p.set_entry(b0);
         }
         let program = b.finish(rec).unwrap();

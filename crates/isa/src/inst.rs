@@ -310,7 +310,10 @@ mod tests {
     fn rrr_builder_sets_operands() {
         let i = Instruction::rrr(Opcode::Add, int_reg(1), int_reg(2), int_reg(3));
         assert_eq!(i.dest, Some(int_reg(1)));
-        assert_eq!(i.sources().collect::<Vec<_>>(), vec![int_reg(2), int_reg(3)]);
+        assert_eq!(
+            i.sources().collect::<Vec<_>>(),
+            vec![int_reg(2), int_reg(3)]
+        );
         assert!(i.validate().is_ok());
     }
 

@@ -40,6 +40,24 @@ impl FuClass {
         FuClass::FpMulDiv,
         FuClass::MemPort,
     ];
+
+    /// Number of classes (for dense per-class tables). Derived from
+    /// [`FuClass::HARDWARE`] plus the `None` class so it cannot drift from
+    /// the enum.
+    pub const COUNT: usize = FuClass::HARDWARE.len() + 1;
+
+    /// Dense index in `0..FuClass::COUNT` (for per-class arrays on hot
+    /// paths, avoiding hash maps).
+    pub const fn index(self) -> usize {
+        match self {
+            FuClass::IntAlu => 0,
+            FuClass::IntMul => 1,
+            FuClass::FpAlu => 2,
+            FuClass::FpMulDiv => 3,
+            FuClass::MemPort => 4,
+            FuClass::None => 5,
+        }
+    }
 }
 
 impl fmt::Display for FuClass {

@@ -303,9 +303,8 @@ impl Program {
             }
             for (bid, block) in proc.iter_blocks() {
                 for (idx, inst) in block.instructions.iter().enumerate() {
-                    inst.validate().map_err(|e| {
-                        format!("{pid}:{bid}:{idx} ({}): {e}", proc.name)
-                    })?;
+                    inst.validate()
+                        .map_err(|e| format!("{pid}:{bid}:{idx} ({}): {e}", proc.name))?;
                     if let Some(target) = inst.branch_target {
                         if target.0 >= proc.blocks.len() {
                             return Err(format!(
@@ -383,7 +382,13 @@ impl AddressMap {
             let mut bases = Vec::with_capacity(proc.blocks.len());
             for (bid, block) in proc.iter_blocks() {
                 bases.push(cursor);
-                by_addr.insert(cursor, BlockRef { proc: pid, block: bid });
+                by_addr.insert(
+                    cursor,
+                    BlockRef {
+                        proc: pid,
+                        block: bid,
+                    },
+                );
                 cursor += INSTR_BYTES * block.instructions.len().max(1) as u64;
             }
             block_base.push(bases);
@@ -453,7 +458,9 @@ mod tests {
                 bb.addi(int_reg(1), int_reg(1), 1);
                 bb.bgt(int_reg(1), 10, b2, b2);
             });
-            p.with_block(b2, |bb| { bb.ret(); });
+            p.with_block(b2, |bb| {
+                bb.ret();
+            });
             p.set_entry(b0);
         }
         b.finish(main).unwrap()
@@ -546,7 +553,10 @@ mod tests {
         // Block starts resolve back to the correct block.
         for (pid, proc) in p.iter_procs() {
             for (bid, _) in proc.iter_blocks() {
-                let r = BlockRef { proc: pid, block: bid };
+                let r = BlockRef {
+                    proc: pid,
+                    block: bid,
+                };
                 assert_eq!(map.block_at(map.block_addr(r)), Some(r));
             }
         }

@@ -119,11 +119,12 @@ impl PowerBreakdown {
         let iq_static = iq_banks_charged * model.iq_bank_leakage_per_cycle;
 
         let int_accesses = (stats.int_rf_reads + stats.int_rf_writes) as f64;
-        let int_banks_fraction = if !bank_gating || stats.int_rf_total_banks == 0 || stats.cycles == 0 {
-            1.0
-        } else {
-            stats.avg_int_rf_banks_on() / stats.int_rf_total_banks as f64
-        };
+        let int_banks_fraction =
+            if !bank_gating || stats.int_rf_total_banks == 0 || stats.cycles == 0 {
+                1.0
+            } else {
+                stats.avg_int_rf_banks_on() / stats.int_rf_total_banks as f64
+            };
         let int_rf_dynamic = int_accesses * model.rf_access * int_banks_fraction;
         let int_rf_banks_charged = if bank_gating {
             stats.int_rf_banks_on_sum as f64
@@ -133,11 +134,11 @@ impl PowerBreakdown {
         let int_rf_static = int_rf_banks_charged * model.rf_bank_leakage_per_cycle;
 
         let fp_accesses = (stats.fp_rf_reads + stats.fp_rf_writes) as f64;
-        let fp_banks_fraction = if !bank_gating || stats.fp_rf_total_banks == 0 || stats.cycles == 0 {
+        let fp_banks_fraction = if !bank_gating || stats.fp_rf_total_banks == 0 || stats.cycles == 0
+        {
             1.0
         } else {
-            (stats.fp_rf_banks_on_sum as f64 / stats.cycles as f64)
-                / stats.fp_rf_total_banks as f64
+            (stats.fp_rf_banks_on_sum as f64 / stats.cycles as f64) / stats.fp_rf_total_banks as f64
         };
         let fp_rf_dynamic = fp_accesses * model.rf_access * fp_banks_fraction;
         let fp_rf_banks_charged = if bank_gating {
@@ -229,8 +230,12 @@ mod tests {
     #[test]
     fn zero_activity_means_zero_dynamic_energy() {
         let s = ActivityStats::default();
-        let p =
-            PowerBreakdown::from_stats(&s, &EnergyModel::wattch_default(), WakeupScheme::Full, true);
+        let p = PowerBreakdown::from_stats(
+            &s,
+            &EnergyModel::wattch_default(),
+            WakeupScheme::Full,
+            true,
+        );
         assert_eq!(p.iq.dynamic, 0.0);
         assert_eq!(p.int_rf.dynamic, 0.0);
         assert_eq!(p.iq.static_, 0.0);

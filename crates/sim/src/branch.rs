@@ -186,7 +186,10 @@ mod tests {
             p.update_direction(addr, pred, true);
         }
         // After warm-up the branch is always predicted taken.
-        assert!(wrong <= 3, "only the first few predictions may be wrong, got {wrong}");
+        assert!(
+            wrong <= 3,
+            "only the first few predictions may be wrong, got {wrong}"
+        );
     }
 
     #[test]

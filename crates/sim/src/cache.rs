@@ -6,12 +6,20 @@ use crate::config::{CacheConfig, SimConfig};
 ///
 /// Only tags are modelled — the simulator needs latencies and hit/miss
 /// behaviour, not data contents (the functional executor owns the data).
+///
+/// Tag and recency state live in flat `sets × ways` arrays (no per-set
+/// `Vec`s): one contiguous scan per access on the simulator's hot path. A
+/// `last_use` of 0 marks an invalid way (the use counter starts at 1), so
+/// the LRU victim search (`min(last_use)`) naturally fills invalid ways
+/// first — identical replacement behaviour to a per-set list.
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
     sets: usize,
-    /// `tags[set]` holds (tag, last-use counter) pairs, at most `ways` long.
-    tags: Vec<Vec<(u64, u64)>>,
+    /// `tags[set * ways + way]`.
+    tags: Vec<u64>,
+    /// `last_use[set * ways + way]`; 0 = invalid way.
+    last_use: Vec<u64>,
     use_counter: u64,
     hits: u64,
     misses: u64,
@@ -24,7 +32,8 @@ impl Cache {
         Cache {
             config,
             sets,
-            tags: vec![Vec::new(); sets],
+            tags: vec![0; sets * config.ways],
+            last_use: vec![0; sets * config.ways],
             use_counter: 0,
             hits: 0,
             misses: 0,
@@ -43,25 +52,26 @@ impl Cache {
     pub fn access(&mut self, addr: u64) -> bool {
         self.use_counter += 1;
         let (set, tag) = self.set_and_tag(addr);
-        let ways = self.config.ways;
-        let entries = &mut self.tags[set];
-        if let Some(entry) = entries.iter_mut().find(|(t, _)| *t == tag) {
-            entry.1 = self.use_counter;
-            self.hits += 1;
-            return true;
+        let base = set * self.config.ways;
+        let ways = &mut self.last_use[base..base + self.config.ways];
+        let tags = &self.tags[base..base + self.config.ways];
+        let mut victim = 0usize;
+        let mut victim_use = u64::MAX;
+        for (way, (&way_tag, way_use)) in tags.iter().zip(ways.iter_mut()).enumerate() {
+            if *way_use != 0 && way_tag == tag {
+                *way_use = self.use_counter;
+                self.hits += 1;
+                return true;
+            }
+            if *way_use < victim_use {
+                victim_use = *way_use;
+                victim = way;
+            }
         }
+        // Miss: fill the first invalid way, else evict the LRU way.
         self.misses += 1;
-        if entries.len() >= ways {
-            // Evict the least recently used way.
-            let lru = entries
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, (_, used))| *used)
-                .map(|(i, _)| i)
-                .expect("non-empty set");
-            entries.swap_remove(lru);
-        }
-        entries.push((tag, self.use_counter));
+        self.tags[base + victim] = tag;
+        self.last_use[base + victim] = self.use_counter;
         false
     }
 

@@ -53,9 +53,10 @@ pub struct IssueQueueConfig {
 }
 
 impl IssueQueueConfig {
-    /// Number of banks.
+    /// Number of banks (the single source of truth, also used by
+    /// [`crate::issue_queue::IssueQueue::total_banks`]).
     pub fn banks(&self) -> usize {
-        (self.entries + self.bank_size - 1) / self.bank_size
+        self.entries.div_ceil(self.bank_size)
     }
 }
 
@@ -71,7 +72,7 @@ pub struct RegFileConfig {
 impl RegFileConfig {
     /// Number of banks per class.
     pub fn banks(&self) -> usize {
-        (self.regs_per_class + self.bank_size - 1) / self.bank_size
+        self.regs_per_class.div_ceil(self.bank_size)
     }
 }
 

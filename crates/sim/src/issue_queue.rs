@@ -19,10 +19,38 @@
 //! Wakeup gating follows Folegnani & González: empty entries and already-
 //! ready operands are not woken. The counters distinguish the three schemes
 //! compared in Figure 8 (full wakeup, non-empty wakeup, gated wakeup).
+//!
+//! # Performance architecture: O(actual work) per event
+//!
+//! Every per-cycle and per-event operation is O(useful work), never
+//! O(capacity) — the software analogue of the paper's gated-wakeup insight
+//! that only *waiting* operands need comparisons:
+//!
+//! * **Consumer index** — `waiters` maps each physical register (dense
+//!   index) to the list of `(slot, operand)` pairs currently waiting on it.
+//!   A result broadcast ([`IssueQueue::wakeup`]) touches exactly the
+//!   matching waiting operands instead of scanning all slots; the Figure 8
+//!   accounting stays exact because the incremental `waiting_total` counter
+//!   is the gated-comparison count.
+//! * **Incremental occupancy** — per-bank resident counts power an O(1)
+//!   [`IssueQueue::banks_on`], and the current-region resident count powers
+//!   an O(1) [`IssueQueue::new_region_occupancy`], so
+//!   [`IssueQueue::can_dispatch`] (called up to `width` times per cycle) no
+//!   longer walks the circular span.
+//! * **Age ranks** — a Fenwick tree over slot occupancy answers "how many
+//!   older residents precede this slot" ([`IssueQueue::age_rank`]) in
+//!   O(log capacity), which the pipeline's adaptive-policy observation
+//!   needs at issue.
+//!
+//! The original O(capacity) computations are retained as `naive_*` methods
+//! under `cfg(any(test, feature = "slow-reference"))`; differential property
+//! tests (`differential_tests` below) assert that the incremental state
+//! always equals the naive recomputation across randomized
+//! dispatch/issue/hint/wakeup/wrap sequences.
 
 use crate::config::IssueQueueConfig;
 use crate::regfile::PhysReg;
-use sdiq_isa::FuClass;
+use sdiq_isa::{FuClass, RegClass};
 
 /// One resident instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,10 +67,7 @@ pub struct IqEntry {
 impl IqEntry {
     /// `true` once every present operand is ready.
     pub fn is_ready(&self) -> bool {
-        self.operands
-            .iter()
-            .flatten()
-            .all(|(_, ready)| *ready)
+        self.operands.iter().flatten().all(|(_, ready)| *ready)
     }
 
     /// Number of operands still waiting for a value.
@@ -68,11 +93,73 @@ pub struct WakeupActivity {
     pub matches: u64,
 }
 
+/// An entry that became fully ready during the last [`IssueQueue::wakeup`]
+/// broadcast (every operand now has its value).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadyEvent {
+    /// Slot of the now-ready entry.
+    pub slot: usize,
+    /// In-flight id of the now-ready entry.
+    pub id: u64,
+    /// Functional-unit class it needs.
+    pub fu: FuClass,
+}
+
+/// One waiting operand in the consumer index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Waiter {
+    slot: u32,
+    operand: u8,
+}
+
+/// Fenwick (binary indexed) tree over slot occupancy, for O(log n) age
+/// ranks.
+#[derive(Debug, Clone)]
+struct OccupancyTree {
+    tree: Vec<u32>,
+}
+
+impl OccupancyTree {
+    fn new(len: usize) -> Self {
+        OccupancyTree {
+            tree: vec![0; len + 1],
+        }
+    }
+
+    fn add(&mut self, index: usize, delta: i32) {
+        let mut i = index + 1;
+        while i < self.tree.len() {
+            self.tree[i] = self.tree[i].wrapping_add(delta as u32);
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Number of filled slots in `[0, index)`.
+    fn prefix(&self, index: usize) -> usize {
+        let mut sum = 0u32;
+        let mut i = index;
+        while i > 0 {
+            sum = sum.wrapping_add(self.tree[i]);
+            i -= i & i.wrapping_neg();
+        }
+        sum as usize
+    }
+}
+
+/// Dense index for a physical register (interleaves the two classes).
+fn dense_reg(reg: PhysReg) -> usize {
+    let class_bit = match reg.class {
+        RegClass::Int => 0,
+        RegClass::Fp => 1,
+    };
+    reg.index * 2 + class_bit
+}
+
 /// The issue queue.
 #[derive(Debug, Clone)]
 pub struct IssueQueue {
     slots: Vec<Option<IqEntry>>,
-    bank_size: usize,
+    config: IssueQueueConfig,
     head: usize,
     tail: usize,
     new_head: usize,
@@ -83,6 +170,22 @@ pub struct IssueQueue {
     /// Hardware limit on resident entries (used by the Abella-style adaptive
     /// baseline); `None` = full capacity.
     hard_limit: Option<usize>,
+
+    // --- incrementally maintained state (see module docs) -------------------
+    /// Residents per bank.
+    bank_occupancy: Vec<u32>,
+    /// Number of banks with at least one resident.
+    banks_nonempty: usize,
+    /// Filled slots in the circular window `[new_head, tail)`.
+    region_count: usize,
+    /// Waiting (not-yet-ready) operands across all residents.
+    waiting_total: u64,
+    /// Consumer index: dense register -> operands waiting on it.
+    waiters: Vec<Vec<Waiter>>,
+    /// Slot occupancy Fenwick tree for age ranks.
+    occupancy_tree: OccupancyTree,
+    /// Entries that became fully ready in the last `wakeup` call.
+    newly_ready: Vec<ReadyEvent>,
 }
 
 impl IssueQueue {
@@ -90,13 +193,20 @@ impl IssueQueue {
     pub fn new(config: IssueQueueConfig) -> Self {
         IssueQueue {
             slots: vec![None; config.entries],
-            bank_size: config.bank_size,
             head: 0,
             tail: 0,
             new_head: 0,
             count: 0,
             max_new_range: None,
             hard_limit: None,
+            bank_occupancy: vec![0; config.banks()],
+            banks_nonempty: 0,
+            region_count: 0,
+            waiting_total: 0,
+            waiters: Vec::new(),
+            occupancy_tree: OccupancyTree::new(config.entries),
+            newly_ready: Vec::new(),
+            config,
         }
     }
 
@@ -115,27 +225,22 @@ impl IssueQueue {
         self.count == 0
     }
 
-    /// Number of banks holding at least one resident instruction.
+    /// Number of banks holding at least one resident instruction. O(1).
     pub fn banks_on(&self) -> usize {
-        let banks = self.total_banks();
-        (0..banks)
-            .filter(|b| {
-                let lo = b * self.bank_size;
-                let hi = ((b + 1) * self.bank_size).min(self.slots.len());
-                self.slots[lo..hi].iter().any(|s| s.is_some())
-            })
-            .count()
+        self.banks_nonempty
     }
 
-    /// Total number of banks.
+    /// Total number of banks (one source of truth:
+    /// [`IssueQueueConfig::banks`]).
     pub fn total_banks(&self) -> usize {
-        (self.slots.len() + self.bank_size - 1) / self.bank_size
+        self.config.banks()
     }
 
     /// Applies a compiler hint: a new program region starts at the current
     /// tail and may use at most `max_new_range` entries.
     pub fn apply_hint(&mut self, max_new_range: usize) {
         self.new_head = self.tail;
+        self.region_count = 0;
         self.max_new_range = Some(max_new_range.max(1));
     }
 
@@ -156,9 +261,39 @@ impl IssueQueue {
     }
 
     /// Number of resident instructions in the current region
-    /// (between `new_head` and `tail`).
+    /// (between `new_head` and `tail`). O(1).
     pub fn new_region_occupancy(&self) -> usize {
-        self.count_filled_between(self.new_head, self.tail)
+        self.region_count
+    }
+
+    /// Circular distance from `from` to `to` (both `< capacity`), avoiding
+    /// an integer division on the hot path.
+    #[inline]
+    fn circular_distance(&self, from: usize, to: usize) -> usize {
+        let cap = self.capacity();
+        let diff = to + cap - from;
+        if diff >= cap {
+            diff - cap
+        } else {
+            diff
+        }
+    }
+
+    /// `slot + 1` with wraparound.
+    #[inline]
+    fn next_slot(&self, slot: usize) -> usize {
+        let next = slot + 1;
+        if next == self.capacity() {
+            0
+        } else {
+            next
+        }
+    }
+
+    /// `true` if `slot` lies in the circular window `[new_head, tail)`.
+    fn in_region(&self, slot: usize) -> bool {
+        self.circular_distance(self.new_head, slot)
+            < self.circular_distance(self.new_head, self.tail)
     }
 
     /// `true` if `slot` lies within the youngest bank of the usable window:
@@ -167,30 +302,25 @@ impl IssueQueue {
     /// how much this portion contributes to issue (Folegnani & González's
     /// "youngest portion of the queue").
     pub fn is_in_youngest_portion(&self, slot: usize, limit: usize) -> bool {
-        let cap = self.capacity();
-        let position = (slot + cap - self.head) % cap;
-        let limit = limit.clamp(self.bank_size, cap);
-        position + self.bank_size >= limit && position < limit
+        let position = self.circular_distance(self.head, slot);
+        let limit = limit.clamp(self.config.bank_size, self.capacity());
+        position + self.config.bank_size >= limit && position < limit
     }
 
-    fn count_filled_between(&self, from: usize, to: usize) -> usize {
-        let cap = self.capacity();
-        let mut count = 0;
-        let mut pos = from;
-        // Walk at most `cap` slots from `from` (exclusive of `to`).
-        let span = (to + cap - from) % cap;
-        for _ in 0..span {
-            if self.slots[pos].is_some() {
-                count += 1;
-            }
-            pos = (pos + 1) % cap;
+    /// Number of resident entries older than the one in `slot` — the entry's
+    /// position in age order. O(log capacity) via the occupancy tree.
+    pub fn age_rank(&self, slot: usize) -> usize {
+        if slot >= self.head {
+            self.occupancy_tree.prefix(slot) - self.occupancy_tree.prefix(self.head)
+        } else {
+            self.occupancy_tree.prefix(self.capacity()) - self.occupancy_tree.prefix(self.head)
+                + self.occupancy_tree.prefix(slot)
         }
-        count
     }
 
     /// `true` if another instruction may be dispatched right now, honouring
     /// the physical capacity, the software region limit and the hardware
-    /// limit.
+    /// limit. O(1).
     pub fn can_dispatch(&self) -> bool {
         // Physical capacity: the tail slot must be free, and the queue must
         // not have wrapped onto its own head.
@@ -203,7 +333,7 @@ impl IssueQueue {
             }
         }
         if let Some(range) = self.max_new_range {
-            if self.new_region_occupancy() >= range {
+            if self.region_count >= range {
                 return false;
             }
         }
@@ -216,11 +346,45 @@ impl IssueQueue {
     ///
     /// Panics if [`IssueQueue::can_dispatch`] is false.
     pub fn dispatch(&mut self, entry: IqEntry) -> usize {
-        assert!(self.can_dispatch(), "dispatch called on a full or limited queue");
+        assert!(
+            self.can_dispatch(),
+            "dispatch called on a full or limited queue"
+        );
         let slot = self.tail;
+        // Consumer index: register every waiting operand.
+        for (operand_idx, operand) in entry.operands.iter().enumerate() {
+            if let Some((reg, ready)) = operand {
+                if !ready {
+                    let key = dense_reg(*reg);
+                    if key >= self.waiters.len() {
+                        self.waiters.resize_with(key + 1, Vec::new);
+                    }
+                    self.waiters[key].push(Waiter {
+                        slot: slot as u32,
+                        operand: operand_idx as u8,
+                    });
+                    self.waiting_total += 1;
+                }
+            }
+        }
         self.slots[slot] = Some(entry);
-        self.tail = (self.tail + 1) % self.capacity();
+        self.occupancy_tree.add(slot, 1);
+        let bank = slot / self.config.bank_size;
+        self.bank_occupancy[bank] += 1;
+        if self.bank_occupancy[bank] == 1 {
+            self.banks_nonempty += 1;
+        }
+        self.tail = self.next_slot(self.tail);
         self.count += 1;
+        // Region accounting: the new resident joins the window unless the
+        // tail wrapped all the way around onto `new_head`, which collapses
+        // the window to an empty span (matching the modular-span
+        // definition of `new_region_occupancy`).
+        if self.tail == self.new_head {
+            self.region_count = 0;
+        } else {
+            self.region_count += 1;
+        }
         slot
     }
 
@@ -243,59 +407,208 @@ impl IssueQueue {
     ///
     /// Panics if the slot is already empty.
     pub fn remove(&mut self, slot: usize) {
-        assert!(self.slots[slot].is_some(), "removing an empty issue-queue slot");
-        self.slots[slot] = None;
+        let entry = self.slots[slot]
+            .take()
+            .expect("removing an empty issue-queue slot");
+        // Consumer index: drop any still-waiting operands of this entry.
+        for (operand_idx, operand) in entry.operands.iter().enumerate() {
+            if let Some((reg, false)) = operand {
+                let key = dense_reg(*reg);
+                let list = &mut self.waiters[key];
+                let position = list
+                    .iter()
+                    .position(|w| w.slot as usize == slot && w.operand as usize == operand_idx)
+                    .expect("waiting operand is indexed");
+                list.swap_remove(position);
+                self.waiting_total -= 1;
+            }
+        }
+        if self.in_region(slot) {
+            self.region_count -= 1;
+        }
+        self.occupancy_tree.add(slot, -1);
+        let bank = slot / self.config.bank_size;
+        self.bank_occupancy[bank] -= 1;
+        if self.bank_occupancy[bank] == 0 {
+            self.banks_nonempty -= 1;
+        }
         self.count -= 1;
         let cap = self.capacity();
         if self.count == 0 {
             self.head = self.tail;
             self.new_head = self.tail;
+            self.region_count = 0;
             return;
         }
-        // Advance head past empty slots to the oldest resident instruction.
-        // (Bounded walk: with count > 0 there is always a filled slot, and in
-        // the completely-wrapped case head may legitimately step past tail.)
-        let mut steps = 0;
-        while self.slots[self.head].is_none() && steps < cap {
-            self.head = (self.head + 1) % cap;
-            steps += 1;
+        // Advance head to the oldest resident instruction. With count > 0 a
+        // filled slot always exists, so walking every slot at most once
+        // provably terminates *on a filled slot* (the seed's bounded walk
+        // could end the loop with head still on an empty slot after exactly
+        // `cap` steps).
+        let mut found = false;
+        for _ in 0..cap {
+            if self.slots[self.head].is_some() {
+                found = true;
+                break;
+            }
+            self.head = self.next_slot(self.head);
         }
+        debug_assert!(found, "count > 0 implies a filled slot");
         // Advance new_head the same way (it only ever moves towards tail).
         while self.new_head != self.tail && self.slots[self.new_head].is_none() {
-            self.new_head = (self.new_head + 1) % cap;
+            self.new_head = self.next_slot(self.new_head);
         }
     }
 
-    /// Marks operand readiness directly (used when a value becomes ready
-    /// between rename and dispatch).
-    pub fn entry_mut(&mut self, slot: usize) -> Option<&mut IqEntry> {
-        self.slots[slot].as_mut()
+    /// Broadcasts a completed destination register, waking exactly the
+    /// operands waiting on it (consumer index — O(matches), not
+    /// O(capacity)), and returns the wakeup activity under the three
+    /// accounting schemes of Figure 8. Entries that became fully ready are
+    /// reported by [`IssueQueue::newly_ready`] until the next broadcast.
+    pub fn wakeup(&mut self, dest: PhysReg) -> WakeupActivity {
+        let mut activity = WakeupActivity {
+            full: 2 * self.capacity() as u64,
+            non_empty: 2 * self.count as u64,
+            // Every waiting operand in the queue performs one gated
+            // comparison against the broadcast tag.
+            gated: self.waiting_total,
+            matches: 0,
+        };
+        self.newly_ready.clear();
+        let key = dense_reg(dest);
+        if key >= self.waiters.len() {
+            return activity;
+        }
+        // Take the list out to release the borrow on `self.waiters`; it is
+        // put back (cleared, capacity retained) afterwards.
+        let mut woken = std::mem::take(&mut self.waiters[key]);
+        for waiter in &woken {
+            let entry = self.slots[waiter.slot as usize]
+                .as_mut()
+                .expect("indexed waiter refers to a resident entry");
+            let operand = entry.operands[waiter.operand as usize]
+                .as_mut()
+                .expect("indexed waiter refers to a present operand");
+            debug_assert_eq!(operand.0, dest);
+            debug_assert!(!operand.1, "indexed operand is waiting");
+            operand.1 = true;
+            activity.matches += 1;
+            self.waiting_total -= 1;
+            if entry.is_ready() {
+                self.newly_ready.push(ReadyEvent {
+                    slot: waiter.slot as usize,
+                    id: entry.id,
+                    fu: entry.fu,
+                });
+            }
+        }
+        woken.clear();
+        self.waiters[key] = woken;
+        activity
     }
 
-    /// Broadcasts a completed destination register to all resident entries,
-    /// waking matching operands, and returns the wakeup activity under the
-    /// three accounting schemes of Figure 8.
-    pub fn wakeup(&mut self, dest: PhysReg) -> WakeupActivity {
+    /// Entries that became fully ready during the last [`IssueQueue::wakeup`]
+    /// broadcast.
+    pub fn newly_ready(&self) -> &[ReadyEvent] {
+        &self.newly_ready
+    }
+}
+
+/// O(capacity) reference implementations of the incrementally maintained
+/// state, retained for differential testing (and available to external
+/// consumers through the `slow-reference` feature).
+#[cfg(any(test, feature = "slow-reference"))]
+impl IssueQueue {
+    /// Reference recomputation of [`IssueQueue::banks_on`].
+    pub fn naive_banks_on(&self) -> usize {
+        let banks = self.total_banks();
+        (0..banks)
+            .filter(|b| {
+                let lo = b * self.config.bank_size;
+                let hi = ((b + 1) * self.config.bank_size).min(self.slots.len());
+                self.slots[lo..hi].iter().any(|s| s.is_some())
+            })
+            .count()
+    }
+
+    /// Reference recomputation of [`IssueQueue::new_region_occupancy`]: the
+    /// original circular walk over the span `[new_head, tail)`.
+    pub fn naive_new_region_occupancy(&self) -> usize {
+        let cap = self.capacity();
+        let mut count = 0;
+        let mut pos = self.new_head;
+        let span = (self.tail + cap - self.new_head) % cap;
+        for _ in 0..span {
+            if self.slots[pos].is_some() {
+                count += 1;
+            }
+            pos = (pos + 1) % cap;
+        }
+        count
+    }
+
+    /// Reference recomputation of the total waiting-operand count (the
+    /// gated-comparison cost of one broadcast).
+    pub fn naive_waiting_total(&self) -> u64 {
+        self.slots
+            .iter()
+            .flatten()
+            .map(|e| e.waiting_operands() as u64)
+            .sum()
+    }
+
+    /// Reference recomputation of [`IssueQueue::age_rank`] by walking the
+    /// age-order iterator.
+    pub fn naive_age_rank(&self, slot: usize) -> usize {
+        self.iter_in_age_order()
+            .position(|(s, _)| s == slot)
+            .expect("slot is resident")
+    }
+
+    /// Reference wakeup: the original full-slot scan. Returns the activity
+    /// and the set of woken (slot, operand) pairs for comparison.
+    pub fn naive_wakeup(&mut self, dest: PhysReg) -> WakeupActivity {
         let mut activity = WakeupActivity {
             full: 2 * self.capacity() as u64,
             non_empty: 2 * self.count as u64,
             gated: 0,
             matches: 0,
         };
-        for slot in self.slots.iter_mut() {
-            if let Some(entry) = slot {
-                for operand in entry.operands.iter_mut().flatten() {
-                    if !operand.1 {
-                        activity.gated += 1;
-                        if operand.0 == dest {
-                            operand.1 = true;
-                            activity.matches += 1;
-                        }
+        for entry in self.slots.iter_mut().flatten() {
+            for operand in entry.operands.iter_mut().flatten() {
+                if !operand.1 {
+                    activity.gated += 1;
+                    if operand.0 == dest {
+                        operand.1 = true;
+                        activity.matches += 1;
                     }
                 }
             }
         }
         activity
+    }
+
+    /// Asserts every incremental counter equals its naive recomputation.
+    pub fn assert_consistent(&self) {
+        assert_eq!(self.banks_on(), self.naive_banks_on(), "banks_on");
+        assert_eq!(
+            self.new_region_occupancy(),
+            self.naive_new_region_occupancy(),
+            "new_region_occupancy"
+        );
+        assert_eq!(
+            self.waiting_total,
+            self.naive_waiting_total(),
+            "waiting_total"
+        );
+        assert_eq!(self.count, self.slots.iter().flatten().count(), "occupancy");
+        for (slot, _) in self.iter_in_age_order() {
+            assert_eq!(
+                self.age_rank(slot),
+                self.naive_age_rank(slot),
+                "age_rank({slot})"
+            );
+        }
     }
 }
 
@@ -329,6 +642,13 @@ mod tests {
         }
     }
 
+    fn int_reg(index: usize) -> PhysReg {
+        PhysReg {
+            class: RegClass::Int,
+            index,
+        }
+    }
+
     #[test]
     fn dispatch_and_age_order() {
         let mut q = queue(8, 4);
@@ -340,6 +660,7 @@ mod tests {
         let ids: Vec<u64> = q.iter_in_age_order().map(|(_, e)| e.id).collect();
         assert_eq!(ids, vec![0, 1, 2, 3, 4]);
         assert_eq!(q.banks_on(), 2);
+        q.assert_consistent();
     }
 
     #[test]
@@ -365,6 +686,7 @@ mod tests {
         q.remove(slots[0]);
         let ids: Vec<u64> = q.iter_in_age_order().map(|(_, e)| e.id).collect();
         assert_eq!(ids, vec![3]);
+        q.assert_consistent();
     }
 
     #[test]
@@ -393,6 +715,7 @@ mod tests {
         assert!(q.can_dispatch());
         q.dispatch(entry(20, &[]));
         assert!(!q.can_dispatch());
+        q.assert_consistent();
     }
 
     #[test]
@@ -406,6 +729,7 @@ mod tests {
         q.remove(slots[2]);
         q.remove(slots[0]);
         assert_eq!(q.new_region_occupancy(), 1);
+        q.assert_consistent();
     }
 
     #[test]
@@ -430,21 +754,59 @@ mod tests {
         q.dispatch(entry(0, &[(1, true), (2, true)]));
         q.dispatch(entry(1, &[(5, false)]));
         q.dispatch(entry(2, &[(6, false), (7, false)]));
-        let activity = q.wakeup(PhysReg {
-            class: RegClass::Int,
-            index: 5,
-        });
+        let activity = q.wakeup(int_reg(5));
         assert_eq!(activity.full, 16, "2 operands × 8 entries");
         assert_eq!(activity.non_empty, 6, "2 operands × 3 resident entries");
         assert_eq!(activity.gated, 3, "only waiting operands are compared");
         assert_eq!(activity.matches, 1);
-        // The woken entry is now ready to issue.
+        // The woken entry is reported ready to issue.
+        assert_eq!(q.newly_ready().len(), 1);
+        assert_eq!(q.newly_ready()[0].id, 1);
         let ready: Vec<u64> = q
             .iter_in_age_order()
             .filter(|(_, e)| e.is_ready())
             .map(|(_, e)| e.id)
             .collect();
         assert_eq!(ready, vec![0, 1]);
+        q.assert_consistent();
+    }
+
+    #[test]
+    fn wakeup_wakes_both_operands_of_one_entry_once() {
+        let mut q = queue(8, 4);
+        // Both operands wait on the same register: the broadcast must count
+        // two matches but report the entry ready exactly once.
+        q.dispatch(entry(0, &[(9, false), (9, false)]));
+        let activity = q.wakeup(int_reg(9));
+        assert_eq!(activity.matches, 2);
+        assert_eq!(activity.gated, 2);
+        assert_eq!(q.newly_ready().len(), 1);
+        assert_eq!(q.newly_ready()[0].id, 0);
+        q.assert_consistent();
+    }
+
+    #[test]
+    fn wakeup_of_unwaited_register_matches_nothing() {
+        let mut q = queue(8, 4);
+        q.dispatch(entry(0, &[(3, false)]));
+        let activity = q.wakeup(int_reg(4));
+        assert_eq!(activity.matches, 0);
+        assert_eq!(activity.gated, 1, "the waiting operand still compares");
+        assert!(q.newly_ready().is_empty());
+        q.assert_consistent();
+    }
+
+    #[test]
+    fn removal_drops_waiting_operands_from_the_index() {
+        let mut q = queue(8, 4);
+        let slot = q.dispatch(entry(0, &[(5, false)]));
+        q.remove(slot);
+        // The waiter was dropped with its entry: a later broadcast matches
+        // nothing and the gated count is zero.
+        let activity = q.wakeup(int_reg(5));
+        assert_eq!(activity.matches, 0);
+        assert_eq!(activity.gated, 0);
+        q.assert_consistent();
     }
 
     #[test]
@@ -462,6 +824,45 @@ mod tests {
         assert!(!q.can_dispatch());
         let ids: Vec<u64> = q.iter_in_age_order().map(|(_, e)| e.id).collect();
         assert_eq!(ids, vec![2, 3, 4, 5]);
+        q.assert_consistent();
+    }
+
+    /// Regression test for the seed's head-advance walk: with the queue
+    /// fully wrapped (head == tail, every slot filled), removing entries in
+    /// an order that leaves the head slot empty must land `head` on the
+    /// oldest *filled* slot, never on an empty one.
+    #[test]
+    fn full_wrap_removal_keeps_head_on_a_filled_slot() {
+        let mut q = queue(4, 2);
+        // Advance head/tail to slot 2, then fill completely (wraps to
+        // head == tail == 2 with count == 4).
+        let s0 = q.dispatch(entry(0, &[]));
+        let s1 = q.dispatch(entry(1, &[]));
+        q.remove(s0);
+        q.remove(s1);
+        let slots: Vec<usize> = (2..6).map(|id| q.dispatch(entry(id, &[]))).collect();
+        assert_eq!(q.occupancy(), 4);
+        // Remove the head entry (id 2) and the one after the wrap (id 4):
+        // head must walk across the wrap boundary over the hole at slot 0
+        // and stop on id 3's slot.
+        q.remove(slots[0]);
+        q.remove(slots[2]);
+        let ids: Vec<u64> = q.iter_in_age_order().map(|(_, e)| e.id).collect();
+        assert_eq!(ids, vec![3, 5]);
+        // Remove id 3 → head crosses the wrap to id 5's slot.
+        q.remove(slots[1]);
+        let ids: Vec<u64> = q.iter_in_age_order().map(|(_, e)| e.id).collect();
+        assert_eq!(ids, vec![5]);
+        q.assert_consistent();
+        // Drain to empty and refill across the wrap again.
+        q.remove(slots[3]);
+        assert!(q.is_empty());
+        for id in 10..14 {
+            assert!(q.can_dispatch());
+            q.dispatch(entry(id, &[]));
+        }
+        assert_eq!(q.occupancy(), 4);
+        q.assert_consistent();
     }
 
     #[test]
@@ -474,6 +875,7 @@ mod tests {
         }
         assert_eq!(q.banks_on(), 1);
         assert_eq!(q.occupancy(), 2);
+        q.assert_consistent();
     }
 
     #[test]
@@ -492,5 +894,182 @@ mod tests {
             n += 1;
         }
         assert_eq!(n, 2, "max_new_range still applies to the new region");
+    }
+
+    #[test]
+    fn age_rank_matches_age_order_position() {
+        let mut q = queue(8, 4);
+        let slots: Vec<usize> = (0..6).map(|id| q.dispatch(entry(id, &[]))).collect();
+        q.remove(slots[1]);
+        q.remove(slots[3]);
+        for (expected, (slot, _)) in q.iter_in_age_order().enumerate() {
+            assert_eq!(q.age_rank(slot), expected);
+        }
+        q.assert_consistent();
+    }
+}
+
+/// Differential property tests: random dispatch / remove / wakeup / hint /
+/// wrap sequences, asserting after every step that the incremental counters
+/// equal the naive O(capacity) recomputations and that the consumer-index
+/// wakeup behaves exactly like the reference full-slot scan.
+#[cfg(test)]
+mod differential_tests {
+    use super::*;
+    use proptest::prelude::*;
+    use sdiq_isa::RegClass;
+
+    const REG_UNIVERSE: usize = 24;
+
+    /// One step of the randomized workload. Values are interpreted modulo
+    /// the currently applicable domain so that every sequence is valid.
+    #[derive(Debug, Clone)]
+    enum Step {
+        /// Dispatch with up to two operands: (reg, ready) per operand.
+        Dispatch(Option<(usize, bool)>, Option<(usize, bool)>),
+        /// Remove the k-th resident entry (in age order).
+        RemoveNth(usize),
+        /// Broadcast a register.
+        Wakeup(usize),
+        /// Apply a software hint.
+        Hint(usize),
+        /// Set or clear the hardware limit.
+        HardLimit(Option<usize>),
+    }
+
+    fn arb_operand() -> impl Strategy<Value = Option<(usize, bool)>> {
+        prop_oneof![
+            (0usize..3usize).prop_map(|_| None),
+            ((0usize..REG_UNIVERSE), (0usize..4usize)).prop_map(|(reg, r)| Some((reg, r == 0))),
+        ]
+    }
+
+    fn arb_step() -> impl Strategy<Value = Step> {
+        prop_oneof![
+            (arb_operand(), arb_operand()).prop_map(|(a, b)| Step::Dispatch(a, b)),
+            (0usize..64usize).prop_map(Step::RemoveNth),
+            (0usize..REG_UNIVERSE).prop_map(Step::Wakeup),
+            (1usize..12usize).prop_map(Step::Hint),
+            (0usize..20usize).prop_map(|v| {
+                if v == 0 {
+                    Step::HardLimit(None)
+                } else {
+                    Step::HardLimit(Some(v))
+                }
+            }),
+        ]
+    }
+
+    fn reg(index: usize) -> PhysReg {
+        PhysReg {
+            class: if index.is_multiple_of(5) {
+                RegClass::Fp
+            } else {
+                RegClass::Int
+            },
+            index,
+        }
+    }
+
+    fn run_sequence(entries: usize, bank: usize, steps: &[Step]) -> Result<(), String> {
+        let config = IssueQueueConfig {
+            entries,
+            bank_size: bank,
+        };
+        let mut fast = IssueQueue::new(config);
+        // Shadow queue driven through the same mutations, woken with the
+        // naive reference scan instead of the consumer index.
+        let mut shadow = IssueQueue::new(config);
+        let mut next_id = 0u64;
+        for step in steps {
+            match step {
+                Step::Dispatch(a, b) => {
+                    if !fast.can_dispatch() {
+                        prop_assert!(!shadow.can_dispatch());
+                        continue;
+                    }
+                    let mut operands = [None, None];
+                    for (i, op) in [a, b].into_iter().enumerate() {
+                        if let Some((r, ready)) = op {
+                            operands[i] = Some((reg(*r), *ready));
+                        }
+                    }
+                    let entry = IqEntry {
+                        id: next_id,
+                        operands,
+                        fu: FuClass::IntAlu,
+                    };
+                    next_id += 1;
+                    let slot = fast.dispatch(entry);
+                    let shadow_slot = shadow.dispatch(entry);
+                    prop_assert_eq!(slot, shadow_slot);
+                }
+                Step::RemoveNth(k) => {
+                    if fast.is_empty() {
+                        continue;
+                    }
+                    let k = k % fast.occupancy();
+                    let slot = fast
+                        .iter_in_age_order()
+                        .nth(k)
+                        .map(|(s, _)| s)
+                        .expect("k < occupancy");
+                    fast.remove(slot);
+                    shadow.remove(slot);
+                }
+                Step::Wakeup(r) => {
+                    let fast_activity = fast.wakeup(reg(*r));
+                    let shadow_activity = shadow.naive_wakeup(reg(*r));
+                    prop_assert_eq!(fast_activity, shadow_activity);
+                    // Newly-ready events name exactly the entries the scan
+                    // made ready.
+                    for event in fast.newly_ready() {
+                        let entry = fast
+                            .iter_in_age_order()
+                            .find(|(s, _)| *s == event.slot)
+                            .map(|(_, e)| *e)
+                            .expect("event refers to a resident entry");
+                        prop_assert!(entry.is_ready());
+                        prop_assert_eq!(entry.id, event.id);
+                    }
+                }
+                Step::Hint(range) => {
+                    fast.apply_hint(*range);
+                    shadow.apply_hint(*range);
+                }
+                Step::HardLimit(limit) => {
+                    fast.set_hard_limit(*limit);
+                    shadow.set_hard_limit(*limit);
+                }
+            }
+            fast.assert_consistent();
+            // The two queues stay bit-identical in content.
+            prop_assert_eq!(fast.occupancy(), shadow.occupancy());
+            prop_assert_eq!(
+                fast.new_region_occupancy(),
+                shadow.naive_new_region_occupancy()
+            );
+            prop_assert_eq!(fast.banks_on(), shadow.naive_banks_on());
+            let fast_entries: Vec<(usize, IqEntry)> =
+                fast.iter_in_age_order().map(|(s, e)| (s, *e)).collect();
+            let shadow_entries: Vec<(usize, IqEntry)> =
+                shadow.iter_in_age_order().map(|(s, e)| (s, *e)).collect();
+            prop_assert_eq!(fast_entries, shadow_entries);
+        }
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        #[test]
+        fn incremental_state_equals_naive_recomputation(
+            steps in prop::collection::vec(arb_step(), 1..120),
+            geometry in (0usize..3usize),
+        ) {
+            // Small capacities maximise wrap-around coverage.
+            let (entries, bank) = [(8, 4), (12, 3), (16, 8)][geometry];
+            run_sequence(entries, bank, &steps)?;
+        }
     }
 }

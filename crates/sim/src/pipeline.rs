@@ -21,6 +21,26 @@
 //!
 //! Every structure feeds the activity counters in [`crate::stats`], which the
 //! power model consumes.
+//!
+//! # Hot-path data structures: O(actual work) per cycle
+//!
+//! The cycle loop performs no per-cycle heap allocation and never scans a
+//! structure proportionally to its capacity:
+//!
+//! * **Ready list** — issue selection walks a persistent, age-ordered list
+//!   of *ready* entries, maintained at dispatch (entries ready on arrival)
+//!   and at wakeup (the issue queue's consumer index reports entries that
+//!   just became fully ready), instead of re-scanning and re-allocating a
+//!   candidate vector from the whole queue each cycle. Per-class
+//!   functional-unit arbitration uses a fixed [`FuClass::COUNT`]-sized
+//!   array rather than a hash map.
+//! * **In-flight ring** — instructions get sequential ids and commit in
+//!   order, so the in-flight table is a `VecDeque` ring indexed by
+//!   `id - inflight_base` (O(1), no hashing) that doubles as the ROB.
+//! * **Event calendar** — completion events live in a circular calendar
+//!   (wheel) of `Vec` buckets sized to the maximum execution latency;
+//!   scheduling and per-cycle harvesting are O(events), with bucket
+//!   capacity recycled cycle over cycle.
 
 use crate::branch::BranchPredictor;
 use crate::cache::CacheHierarchy;
@@ -30,7 +50,7 @@ use crate::regfile::{PhysReg, RenamedRegFile};
 use crate::resize::{AdaptiveController, AdaptiveObservation, ResizePolicy};
 use crate::stats::ActivityStats;
 use sdiq_isa::{FuClass, Opcode, Program, RegClass, Trace};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::fmt;
 
 /// Errors a simulation can report.
@@ -87,7 +107,6 @@ struct InFlight {
     mem_addr: Option<u64>,
     mispredicted: bool,
     state: InstState,
-    iq_slot: Option<usize>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -97,14 +116,74 @@ struct FetchedInst {
     mispredicted: bool,
 }
 
+/// A resident, fully-ready issue-queue entry awaiting selection.
+#[derive(Debug, Clone, Copy)]
+struct ReadyCandidate {
+    id: u64,
+    slot: u32,
+    fu: FuClass,
+}
+
+/// Circular event calendar for completion events: bucket `cycle % len`
+/// holds the instruction ids completing at `cycle`. O(1) schedule, O(due
+/// events) harvest, bucket allocations recycled.
+#[derive(Debug)]
+struct EventWheel {
+    buckets: Vec<Vec<u64>>,
+    /// Spare bucket storage swapped in by [`EventWheel::take_due`] and
+    /// returned (cleared, capacity retained) by [`EventWheel::recycle`].
+    spare: Vec<u64>,
+}
+
+impl EventWheel {
+    /// A wheel able to schedule up to `max_latency` cycles ahead.
+    fn new(max_latency: u64) -> Self {
+        let len = (max_latency + 1).next_power_of_two() as usize;
+        EventWheel {
+            buckets: (0..len).map(|_| Vec::new()).collect(),
+            spare: Vec::new(),
+        }
+    }
+
+    /// Schedules `id` to complete at `due` (seen from `now`).
+    fn schedule(&mut self, now: u64, due: u64, id: u64) {
+        debug_assert!(due > now, "completion must be in the future");
+        assert!(
+            (due - now) < self.buckets.len() as u64,
+            "latency {} exceeds the event calendar horizon {}",
+            due - now,
+            self.buckets.len()
+        );
+        let index = (due % self.buckets.len() as u64) as usize;
+        self.buckets[index].push(id);
+    }
+
+    /// Takes the ids due at `cycle` (possibly empty). Return the `Vec` via
+    /// [`EventWheel::recycle`] to keep the steady state allocation-free.
+    fn take_due(&mut self, cycle: u64) -> Vec<u64> {
+        let index = (cycle % self.buckets.len() as u64) as usize;
+        std::mem::replace(&mut self.buckets[index], std::mem::take(&mut self.spare))
+    }
+
+    /// Returns a bucket taken with [`EventWheel::take_due`].
+    fn recycle(&mut self, mut bucket: Vec<u64>) {
+        bucket.clear();
+        self.spare = bucket;
+    }
+}
+
 /// The trace-driven out-of-order pipeline simulator.
 ///
 /// Create one per run with [`Simulator::new`] and call [`Simulator::run`].
 #[derive(Debug)]
 pub struct Simulator<'a> {
     config: SimConfig,
-    program: &'a Program,
     trace: &'a Trace,
+    /// Static instruction of each trace entry, resolved once at
+    /// construction: fetch and dispatch both consult the static side of
+    /// every dynamic instruction, and `Program::instruction` is three
+    /// indirections deep.
+    decoded: Vec<&'a sdiq_isa::Instruction>,
     policy: ResizePolicy,
 
     caches: CacheHierarchy,
@@ -121,11 +200,17 @@ pub struct Simulator<'a> {
     fetch_blocked_by: Option<usize>,
     last_fetched_line: Option<u64>,
 
-    rob: VecDeque<u64>,
+    /// In-flight ring: instruction `id` lives at `inflight[id -
+    /// inflight_base]`. Dispatch pushes at the back, in-order commit pops at
+    /// the front, so the ring *is* the ROB (`inflight.len()` = ROB
+    /// occupancy).
+    inflight: VecDeque<InFlight>,
+    inflight_base: u64,
     rob_limit: usize,
-    inflight: HashMap<u64, InFlight>,
     next_id: u64,
-    completions: BTreeMap<u64, Vec<u64>>,
+    completions: EventWheel,
+    /// Persistent age-ordered (= id-ordered) list of ready issue candidates.
+    ready: Vec<ReadyCandidate>,
     /// Hint NOOPs stripped during the current dispatch step; they count
     /// towards trace progress but not towards committed instructions.
     strip_count_this_cycle: usize,
@@ -159,6 +244,40 @@ impl<'a> Simulator<'a> {
             ..ActivityStats::default()
         };
         stats.cycles = 0;
+        // The longest possible completion latency: a load missing all the
+        // way to memory, or the slowest functional unit (fp divide); +4 for
+        // the issue-cycle offsets.
+        let max_latency =
+            u64::from(1 + config.l1d.hit_latency + config.l2.hit_latency + config.memory_latency)
+                .max(16)
+                + 4;
+        // Resolve every dynamic instruction's static side once. Consecutive
+        // trace entries overwhelmingly share a basic block, so the block's
+        // instruction slice is looked up only on block changes.
+        let mut decoded: Vec<&'a sdiq_isa::Instruction> = Vec::with_capacity(trace.committed.len());
+        let mut cached_block: Option<(
+            sdiq_isa::ProcId,
+            sdiq_isa::BlockId,
+            &'a [sdiq_isa::Instruction],
+        )> = None;
+        for dyn_inst in &trace.committed {
+            let loc = dyn_inst.loc;
+            let instructions = match cached_block {
+                Some((proc, block, instructions)) if proc == loc.proc && block == loc.block => {
+                    instructions
+                }
+                _ => {
+                    let instructions = program
+                        .proc(loc.proc)
+                        .block(loc.block)
+                        .instructions
+                        .as_slice();
+                    cached_block = Some((loc.proc, loc.block, instructions));
+                    instructions
+                }
+            };
+            decoded.push(&instructions[loc.index]);
+        }
         Simulator {
             caches: CacheHierarchy::new(&config),
             bpred: BranchPredictor::new(config.branch),
@@ -171,16 +290,17 @@ impl<'a> Simulator<'a> {
             fetch_stalled_until: 0,
             fetch_blocked_by: None,
             last_fetched_line: None,
-            rob: VecDeque::new(),
+            inflight: VecDeque::new(),
+            inflight_base: 0,
             rob_limit: config.widths.rob_capacity,
-            inflight: HashMap::new(),
             next_id: 0,
-            completions: BTreeMap::new(),
+            completions: EventWheel::new(max_latency),
+            ready: Vec::new(),
             strip_count_this_cycle: 0,
             stats,
             config,
-            program,
             trace,
+            decoded,
             policy,
         }
     }
@@ -190,6 +310,17 @@ impl<'a> Simulator<'a> {
             RegClass::Int => &mut self.int_rf,
             RegClass::Fp => &mut self.fp_rf,
         }
+    }
+
+    /// Ring index of in-flight instruction `id` (ids are sequential and
+    /// commit in order, so `id - inflight_base` is the ring offset).
+    fn inflight_index(&self, id: u64) -> usize {
+        (id - self.inflight_base) as usize
+    }
+
+    fn inflight_mut(&mut self, id: u64) -> &mut InFlight {
+        let index = self.inflight_index(id);
+        &mut self.inflight[index]
     }
 
     /// Runs the simulation to completion and returns the activity counters.
@@ -210,11 +341,11 @@ impl<'a> Simulator<'a> {
 
         while committed_total < total {
             // --- 1. writeback ------------------------------------------------
-            if let Some(ids) = self.completions.remove(&cycle) {
-                for id in ids {
-                    self.writeback(id, cycle);
-                }
+            let due = self.completions.take_due(cycle);
+            for &id in &due {
+                self.writeback(id, cycle);
             }
+            self.completions.recycle(due);
 
             // --- 2. commit ----------------------------------------------------
             let committed_now = self.commit(cycle);
@@ -249,7 +380,7 @@ impl<'a> Simulator<'a> {
                     cycle,
                     detail: format!(
                         "committed {committed_total}/{total}, rob={} iq={} fetchq={} next_fetch={}",
-                        self.rob.len(),
+                        self.inflight.len(),
                         self.iq.occupancy(),
                         self.fetch_queue.len(),
                         self.next_fetch
@@ -269,11 +400,9 @@ impl<'a> Simulator<'a> {
     }
 
     fn writeback(&mut self, id: u64, cycle: u64) {
-        let (dest, mispredicted, trace_idx) = {
-            let inst = self.inflight.get_mut(&id).expect("in-flight instruction");
-            inst.state = InstState::Completed;
-            (inst.dest, inst.mispredicted, inst.trace_idx)
-        };
+        let inst = self.inflight_mut(id);
+        inst.state = InstState::Completed;
+        let (dest, mispredicted, trace_idx) = (inst.dest, inst.mispredicted, inst.trace_idx);
         if let Some(dest) = dest {
             // Write the register file and broadcast into the issue queue.
             self.rf_for(dest.class).write_value(dest);
@@ -286,6 +415,17 @@ impl<'a> Simulator<'a> {
             self.stats.wakeup_comparisons_full += activity.full;
             self.stats.wakeup_comparisons_nonempty += activity.non_empty;
             self.stats.wakeup_comparisons_gated += activity.gated;
+            // Entries the broadcast completed join the ready list at their
+            // age-order (= id-order) position.
+            for event in self.iq.newly_ready() {
+                let candidate = ReadyCandidate {
+                    id: event.id,
+                    slot: event.slot as u32,
+                    fu: event.fu,
+                };
+                let position = self.ready.partition_point(|c| c.id < candidate.id);
+                self.ready.insert(position, candidate);
+            }
         }
         if mispredicted && self.fetch_blocked_by == Some(trace_idx) {
             self.fetch_blocked_by = None;
@@ -299,17 +439,16 @@ impl<'a> Simulator<'a> {
         let width = self.config.widths.pipeline_width;
         let mut committed = 0;
         while committed < width {
-            let Some(&head) = self.rob.front() else { break };
             let done = self
                 .inflight
-                .get(&head)
-                .map(|i| i.state == InstState::Completed)
+                .front()
+                .map(|inst| inst.state == InstState::Completed)
                 .unwrap_or(false);
             if !done {
                 break;
             }
-            self.rob.pop_front();
-            let inst = self.inflight.remove(&head).expect("committed instruction");
+            let inst = self.inflight.pop_front().expect("committed instruction");
+            self.inflight_base += 1;
             if let Some(prev) = inst.prev_dest {
                 self.rf_for(prev.class).release(prev);
             }
@@ -322,42 +461,60 @@ impl<'a> Simulator<'a> {
     fn issue(&mut self, cycle: u64) -> AdaptiveObservation {
         let issue_width = self.config.widths.pipeline_width;
         let fu_counts = self.config.fu_counts;
-        let mut per_class: HashMap<FuClass, usize> = HashMap::new();
-        // Collect candidates oldest-first, remembering each entry's age rank
-        // among the resident instructions (used by the adaptive heuristic to
-        // measure the contribution of the youngest bank of its window).
-        let candidates: Vec<(usize, usize, u64, FuClass)> = self
-            .iq
-            .iter_in_age_order()
-            .enumerate()
-            .filter(|(_, (_, e))| e.is_ready())
-            .map(|(rank, (slot, e))| (rank, slot, e.id, e.fu))
-            .collect();
         let limit = self.iq.hard_limit().unwrap_or_else(|| self.iq.capacity());
         let bank_size = self.config.iq.bank_size;
+        // The youngest-bank signal is only consumed by the adaptive
+        // controller, and no resident can rank inside the youngest window
+        // when the occupancy snapshot doesn't reach it (max rank =
+        // occupancy - 1 < limit - bank_size): skip the rank queries
+        // entirely in both cases.
+        let track_youngest = self.adaptive.is_some() && self.iq.occupancy() + bank_size > limit;
+        let mut fu_used = [0usize; FuClass::COUNT];
         let mut issued = 0usize;
         let mut observation = AdaptiveObservation::default();
-        for (rank, slot, id, fu) in candidates {
+
+        // Walk the persistent ready list oldest-first, selecting within the
+        // issue width and per-class functional-unit counts; non-selected
+        // candidates are compacted back in place (no allocation). The list
+        // is taken out of `self` for the duration to keep the borrow
+        // checker satisfied; nothing pushes to it during issue.
+        let mut candidates = std::mem::take(&mut self.ready);
+        let mut kept = 0usize;
+        for index in 0..candidates.len() {
+            let candidate = candidates[index];
             if issued >= issue_width {
-                break;
-            }
-            let used = per_class.entry(fu).or_insert(0);
-            if *used >= fu_counts.for_class(fu) {
+                candidates[kept] = candidate;
+                kept += 1;
                 continue;
             }
-            *used += 1;
-            issued += 1;
-            observation.issued += 1;
-            if rank + bank_size >= limit {
-                observation.issued_from_youngest_bank += 1;
+            let class = candidate.fu.index();
+            if fu_used[class] >= fu_counts.for_class(candidate.fu) {
+                candidates[kept] = candidate;
+                kept += 1;
+                continue;
             }
+            fu_used[class] += 1;
+            observation.issued += 1;
+            // Age rank among the residents at the *start* of this issue
+            // step: every candidate issued earlier this cycle was older, so
+            // add them back to the post-removal rank. Only the adaptive
+            // controller consumes the youngest-bank signal, so the rank
+            // query is skipped entirely for the other policies.
+            if track_youngest {
+                let rank = self.iq.age_rank(candidate.slot as usize) + issued;
+                if rank + bank_size >= limit {
+                    observation.issued_from_youngest_bank += 1;
+                }
+            }
+            issued += 1;
 
-            self.iq.remove(slot);
+            let id = candidate.id;
+            self.iq.remove(candidate.slot as usize);
             self.stats.iq_reads += 1;
             self.stats.issued += 1;
 
             // Register-file read ports.
-            let srcs = self.inflight[&id].srcs;
+            let srcs = self.inflight[self.inflight_index(id)].srcs;
             for src in srcs.iter().flatten() {
                 self.rf_for(src.class).read_value(*src);
                 match src.class {
@@ -367,16 +524,11 @@ impl<'a> Simulator<'a> {
             }
 
             // Execution latency.
-            let (opcode, mem_addr) = {
-                let inst = self.inflight.get_mut(&id).expect("issuing instruction");
-                inst.state = InstState::Executing;
-                inst.iq_slot = None;
-                (inst.opcode, inst.mem_addr)
-            };
+            let inst = self.inflight_mut(id);
+            inst.state = InstState::Executing;
+            let (opcode, mem_addr) = (inst.opcode, inst.mem_addr);
             let latency = if opcode.is_load() {
-                let access = self
-                    .caches
-                    .access_data(mem_addr.unwrap_or(0x1000_0000));
+                let access = self.caches.access_data(mem_addr.unwrap_or(0x1000_0000));
                 if access.l2_miss {
                     self.stats.l2_misses += 1;
                 }
@@ -384,9 +536,7 @@ impl<'a> Simulator<'a> {
             } else if opcode.is_store() {
                 // Stores update the cache but retire from the pipeline's point
                 // of view after address generation.
-                let access = self
-                    .caches
-                    .access_data(mem_addr.unwrap_or(0x1000_0000));
+                let access = self.caches.access_data(mem_addr.unwrap_or(0x1000_0000));
                 if access.l2_miss {
                     self.stats.l2_misses += 1;
                 }
@@ -394,11 +544,10 @@ impl<'a> Simulator<'a> {
             } else {
                 u64::from(opcode.latency().max(1))
             };
-            self.completions
-                .entry(cycle + latency)
-                .or_default()
-                .push(id);
+            self.completions.schedule(cycle, cycle + latency, id);
         }
+        candidates.truncate(kept);
+        self.ready = candidates;
         observation
     }
 
@@ -410,12 +559,14 @@ impl<'a> Simulator<'a> {
         let mut dispatched = 0usize;
         let mut blocked_by_limit = false;
         while dispatched < width {
-            let Some(front) = self.fetch_queue.front().copied() else { break };
+            let Some(front) = self.fetch_queue.front().copied() else {
+                break;
+            };
             if front.decode_ready > cycle {
                 break;
             }
             let dyn_inst = &self.trace.committed[front.trace_idx];
-            let static_inst = self.program.instruction(dyn_inst.loc);
+            let static_inst = self.decoded[front.trace_idx];
 
             // Special NOOP: strip it at the final decode stage. It consumes
             // this dispatch slot but never enters the issue queue.
@@ -448,7 +599,7 @@ impl<'a> Simulator<'a> {
                 }
                 break;
             }
-            if self.rob.len() >= self.rob_limit.min(self.config.widths.rob_capacity) {
+            if self.inflight.len() >= self.rob_limit.min(self.config.widths.rob_capacity) {
                 self.stats.rob_full_stall_cycles += 1;
                 break;
             }
@@ -507,22 +658,27 @@ impl<'a> Simulator<'a> {
             let slot = self.iq.dispatch(entry);
             self.stats.iq_writes += 1;
             self.stats.dispatched += 1;
+            // Ready on arrival → joins the ready list immediately. Ids are
+            // monotonic, so appending keeps the list age-ordered.
+            if entry.is_ready() {
+                self.ready.push(ReadyCandidate {
+                    id,
+                    slot: slot as u32,
+                    fu: entry.fu,
+                });
+            }
 
-            self.inflight.insert(
-                id,
-                InFlight {
-                    trace_idx: front.trace_idx,
-                    opcode: static_inst.opcode,
-                    dest,
-                    prev_dest,
-                    srcs,
-                    mem_addr: dyn_inst.mem_addr,
-                    mispredicted: front.mispredicted,
-                    state: InstState::InIssueQueue,
-                    iq_slot: Some(slot),
-                },
-            );
-            self.rob.push_back(id);
+            debug_assert_eq!(id, self.inflight_base + self.inflight.len() as u64);
+            self.inflight.push_back(InFlight {
+                trace_idx: front.trace_idx,
+                opcode: static_inst.opcode,
+                dest,
+                prev_dest,
+                srcs,
+                mem_addr: dyn_inst.mem_addr,
+                mispredicted: front.mispredicted,
+                state: InstState::InIssueQueue,
+            });
             self.fetch_queue.pop_front();
             dispatched += 1;
         }
@@ -543,7 +699,7 @@ impl<'a> Simulator<'a> {
         {
             let idx = self.next_fetch;
             let dyn_inst = &self.trace.committed[idx];
-            let static_inst = self.program.instruction(dyn_inst.loc);
+            let static_inst = self.decoded[idx];
             let addr = dyn_inst.addr;
 
             // I-cache: one access per new cache line touched.
@@ -633,14 +789,11 @@ impl<'a> Simulator<'a> {
         // model keeps a single circular buffer underneath.
         let bank_size = self.config.iq.bank_size.max(1);
         let banks_on = match self.iq.hard_limit() {
-            Some(limit) => {
-                let enabled = (limit + bank_size - 1) / bank_size;
-                enabled.min(self.config.iq.banks())
-            }
+            Some(limit) => limit.div_ceil(bank_size).min(self.config.iq.banks()),
             None => self.iq.banks_on(),
         };
         self.stats.iq_banks_on_sum += banks_on as u64;
-        self.stats.rob_occupancy_sum += self.rob.len() as u64;
+        self.stats.rob_occupancy_sum += self.inflight.len() as u64;
         self.stats.int_rf_occupancy_sum += self.int_rf.occupancy() as u64;
         self.stats.int_rf_banks_on_sum += self.int_rf.banks_on() as u64;
         self.stats.fp_rf_occupancy_sum += self.fp_rf.occupancy() as u64;
@@ -697,14 +850,9 @@ mod tests {
     fn baseline_run_commits_everything() {
         let program = loop_program(200, 4);
         let trace = Executor::new(&program).run(200_000).unwrap();
-        let result = Simulator::new(
-            SimConfig::hpca2005(),
-            &program,
-            &trace,
-            ResizePolicy::Fixed,
-        )
-        .run()
-        .unwrap();
+        let result = Simulator::new(SimConfig::hpca2005(), &program, &trace, ResizePolicy::Fixed)
+            .run()
+            .unwrap();
         assert_eq!(result.stats.committed, trace.len() as u64);
         assert!(result.stats.cycles > 0);
         let ipc = result.stats.ipc();
@@ -724,10 +872,7 @@ mod tests {
     #[test]
     fn adaptive_policy_resizes_and_still_commits() {
         let program = loop_program(4000, 2);
-        let result = run(
-            &program,
-            ResizePolicy::Adaptive(AdaptiveConfig::iqrob64()),
-        );
+        let result = run(&program, ResizePolicy::Adaptive(AdaptiveConfig::iqrob64()));
         assert!(result.stats.committed > 0);
         assert!(result.adaptive_resizes > 0, "controller should have acted");
         // Low-ILP loop → the adaptive queue shrinks → fewer banks on average
@@ -755,5 +900,73 @@ mod tests {
         assert!(s.iq_occupancy_sum > 0);
         assert!(s.avg_iq_occupancy() <= s.iq_total_entries as f64);
         assert!(s.avg_iq_banks_on() <= s.iq_total_banks as f64);
+    }
+
+    /// On a program with no hints, the software-hint policy degenerates to
+    /// the fixed baseline bit-for-bit.
+    #[test]
+    fn policies_agree_where_they_must() {
+        let program = loop_program(250, 3);
+        let fixed = run(&program, ResizePolicy::Fixed);
+        let hinted = run(&program, ResizePolicy::SoftwareHint);
+        // No hints in the program → bit-identical behaviour.
+        assert_eq!(fixed.stats, hinted.stats);
+    }
+
+    /// A hand-hinted loop body drives the region accounting: the hint NOOP
+    /// is stripped (counted separately), everything still commits, and the
+    /// tight region limit actually stalls dispatch.
+    #[test]
+    fn software_hints_limit_dispatch_on_a_hinted_program() {
+        let mut b = ProgramBuilder::new();
+        let main = b.procedure("main");
+        {
+            let p = b.proc_mut(main);
+            let entry = p.block();
+            let body = p.block();
+            let exit = p.block();
+            p.with_block(entry, |bb| {
+                bb.li(int_reg(1), 0);
+                bb.li(int_reg(2), 1000);
+                bb.jump(body);
+            });
+            p.with_block(body, |bb| {
+                // Advertise a tiny region before a wide independent body.
+                bb.hint_noop(4);
+                for k in 0..8 {
+                    bb.addi(int_reg(3 + (k % 6) as u8), int_reg(2), k as i64);
+                }
+                bb.addi(int_reg(1), int_reg(1), 1);
+                bb.blt(int_reg(1), 300, body, exit);
+            });
+            p.with_block(exit, |bb| {
+                bb.ret();
+            });
+            p.set_entry(entry);
+        }
+        let program = b.finish(main).unwrap();
+        let trace = Executor::new(&program).run(200_000).unwrap();
+        let fixed = Simulator::new(SimConfig::hpca2005(), &program, &trace, ResizePolicy::Fixed)
+            .run()
+            .unwrap();
+        let hinted = Simulator::new(
+            SimConfig::hpca2005(),
+            &program,
+            &trace,
+            ResizePolicy::SoftwareHint,
+        )
+        .run()
+        .unwrap();
+        for result in [&fixed, &hinted] {
+            assert_eq!(
+                result.stats.committed + result.stats.committed_hints,
+                trace.len() as u64
+            );
+            assert!(result.stats.committed_hints >= 300);
+        }
+        // Only the hint-honouring policy is throttled by the region limit.
+        assert_eq!(fixed.stats.dispatch_limit_stall_cycles, 0);
+        assert!(hinted.stats.dispatch_limit_stall_cycles > 0);
+        assert!(hinted.stats.avg_iq_occupancy() < fixed.stats.avg_iq_occupancy());
     }
 }

@@ -6,11 +6,17 @@
 //! commits. Allocation always picks the lowest-numbered free register so
 //! that live registers cluster into the low banks, which is what lets unused
 //! banks be switched off (§1, §5.2.3).
+//!
+//! Hot-path note: the free list is a bitset scanned with `trailing_zeros`
+//! (lowest-free in O(words)), and occupancy / powered-bank counts are
+//! maintained incrementally so the per-cycle statistics collection is O(1)
+//! instead of O(registers). The original scans are retained as `naive_*`
+//! methods under `cfg(any(test, feature = "slow-reference"))` for
+//! differential testing.
 
 use crate::config::RegFileConfig;
 use sdiq_isa::{ArchReg, RegClass, NUM_ARCH_INT_REGS};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
 
 /// A physical register: class + index within that class's file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -27,9 +33,19 @@ pub struct RenamedRegFile {
     class: RegClass,
     config: RegFileConfig,
     rename_map: Vec<usize>,
-    free: BTreeSet<usize>,
+    /// Bitset of free physical registers (bit set = free).
+    free_words: Vec<u64>,
+    free_count: usize,
     allocated: Vec<bool>,
+    /// `mapped[p]` — physical register `p` is the current mapping of some
+    /// architectural register (O(1) stand-in for `rename_map.contains`).
+    mapped: Vec<bool>,
     ready: Vec<bool>,
+    /// Allocated (live) register count, maintained incrementally.
+    live_count: usize,
+    /// Live registers per bank, and the number of banks with at least one.
+    bank_occupancy: Vec<u32>,
+    banks_nonempty: usize,
     reads: u64,
     writes: u64,
 }
@@ -48,25 +64,44 @@ impl RenamedRegFile {
             config.regs_per_class >= arch_count,
             "physical register file must cover the architectural registers"
         );
-        let mut free = BTreeSet::new();
+        let words = config.regs_per_class.div_ceil(64);
+        let mut free_words = vec![0u64; words];
         for i in arch_count..config.regs_per_class {
-            free.insert(i);
+            free_words[i / 64] |= 1u64 << (i % 64);
         }
         let mut allocated = vec![false; config.regs_per_class];
+        let mut mapped = vec![false; config.regs_per_class];
         let mut ready = vec![false; config.regs_per_class];
         for slot in allocated.iter_mut().take(arch_count) {
+            *slot = true;
+        }
+        for slot in mapped.iter_mut().take(arch_count) {
             *slot = true;
         }
         for slot in ready.iter_mut().take(arch_count) {
             *slot = true;
         }
+        let mut bank_occupancy = vec![0u32; config.banks()];
+        let mut banks_nonempty = 0;
+        for reg in 0..arch_count {
+            let bank = reg / config.bank_size;
+            bank_occupancy[bank] += 1;
+            if bank_occupancy[bank] == 1 {
+                banks_nonempty += 1;
+            }
+        }
         RenamedRegFile {
             class,
             config,
             rename_map: (0..arch_count).collect(),
-            free,
+            free_words,
+            free_count: config.regs_per_class - arch_count,
             allocated,
+            mapped,
             ready,
+            live_count: arch_count,
+            bank_occupancy,
+            banks_nonempty,
             reads: 0,
             writes: 0,
         }
@@ -92,7 +127,41 @@ impl RenamedRegFile {
 
     /// `true` if a physical register can be allocated right now.
     pub fn has_free(&self) -> bool {
-        !self.free.is_empty()
+        self.free_count > 0
+    }
+
+    /// Lowest free physical register index, if any.
+    fn lowest_free(&self) -> Option<usize> {
+        for (word_index, &word) in self.free_words.iter().enumerate() {
+            if word != 0 {
+                return Some(word_index * 64 + word.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    fn mark_allocated(&mut self, index: usize) {
+        self.free_words[index / 64] &= !(1u64 << (index % 64));
+        self.free_count -= 1;
+        self.allocated[index] = true;
+        self.live_count += 1;
+        let bank = index / self.config.bank_size;
+        self.bank_occupancy[bank] += 1;
+        if self.bank_occupancy[bank] == 1 {
+            self.banks_nonempty += 1;
+        }
+    }
+
+    fn mark_free(&mut self, index: usize) {
+        self.free_words[index / 64] |= 1u64 << (index % 64);
+        self.free_count += 1;
+        self.allocated[index] = false;
+        self.live_count -= 1;
+        let bank = index / self.config.bank_size;
+        self.bank_occupancy[bank] -= 1;
+        if self.bank_occupancy[bank] == 0 {
+            self.banks_nonempty -= 1;
+        }
     }
 
     /// Allocates a new physical register for a write to `arch`, returning the
@@ -104,12 +173,13 @@ impl RenamedRegFile {
     /// Panics if `arch` belongs to a different class.
     pub fn allocate_dest(&mut self, arch: ArchReg) -> Option<(PhysReg, PhysReg)> {
         assert_eq!(arch.class(), self.class);
-        let new_index = *self.free.iter().next()?;
-        self.free.remove(&new_index);
-        self.allocated[new_index] = true;
+        let new_index = self.lowest_free()?;
+        self.mark_allocated(new_index);
         self.ready[new_index] = false;
         let old_index = self.rename_map[arch.index() as usize];
         self.rename_map[arch.index() as usize] = new_index;
+        self.mapped[old_index] = false;
+        self.mapped[new_index] = true;
         Some((
             PhysReg {
                 class: self.class,
@@ -148,23 +218,47 @@ impl RenamedRegFile {
         debug_assert_eq!(reg.class, self.class);
         // Never release a register that is currently mapped (can happen only
         // through misuse; guard to keep the invariant).
-        if self.rename_map.contains(&reg.index) {
+        if self.mapped[reg.index] {
             return;
         }
         if self.allocated[reg.index] {
-            self.allocated[reg.index] = false;
             self.ready[reg.index] = false;
-            self.free.insert(reg.index);
+            self.mark_free(reg.index);
         }
     }
 
-    /// Number of currently allocated (live) physical registers.
+    /// Number of currently allocated (live) physical registers. O(1).
     pub fn occupancy(&self) -> usize {
+        self.live_count
+    }
+
+    /// Number of banks holding at least one allocated register. O(1).
+    pub fn banks_on(&self) -> usize {
+        self.banks_nonempty
+    }
+
+    /// Total banks in the file.
+    pub fn total_banks(&self) -> usize {
+        self.config.banks()
+    }
+
+    /// (read-port accesses, write-port accesses) so far.
+    pub fn port_stats(&self) -> (u64, u64) {
+        (self.reads, self.writes)
+    }
+}
+
+/// O(registers) reference implementations of the incrementally maintained
+/// counters, for differential testing.
+#[cfg(any(test, feature = "slow-reference"))]
+impl RenamedRegFile {
+    /// Reference recomputation of [`RenamedRegFile::occupancy`].
+    pub fn naive_occupancy(&self) -> usize {
         self.allocated.iter().filter(|&&a| a).count()
     }
 
-    /// Number of banks holding at least one allocated register.
-    pub fn banks_on(&self) -> usize {
+    /// Reference recomputation of [`RenamedRegFile::banks_on`].
+    pub fn naive_banks_on(&self) -> usize {
         let bank_size = self.config.bank_size;
         let banks = self.config.banks();
         (0..banks)
@@ -176,14 +270,28 @@ impl RenamedRegFile {
             .count()
     }
 
-    /// Total banks in the file.
-    pub fn total_banks(&self) -> usize {
-        self.config.banks()
-    }
-
-    /// (read-port accesses, write-port accesses) so far.
-    pub fn port_stats(&self) -> (u64, u64) {
-        (self.reads, self.writes)
+    /// Asserts every incremental counter equals its naive recomputation.
+    pub fn assert_consistent(&self) {
+        assert_eq!(self.occupancy(), self.naive_occupancy(), "occupancy");
+        assert_eq!(self.banks_on(), self.naive_banks_on(), "banks_on");
+        let free_bits: usize = self
+            .free_words
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum();
+        assert_eq!(self.free_count, free_bits, "free_count");
+        assert_eq!(
+            self.free_count + self.live_count,
+            self.config.regs_per_class,
+            "free/live partition"
+        );
+        for (index, &is_mapped) in self.mapped.iter().enumerate() {
+            assert_eq!(
+                is_mapped,
+                self.rename_map.contains(&index),
+                "mapped[{index}]"
+            );
+        }
     }
 }
 
@@ -214,6 +322,7 @@ mod tests {
         // 32 live registers in banks of 8 → 4 banks on out of 14.
         assert_eq!(rf.banks_on(), 4);
         assert_eq!(rf.total_banks(), 14);
+        rf.assert_consistent();
     }
 
     #[test]
@@ -227,6 +336,7 @@ mod tests {
         rf.write_value(new);
         assert!(rf.is_ready(new));
         assert_eq!(rf.port_stats(), (0, 1));
+        rf.assert_consistent();
     }
 
     #[test]
@@ -240,6 +350,7 @@ mod tests {
         // The released register (index 3) is reused before higher indices.
         let (new, _) = rf.allocate_dest(int_reg(4)).unwrap();
         assert_eq!(new.index, 3);
+        rf.assert_consistent();
     }
 
     #[test]
@@ -250,6 +361,7 @@ mod tests {
         // Still allocated because it is the live mapping of r7.
         assert_eq!(rf.occupancy(), 32);
         assert_eq!(rf.rename_source(int_reg(7)), mapped);
+        rf.assert_consistent();
     }
 
     #[test]
@@ -265,6 +377,7 @@ mod tests {
         }
         assert!(!rf.has_free());
         assert!(rf.allocate_dest(int_reg(0)).is_none());
+        rf.assert_consistent();
         // Committing the instructions releases their previous mappings and
         // replenishes the free list (still-mapped registers are skipped by
         // the guard in `release`).
@@ -273,6 +386,7 @@ mod tests {
         }
         assert!(rf.has_free());
         assert!(rf.allocate_dest(int_reg(0)).is_some());
+        rf.assert_consistent();
     }
 
     #[test]
@@ -283,6 +397,7 @@ mod tests {
             rf.allocate_dest(int_reg(k)).unwrap();
         }
         assert!(rf.banks_on() > initial);
+        rf.assert_consistent();
     }
 
     #[test]
@@ -290,5 +405,80 @@ mod tests {
     fn class_mismatch_panics() {
         let rf = int_file();
         let _ = rf.rename_source(fp_reg(0));
+    }
+}
+
+/// Differential property tests: random allocate / write / release sequences
+/// asserting the incremental free-list / occupancy / bank state always
+/// equals the naive recomputation.
+#[cfg(test)]
+mod differential_tests {
+    use super::*;
+    use proptest::prelude::*;
+    use sdiq_isa::reg::int_reg;
+
+    #[derive(Debug, Clone)]
+    enum Step {
+        /// Allocate a destination for architectural register `a % 32`.
+        Allocate(usize),
+        /// Release the k-th outstanding previous-mapping.
+        ReleaseNth(usize),
+        /// Write back the k-th live register.
+        WriteNth(usize),
+    }
+
+    fn arb_step() -> impl Strategy<Value = Step> {
+        prop_oneof![
+            (0usize..32usize).prop_map(Step::Allocate),
+            (0usize..128usize).prop_map(Step::ReleaseNth),
+            (0usize..128usize).prop_map(Step::WriteNth),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn incremental_state_equals_naive_recomputation(
+            steps in prop::collection::vec(arb_step(), 1..200),
+        ) {
+            let mut rf = RenamedRegFile::new(
+                RegClass::Int,
+                RegFileConfig {
+                    regs_per_class: 48,
+                    bank_size: 8,
+                },
+            );
+            let mut outstanding: Vec<PhysReg> = Vec::new();
+            let mut live: Vec<PhysReg> = Vec::new();
+            for step in &steps {
+                match step {
+                    Step::Allocate(a) => {
+                        if let Some((new, old)) = rf.allocate_dest(int_reg((*a % 32) as u8)) {
+                            outstanding.push(old);
+                            live.push(new);
+                        } else {
+                            prop_assert!(!rf.has_free());
+                        }
+                    }
+                    Step::ReleaseNth(k) => {
+                        if outstanding.is_empty() {
+                            continue;
+                        }
+                        let reg = outstanding.swap_remove(k % outstanding.len());
+                        rf.release(reg);
+                    }
+                    Step::WriteNth(k) => {
+                        if live.is_empty() {
+                            continue;
+                        }
+                        let reg = live[k % live.len()];
+                        rf.write_value(reg);
+                        prop_assert!(rf.is_ready(reg));
+                    }
+                }
+                rf.assert_consistent();
+            }
+        }
     }
 }

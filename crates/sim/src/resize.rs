@@ -152,7 +152,11 @@ impl AdaptiveController {
 
     /// Feeds one cycle of observation into the controller and returns a new
     /// decision at interval boundaries.
-    pub fn on_cycle(&mut self, cycle: u64, observation: AdaptiveObservation) -> Option<AdaptiveDecision> {
+    pub fn on_cycle(
+        &mut self,
+        cycle: u64,
+        observation: AdaptiveObservation,
+    ) -> Option<AdaptiveDecision> {
         self.issued_in_interval += u64::from(observation.issued);
         self.issued_youngest_in_interval += u64::from(observation.issued_from_youngest_bank);
         if cycle < self.interval_start + self.config.interval_cycles {

@@ -134,8 +134,8 @@ fn build_helper(
     let after_loop = diamond_blocks.first().map(|d| d.0).unwrap_or(exit);
 
     // Entry: set up the base address and induction variable.
-    let footprint_slice = (profile.mem_footprint / (profile.helper_procedures.max(1) as i64))
-        .max(4096);
+    let footprint_slice =
+        (profile.mem_footprint / (profile.helper_procedures.max(1) as i64)).max(4096);
     let base_addr = DATA_BASE + index as i64 * footprint_slice;
     p.with_block(entry, |bb| {
         bb.li(int_reg(MEM_BASE), base_addr);
@@ -156,9 +156,19 @@ fn build_helper(
         emit_recurrence(bb, profile.chain_length, true);
         for m in 0..profile.multiplies_per_iteration {
             let dest = int_reg(20 + (m % 4) as u8);
-            bb.mul(dest, int_reg(LOAD_VALUE_BASE + (m % live_loads.max(1)) as u8), int_reg(3));
+            bb.mul(
+                dest,
+                int_reg(LOAD_VALUE_BASE + (m % live_loads.max(1)) as u8),
+                int_reg(3),
+            );
         }
-        emit_parallel_chains(bb, rng, profile.ilp_chains, profile.chain_length, live_loads);
+        emit_parallel_chains(
+            bb,
+            rng,
+            profile.ilp_chains,
+            profile.chain_length,
+            live_loads,
+        );
         bb.addi(int_reg(INNER_INDUCTION), int_reg(INNER_INDUCTION), 1);
         bb.blt(
             int_reg(INNER_INDUCTION),
@@ -170,10 +180,7 @@ fn build_helper(
 
     // Diamonds after the loop.
     for (d, &(cond, then_b, else_b, join)) in diamond_blocks.iter().enumerate() {
-        let next = diamond_blocks
-            .get(d + 1)
-            .map(|q| q.0)
-            .unwrap_or(exit);
+        let next = diamond_blocks.get(d + 1).map(|q| q.0).unwrap_or(exit);
         let threshold = rng.gen_range(-3..4);
         p.with_block(cond, |bb| {
             if profile.data_dependent_branches {
@@ -291,7 +298,11 @@ pub fn generate(benchmark: Benchmark, profile: &WorkloadProfile) -> Program {
             bb.addi(int_reg(2), int_reg(OUTER_INDUCTION), 13);
             bb.addi(int_reg(3), int_reg(2), 5);
             if switch_cases > 0 {
-                bb.div(int_reg(4), int_reg(OUTER_INDUCTION), int_reg(SWITCH_CASES_REG));
+                bb.div(
+                    int_reg(4),
+                    int_reg(OUTER_INDUCTION),
+                    int_reg(SWITCH_CASES_REG),
+                );
                 bb.mul(int_reg(5), int_reg(4), int_reg(SWITCH_CASES_REG));
                 bb.sub(int_reg(SWITCH_INDEX), int_reg(OUTER_INDUCTION), int_reg(5));
             }
@@ -321,8 +332,8 @@ pub fn generate(benchmark: Benchmark, profile: &WorkloadProfile) -> Program {
         // Call sites: some are routed through the library stub.
         for (i, helper) in helpers.iter().enumerate() {
             let next = call_blocks.get(i + 1).copied().unwrap_or(latch);
-            let through_library = library.is_some()
-                && rng.gen_range(0.0..1.0) < profile.library_call_fraction;
+            let through_library =
+                library.is_some() && rng.gen_range(0.0..1.0) < profile.library_call_fraction;
             let callee = if through_library {
                 library.unwrap()
             } else {
@@ -362,7 +373,12 @@ mod tests {
 
     #[test]
     fn generated_programs_execute_and_terminate() {
-        for b in [Benchmark::Gzip, Benchmark::Mcf, Benchmark::Gcc, Benchmark::Vortex] {
+        for b in [
+            Benchmark::Gzip,
+            Benchmark::Mcf,
+            Benchmark::Gcc,
+            Benchmark::Vortex,
+        ] {
             let program = b.build();
             let trace = Executor::new(&program)
                 .run(2_000_000)
@@ -428,7 +444,9 @@ mod tests {
     #[test]
     fn library_fraction_creates_library_calls() {
         let program = Benchmark::Vortex.build();
-        let lib = program.proc_by_name("lib_memops").expect("library stub exists");
+        let lib = program
+            .proc_by_name("lib_memops")
+            .expect("library stub exists");
         assert!(program.proc(lib).is_library);
         // At least one call site targets the stub.
         let mut found = false;
@@ -439,7 +457,10 @@ mod tests {
                 }
             }
         }
-        assert!(found, "vortex should route some calls through the library stub");
+        assert!(
+            found,
+            "vortex should route some calls through the library stub"
+        );
     }
 
     #[test]
@@ -454,11 +475,7 @@ mod tests {
                 )
             })
             .collect();
-        let gcc = counts
-            .iter()
-            .find(|(b, _)| *b == Benchmark::Gcc)
-            .unwrap()
-            .1;
+        let gcc = counts.iter().find(|(b, _)| *b == Benchmark::Gcc).unwrap().1;
         let max = counts.iter().map(|(_, c)| *c).max().unwrap();
         assert_eq!(gcc, max, "gcc analogue should have the most complex CFG");
     }

@@ -129,7 +129,8 @@ impl Benchmark {
     /// iteration count is multiplied by `scale`).
     pub fn build_scaled(&self, scale: f64) -> Program {
         let mut profile = self.profile();
-        profile.outer_iterations = ((profile.outer_iterations as f64 * scale).round() as i64).max(1);
+        profile.outer_iterations =
+            ((profile.outer_iterations as f64 * scale).round() as i64).max(1);
         generate(*self, &profile)
     }
 
@@ -153,8 +154,7 @@ mod tests {
 
     #[test]
     fn all_benchmarks_have_unique_names() {
-        let names: std::collections::HashSet<_> =
-            Benchmark::ALL.iter().map(|b| b.name()).collect();
+        let names: std::collections::HashSet<_> = Benchmark::ALL.iter().map(|b| b.name()).collect();
         assert_eq!(names.len(), Benchmark::ALL.len());
     }
 

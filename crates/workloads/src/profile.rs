@@ -205,7 +205,9 @@ pub fn profile_for(benchmark: Benchmark) -> WorkloadProfile {
             ..base
         },
         Benchmark::Bzip2 => WorkloadProfile {
-            seed: 0x62_7a_32,
+            // "bz2" in ASCII; written ungrouped because a trailing `_32`
+            // group reads as a mistyped literal suffix (clippy).
+            seed: 0x627a32,
             helper_procedures: 3,
             inner_trip_count: 32,
             ilp_chains: 5,
@@ -260,11 +262,14 @@ mod tests {
         assert!(mcf.mem_footprint > vortex.mem_footprint);
         assert!(mcf.ilp_chains <= crafty.ilp_chains);
         // vortex is the call-heavy benchmark.
-        assert!(vortex.helper_procedures >= Benchmark::ALL
-            .iter()
-            .map(|b| profile_for(*b).helper_procedures)
-            .max()
-            .unwrap());
+        assert!(
+            vortex.helper_procedures
+                >= Benchmark::ALL
+                    .iter()
+                    .map(|b| profile_for(*b).helper_procedures)
+                    .max()
+                    .unwrap()
+        );
         // gcc has the most complex control flow.
         assert!(gcc.switch_cases > 0);
         assert!(gcc.diamonds >= 3);

@@ -26,7 +26,10 @@ fn main() {
     println!("benchmark                 : {}", baseline.workload);
     println!("baseline IPC              : {:.2}", baseline.ipc());
     println!("NOOP technique IPC        : {:.2}", noop.ipc());
-    println!("IPC loss                  : {:.2}%", comparison.ipc_loss_percent);
+    println!(
+        "IPC loss                  : {:.2}%",
+        comparison.ipc_loss_percent
+    );
     println!(
         "IQ occupancy reduction    : {:.1}%  ({:.1} → {:.1} entries)",
         comparison.iq_occupancy_reduction_percent,

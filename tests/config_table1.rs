@@ -71,6 +71,9 @@ fn rendered_table_contains_every_row_of_the_paper() {
         "6 ALU (1 cycle), 3 Mul (3 cycles)",
         "4 ALU (2 cycles), 2 MultDiv (4 cycles mult, 12 cycles div)",
     ] {
-        assert!(text.contains(needle), "Table 1 text missing: {needle}\n{text}");
+        assert!(
+            text.contains(needle),
+            "Table 1 text missing: {needle}\n{text}"
+        );
     }
 }

@@ -44,7 +44,10 @@ fn software_resizing_beats_wakeup_gating_alone_and_preserves_work() {
             // Savings are sane percentages.
             assert!(cmp.savings.iq_dynamic_pct <= 100.0);
             assert!(cmp.savings.iq_static_pct <= 100.0);
-            assert!(cmp.ipc_loss_percent < 35.0, "{benchmark}/{technique} pathological IPC loss");
+            assert!(
+                cmp.ipc_loss_percent < 35.0,
+                "{benchmark}/{technique} pathological IPC loss"
+            );
         }
 
         // 1. NOOP beats nonEmpty on dynamic power.

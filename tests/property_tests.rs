@@ -30,8 +30,12 @@ fn arb_instruction() -> impl Strategy<Value = Instruction> {
         (reg(), reg(), -8i64..8i64).prop_map(|(d, a, i)| Instruction::rri(Opcode::Addi, d, a, i)),
         (reg(), reg(), reg()).prop_map(|(d, a, b)| Instruction::rrr(Opcode::Mul, d, a, b)),
         (reg(), reg(), 0i64..64i64).prop_map(|(d, a, o)| Instruction::load(Opcode::Load, d, a, o)),
-        (reg(), reg(), 0i64..64i64)
-            .prop_map(|(v, a, o)| Instruction::store(Opcode::Store, v, a, o)),
+        (reg(), reg(), 0i64..64i64).prop_map(|(v, a, o)| Instruction::store(
+            Opcode::Store,
+            v,
+            a,
+            o
+        )),
         (reg(), -100i64..100i64).prop_map(|(d, i)| Instruction::ri(Opcode::Li, d, i)),
     ]
 }
@@ -96,17 +100,32 @@ proptest! {
     }
 
     #[test]
-    fn block_analysis_is_bounded_and_monotone_in_width(
+    fn block_analysis_is_bounded_and_deterministic(
         block in prop::collection::vec(arb_instruction(), 1..24),
     ) {
+        // NOTE: this property originally asserted `narrow.entries <=
+        // wide.entries`, which is NOT a theorem: the pseudo issue queue is a
+        // greedy list scheduler, and like all list schedulers it exhibits
+        // Graham-style scheduling anomalies — a *narrower* issue width can
+        // delay old instructions so that a later cycle holds a *wider*
+        // resident span (first counterexample found: a mul/store/alu mix
+        // where width 2 needs 4 entries but width 8 needs 3). Only bounds,
+        // progress and determinism are actual invariants.
         let fu = FuCounts::hpca2005();
         let wide = analyse_block(&block, 8, &fu);
         let narrow = analyse_block(&block, 2, &fu);
-        prop_assert!(wide.entries >= 1);
-        prop_assert!(wide.entries as usize <= block.len());
-        prop_assert!(narrow.entries <= wide.entries);
-        prop_assert!(narrow.cycles >= wide.cycles);
-        prop_assert_eq!(wide.instructions as usize, block.len());
+        for req in [&wide, &narrow] {
+            prop_assert!(req.entries >= 1);
+            prop_assert!(req.entries as usize <= block.len());
+            prop_assert_eq!(req.instructions as usize, block.len());
+        }
+        // Each cycle issues at most `width` instructions, so the drain time
+        // is bounded below by the dispatch-bandwidth bound.
+        prop_assert!(narrow.cycles as usize >= block.len().div_ceil(2));
+        prop_assert!(wide.cycles as usize >= block.len().div_ceil(8));
+        // The analysis is deterministic.
+        prop_assert_eq!(analyse_block(&block, 8, &fu), wide);
+        prop_assert_eq!(analyse_block(&block, 2, &fu), narrow);
     }
 
     #[test]
@@ -130,10 +149,10 @@ proptest! {
             let compiled = CompilerPass::new(config).run(&program);
             prop_assert!(compiled.program.validate().is_ok());
             let capacity = config.widths.iq_capacity as u32;
-            for (_, &v) in &compiled.annotations.block_entries {
+            for &v in compiled.annotations.block_entries.values() {
                 prop_assert!(v >= 1 && v <= capacity);
             }
-            for (_, &v) in &compiled.annotations.loop_preheader_entries {
+            for &v in compiled.annotations.loop_preheader_entries.values() {
                 prop_assert!(v >= 1 && v <= capacity);
             }
             // The rewrite never loses real instructions.

@@ -1,0 +1,243 @@
+//! Offline stand-in for `criterion` (see `vendor/README.md`).
+//!
+//! Implements the subset of the Criterion API the `sdiq-bench` benches use:
+//! `criterion_group!` / `criterion_main!`, [`Criterion::bench_function`],
+//! benchmark groups with [`BenchmarkGroup::throughput`] and
+//! [`BenchmarkGroup::bench_with_input`], and [`Bencher::iter`]. Measurement
+//! is deliberately simple — a fixed number of timed samples with mean / min
+//! reporting (plus elements-per-second when a throughput is set) — which is
+//! enough to track the order-of-magnitude perf trajectory offline.
+//!
+//! Each sample runs the closure once; passing `--test` (as `cargo test`
+//! does for harness-less targets) reduces the run to a single smoke sample
+//! per benchmark.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Declared work per iteration, used to derive rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements (e.g. instructions) processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Two-part benchmark identifier (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and parameter display value.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    elapsed: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, once per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            let value = routine();
+            self.elapsed.push(start.elapsed());
+            drop(value);
+        }
+    }
+}
+
+/// Top-level benchmark driver (stand-in for `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+    smoke_test: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let smoke_test = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 10,
+            smoke_test,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    fn effective_samples(&self) -> usize {
+        if self.smoke_test {
+            1
+        } else {
+            self.sample_size
+        }
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, None, self.effective_samples(), f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_one(
+            &full,
+            self.throughput,
+            self.criterion.effective_samples(),
+            f,
+        );
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(
+            &full,
+            self.throughput,
+            self.criterion.effective_samples(),
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; reporting is immediate).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    throughput: Option<Throughput>,
+    samples: usize,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        samples,
+        elapsed: Vec::with_capacity(samples),
+    };
+    f(&mut bencher);
+    if bencher.elapsed.is_empty() {
+        println!("bench {name:<55} (no samples)");
+        return;
+    }
+    let total: Duration = bencher.elapsed.iter().sum();
+    let mean = total / bencher.elapsed.len() as u32;
+    let min = bencher.elapsed.iter().min().copied().unwrap_or_default();
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if mean.as_secs_f64() > 0.0 => {
+            format!("  {:>12.0} elem/s", n as f64 / mean.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n)) if mean.as_secs_f64() > 0.0 => {
+            format!("  {:>12.0} B/s", n as f64 / mean.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!(
+        "bench {name:<55} mean {mean:>12.3?}  min {min:>12.3?}{rate}  ({} samples)",
+        bencher.elapsed.len()
+    );
+}
+
+/// Declares a benchmark group function (block and list forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_and_group_run() {
+        let mut criterion = Criterion::default().sample_size(2);
+        let mut runs = 0usize;
+        criterion.bench_function("unit/noop", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        {
+            let mut group = criterion.benchmark_group("group");
+            group.throughput(Throughput::Elements(10));
+            group.bench_with_input(BenchmarkId::new("param", 3), &3u32, |b, &v| {
+                b.iter(|| {
+                    runs += 1;
+                    std::hint::black_box(v * 2)
+                })
+            });
+            group.finish();
+        }
+        assert!(runs >= 1);
+    }
+}

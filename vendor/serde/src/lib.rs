@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde` (see `vendor/README.md`).
+//!
+//! The workspace derives `Serialize` / `Deserialize` on its public data
+//! types to document that they are serialization-ready, but never actually
+//! serializes anything (figures are rendered as text, benchmark artifacts
+//! are hand-written JSON). The traits are therefore empty markers and the
+//! derives emit empty impls. Swapping in the real `serde` is source
+//! compatible.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,58 @@
+//! No-op `Serialize` / `Deserialize` derives for the offline `serde` shim.
+//!
+//! Emits empty marker-trait impls. Supports plain (non-generic) structs and
+//! enums, which is all the workspace uses; deriving on a generic type is a
+//! compile error with a clear message rather than silently-wrong output.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type identifier following `struct` / `enum`, skipping
+/// attributes, doc comments and visibility qualifiers.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(token) = tokens.next() {
+        match token {
+            // `#[...]` attribute: skip the `#` and the following group.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                tokens.next();
+            }
+            TokenTree::Ident(ident) => {
+                let word = ident.to_string();
+                if word == "struct" || word == "enum" || word == "union" {
+                    let name = match tokens.next() {
+                        Some(TokenTree::Ident(name)) => name.to_string(),
+                        other => panic!("serde shim: expected type name, found {other:?}"),
+                    };
+                    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                        if p.as_char() == '<' {
+                            panic!(
+                                "serde shim: deriving on generic type `{name}` is not supported \
+                                 (vendor/serde_derive implements only what the workspace needs)"
+                            );
+                        }
+                    }
+                    return name;
+                }
+                // `pub`, `pub(crate)`, etc. — keep scanning.
+            }
+            _ => {}
+        }
+    }
+    panic!("serde shim: no struct/enum found in derive input");
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
