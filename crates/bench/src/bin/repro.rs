@@ -1,23 +1,49 @@
 //! `repro` — regenerates the paper's tables and figures.
 //!
 //! ```text
-//! repro [--scale <f64>] [--table1] [--table2] [--figure6] [--figure7]
-//!       [--figure8] [--figure9] [--figure10] [--figure11] [--figure12]
-//!       [--overall] [--summary] [--all]
+//! repro [--scale <f64>] [--jobs <n>] [--sweep <axis>=<v1,v2,...>]
+//!       [--save <path>] [--load <path>]
+//!       [--table1] [--table2] [--figure6] [--figure7] [--figure8]
+//!       [--figure9] [--figure10] [--figure11] [--figure12]
+//!       [--overall] [--summary] [--sweep-summary] [--all]
 //! ```
 //!
 //! With no selection flags, `--all` is assumed. `--scale` shrinks or grows
 //! every workload's outer loop (1.0 = the default reproduction scale).
+//!
+//! The matrix runs on the job engine (`sdiq_core::Matrix`): `--jobs` fixes
+//! the worker-pool size (default: one worker per hardware thread), and
+//! `--sweep` adds a configuration axis on top of the base machine —
+//! `--sweep iq=64,48,32` sweeps the issue-queue capacity,
+//! `--sweep bank=4,16` the bank size and `--sweep scale=0.5,1.0` the
+//! workload scale (repeatable; each adds variants next to `base`).
+//! Swept runs print a Figure-10-style sensitivity table after the base
+//! figures.
+//!
+//! `--save` writes every computed cell as JSON keyed by its cell cache
+//! key; `--load` seeds a later run from such a file so only missing cells
+//! (new benchmarks, techniques or configurations) are re-run.
 
-use sdiq_core::{experiments, Experiment, Suite, Technique};
+use sdiq_core::{experiments, persist, ArtifactCache, Experiment, Matrix, Suite, Technique};
 use sdiq_sim::SimConfig;
 use sdiq_workloads::Benchmark;
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 
 #[derive(Debug, Default)]
 struct Options {
     scale: Option<f64>,
+    jobs: Option<usize>,
+    sweeps: Vec<(String, Vec<f64>)>,
+    save: Option<String>,
+    load: Option<String>,
     selections: BTreeSet<String>,
+}
+
+fn required_value(args: &mut impl Iterator<Item = String>, flag: &str) -> String {
+    args.next().unwrap_or_else(|| {
+        eprintln!("error: {flag} needs a value");
+        std::process::exit(2);
+    })
 }
 
 fn parse_args() -> Options {
@@ -32,9 +58,66 @@ fn parse_args() -> Options {
                     .unwrap_or(1.0);
                 options.scale = Some(value);
             }
+            "--jobs" => {
+                let value = required_value(&mut args, "--jobs");
+                options.jobs = Some(value.parse::<usize>().unwrap_or_else(|_| {
+                    eprintln!("error: --jobs needs an integer, got `{value}`");
+                    std::process::exit(2);
+                }));
+            }
+            "--sweep" => {
+                let spec = required_value(&mut args, "--sweep");
+                let Some((axis, values)) = spec.split_once('=') else {
+                    eprintln!("error: --sweep wants <axis>=<v1,v2,...>, got `{spec}`");
+                    std::process::exit(2);
+                };
+                let values: Vec<f64> = values
+                    .split(',')
+                    .map(|v| {
+                        v.parse::<f64>().unwrap_or_else(|_| {
+                            eprintln!("error: bad sweep value `{v}` in `{spec}`");
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect();
+                match axis {
+                    "iq" | "bank" => {
+                        // These become machine geometry: zero panics in
+                        // `banks()`, negatives saturate to zero, fractions
+                        // would silently truncate, and absurdly large
+                        // values OOM the simulator — reject them all here.
+                        const MAX_GEOMETRY: f64 = 65536.0;
+                        for &v in &values {
+                            if v < 1.0 || v.fract() != 0.0 || v > MAX_GEOMETRY {
+                                eprintln!(
+                                    "error: --sweep {axis} wants integers in 1..={MAX_GEOMETRY}, got `{v}`"
+                                );
+                                std::process::exit(2);
+                            }
+                        }
+                    }
+                    "scale" => {
+                        for &v in &values {
+                            if !(v > 0.0 && v.is_finite()) {
+                                eprintln!("error: --sweep scale wants positive values, got `{v}`");
+                                std::process::exit(2);
+                            }
+                        }
+                    }
+                    _ => {
+                        eprintln!("error: unknown sweep axis `{axis}` (iq, bank, scale)");
+                        std::process::exit(2);
+                    }
+                }
+                options.sweeps.push((axis.to_string(), values));
+            }
+            "--save" => options.save = Some(required_value(&mut args, "--save")),
+            "--load" => options.load = Some(required_value(&mut args, "--load")),
             "--help" | "-h" => {
                 println!(
-                    "repro [--scale <f>] [--table1] [--table2] [--figure6..12] [--overall] [--summary] [--all]"
+                    "repro [--scale <f>] [--jobs <n>] [--sweep iq|bank|scale=<v,..>] \
+                     [--save <path>] [--load <path>] [--table1] [--table2] [--figure6..12] \
+                     [--overall] [--summary] [--sweep-summary] [--all]"
                 );
                 std::process::exit(0);
             }
@@ -102,26 +185,96 @@ fn main() {
     }
 
     let needs_suite = [
-        "figure6", "figure7", "figure8", "figure9", "figure10", "figure11", "figure12", "overall",
-        "summary", "all",
+        "figure6",
+        "figure7",
+        "figure8",
+        "figure9",
+        "figure10",
+        "figure11",
+        "figure12",
+        "overall",
+        "summary",
+        "sweep-summary",
+        "all",
     ]
     .iter()
     .any(|f| options.selections.contains(*f))
-        || options.selections.contains("all");
+        || options.save.is_some()
+        || options.load.is_some();
 
-    let suite: Option<Suite> = if needs_suite {
+    let sweep = if needs_suite {
+        let mut matrix = Matrix::new(&experiment)
+            .benchmarks(&Benchmark::ALL)
+            .techniques(&Technique::ALL);
+        if let Some(jobs) = options.jobs {
+            matrix = matrix.jobs(jobs);
+        }
+        for (axis, values) in &options.sweeps {
+            matrix = match axis.as_str() {
+                "iq" => {
+                    matrix.sweep_iq_entries(&values.iter().map(|&v| v as usize).collect::<Vec<_>>())
+                }
+                "bank" => matrix
+                    .sweep_iq_bank_sizes(&values.iter().map(|&v| v as usize).collect::<Vec<_>>()),
+                _ => matrix.sweep_scales(values),
+            };
+        }
+
+        let seed: HashMap<String, sdiq_core::RunReport> = match &options.load {
+            Some(path) => {
+                let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                    eprintln!("error: reading {path}: {e}");
+                    std::process::exit(2);
+                });
+                let cells = persist::load_cells(&text).unwrap_or_else(|e| {
+                    eprintln!("error: parsing {path}: {e}");
+                    std::process::exit(2);
+                });
+                eprintln!("loaded {} cells from {path}", cells.len());
+                cells
+            }
+            None => HashMap::new(),
+        };
+
+        let total = matrix.cell_count();
+        // `missing_cells` applies the engine's own seed-integrity check
+        // (key present *and* report matches the cell), so this count is
+        // exactly what the workers will compute — a corrupted save file
+        // shows up here instead of being silently recomputed.
+        let missing = matrix.missing_cells(&seed);
         eprintln!(
-            "running {} benchmarks x {} techniques at scale {} ...",
+            "running {} of {} matrix cells ({} benchmarks x {} techniques x {} configs, scale {}) ...",
+            missing,
+            total,
             Benchmark::ALL.len(),
             Technique::ALL.len(),
+            total / (Benchmark::ALL.len() * Technique::ALL.len()),
             experiment.scale
         );
-        Some(experiment.run_matrix(&Benchmark::ALL, &Technique::ALL))
+        let cache = ArtifactCache::new();
+        let sweep = matrix.run_with(&cache, &seed);
+        eprintln!(
+            "engine: {} program builds, {} compiler passes for {} computed cells",
+            cache.program_builds(),
+            cache.compile_runs(),
+            missing
+        );
+
+        if let Some(path) = &options.save {
+            let cells = matrix.collect_cells(&sweep);
+            std::fs::write(path, persist::save_cells(&cells)).unwrap_or_else(|e| {
+                eprintln!("error: writing {path}: {e}");
+                std::process::exit(2);
+            });
+            eprintln!("saved {} cells to {path}", cells.len());
+        }
+        Some(sweep)
     } else {
         None
     };
+    let suite: Option<&Suite> = sweep.as_ref().map(|s| s.suite(0));
 
-    if let Some(suite) = &suite {
+    if let Some(suite) = suite {
         if wants(&options, "figure6") {
             println!("== Figure 6: normalised IPC loss, NOOP technique (%) ==");
             for series in experiments::figure6(suite) {
@@ -199,6 +352,29 @@ fn main() {
                     s.rf_static_pct
                 );
             }
+            println!();
+        }
+    }
+
+    if let Some(sweep) = &sweep {
+        if sweep.len() == 1 && options.selections.contains("sweep-summary") {
+            eprintln!(
+                "warning: --sweep-summary needs a sweep axis (add e.g. --sweep iq=64,48); \
+                 nothing to print for a base-only run"
+            );
+        }
+        if sweep.len() > 1 && wants(&options, "sweep-summary") {
+            println!("== Sweep sensitivity (Figure-10-style, suite averages per configuration) ==");
+            let rows = experiments::sweep_sensitivity(
+                sweep,
+                &[
+                    Technique::Noop,
+                    Technique::Extension,
+                    Technique::Improved,
+                    Technique::Abella,
+                ],
+            );
+            print!("{}", experiments::render_sweep_sensitivity(&rows));
             println!();
         }
     }

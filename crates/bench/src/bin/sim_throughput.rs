@@ -15,6 +15,7 @@
 //! `--quick` shrinks the workload and repeat count for CI smoke runs.
 
 use sdiq_compiler::{CompilerPass, PassConfig};
+use sdiq_core::{Experiment, Matrix, Suite, Technique};
 use sdiq_isa::Executor;
 use sdiq_sim::{AdaptiveConfig, ResizePolicy, SimConfig, Simulator};
 use sdiq_workloads::Benchmark;
@@ -85,6 +86,36 @@ fn parse_args() -> Options {
     options
 }
 
+/// The pre-engine matrix strategy, kept here as the measured baseline: one
+/// thread per benchmark, each column rebuilding its program and re-running
+/// the compiler pass for every technique.
+fn run_matrix_per_benchmark_threads(
+    experiment: &Experiment,
+    benchmarks: &[Benchmark],
+    techniques: &[Technique],
+) -> Suite {
+    let mut suite = Suite::default();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = benchmarks
+            .iter()
+            .map(|&benchmark| {
+                scope.spawn(move || {
+                    techniques
+                        .iter()
+                        .map(|&technique| (benchmark, experiment.run(benchmark, technique)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (benchmark, report) in handle.join().expect("benchmark worker panicked") {
+                suite.insert(benchmark, report);
+            }
+        }
+    });
+    suite
+}
+
 fn main() {
     let options = parse_args();
     let program = Benchmark::Gzip.build_scaled(options.scale);
@@ -150,13 +181,82 @@ fn main() {
         .unwrap();
     }
 
+    // Matrix throughput: a reduced (benchmark × technique) matrix run under
+    // the old one-thread-per-benchmark strategy (which rebuilds the program
+    // and re-runs the compiler pass for every cell) and under the job
+    // engine with its shared artifact cache. The engine must produce the
+    // same activity counters; the wall-clock difference is what the cache
+    // and the balanced work queue buy.
+    let matrix_benchmarks = [
+        Benchmark::Gzip,
+        Benchmark::Mcf,
+        Benchmark::Vortex,
+        Benchmark::Gcc,
+    ];
+    let matrix_techniques = [Technique::Baseline, Technique::Noop, Technique::Abella];
+    let matrix_experiment = Experiment {
+        scale: options.scale,
+        ..Experiment::paper()
+    };
+
+    let legacy_start = Instant::now();
+    let legacy_suite = run_matrix_per_benchmark_threads(
+        &matrix_experiment,
+        &matrix_benchmarks,
+        &matrix_techniques,
+    );
+    let legacy_wall = legacy_start.elapsed().as_secs_f64();
+
+    let engine_start = Instant::now();
+    let engine_suite = Matrix::new(&matrix_experiment)
+        .benchmarks(&matrix_benchmarks)
+        .techniques(&matrix_techniques)
+        .run()
+        .into_suite();
+    let engine_wall = engine_start.elapsed().as_secs_f64();
+
+    for (&(benchmark, technique), engine_report) in engine_suite.iter() {
+        let legacy_report = legacy_suite
+            .get(benchmark, technique)
+            .expect("legacy matrix filled every cell");
+        assert_eq!(
+            engine_report.stats, legacy_report.stats,
+            "{benchmark}/{technique}: engine activity counters must match the legacy runner"
+        );
+    }
+
+    let cells = matrix_benchmarks.len() * matrix_techniques.len();
+    let jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let speedup = legacy_wall / engine_wall.max(1e-9);
+    eprintln!(
+        "{:>14}: {cells} cells  legacy {legacy_wall:.3}s  engine {engine_wall:.3}s  ({speedup:.2}x, {jobs} jobs)",
+        "matrix"
+    );
+
+    let note = "Wall-clock throughput of the cycle-level simulator (per resize policy, \
+                gzip-analogue trace, best of N repeats; software_hint runs the \
+                compiler-annotated program) plus a matrix row: a reduced \
+                benchmark x technique matrix under the legacy one-thread-per-benchmark \
+                runner vs the work-queue engine with the shared artifact cache \
+                (activity counters asserted bit-identical before timing is reported). \
+                Regenerate with: cargo run --release -p sdiq-bench --bin sim_throughput \
+                -- --scale 1.0 --repeats 7. CAUTION: this binary rewrites the whole \
+                file; the committed artifact carries a hand-curated 'history' block \
+                (per-PR before/after records) that must be re-attached after \
+                regenerating.";
     let json = format!(
         "{{\n  \"bench\": \"simulator_throughput\",\n  \"workload\": \"gzip-analogue\",\n  \
-         \"scale\": {},\n  \"repeats\": {},\n  \"trace_instructions\": {},\n  \"policies\": {{{}\n  }}\n}}\n",
+         \"note\": \"{note}\",\n  \
+         \"scale\": {},\n  \"repeats\": {},\n  \"trace_instructions\": {},\n  \"policies\": {{{}\n  }},\n  \
+         \"matrix\": {{\"benchmarks\": {}, \"techniques\": {}, \"cells\": {cells}, \"jobs\": {jobs}, \
+         \"legacy_wall_seconds\": {legacy_wall:.6}, \"engine_wall_seconds\": {engine_wall:.6}, \
+         \"speedup\": {speedup:.3}}}\n}}\n",
         options.scale,
         options.repeats,
         trace.len(),
-        policies_json
+        policies_json,
+        matrix_benchmarks.len(),
+        matrix_techniques.len(),
     );
     print!("{json}");
     if let Some(path) = &options.out {

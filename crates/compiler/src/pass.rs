@@ -10,7 +10,11 @@ use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 /// Configuration of the compiler pass.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// `PassConfig` is `Hash + Eq` so it can serve as (part of) a
+/// content-address in the experiment layer's artifact cache: two cells that
+/// agree on the pass configuration share one compiled program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct PassConfig {
     /// Pipeline widths and capacities of the target machine (Table 1).
     pub widths: MachineWidths,
@@ -37,6 +41,13 @@ pub struct PassConfig {
 }
 
 impl PassConfig {
+    /// The advertised-entries floor for a machine: two dispatch groups'
+    /// worth of instructions (see the `min_advertised_entries` field docs).
+    /// The one source of truth for the formula — retargeting re-derives it.
+    fn advertised_floor(widths: MachineWidths) -> u32 {
+        2 * widths.pipeline_width as u32
+    }
+
     /// The paper's base NOOP-insertion technique (§5.2).
     pub fn noop_insertion() -> Self {
         let widths = MachineWidths::hpca2005();
@@ -45,7 +56,20 @@ impl PassConfig {
             fu_counts: FuCounts::hpca2005(),
             emit: EmitKind::NoopInsertion,
             interprocedural_fu: false,
-            min_advertised_entries: 2 * widths.pipeline_width as u32,
+            min_advertised_entries: PassConfig::advertised_floor(widths),
+        }
+    }
+
+    /// Retargets this configuration at a different machine, keeping the
+    /// emission kind and analysis flags but re-deriving the
+    /// width-dependent advertised floor. Configuration sweeps use this so
+    /// software techniques compile against the capacity they will run on.
+    pub fn retargeted(self, widths: MachineWidths, fu_counts: FuCounts) -> Self {
+        PassConfig {
+            widths,
+            fu_counts,
+            min_advertised_entries: PassConfig::advertised_floor(widths),
+            ..self
         }
     }
 

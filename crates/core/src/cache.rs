@@ -1,0 +1,242 @@
+//! Content-addressed artifact cache shared by every cell of an experiment
+//! matrix.
+//!
+//! A (benchmark × technique × configuration) sweep re-uses two expensive,
+//! fully deterministic artifacts across many cells:
+//!
+//! * the **built program** — a function of `(benchmark, scale)` only: all
+//!   six techniques and every `SimConfig` variant at the same scale
+//!   simulate the same synthetic program, and
+//! * the **compiler-pass output** — a function of
+//!   `(benchmark, scale, PassConfig)` only: the three software techniques
+//!   differ per pass configuration, not per simulator configuration
+//!   (unless the sweep changes the machine widths the pass targets, which
+//!   changes the `PassConfig` and therefore the key).
+//!
+//! The cache keys artifacts by exactly those inputs and hands out
+//! `Arc`-shared handles, so a full 11 × 6 × K sweep builds each program
+//! once per scale and runs each compiler pass once per key — instead of
+//! once per cell, as the old one-thread-per-benchmark matrix runner did.
+//!
+//! # Determinism
+//!
+//! Cached content is a *pure function of its key*. Wall-clock compile
+//! durations are not content, so they are zeroed in the cached
+//! [`CompileStats`]; this is what makes a parallel matrix run bit-identical
+//! to a serial one (the engine's hard guarantee). Timing measurement
+//! belongs to [`crate::Experiment::compile_times`], which deliberately
+//! bypasses the cache.
+//!
+//! # Concurrency
+//!
+//! Each key maps to a [`OnceLock`] slot: the first worker to reach a key
+//! runs the build/compile, any concurrent worker blocks on the same slot
+//! and receives the same `Arc` — an artifact is never computed twice, which
+//! the instrumented [`ArtifactCache::program_builds`] /
+//! [`ArtifactCache::compile_runs`] counters let tests assert exactly.
+
+use sdiq_compiler::{CompileStats, CompilerPass, PassConfig};
+use sdiq_isa::Program;
+use sdiq_workloads::Benchmark;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Content address of one built benchmark program: the benchmark plus the
+/// exact bit pattern of the scale factor (quantising would alias distinct
+/// workload lengths).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProgramKey {
+    /// The benchmark whose synthetic analogue is built.
+    pub benchmark: Benchmark,
+    scale_bits: u64,
+}
+
+impl ProgramKey {
+    /// Key for `benchmark` built at `scale`.
+    pub fn new(benchmark: Benchmark, scale: f64) -> Self {
+        ProgramKey {
+            benchmark,
+            scale_bits: scale.to_bits(),
+        }
+    }
+
+    /// The scale factor this key addresses.
+    pub fn scale(&self) -> f64 {
+        f64::from_bits(self.scale_bits)
+    }
+}
+
+/// Content address of one compiler-pass output: the program it ran over
+/// plus the full pass configuration (machine widths, functional units,
+/// emission kind, inter-procedural flag, advertised floor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CompileKey {
+    /// The input program.
+    pub program: ProgramKey,
+    /// The pass configuration.
+    pub pass: PassConfig,
+}
+
+/// A cached compiler-pass output: the annotated program plus the
+/// deterministic parts of the compile statistics.
+#[derive(Debug)]
+pub struct CompiledArtifact {
+    /// The annotated program, shared across every cell with this key.
+    pub program: Arc<Program>,
+    /// Compile statistics with wall-clock durations zeroed (see the module
+    /// docs: cached content is a pure function of the key).
+    pub stats: CompileStats,
+    /// Special NOOPs present in the annotated program.
+    pub hint_noops_inserted: usize,
+}
+
+/// The shared artifact cache. One instance serves a whole sweep; creating
+/// it is free, so ad-hoc callers can also pass a fresh one per run.
+#[derive(Debug, Default)]
+pub struct ArtifactCache {
+    programs: Mutex<HashMap<ProgramKey, Arc<OnceLock<Arc<Program>>>>>,
+    compiles: Mutex<HashMap<CompileKey, Arc<OnceLock<Arc<CompiledArtifact>>>>>,
+    program_builds: AtomicU64,
+    compile_runs: AtomicU64,
+}
+
+/// Fetches (or inserts) the once-initialisable slot for `key`. The map
+/// lock is held only for the slot lookup, never across a build.
+fn slot<K: Eq + Hash + Copy, V>(
+    map: &Mutex<HashMap<K, Arc<OnceLock<V>>>>,
+    key: K,
+) -> Arc<OnceLock<V>> {
+    map.lock()
+        .expect("artifact cache map poisoned")
+        .entry(key)
+        .or_default()
+        .clone()
+}
+
+impl ArtifactCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        ArtifactCache::default()
+    }
+
+    /// The program for `key`, building it exactly once per key.
+    pub fn program(&self, key: ProgramKey) -> Arc<Program> {
+        let slot = slot(&self.programs, key);
+        slot.get_or_init(|| {
+            self.program_builds.fetch_add(1, Ordering::Relaxed);
+            key.benchmark.build_scaled_shared(key.scale())
+        })
+        .clone()
+    }
+
+    /// The compiler-pass output for `key`, running the pass exactly once
+    /// per key (building the input program through the cache if needed).
+    pub fn compiled(&self, key: CompileKey) -> Arc<CompiledArtifact> {
+        let input = self.program(key.program);
+        let slot = slot(&self.compiles, key);
+        slot.get_or_init(|| {
+            self.compile_runs.fetch_add(1, Ordering::Relaxed);
+            let compiled = CompilerPass::new(key.pass).run(&input);
+            let mut stats = compiled.stats;
+            stats.total_duration = Duration::ZERO;
+            for proc_stats in &mut stats.per_procedure {
+                proc_stats.duration = Duration::ZERO;
+            }
+            let hint_noops_inserted = stats.hint_noops_inserted;
+            Arc::new(CompiledArtifact {
+                program: Arc::new(compiled.program),
+                stats,
+                hint_noops_inserted,
+            })
+        })
+        .clone()
+    }
+
+    /// Number of programs actually built (one per unique [`ProgramKey`]
+    /// requested, regardless of concurrency).
+    pub fn program_builds(&self) -> u64 {
+        self.program_builds.load(Ordering::Relaxed)
+    }
+
+    /// Number of compiler-pass executions (one per unique [`CompileKey`]
+    /// requested, regardless of concurrency).
+    pub fn compile_runs(&self) -> u64 {
+        self.compile_runs.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_is_built_once_per_key_and_shared() {
+        let cache = ArtifactCache::new();
+        let key = ProgramKey::new(Benchmark::Gzip, 0.05);
+        let a = cache.program(key);
+        let b = cache.program(key);
+        assert!(Arc::ptr_eq(&a, &b), "same handle");
+        assert_eq!(cache.program_builds(), 1);
+        // A different scale is a different artifact.
+        let c = cache.program(ProgramKey::new(Benchmark::Gzip, 0.1));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.program_builds(), 2);
+    }
+
+    #[test]
+    fn compile_is_run_once_per_pass_config() {
+        use crate::technique::Technique;
+        let cache = ArtifactCache::new();
+        let program = ProgramKey::new(Benchmark::Mcf, 0.05);
+        let noop = Technique::Noop.pass_config().unwrap();
+        let tagging = Technique::Extension.pass_config().unwrap();
+        let a = cache.compiled(CompileKey {
+            program,
+            pass: noop,
+        });
+        let b = cache.compiled(CompileKey {
+            program,
+            pass: noop,
+        });
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = cache.compiled(CompileKey {
+            program,
+            pass: tagging,
+        });
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.compile_runs(), 2);
+        // The input program was built once, through the cache.
+        assert_eq!(cache.program_builds(), 1);
+        assert!(a.hint_noops_inserted > 0, "noop pass inserts hints");
+        assert_eq!(c.hint_noops_inserted, 0, "tagging pass does not");
+    }
+
+    #[test]
+    fn cached_compile_stats_are_deterministic_content() {
+        use crate::technique::Technique;
+        let key = CompileKey {
+            program: ProgramKey::new(Benchmark::Gzip, 0.05),
+            pass: Technique::Noop.pass_config().unwrap(),
+        };
+        let a = ArtifactCache::new().compiled(key);
+        let b = ArtifactCache::new().compiled(key);
+        assert_eq!(a.stats, b.stats, "durations zeroed → stats bit-identical");
+        assert_eq!(a.program, b.program);
+        assert_eq!(a.stats.total_duration, Duration::ZERO);
+    }
+
+    #[test]
+    fn concurrent_requests_build_exactly_once() {
+        let cache = ArtifactCache::new();
+        let key = ProgramKey::new(Benchmark::Vortex, 0.05);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| cache.program(key));
+            }
+        });
+        assert_eq!(cache.program_builds(), 1);
+    }
+}

@@ -1,0 +1,684 @@
+//! The experiment job engine: a fixed worker pool over a shared queue of
+//! (workload, technique, configuration) cells.
+//!
+//! The previous matrix runner spawned one thread per benchmark, which is
+//! unbalanced (a `gcc`-analogue column takes far longer than a `gzip` one)
+//! and caps parallelism at the benchmark count regardless of the machine.
+//! The engine instead flattens the whole
+//! (benchmark × technique × [`ConfigVariant`]) cross product into a cell
+//! list, sizes a worker pool to `std::thread::available_parallelism`, and
+//! lets idle workers pull the next unclaimed cell from a shared atomic
+//! cursor — so an 11 × 6 × K sweep saturates every core no matter how the
+//! axes are shaped, and a long cell never strands the rest of its row.
+//!
+//! Expensive per-cell work that is shared between cells (program
+//! generation, compiler passes) goes through the [`ArtifactCache`], and
+//! every cell's result is a pure function of its cell key, which yields the
+//! engine's hard guarantee: **the assembled [`Sweep`] is bit-identical for
+//! any worker count**, `jobs = 1` included. The integration suite asserts
+//! this.
+
+use crate::cache::{ArtifactCache, CompileKey, ProgramKey};
+use crate::runner::{Experiment, RunReport, Suite};
+use crate::technique::Technique;
+use sdiq_sim::SimConfig;
+use sdiq_workloads::Benchmark;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// One point on the configuration sweep axis: a simulator configuration
+/// plus the workload scale to run it at.
+///
+/// The paper's Figure-10-style sensitivity studies vary the machine under
+/// a fixed workload set; a sweep here is a list of variants, each labelled
+/// for reporting and keyed (together with the experiment's energy model
+/// and instruction budget) into every cell's cache key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigVariant {
+    /// Label used in reports and cell keys (e.g. `base`, `iq64`).
+    pub label: String,
+    /// The simulator configuration for this variant.
+    pub sim_config: SimConfig,
+    /// Workload scale factor for this variant.
+    pub scale: f64,
+}
+
+impl ConfigVariant {
+    /// The experiment's own configuration, labelled `base`.
+    pub fn base(experiment: &Experiment) -> Self {
+        ConfigVariant {
+            label: "base".to_string(),
+            sim_config: experiment.sim_config,
+            scale: experiment.scale,
+        }
+    }
+
+    /// A variant of the experiment's machine with a different issue-queue
+    /// capacity (both the queue geometry and the machine width the
+    /// compiler pass targets follow).
+    ///
+    /// # Panics
+    ///
+    /// If `entries` is zero — a zero-capacity queue can never dispatch,
+    /// and catching it at construction beats a panic inside a worker
+    /// thread.
+    pub fn with_iq_entries(experiment: &Experiment, entries: usize) -> Self {
+        assert!(entries >= 1, "issue-queue capacity must be at least 1");
+        let mut sim_config = experiment.sim_config;
+        sim_config.iq.entries = entries;
+        sim_config.widths.iq_capacity = entries;
+        ConfigVariant {
+            label: format!("iq{entries}"),
+            sim_config,
+            scale: experiment.scale,
+        }
+    }
+
+    /// A variant of the experiment's machine with a different issue-queue
+    /// bank size (same capacity, different gating granularity).
+    ///
+    /// # Panics
+    ///
+    /// If `bank_size` is zero (the bank count would divide by it).
+    pub fn with_iq_bank_size(experiment: &Experiment, bank_size: usize) -> Self {
+        assert!(bank_size >= 1, "issue-queue bank size must be at least 1");
+        let mut sim_config = experiment.sim_config;
+        sim_config.iq.bank_size = bank_size;
+        ConfigVariant {
+            label: format!("bank{bank_size}"),
+            sim_config,
+            scale: experiment.scale,
+        }
+    }
+
+    /// A variant running the experiment's machine at a different workload
+    /// scale.
+    ///
+    /// # Panics
+    ///
+    /// If `scale` is not a positive finite number.
+    pub fn with_scale(experiment: &Experiment, scale: f64) -> Self {
+        assert!(
+            scale > 0.0 && scale.is_finite(),
+            "workload scale must be positive and finite"
+        );
+        ConfigVariant {
+            label: format!("scale{scale}"),
+            sim_config: experiment.sim_config,
+            scale,
+        }
+    }
+}
+
+/// Results of a configuration sweep: one [`Suite`] per [`ConfigVariant`],
+/// in the order the variants were declared.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sweep {
+    points: Vec<(ConfigVariant, Suite)>,
+}
+
+impl Sweep {
+    /// The sweep points in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = &(ConfigVariant, Suite)> {
+        self.points.iter()
+    }
+
+    /// The suite of the `index`-th variant.
+    pub fn suite(&self, index: usize) -> &Suite {
+        &self.points[index].1
+    }
+
+    /// The variant of the `index`-th point.
+    pub fn variant(&self, index: usize) -> &ConfigVariant {
+        &self.points[index].0
+    }
+
+    /// The suite for the variant with the given label, if present.
+    pub fn suite_for(&self, label: &str) -> Option<&Suite> {
+        self.points
+            .iter()
+            .find(|(v, _)| v.label == label)
+            .map(|(_, s)| s)
+    }
+
+    /// Number of sweep points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` if the sweep holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Collapses a single-point sweep (the common non-sweeping case) into
+    /// its one suite.
+    pub fn into_suite(mut self) -> Suite {
+        assert!(
+            self.points.len() == 1,
+            "into_suite on a {}-point sweep; pick a variant instead",
+            self.points.len()
+        );
+        self.points.pop().expect("one point").1
+    }
+}
+
+/// One cell of the flattened cross product (see [`Matrix`]).
+#[derive(Debug, Clone, Copy)]
+struct Cell {
+    variant: usize,
+    benchmark: Benchmark,
+    technique: Technique,
+}
+
+/// `true` if a seeded report genuinely describes the cell it is keyed as
+/// (guards suite assembly against corrupted or hand-edited save files).
+fn seed_matches(report: &RunReport, benchmark: Benchmark, technique: Technique) -> bool {
+    report.technique == technique && report.workload == benchmark.name()
+}
+
+/// Builder for a full (benchmark × technique × configuration) sweep run on
+/// the job engine.
+///
+/// ```
+/// use sdiq_core::{Experiment, Matrix, Technique};
+/// use sdiq_workloads::Benchmark;
+///
+/// let experiment = Experiment { scale: 0.05, ..Experiment::paper() };
+/// let sweep = Matrix::new(&experiment)
+///     .benchmarks(&[Benchmark::Gzip])
+///     .techniques(&[Technique::Baseline, Technique::Noop])
+///     .jobs(2)
+///     .run();
+/// assert_eq!(sweep.len(), 1); // no sweep axis declared → just `base`
+/// assert_eq!(sweep.suite(0).len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Matrix<'a> {
+    experiment: &'a Experiment,
+    benchmarks: Vec<Benchmark>,
+    techniques: Vec<Technique>,
+    variants: Vec<ConfigVariant>,
+    jobs: usize,
+}
+
+impl<'a> Matrix<'a> {
+    /// A matrix over every benchmark and technique of `experiment`'s base
+    /// configuration, auto-sized worker pool.
+    pub fn new(experiment: &'a Experiment) -> Self {
+        Matrix {
+            experiment,
+            benchmarks: Benchmark::ALL.to_vec(),
+            techniques: Technique::ALL.to_vec(),
+            variants: Vec::new(),
+            jobs: 0,
+        }
+    }
+
+    /// Restricts the benchmark axis.
+    pub fn benchmarks(mut self, benchmarks: &[Benchmark]) -> Self {
+        self.benchmarks = benchmarks.to_vec();
+        self
+    }
+
+    /// Restricts the technique axis.
+    pub fn techniques(mut self, techniques: &[Technique]) -> Self {
+        self.techniques = techniques.to_vec();
+        self
+    }
+
+    /// Replaces the configuration axis with an explicit variant list.
+    pub fn variants(mut self, variants: Vec<ConfigVariant>) -> Self {
+        self.variants = variants;
+        self
+    }
+
+    /// Appends issue-queue-capacity variants to the configuration axis
+    /// (the base configuration is kept as the first point).
+    pub fn sweep_iq_entries(mut self, entries: &[usize]) -> Self {
+        self.ensure_base();
+        self.variants.extend(
+            entries
+                .iter()
+                .map(|&e| ConfigVariant::with_iq_entries(self.experiment, e)),
+        );
+        self
+    }
+
+    /// Appends issue-queue bank-size variants to the configuration axis.
+    pub fn sweep_iq_bank_sizes(mut self, bank_sizes: &[usize]) -> Self {
+        self.ensure_base();
+        self.variants.extend(
+            bank_sizes
+                .iter()
+                .map(|&b| ConfigVariant::with_iq_bank_size(self.experiment, b)),
+        );
+        self
+    }
+
+    /// Appends workload-scale variants to the configuration axis.
+    pub fn sweep_scales(mut self, scales: &[f64]) -> Self {
+        self.ensure_base();
+        self.variants.extend(
+            scales
+                .iter()
+                .map(|&s| ConfigVariant::with_scale(self.experiment, s)),
+        );
+        self
+    }
+
+    /// Fixes the worker-pool size (`0` = auto:
+    /// `std::thread::available_parallelism`).
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    fn ensure_base(&mut self) {
+        if self.variants.is_empty() {
+            self.variants.push(ConfigVariant::base(self.experiment));
+        }
+    }
+
+    /// The effective variant list (`base` alone if no axis was declared).
+    fn effective_variants(&self) -> Vec<ConfigVariant> {
+        if self.variants.is_empty() {
+            vec![ConfigVariant::base(self.experiment)]
+        } else {
+            self.variants.clone()
+        }
+    }
+
+    /// Total number of cells in the cross product (without materialising
+    /// keys or cells).
+    pub fn cell_count(&self) -> usize {
+        self.effective_variants().len() * self.benchmarks.len() * self.techniques.len()
+    }
+
+    /// The flattened (variant × technique × benchmark) cell list — the
+    /// single definition of cell order: key generation, execution,
+    /// reassembly and seed accounting all iterate this, so they cannot
+    /// drift apart. Benchmark is the *innermost* axis so that the first
+    /// `jobs` cells a cold worker pool claims span `jobs` distinct
+    /// benchmarks: their program builds overlap instead of piling up on
+    /// one `OnceLock` (suite assembly keys by cell, so the order is free
+    /// to serve the cache).
+    fn cells(&self, variants: &[ConfigVariant]) -> Vec<Cell> {
+        let mut cells =
+            Vec::with_capacity(variants.len() * self.benchmarks.len() * self.techniques.len());
+        for (variant, _) in variants.iter().enumerate() {
+            for &technique in &self.techniques {
+                for &benchmark in &self.benchmarks {
+                    cells.push(Cell {
+                        variant,
+                        benchmark,
+                        technique,
+                    });
+                }
+            }
+        }
+        cells
+    }
+
+    /// The cache key of every cell, in deterministic cell order. This is
+    /// the key space `--save`/`--load` persistence is indexed by.
+    pub fn cell_keys(&self) -> Vec<String> {
+        let variants = self.effective_variants();
+        self.cells(&variants)
+            .iter()
+            .map(|cell| {
+                cell_key(
+                    self.experiment,
+                    &variants[cell.variant],
+                    cell.benchmark,
+                    cell.technique,
+                )
+            })
+            .collect()
+    }
+
+    /// Number of cells [`Matrix::run_with`] would actually compute given
+    /// `seed`: cells whose key is absent *plus* cells whose seeded report
+    /// fails the integrity check (wrong technique/workload under the key)
+    /// and is therefore recomputed.
+    pub fn missing_cells(&self, seed: &HashMap<String, RunReport>) -> usize {
+        let variants = self.effective_variants();
+        self.cells(&variants)
+            .iter()
+            .filter(|cell| {
+                let key = cell_key(
+                    self.experiment,
+                    &variants[cell.variant],
+                    cell.benchmark,
+                    cell.technique,
+                );
+                !seed
+                    .get(&key)
+                    .is_some_and(|report| seed_matches(report, cell.benchmark, cell.technique))
+            })
+            .count()
+    }
+
+    /// Runs the matrix on a private artifact cache with no seeded cells.
+    pub fn run(&self) -> Sweep {
+        self.run_with(&ArtifactCache::new(), &HashMap::new())
+    }
+
+    /// Runs the matrix: cells whose key appears in `seed` are taken from
+    /// it verbatim (the `--load` path re-runs only missing cells), the
+    /// rest are computed on the worker pool through `cache`.
+    pub fn run_with(&self, cache: &ArtifactCache, seed: &HashMap<String, RunReport>) -> Sweep {
+        let variants = self.effective_variants();
+        let cells = self.cells(&variants);
+
+        let results: Vec<OnceLock<RunReport>> = cells.iter().map(|_| OnceLock::new()).collect();
+        let cursor = AtomicUsize::new(0);
+        let jobs = self.effective_jobs(cells.len());
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(cell) = cells.get(index) else {
+                        break;
+                    };
+                    let variant = &variants[cell.variant];
+                    let key = cell_key(self.experiment, variant, cell.benchmark, cell.technique);
+                    // A seeded report must actually describe this cell —
+                    // `Suite::insert` slots by the report's own technique,
+                    // so a corrupted save file could otherwise mis-file a
+                    // cell and silently leave another empty. Mismatched
+                    // seeds are treated as missing and recomputed
+                    // (`missing_cells` applies the same predicate).
+                    let seeded = seed
+                        .get(&key)
+                        .filter(|report| seed_matches(report, cell.benchmark, cell.technique));
+                    let report = match seeded {
+                        Some(seeded) => seeded.clone(),
+                        None => run_cell(
+                            self.experiment,
+                            cache,
+                            variant,
+                            cell.benchmark,
+                            cell.technique,
+                        ),
+                    };
+                    results[index]
+                        .set(report)
+                        .expect("each cell is claimed by exactly one worker");
+                });
+            }
+        });
+
+        // Reassembly is keyed by each result's own cell, not by position,
+        // so it is independent of whatever order `cells()` chooses.
+        let mut suites: Vec<Suite> = variants.iter().map(|_| Suite::default()).collect();
+        for (cell, slot) in cells.iter().zip(results) {
+            let report = slot
+                .into_inner()
+                .expect("worker pool filled every cell before exiting");
+            suites[cell.variant].insert(cell.benchmark, report);
+        }
+        Sweep {
+            points: variants.into_iter().zip(suites).collect(),
+        }
+    }
+
+    /// Flattens a sweep produced by this matrix back into its
+    /// key-addressed cells (the `--save` path).
+    pub fn collect_cells(&self, sweep: &Sweep) -> std::collections::BTreeMap<String, RunReport> {
+        let variants = self.effective_variants();
+        let mut cells = std::collections::BTreeMap::new();
+        for cell in self.cells(&variants) {
+            if let Some(report) = sweep
+                .suite(cell.variant)
+                .get(cell.benchmark, cell.technique)
+            {
+                cells.insert(
+                    cell_key(
+                        self.experiment,
+                        &variants[cell.variant],
+                        cell.benchmark,
+                        cell.technique,
+                    ),
+                    report.clone(),
+                );
+            }
+        }
+        cells
+    }
+
+    fn effective_jobs(&self, cells: usize) -> usize {
+        let auto = || {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        };
+        let jobs = if self.jobs == 0 { auto() } else { self.jobs };
+        jobs.clamp(1, cells.max(1))
+    }
+}
+
+/// Runs one cell through the artifact cache: software techniques reuse the
+/// cached compiler-pass output, hardware techniques run the shared built
+/// program directly — no per-cell `Program` clone in either path.
+fn run_cell(
+    experiment: &Experiment,
+    cache: &ArtifactCache,
+    variant: &ConfigVariant,
+    benchmark: Benchmark,
+    technique: Technique,
+) -> RunReport {
+    let program_key = ProgramKey::new(benchmark, variant.scale);
+    match technique.pass_config_for(variant.sim_config.widths, variant.sim_config.fu_counts) {
+        Some(pass) => {
+            let artifact = cache.compiled(CompileKey {
+                program: program_key,
+                pass,
+            });
+            experiment.run_prepared(
+                &artifact.program,
+                technique,
+                variant.sim_config,
+                Some(artifact.stats.clone()),
+                artifact.hint_noops_inserted,
+            )
+        }
+        None => {
+            let program = cache.program(program_key);
+            experiment.run_prepared(&program, technique, variant.sim_config, None, 0)
+        }
+    }
+}
+
+/// The cache key of one cell: human-readable axes plus a fingerprint of
+/// everything else the result depends on (simulator configuration, scale,
+/// energy model, instruction budget). Loading a save file produced under a
+/// different configuration therefore never aliases into the wrong cell.
+pub fn cell_key(
+    experiment: &Experiment,
+    variant: &ConfigVariant,
+    benchmark: Benchmark,
+    technique: Technique,
+) -> String {
+    let mut hasher = Fnv1a::default();
+    variant.sim_config.hash(&mut hasher);
+    hasher.write_u64(variant.scale.to_bits());
+    hasher.write_u64(experiment.max_dynamic_instructions);
+    let energy = &experiment.energy_model;
+    for field in [
+        energy.iq_wakeup_comparison,
+        energy.iq_write,
+        energy.iq_read,
+        energy.iq_selection_per_cycle,
+        energy.iq_bank_leakage_per_cycle,
+        energy.rf_access,
+        energy.rf_bank_leakage_per_cycle,
+    ] {
+        hasher.write_u64(field.to_bits());
+    }
+    format!(
+        "{}|{}|{}|{:016x}",
+        benchmark.name(),
+        technique.name(),
+        variant.label,
+        hasher.finish()
+    )
+}
+
+/// FNV-1a, used for cell-key fingerprints because (unlike the std hasher)
+/// its output is stable across processes — save files written by one run
+/// must be readable by the next. The integer methods are overridden to
+/// canonical little-endian 64-bit writes: the defaults use native byte
+/// order and pointer width, which would make fingerprints differ across
+/// architectures (derived `Hash` impls funnel `usize` fields and enum
+/// discriminants through them).
+#[derive(Debug)]
+struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(0xcbf29ce484222325)
+    }
+}
+
+impl Hasher for Fnv1a {
+    fn write(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+    }
+
+    fn write_u8(&mut self, i: u8) {
+        self.write_u64(u64::from(i));
+    }
+
+    fn write_u16(&mut self, i: u16) {
+        self.write_u64(u64::from(i));
+    }
+
+    fn write_u32(&mut self, i: u32) {
+        self.write_u64(u64::from(i));
+    }
+
+    fn write_u64(&mut self, i: u64) {
+        self.write(&i.to_le_bytes());
+    }
+
+    fn write_u128(&mut self, i: u128) {
+        self.write(&i.to_le_bytes());
+    }
+
+    fn write_usize(&mut self, i: usize) {
+        self.write_u64(i as u64);
+    }
+
+    fn write_i8(&mut self, i: i8) {
+        self.write_u64(i as u8 as u64);
+    }
+
+    fn write_i16(&mut self, i: i16) {
+        self.write_u64(i as u16 as u64);
+    }
+
+    fn write_i32(&mut self, i: i32) {
+        self.write_u64(i as u32 as u64);
+    }
+
+    fn write_i64(&mut self, i: i64) {
+        self.write_u64(i as u64);
+    }
+
+    fn write_i128(&mut self, i: i128) {
+        self.write_u128(i as u128);
+    }
+
+    fn write_isize(&mut self, i: isize) {
+        self.write_u64(i as i64 as u64);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_experiment() -> Experiment {
+        Experiment {
+            scale: 0.05,
+            ..Experiment::paper()
+        }
+    }
+
+    #[test]
+    fn matrix_fills_every_cell_of_every_variant() {
+        let exp = tiny_experiment();
+        let sweep = Matrix::new(&exp)
+            .benchmarks(&[Benchmark::Gzip, Benchmark::Mcf])
+            .techniques(&[Technique::Baseline, Technique::Noop])
+            .sweep_iq_entries(&[48])
+            .jobs(2)
+            .run();
+        assert_eq!(sweep.len(), 2, "base + iq48");
+        assert_eq!(sweep.variant(0).label, "base");
+        assert_eq!(sweep.variant(1).label, "iq48");
+        assert_eq!(sweep.variant(1).sim_config.iq.entries, 48);
+        for (_, suite) in sweep.iter() {
+            assert_eq!(suite.len(), 4);
+        }
+        assert!(sweep.suite_for("iq48").is_some());
+        assert!(sweep.suite_for("iq64").is_none());
+    }
+
+    #[test]
+    fn shrinking_the_queue_cannot_increase_committed_work() {
+        let exp = tiny_experiment();
+        let sweep = Matrix::new(&exp)
+            .benchmarks(&[Benchmark::Gzip])
+            .techniques(&[Technique::Baseline])
+            .sweep_iq_entries(&[32])
+            .run();
+        let base = sweep.suite(0).get(Benchmark::Gzip, Technique::Baseline);
+        let small = sweep.suite(1).get(Benchmark::Gzip, Technique::Baseline);
+        let (base, small) = (base.unwrap(), small.unwrap());
+        // Same program, same committed work; the smaller queue can only
+        // cost cycles.
+        assert_eq!(base.stats.committed, small.stats.committed);
+        assert!(small.stats.cycles >= base.stats.cycles);
+        assert_eq!(small.stats.iq_total_entries, 32);
+    }
+
+    #[test]
+    fn cell_keys_distinguish_configuration_content_not_just_labels() {
+        let exp = tiny_experiment();
+        let mut renamed = ConfigVariant::with_iq_entries(&exp, 48);
+        renamed.label = "base".to_string(); // masquerade as the base label
+        let base = ConfigVariant::base(&exp);
+        let a = cell_key(&exp, &base, Benchmark::Gzip, Technique::Noop);
+        let b = cell_key(&exp, &renamed, Benchmark::Gzip, Technique::Noop);
+        assert_ne!(a, b, "fingerprint catches the different machine");
+        // And the key is stable across calls (it seeds save files).
+        assert_eq!(a, cell_key(&exp, &base, Benchmark::Gzip, Technique::Noop));
+    }
+
+    #[test]
+    fn seeded_cells_are_returned_verbatim_without_recomputation() {
+        let exp = tiny_experiment();
+        let matrix = Matrix::new(&exp)
+            .benchmarks(&[Benchmark::Gzip])
+            .techniques(&[Technique::Baseline, Technique::NonEmpty]);
+        let sweep = matrix.run();
+        let cells = matrix.collect_cells(&sweep);
+        assert_eq!(cells.len(), 2);
+        let cache = ArtifactCache::new();
+        let seeded: HashMap<String, RunReport> = cells.into_iter().collect();
+        let again = matrix.run_with(&cache, &seeded);
+        assert_eq!(sweep, again, "seeded run reproduces the original");
+        assert_eq!(cache.program_builds(), 0, "nothing was rebuilt");
+    }
+}

@@ -342,6 +342,75 @@ pub fn table1(config: &SimConfig) -> String {
     out
 }
 
+/// One row of a sweep sensitivity table: a configuration variant's
+/// suite-average headline numbers for one technique.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepRow {
+    /// The variant's label (`base`, `iq64`, ...).
+    pub variant: String,
+    /// Issue-queue entries of the variant's machine.
+    pub iq_entries: usize,
+    /// Workload scale of the variant.
+    pub scale: f64,
+    /// The technique the row summarises.
+    pub technique: Technique,
+    /// Suite-average summary at this configuration.
+    pub summary: TechniqueSummary,
+}
+
+/// Figure-10-style sensitivity data: for every point of a configuration
+/// sweep and every requested technique, the suite-average IPC loss and
+/// power savings. This is the sweep analogue of [`summarise`] — the
+/// paper's extension figures vary the machine while holding the workload
+/// set fixed, which is exactly a [`crate::Matrix`] with a config axis.
+pub fn sweep_sensitivity(sweep: &crate::Sweep, techniques: &[Technique]) -> Vec<SweepRow> {
+    let mut rows = Vec::new();
+    for (variant, suite) in sweep.iter() {
+        for &technique in techniques {
+            rows.push(SweepRow {
+                variant: variant.label.clone(),
+                iq_entries: variant.sim_config.iq.entries,
+                scale: variant.scale,
+                technique,
+                summary: summarise(suite, technique),
+            });
+        }
+    }
+    rows
+}
+
+/// Renders sweep sensitivity rows as an aligned text table (one block per
+/// variant, one row per technique).
+pub fn render_sweep_sensitivity(rows: &[SweepRow]) -> String {
+    let mut out = String::new();
+    let mut current: Option<&str> = None;
+    for row in rows {
+        if current != Some(row.variant.as_str()) {
+            current = Some(row.variant.as_str());
+            let _ = writeln!(
+                out,
+                "  variant {} (IQ {} entries, scale {}):",
+                row.variant, row.iq_entries, row.scale
+            );
+            let _ = writeln!(
+                out,
+                "    {:10} {:>9} {:>9} {:>9} {:>9}",
+                "technique", "IPC loss", "IQ dyn", "IQ stat", "RF dyn"
+            );
+        }
+        let _ = writeln!(
+            out,
+            "    {:10} {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}%",
+            row.technique.name(),
+            row.summary.ipc_loss_pct,
+            row.summary.iq_dynamic_pct,
+            row.summary.iq_static_pct,
+            row.summary.rf_dynamic_pct
+        );
+    }
+    out
+}
+
 /// Headline numbers used by `EXPERIMENTS.md` and the integration tests:
 /// suite-average IPC loss and power savings per technique.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]

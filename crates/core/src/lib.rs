@@ -9,7 +9,17 @@
 //!   Abella & González adaptive-hardware comparator,
 //! * [`Experiment`] — runs a (benchmark, technique) pair end to end:
 //!   compiler pass → functional execution → cycle-level simulation → power
-//!   model, and whole matrices of such runs in parallel,
+//!   model,
+//! * [`Matrix`] / [`engine`] — the job engine: a worker pool sized to the
+//!   machine pulls (workload, technique, configuration) cells from a
+//!   shared queue, with a third sweep axis over [`ConfigVariant`]s
+//!   (issue-queue geometry, workload scale) for Figure-10-style
+//!   sensitivity studies; parallel runs are bit-identical to serial ones,
+//! * [`ArtifactCache`] — content-addressed sharing of built programs and
+//!   compiler-pass outputs across cells (`Arc`-handled, built exactly once
+//!   per key),
+//! * [`persist`] — save/load of matrix cells as JSON keyed by cell cache
+//!   keys, so a reload re-runs only missing cells,
 //! * [`experiments`] — turns a matrix of runs ([`Suite`]) into the data
 //!   behind every table and figure of §5 (per-experiment index in
 //!   `DESIGN.md`).
@@ -27,13 +37,19 @@
 //! assert!(comparison.savings.iq_dynamic_pct > 0.0);
 //! ```
 
+pub mod cache;
+pub mod engine;
 pub mod experiments;
+pub mod persist;
 pub mod runner;
 pub mod technique;
 
+pub use cache::{ArtifactCache, CompileKey, CompiledArtifact, ProgramKey};
+pub use engine::{cell_key, ConfigVariant, Matrix, Sweep};
 pub use experiments::{
     figure10, figure11, figure12, figure6, figure7, figure8, figure9, overall_processor_savings,
-    summarise, table1, FigureSeries, PowerFigure, TechniqueSummary,
+    render_sweep_sensitivity, summarise, sweep_sensitivity, table1, FigureSeries, PowerFigure,
+    SweepRow, TechniqueSummary,
 };
 pub use runner::{Comparison, Experiment, RunReport, Suite};
 pub use technique::Technique;

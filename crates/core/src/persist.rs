@@ -1,0 +1,721 @@
+//! Suite persistence: save/load of matrix cells as JSON keyed by cell
+//! cache keys.
+//!
+//! A sweep's cells are pure functions of their [`crate::engine::cell_key`],
+//! so a save file is simply a `key → RunReport` map: `repro --save` writes
+//! it, `repro --load` seeds the engine with it, and only cells whose key is
+//! absent (new benchmarks, new techniques, a changed configuration — the
+//! key fingerprints the machine) are re-run.
+//!
+//! The workspace builds fully offline against a marker-only `serde` shim
+//! (see `vendor/README.md`), so the codec here is hand-rolled: a minimal
+//! JSON value model with a recursive-descent parser. Numbers are kept as
+//! their literal token text on both sides, which makes the round trip
+//! exact: `u64` counters are written in full precision and `f64` energies
+//! are written with Rust's shortest-round-trip formatting, so a loaded
+//! suite is bit-identical to the saved one (asserted by the integration
+//! suite).
+
+use crate::runner::RunReport;
+use crate::technique::Technique;
+use sdiq_compiler::{CompileStats, ProcedureStats};
+use sdiq_power::{PowerBreakdown, StructurePower};
+use sdiq_sim::ActivityStats;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::time::Duration;
+
+/// Save-file format version (bumped on breaking schema changes; loading
+/// rejects unknown versions instead of misreading them).
+pub const FORMAT_VERSION: u64 = 1;
+
+/// An error while parsing or interpreting a save file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PersistError {
+    message: String,
+}
+
+impl PersistError {
+    fn new(message: impl Into<String>) -> Self {
+        PersistError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "suite save file: {}", self.message)
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+// ---------------------------------------------------------------------------
+// JSON value model
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value. Numbers keep their literal token so integer and
+/// float round trips are exact (see the module docs).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(String),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn of_u64(v: u64) -> Json {
+        Json::Num(v.to_string())
+    }
+
+    fn of_usize(v: usize) -> Json {
+        Json::Num(v.to_string())
+    }
+
+    fn of_f64(v: f64) -> Json {
+        // Fail loudly at save time: a bare `NaN`/`inf` token would write a
+        // file that every later load rejects — the corruption would be
+        // detected at the wrong end. The simulator and power model never
+        // produce non-finite values, so this is an invariant, not input
+        // validation.
+        assert!(v.is_finite(), "save file cannot carry non-finite value {v}");
+        // `{:?}` is Rust's shortest representation that parses back to the
+        // identical bit pattern.
+        Json::Num(format!("{v:?}"))
+    }
+
+    fn obj(&self) -> Result<&[(String, Json)], PersistError> {
+        match self {
+            Json::Obj(fields) => Ok(fields),
+            other => Err(PersistError::new(format!("expected object, got {other:?}"))),
+        }
+    }
+
+    fn get(&self, key: &str) -> Result<&Json, PersistError> {
+        self.obj()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| PersistError::new(format!("missing field `{key}`")))
+    }
+
+    fn u64(&self) -> Result<u64, PersistError> {
+        match self {
+            Json::Num(s) => s
+                .parse::<u64>()
+                .map_err(|_| PersistError::new(format!("`{s}` is not a u64"))),
+            other => Err(PersistError::new(format!("expected number, got {other:?}"))),
+        }
+    }
+
+    fn usize(&self) -> Result<usize, PersistError> {
+        self.u64().map(|v| v as usize)
+    }
+
+    fn f64(&self) -> Result<f64, PersistError> {
+        match self {
+            Json::Num(s) => s
+                .parse::<f64>()
+                .map_err(|_| PersistError::new(format!("`{s}` is not an f64"))),
+            other => Err(PersistError::new(format!("expected number, got {other:?}"))),
+        }
+    }
+
+    fn str(&self) -> Result<&str, PersistError> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(PersistError::new(format!("expected string, got {other:?}"))),
+        }
+    }
+
+    fn arr(&self) -> Result<&[Json], PersistError> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            other => Err(PersistError::new(format!("expected array, got {other:?}"))),
+        }
+    }
+
+    fn render(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(s) => out.push_str(s),
+            Json::Str(s) => render_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_string(key, out);
+                    out.push(':');
+                    value.render(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Recursive-descent parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, message: &str) -> PersistError {
+        PersistError::new(format!("{message} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), PersistError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, literal: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, PersistError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') if self.eat_literal("true") => Ok(Json::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Json::Bool(false)),
+            Some(b'n') if self.eat_literal("null") => Ok(Json::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, PersistError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.error("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, PersistError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.error("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, PersistError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let start = self.pos + 1;
+                            let hex = self
+                                .bytes
+                                .get(start..start + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.error("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.error("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.error("non-scalar \\u escape"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.error("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is a &str, so
+                    // boundaries are valid).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.error("invalid UTF-8"))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, PersistError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.error("empty number"));
+        }
+        let token = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("invalid UTF-8 in number"))?;
+        Ok(Json::Num(token.to_string()))
+    }
+}
+
+fn parse(text: &str) -> Result<Json, PersistError> {
+    let mut parser = Parser::new(text);
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing content"));
+    }
+    Ok(value)
+}
+
+// ---------------------------------------------------------------------------
+// Report schema
+// ---------------------------------------------------------------------------
+
+/// Lists every `u64` counter of [`ActivityStats`] exactly once; both
+/// directions of the codec expand it, so a new counter only needs one
+/// edit here (forgetting it breaks the bit-identical round-trip test).
+macro_rules! for_each_stats_field {
+    ($apply:ident) => {
+        $apply!(
+            cycles,
+            committed,
+            committed_hints,
+            dispatched,
+            issued,
+            branches,
+            mispredicted_branches,
+            btb_misses,
+            icache_misses,
+            fetch_stall_cycles,
+            dispatch_limit_stall_cycles,
+            dcache_accesses,
+            dcache_misses,
+            l2_misses,
+            wakeup_broadcasts,
+            wakeup_comparisons_full,
+            wakeup_comparisons_nonempty,
+            wakeup_comparisons_gated,
+            iq_writes,
+            iq_reads,
+            iq_occupancy_sum,
+            iq_banks_on_sum,
+            iq_total_banks,
+            iq_total_entries,
+            int_rf_reads,
+            int_rf_writes,
+            fp_rf_reads,
+            fp_rf_writes,
+            int_rf_occupancy_sum,
+            int_rf_banks_on_sum,
+            fp_rf_occupancy_sum,
+            fp_rf_banks_on_sum,
+            int_rf_total_banks,
+            fp_rf_total_banks,
+            rob_occupancy_sum,
+            rob_full_stall_cycles,
+            rename_stall_cycles
+        );
+    };
+}
+
+fn stats_to_json(stats: &ActivityStats) -> Json {
+    let mut fields = Vec::new();
+    macro_rules! emit {
+        ($($name:ident),*) => {
+            $(fields.push((stringify!($name).to_string(), Json::of_u64(stats.$name)));)*
+        };
+    }
+    for_each_stats_field!(emit);
+    Json::Obj(fields)
+}
+
+fn stats_from_json(json: &Json) -> Result<ActivityStats, PersistError> {
+    let mut stats = ActivityStats::default();
+    macro_rules! read {
+        ($($name:ident),*) => {
+            $(stats.$name = json.get(stringify!($name))?.u64()?;)*
+        };
+    }
+    for_each_stats_field!(read);
+    Ok(stats)
+}
+
+fn structure_power_to_json(power: &StructurePower) -> Json {
+    Json::Obj(vec![
+        ("dynamic".to_string(), Json::of_f64(power.dynamic)),
+        ("static".to_string(), Json::of_f64(power.static_)),
+    ])
+}
+
+fn structure_power_from_json(json: &Json) -> Result<StructurePower, PersistError> {
+    Ok(StructurePower {
+        dynamic: json.get("dynamic")?.f64()?,
+        static_: json.get("static")?.f64()?,
+    })
+}
+
+fn power_to_json(power: &PowerBreakdown) -> Json {
+    Json::Obj(vec![
+        ("iq".to_string(), structure_power_to_json(&power.iq)),
+        ("int_rf".to_string(), structure_power_to_json(&power.int_rf)),
+        ("fp_rf".to_string(), structure_power_to_json(&power.fp_rf)),
+    ])
+}
+
+fn power_from_json(json: &Json) -> Result<PowerBreakdown, PersistError> {
+    Ok(PowerBreakdown {
+        iq: structure_power_from_json(json.get("iq")?)?,
+        int_rf: structure_power_from_json(json.get("int_rf")?)?,
+        fp_rf: structure_power_from_json(json.get("fp_rf")?)?,
+    })
+}
+
+fn compile_to_json(stats: &CompileStats) -> Json {
+    Json::Obj(vec![
+        (
+            "annotated_blocks".to_string(),
+            Json::of_usize(stats.annotated_blocks),
+        ),
+        (
+            "hint_noops_inserted".to_string(),
+            Json::of_usize(stats.hint_noops_inserted),
+        ),
+        (
+            "total_duration_nanos".to_string(),
+            Json::of_u64(stats.total_duration.as_nanos() as u64),
+        ),
+        (
+            "per_procedure".to_string(),
+            Json::Arr(
+                stats
+                    .per_procedure
+                    .iter()
+                    .map(|p| {
+                        Json::Obj(vec![
+                            ("name".to_string(), Json::Str(p.name.clone())),
+                            (
+                                "blocks_analysed".to_string(),
+                                Json::of_usize(p.blocks_analysed),
+                            ),
+                            (
+                                "loops_analysed".to_string(),
+                                Json::of_usize(p.loops_analysed),
+                            ),
+                            ("dag_regions".to_string(), Json::of_usize(p.dag_regions)),
+                            (
+                                "duration_nanos".to_string(),
+                                Json::of_u64(p.duration.as_nanos() as u64),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn compile_from_json(json: &Json) -> Result<CompileStats, PersistError> {
+    let per_procedure = json
+        .get("per_procedure")?
+        .arr()?
+        .iter()
+        .map(|p| {
+            Ok(ProcedureStats {
+                name: p.get("name")?.str()?.to_string(),
+                blocks_analysed: p.get("blocks_analysed")?.usize()?,
+                loops_analysed: p.get("loops_analysed")?.usize()?,
+                dag_regions: p.get("dag_regions")?.usize()?,
+                duration: Duration::from_nanos(p.get("duration_nanos")?.u64()?),
+            })
+        })
+        .collect::<Result<Vec<_>, PersistError>>()?;
+    Ok(CompileStats {
+        per_procedure,
+        total_duration: Duration::from_nanos(json.get("total_duration_nanos")?.u64()?),
+        annotated_blocks: json.get("annotated_blocks")?.usize()?,
+        hint_noops_inserted: json.get("hint_noops_inserted")?.usize()?,
+    })
+}
+
+fn report_to_json(report: &RunReport) -> Json {
+    Json::Obj(vec![
+        ("workload".to_string(), Json::Str(report.workload.clone())),
+        (
+            "technique".to_string(),
+            Json::Str(report.technique.name().to_string()),
+        ),
+        ("stats".to_string(), stats_to_json(&report.stats)),
+        ("power".to_string(), power_to_json(&report.power)),
+        (
+            "compile".to_string(),
+            match &report.compile {
+                Some(stats) => compile_to_json(stats),
+                None => Json::Null,
+            },
+        ),
+        (
+            "adaptive_resizes".to_string(),
+            Json::of_u64(report.adaptive_resizes),
+        ),
+        (
+            "hint_noops_inserted".to_string(),
+            Json::of_usize(report.hint_noops_inserted),
+        ),
+    ])
+}
+
+fn report_from_json(json: &Json) -> Result<RunReport, PersistError> {
+    let technique_name = json.get("technique")?.str()?;
+    let technique = Technique::from_name(technique_name)
+        .ok_or_else(|| PersistError::new(format!("unknown technique `{technique_name}`")))?;
+    let compile = match json.get("compile")? {
+        Json::Null => None,
+        other => Some(compile_from_json(other)?),
+    };
+    Ok(RunReport {
+        workload: json.get("workload")?.str()?.to_string(),
+        technique,
+        stats: stats_from_json(json.get("stats")?)?,
+        power: power_from_json(json.get("power")?)?,
+        compile,
+        adaptive_resizes: json.get("adaptive_resizes")?.u64()?,
+        hint_noops_inserted: json.get("hint_noops_inserted")?.usize()?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Save-file surface
+// ---------------------------------------------------------------------------
+
+/// Serialises key-addressed cells into the save-file JSON.
+pub fn save_cells(cells: &BTreeMap<String, RunReport>) -> String {
+    let document = Json::Obj(vec![
+        ("format".to_string(), Json::of_u64(FORMAT_VERSION)),
+        (
+            "cells".to_string(),
+            Json::Obj(
+                cells
+                    .iter()
+                    .map(|(key, report)| (key.clone(), report_to_json(report)))
+                    .collect(),
+            ),
+        ),
+    ]);
+    let mut out = String::new();
+    document.render(&mut out);
+    out.push('\n');
+    out
+}
+
+/// Parses a save file back into key-addressed cells, ready to seed
+/// [`crate::Matrix::run_with`].
+pub fn load_cells(text: &str) -> Result<HashMap<String, RunReport>, PersistError> {
+    let document = parse(text)?;
+    let format = document.get("format")?.u64()?;
+    if format != FORMAT_VERSION {
+        return Err(PersistError::new(format!(
+            "unsupported format version {format} (this build reads {FORMAT_VERSION})"
+        )));
+    }
+    document
+        .get("cells")?
+        .obj()?
+        .iter()
+        .map(|(key, value)| Ok((key.clone(), report_from_json(value)?)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::Experiment;
+    use sdiq_workloads::Benchmark;
+
+    #[test]
+    fn json_parser_round_trips_scalars_and_nesting() {
+        let text = r#"{"a": [1, -2.5, "x\ny", true, null], "b": {"c": 18446744073709551615}}"#;
+        let parsed = parse(text).unwrap();
+        assert_eq!(
+            parsed.get("b").unwrap().get("c").unwrap().u64(),
+            Ok(u64::MAX)
+        );
+        let items = parsed.get("a").unwrap().arr().unwrap();
+        assert_eq!(items[0].u64(), Ok(1));
+        assert_eq!(items[1].f64(), Ok(-2.5));
+        assert_eq!(items[2].str(), Ok("x\ny"));
+        assert_eq!(items[3], Json::Bool(true));
+        assert_eq!(items[4], Json::Null);
+        // Render → parse is the identity.
+        let mut rendered = String::new();
+        parsed.render(&mut rendered);
+        assert_eq!(parse(&rendered).unwrap(), parsed);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for bad in ["{", "[1,", "{\"a\" 1}", "tru", "{\"a\":1} extra", ""] {
+            assert!(parse(bad).is_err(), "{bad:?} should not parse");
+        }
+        assert!(load_cells("{\"format\": 99, \"cells\": {}}").is_err());
+        assert!(load_cells("{\"cells\": {}}").is_err());
+    }
+
+    #[test]
+    fn run_report_round_trips_bit_identically() {
+        let exp = Experiment {
+            scale: 0.05,
+            ..Experiment::paper()
+        };
+        for technique in [Technique::Baseline, Technique::Noop, Technique::Abella] {
+            let report = exp.run(Benchmark::Gzip, technique);
+            let json = report_to_json(&report);
+            let back = report_from_json(&json).unwrap();
+            assert_eq!(report, back, "{technique} report must round-trip");
+        }
+    }
+
+    #[test]
+    fn save_and_load_preserve_the_cell_map() {
+        let exp = Experiment {
+            scale: 0.05,
+            ..Experiment::paper()
+        };
+        let mut cells = BTreeMap::new();
+        cells.insert(
+            "gzip|baseline|base|0000000000000000".to_string(),
+            exp.run(Benchmark::Gzip, Technique::Baseline),
+        );
+        cells.insert(
+            "gzip|noop|base|0000000000000000".to_string(),
+            exp.run(Benchmark::Gzip, Technique::Noop),
+        );
+        let text = save_cells(&cells);
+        let loaded = load_cells(&text).unwrap();
+        assert_eq!(loaded.len(), 2);
+        for (key, report) in &cells {
+            assert_eq!(loaded.get(key), Some(report), "{key}");
+        }
+    }
+}

@@ -128,33 +128,63 @@ impl Experiment {
 
     /// Runs an arbitrary (already built) program under one technique. The
     /// program's own name labels the report.
+    ///
+    /// The input is only borrowed: software techniques run the compiler
+    /// pass (which produces the annotated copy it needs), hardware
+    /// techniques simulate the borrowed program directly — the experiment
+    /// layer never clones a `Program` just to run it. The pass is
+    /// retargeted at this experiment's machine (not the hard-coded paper
+    /// machine), matching what the matrix engine does per variant.
     pub fn run_program(&self, program: &Program, technique: Technique) -> RunReport {
-        // 1. Compiler pass for the software techniques.
-        let (program_to_run, compile, hint_noops) = match technique.pass_config() {
-            Some(config) => {
-                let compiled = CompilerPass::new(config).run(program);
-                let hints = compiled.stats.hint_noops_inserted;
-                (compiled.program, Some(compiled.stats), hints)
-            }
-            None => (program.clone(), None, 0),
+        let compiled = technique
+            .pass_config_for(self.sim_config.widths, self.sim_config.fu_counts)
+            .map(|config| CompilerPass::new(config).run(program));
+        let (program_to_run, compile, hint_noops) = match &compiled {
+            Some(compiled) => (
+                &compiled.program,
+                Some(compiled.stats.clone()),
+                compiled.stats.hint_noops_inserted,
+            ),
+            None => (program, None, 0),
         };
+        self.run_prepared(
+            program_to_run,
+            technique,
+            self.sim_config,
+            compile,
+            hint_noops,
+        )
+    }
 
-        // 2. Functional execution → committed trace.
-        let trace = Executor::new(&program_to_run)
+    /// Runs a program whose compiler pass (if any) has already happened —
+    /// the engine's entry point, fed from the artifact cache. `sim_config`
+    /// is taken explicitly so configuration sweeps can override the
+    /// experiment's machine per cell; everything downstream of the pass
+    /// (functional execution, timing simulation, power model) runs here.
+    pub fn run_prepared(
+        &self,
+        program_to_run: &Program,
+        technique: Technique,
+        sim_config: SimConfig,
+        compile: Option<CompileStats>,
+        hint_noops_inserted: usize,
+    ) -> RunReport {
+        // 1. Functional execution → committed trace.
+        let trace = Executor::new(program_to_run)
             .run(self.max_dynamic_instructions)
             .expect("workload executes cleanly");
 
-        // 3. Timing simulation.
+        // 2. Timing simulation.
         let result = Simulator::new(
-            self.sim_config,
-            &program_to_run,
+            sim_config,
+            program_to_run,
             &trace,
             technique.resize_policy(),
         )
         .run()
         .expect("simulation completes");
 
-        // 4. Power model.
+        // 3. Power model.
         let power = PowerBreakdown::from_stats(
             &result.stats,
             &self.energy_model,
@@ -163,39 +193,27 @@ impl Experiment {
         );
 
         RunReport {
-            workload: program.name.clone(),
+            workload: program_to_run.name.clone(),
             technique,
             stats: result.stats,
             power,
             compile,
             adaptive_resizes: result.adaptive_resizes,
-            hint_noops_inserted: hint_noops,
+            hint_noops_inserted,
         }
     }
 
-    /// Runs the full (benchmarks × techniques) matrix, one worker thread per
-    /// benchmark, and returns the collected suite.
+    /// Runs the full (benchmarks × techniques) matrix on the job engine —
+    /// a worker pool sized to the machine pulling cells from a shared
+    /// queue, with program builds and compiler passes deduplicated through
+    /// a [`crate::ArtifactCache`] — and returns the collected suite. The
+    /// result is bit-identical to a serial run (see [`crate::Matrix`]).
     pub fn run_matrix(&self, benchmarks: &[Benchmark], techniques: &[Technique]) -> Suite {
-        let mut reports: BTreeMap<(Benchmark, Technique), RunReport> = BTreeMap::new();
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for &benchmark in benchmarks {
-                let techniques = techniques.to_vec();
-                let exp = &*self;
-                handles.push(scope.spawn(move || {
-                    techniques
-                        .into_iter()
-                        .map(|t| ((benchmark, t), exp.run(benchmark, t)))
-                        .collect::<Vec<_>>()
-                }));
-            }
-            for handle in handles {
-                for (key, report) in handle.join().expect("benchmark worker panicked") {
-                    reports.insert(key, report);
-                }
-            }
-        });
-        Suite { reports }
+        crate::engine::Matrix::new(self)
+            .benchmarks(benchmarks)
+            .techniques(techniques)
+            .run()
+            .into_suite()
     }
 
     /// Measures the compile time of every benchmark with and without the
@@ -273,6 +291,11 @@ impl Suite {
     /// Inserts a report (used by the harness when composing suites manually).
     pub fn insert(&mut self, benchmark: Benchmark, report: RunReport) {
         self.reports.insert((benchmark, report.technique), report);
+    }
+
+    /// All reports, in deterministic (benchmark, technique) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&(Benchmark, Technique), &RunReport)> {
+        self.reports.iter()
     }
 }
 

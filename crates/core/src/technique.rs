@@ -64,7 +64,14 @@ impl Technique {
         }
     }
 
-    /// The compiler pass configuration this technique needs, if any.
+    /// Looks a technique up by its figure label (the inverse of
+    /// [`Technique::name`]).
+    pub fn from_name(name: &str) -> Option<Technique> {
+        Technique::ALL.iter().copied().find(|t| t.name() == name)
+    }
+
+    /// The compiler pass configuration this technique needs, if any, for
+    /// the paper's Table 1 machine.
     pub fn pass_config(&self) -> Option<PassConfig> {
         match self {
             Technique::Noop => Some(PassConfig::noop_insertion()),
@@ -72,6 +79,21 @@ impl Technique {
             Technique::Improved => Some(PassConfig::improved()),
             Technique::Baseline | Technique::NonEmpty | Technique::Abella => None,
         }
+    }
+
+    /// The compiler pass configuration this technique needs, if any,
+    /// retargeted at an arbitrary machine ([`PassConfig::retargeted`] owns
+    /// the width-dependent details). Sweeps over issue-queue geometry use
+    /// this so the software techniques compile against the capacity they
+    /// will actually run on; [`crate::Experiment::run_program`] uses it
+    /// with the experiment's own machine for the same reason.
+    pub fn pass_config_for(
+        &self,
+        widths: sdiq_isa::MachineWidths,
+        fu_counts: sdiq_isa::FuCounts,
+    ) -> Option<PassConfig> {
+        self.pass_config()
+            .map(|base| base.retargeted(widths, fu_counts))
     }
 
     /// The simulator resize policy this technique runs with.

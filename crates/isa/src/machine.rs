@@ -10,7 +10,7 @@ use crate::opcode::FuClass;
 use serde::{Deserialize, Serialize};
 
 /// Number of functional units per pool (Table 1 of the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct FuCounts {
     /// Integer ALUs (1-cycle latency).
     pub int_alu: usize,
@@ -63,7 +63,7 @@ impl Default for FuCounts {
 }
 
 /// Front-end and window widths shared by compiler and simulator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct MachineWidths {
     /// Fetch, decode, dispatch and commit width (8 in Table 1).
     pub pipeline_width: usize,

@@ -4,7 +4,7 @@ use sdiq_isa::{FuCounts, MachineWidths};
 use serde::{Deserialize, Serialize};
 
 /// Geometry of one cache level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct CacheConfig {
     /// Total size in bytes.
     pub size_bytes: usize,
@@ -25,7 +25,7 @@ impl CacheConfig {
 
 /// Branch predictor configuration (Table 1: hybrid 2K gshare, 2K bimodal,
 /// 1K selector; 2048-entry 4-way BTB).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct BranchPredictorConfig {
     /// Entries in the gshare pattern history table.
     pub gshare_entries: usize,
@@ -43,7 +43,7 @@ pub struct BranchPredictorConfig {
 }
 
 /// Issue-queue geometry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct IssueQueueConfig {
     /// Total entries (80 in Table 1).
     pub entries: usize,
@@ -61,7 +61,7 @@ impl IssueQueueConfig {
 }
 
 /// Register-file geometry (112 integer + 112 FP registers, 14 banks of 8).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct RegFileConfig {
     /// Physical registers per class.
     pub regs_per_class: usize,
@@ -77,7 +77,7 @@ impl RegFileConfig {
 }
 
 /// Full simulator configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct SimConfig {
     /// Pipeline widths and window capacities.
     pub widths: MachineWidths,

@@ -392,6 +392,13 @@ impl<'a> Simulator<'a> {
         }
 
         self.stats.cycles = cycle.max(1);
+        // The cache hierarchy owns the authoritative D-cache hit/miss
+        // counters (issue charges latency per access but only tallies L2
+        // misses inline); publish them into the activity stats so the
+        // memory-boundedness of a run is visible to the experiment layer.
+        let (dcache_accesses, dcache_misses) = self.caches.dcache_stats();
+        self.stats.dcache_accesses = dcache_accesses;
+        self.stats.dcache_misses = dcache_misses;
         let adaptive_resizes = self.adaptive.as_ref().map_or(0, |a| a.resizes());
         Ok(SimResult {
             stats: self.stats,

@@ -39,6 +39,7 @@ pub use profile::WorkloadProfile;
 use sdiq_isa::Program;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// The eleven SPECint2000 benchmarks the paper evaluates (§5.1), reproduced
 /// here as synthetic analogues.
@@ -132,6 +133,17 @@ impl Benchmark {
         profile.outer_iterations =
             ((profile.outer_iterations as f64 * scale).round() as i64).max(1);
         generate(*self, &profile)
+    }
+
+    /// Builds the benchmark at `scale` behind a shared, immutable handle.
+    ///
+    /// Generation is deterministic, so every holder of the handle sees the
+    /// identical program; the experiment layer's artifact cache hands one
+    /// `Arc<Program>` to every matrix cell that needs this
+    /// (benchmark, scale) pair instead of rebuilding (or cloning) it per
+    /// cell.
+    pub fn build_scaled_shared(&self, scale: f64) -> Arc<Program> {
+        Arc::new(self.build_scaled(scale))
     }
 
     /// Default dynamic-instruction budget used when executing the benchmark

@@ -1,0 +1,266 @@
+//! Integration tests for the experiment job engine, the shared artifact
+//! cache and suite persistence — the hard guarantees of the engine layer:
+//!
+//! 1. a parallel matrix run is **bit-identical** to a serial one,
+//! 2. each (benchmark, scale) program is built **exactly once** per sweep
+//!    and each (program, pass-config) compiled exactly once,
+//! 3. a saved suite reloads bit-identically and seeds a later run so only
+//!    missing cells are recomputed,
+//! 4. the D-cache activity counters are wired to the cache hierarchy (the
+//!    memory-bound `mcf` analogue must show real traffic).
+
+use sdiq::core::{persist, ArtifactCache, Experiment, Matrix, Sweep, Technique};
+use sdiq::workloads::Benchmark;
+use std::collections::HashMap;
+
+fn tiny_experiment() -> Experiment {
+    Experiment {
+        scale: 0.05,
+        ..Experiment::paper()
+    }
+}
+
+const BENCHMARKS: [Benchmark; 3] = [Benchmark::Gzip, Benchmark::Mcf, Benchmark::Vortex];
+const TECHNIQUES: [Technique; 4] = [
+    Technique::Baseline,
+    Technique::Noop,
+    Technique::Extension,
+    Technique::Abella,
+];
+
+fn swept_matrix(experiment: &Experiment) -> Matrix<'_> {
+    Matrix::new(experiment)
+        .benchmarks(&BENCHMARKS)
+        .techniques(&TECHNIQUES)
+        .sweep_iq_entries(&[48])
+}
+
+#[test]
+fn parallel_engine_is_bit_identical_to_a_serial_run() {
+    let experiment = tiny_experiment();
+    let serial = swept_matrix(&experiment).jobs(1).run();
+    let parallel = swept_matrix(&experiment).jobs(4).run();
+
+    // Full structural equality first: every cell of every sweep point.
+    assert_eq!(serial, parallel, "parallel sweep must be bit-identical");
+
+    // And spell the core of the guarantee out per cell, so a future
+    // violation names the counter that diverged.
+    for (point, (variant, suite)) in serial.iter().enumerate() {
+        let other = parallel.suite(point);
+        for benchmark in BENCHMARKS {
+            for technique in TECHNIQUES {
+                let a = suite.get(benchmark, technique).expect("serial cell");
+                let b = other.get(benchmark, technique).expect("parallel cell");
+                assert_eq!(
+                    a.stats, b.stats,
+                    "{}/{benchmark}/{technique}: ActivityStats must be bit-identical",
+                    variant.label
+                );
+                assert_eq!(a.power, b.power);
+                assert_eq!(a.compile, b.compile);
+                assert_eq!(a.adaptive_resizes, b.adaptive_resizes);
+            }
+        }
+    }
+}
+
+#[test]
+fn artifacts_are_built_exactly_once_per_unique_key() {
+    let experiment = tiny_experiment();
+    let cache = ArtifactCache::new();
+    let matrix = swept_matrix(&experiment).jobs(3);
+    let sweep = matrix.run_with(&cache, &HashMap::new());
+    assert_eq!(sweep.len(), 2, "base + iq48");
+
+    // Both variants run at the same scale, so one program per benchmark
+    // serves all 2 × 4 cells of its row.
+    assert_eq!(
+        cache.program_builds(),
+        BENCHMARKS.len() as u64,
+        "one build per (benchmark, scale)"
+    );
+    // Software techniques: Noop and Extension have distinct pass configs,
+    // and the iq48 variant retargets the machine widths, which is a new
+    // pass config — 2 passes × 2 variants × 3 benchmarks.
+    assert_eq!(
+        cache.compile_runs(),
+        (2 * 2 * BENCHMARKS.len()) as u64,
+        "one compile per (program, pass-config)"
+    );
+
+    // Re-running the same matrix against the same cache computes nothing.
+    let again = matrix.run_with(&cache, &HashMap::new());
+    assert_eq!(cache.program_builds(), BENCHMARKS.len() as u64);
+    assert_eq!(cache.compile_runs(), (2 * 2 * BENCHMARKS.len()) as u64);
+    assert_eq!(sweep, again, "cache reuse does not change results");
+}
+
+#[test]
+fn saved_cells_reload_bit_identically_and_seed_partial_reruns() {
+    let experiment = tiny_experiment();
+    let narrow = Matrix::new(&experiment)
+        .benchmarks(&[Benchmark::Gzip, Benchmark::Mcf])
+        .techniques(&[Technique::Baseline, Technique::Noop]);
+    let sweep = narrow.run();
+
+    // Round trip through the JSON text.
+    let saved = persist::save_cells(&narrow.collect_cells(&sweep));
+    let loaded = persist::load_cells(&saved).expect("save file parses");
+    assert_eq!(loaded.len(), 4);
+    for (key, report) in narrow.collect_cells(&sweep) {
+        assert_eq!(loaded.get(&key), Some(&report), "{key} must round-trip");
+    }
+
+    // Seeding a *wider* matrix with the loaded cells re-runs only the new
+    // technique column: the seeded cells need no program build at all, the
+    // new NonEmpty cells share one build per benchmark and compile nothing.
+    let wider = Matrix::new(&experiment)
+        .benchmarks(&[Benchmark::Gzip, Benchmark::Mcf])
+        .techniques(&[Technique::Baseline, Technique::Noop, Technique::NonEmpty]);
+    let cache = ArtifactCache::new();
+    let wider_sweep = wider.run_with(&cache, &loaded);
+    assert_eq!(cache.program_builds(), 2, "only the missing cells ran");
+    assert_eq!(cache.compile_runs(), 0, "no software cell was missing");
+
+    let suite = wider_sweep.suite(0);
+    for benchmark in [Benchmark::Gzip, Benchmark::Mcf] {
+        // Reused cells are byte-for-byte the originals.
+        for technique in [Technique::Baseline, Technique::Noop] {
+            assert_eq!(
+                suite.get(benchmark, technique),
+                sweep.suite(0).get(benchmark, technique),
+                "{benchmark}/{technique} must come from the seed verbatim"
+            );
+        }
+        // And the freshly computed cells are complete and consistent.
+        let nonempty = suite.get(benchmark, Technique::NonEmpty).expect("new cell");
+        let baseline = suite.get(benchmark, Technique::Baseline).unwrap();
+        assert_eq!(nonempty.stats.cycles, baseline.stats.cycles);
+    }
+}
+
+#[test]
+fn loading_under_a_different_configuration_recomputes_everything() {
+    let experiment = tiny_experiment();
+    let matrix = Matrix::new(&experiment)
+        .benchmarks(&[Benchmark::Gzip])
+        .techniques(&[Technique::Baseline]);
+    let cells = matrix.collect_cells(&matrix.run());
+
+    // The same axes at a different scale must not alias into the saved
+    // cells: the key fingerprints the configuration.
+    let other = Experiment {
+        scale: 0.07,
+        ..Experiment::paper()
+    };
+    let other_matrix = Matrix::new(&other)
+        .benchmarks(&[Benchmark::Gzip])
+        .techniques(&[Technique::Baseline]);
+    let cache = ArtifactCache::new();
+    let seed: HashMap<_, _> = cells.into_iter().collect();
+    let sweep = other_matrix.run_with(&cache, &seed);
+    assert_eq!(cache.program_builds(), 1, "stale seed must be ignored");
+    let report = sweep.suite(0).get(Benchmark::Gzip, Technique::Baseline);
+    assert_eq!(report.unwrap().stats.iq_total_entries, 80);
+}
+
+#[test]
+fn corrupted_seed_cells_are_recomputed_not_misfiled() {
+    let experiment = tiny_experiment();
+    let matrix = Matrix::new(&experiment)
+        .benchmarks(&[Benchmark::Gzip])
+        .techniques(&[Technique::Baseline, Technique::Noop]);
+    let sweep = matrix.run();
+    let keys = matrix.cell_keys();
+    let mut cells: HashMap<_, _> = matrix.collect_cells(&sweep).into_iter().collect();
+
+    // Corrupt the save: file the baseline report under the noop cell's key
+    // (cell order is technique-minor, so keys[1] is the noop cell).
+    let baseline_report = cells[&keys[0]].clone();
+    cells.insert(keys[1].clone(), baseline_report);
+
+    // The engine's accounting sees through the corruption: the key is
+    // present but the report fails the integrity check.
+    assert_eq!(matrix.missing_cells(&cells), 1);
+
+    let cache = ArtifactCache::new();
+    let suite = matrix.run_with(&cache, &cells).into_suite();
+    // The mismatched seed was ignored and the noop cell recomputed: both
+    // cells are present and correct, nothing got mis-slotted.
+    assert_eq!(suite.len(), 2);
+    assert_eq!(
+        suite.get(Benchmark::Gzip, Technique::Noop),
+        sweep.suite(0).get(Benchmark::Gzip, Technique::Noop),
+        "noop cell must be recomputed, not overwritten by the corrupt seed"
+    );
+    assert_eq!(cache.program_builds(), 1, "the recomputation really ran");
+}
+
+#[test]
+fn run_and_the_engine_agree_on_non_paper_machines() {
+    // `Experiment::run` and the matrix engine must compile software
+    // techniques for the *same* machine — the experiment's own, not a
+    // hard-coded paper configuration.
+    let mut experiment = tiny_experiment();
+    experiment.sim_config.iq.entries = 48;
+    experiment.sim_config.widths.iq_capacity = 48;
+    let direct = experiment.run(Benchmark::Gzip, Technique::Noop);
+    let suite = experiment.run_matrix(&[Benchmark::Gzip], &[Technique::Noop]);
+    let engine = suite.get(Benchmark::Gzip, Technique::Noop).unwrap();
+    assert_eq!(direct.stats, engine.stats);
+    assert_eq!(direct.hint_noops_inserted, engine.hint_noops_inserted);
+    assert_eq!(direct.stats.iq_total_entries, 48);
+}
+
+#[test]
+fn mcf_analogue_exercises_the_dcache_counters() {
+    let experiment = tiny_experiment();
+    let report = experiment.run(Benchmark::Mcf, Technique::Baseline);
+    let stats = &report.stats;
+    assert!(
+        stats.dcache_accesses > 0,
+        "mcf analogue must access the D-cache"
+    );
+    assert!(
+        stats.dcache_misses > 0,
+        "pointer-chasing mcf analogue must miss in the D-cache"
+    );
+    assert!(stats.dcache_misses <= stats.dcache_accesses);
+    // The wired counters agree with the loads/stores the trace commits: a
+    // committed load or store accesses the D-cache exactly once at issue.
+    assert!(
+        stats.dcache_accesses >= stats.dcache_misses,
+        "hierarchy counters are consistent"
+    );
+    // The memory-bound analogue should miss noticeably more than the
+    // cache-friendly gzip one.
+    let gzip = experiment.run(Benchmark::Gzip, Technique::Baseline);
+    let mcf_rate = stats.dcache_miss_rate();
+    let gzip_rate = gzip.stats.dcache_miss_rate();
+    assert!(
+        mcf_rate > gzip_rate,
+        "mcf miss rate {mcf_rate:.4} should exceed gzip's {gzip_rate:.4}"
+    );
+}
+
+#[test]
+fn sweep_sensitivity_reports_every_variant() {
+    let experiment = tiny_experiment();
+    let sweep: Sweep = Matrix::new(&experiment)
+        .benchmarks(&[Benchmark::Gzip])
+        .techniques(&[Technique::Baseline, Technique::Noop])
+        .sweep_iq_entries(&[48, 32])
+        .run();
+    let rows = sdiq::core::sweep_sensitivity(&sweep, &[Technique::Noop]);
+    assert_eq!(rows.len(), 3, "base, iq48, iq32");
+    assert_eq!(rows[0].variant, "base");
+    assert_eq!(rows[1].iq_entries, 48);
+    assert_eq!(rows[2].iq_entries, 32);
+    for row in &rows {
+        assert!(row.summary.iq_dynamic_pct.is_finite());
+    }
+    let rendered = sdiq::core::render_sweep_sensitivity(&rows);
+    assert!(rendered.contains("variant base"));
+    assert!(rendered.contains("variant iq32"));
+}
