@@ -2,7 +2,9 @@
 //!
 //! ```text
 //! repro [--scale <f64>] [--jobs <n>] [--sweep <axis>=<v1,v2,...>]
-//!       [--save <path>] [--load <path>]
+//!       [--benchmarks <b1,b2,...>] [--techniques <t1,t2,...>]
+//!       [--save <path>] [--load <path>]... [--checkpoint <path>]
+//!       [--shard <k>/<n>] [--shards <n>]
 //!       [--table1] [--table2] [--figure6] [--figure7] [--figure8]
 //!       [--figure9] [--figure10] [--figure11] [--figure12]
 //!       [--overall] [--summary] [--sweep-summary] [--all]
@@ -18,13 +20,32 @@
 //! `--sweep bank=4,16` the bank size and `--sweep scale=0.5,1.0` the
 //! workload scale (repeatable; each adds variants next to `base`).
 //! Swept runs print a Figure-10-style sensitivity table after the base
-//! figures.
+//! figures. `--benchmarks`/`--techniques` restrict the other two axes by
+//! name.
 //!
 //! `--save` writes every computed cell as JSON keyed by its cell cache
-//! key; `--load` seeds a later run from such a file so only missing cells
-//! (new benchmarks, techniques or configurations) are re-run.
+//! key; `--load` (repeatable — later files win on key collisions) seeds a
+//! later run from save *or* checkpoint files so only missing cells (new
+//! benchmarks, techniques or configurations) are re-run.
+//!
+//! Scaling beyond one process (see EXPERIMENTS.md for the protocol):
+//!
+//! * `--checkpoint <path>` appends every completed cell to a JSONL
+//!   checkpoint the moment it finishes and *seeds itself from that file*
+//!   on start — a killed run re-invoked with the same flags resumes,
+//!   recomputing only the cells that were still missing.
+//! * `--shard k/n` (worker mode) computes exactly the cells the stable
+//!   key partition assigns to shard `k` of `n`, writes them via
+//!   `--save`/`--checkpoint`, and prints no figures.
+//! * `--shards n` (coordinator mode) spawns `n` worker subprocesses of
+//!   this same binary, one per shard, merges their partial suites and
+//!   proceeds exactly like a serial run — the merged output is
+//!   bit-identical to one.
 
-use sdiq_core::{experiments, persist, ArtifactCache, Experiment, Matrix, Suite, Technique};
+use sdiq_core::{
+    experiments, persist, ArtifactCache, Backend, Experiment, Matrix, SubprocessSpec, Suite,
+    Technique,
+};
 use sdiq_sim::SimConfig;
 use sdiq_workloads::Benchmark;
 use std::collections::{BTreeSet, HashMap};
@@ -34,8 +55,15 @@ struct Options {
     scale: Option<f64>,
     jobs: Option<usize>,
     sweeps: Vec<(String, Vec<f64>)>,
+    benchmarks: Option<Vec<Benchmark>>,
+    techniques: Option<Vec<Technique>>,
     save: Option<String>,
-    load: Option<String>,
+    loads: Vec<String>,
+    checkpoint: Option<String>,
+    /// Worker mode: `(index, count)`, zero-based index.
+    shard: Option<(usize, usize)>,
+    /// Coordinator mode: number of worker subprocesses to spawn.
+    shards: Option<usize>,
     selections: BTreeSet<String>,
 }
 
@@ -111,12 +139,65 @@ fn parse_args() -> Options {
                 }
                 options.sweeps.push((axis.to_string(), values));
             }
+            "--benchmarks" => {
+                let spec = required_value(&mut args, "--benchmarks");
+                let benchmarks = spec
+                    .split(',')
+                    .map(|name| {
+                        Benchmark::from_name(name).unwrap_or_else(|| {
+                            eprintln!("error: unknown benchmark `{name}`");
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect::<Vec<_>>();
+                options.benchmarks = Some(benchmarks);
+            }
+            "--techniques" => {
+                let spec = required_value(&mut args, "--techniques");
+                let techniques = spec
+                    .split(',')
+                    .map(|name| {
+                        Technique::from_name(name).unwrap_or_else(|| {
+                            eprintln!("error: unknown technique `{name}`");
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect::<Vec<_>>();
+                options.techniques = Some(techniques);
+            }
             "--save" => options.save = Some(required_value(&mut args, "--save")),
-            "--load" => options.load = Some(required_value(&mut args, "--load")),
+            "--load" => options.loads.push(required_value(&mut args, "--load")),
+            "--checkpoint" => options.checkpoint = Some(required_value(&mut args, "--checkpoint")),
+            "--shard" => {
+                let spec = required_value(&mut args, "--shard");
+                let parsed = spec
+                    .split_once('/')
+                    .and_then(|(k, n)| Some((k.parse::<usize>().ok()?, n.parse::<usize>().ok()?)));
+                let Some((k, n)) = parsed else {
+                    eprintln!("error: --shard wants <k>/<n>, got `{spec}`");
+                    std::process::exit(2);
+                };
+                if n < 1 || k < 1 || k > n {
+                    eprintln!("error: --shard {spec}: need 1 <= k <= n");
+                    std::process::exit(2);
+                }
+                options.shard = Some((k - 1, n));
+            }
+            "--shards" => {
+                let value = required_value(&mut args, "--shards");
+                let shards = value.parse::<usize>().ok().filter(|&n| n >= 1);
+                let Some(shards) = shards else {
+                    eprintln!("error: --shards needs a positive integer, got `{value}`");
+                    std::process::exit(2);
+                };
+                options.shards = Some(shards);
+            }
             "--help" | "-h" => {
                 println!(
                     "repro [--scale <f>] [--jobs <n>] [--sweep iq|bank|scale=<v,..>] \
-                     [--save <path>] [--load <path>] [--table1] [--table2] [--figure6..12] \
+                     [--benchmarks <b,..>] [--techniques <t,..>] \
+                     [--save <path>] [--load <path>]... [--checkpoint <path>] \
+                     [--shard <k>/<n>] [--shards <n>] [--table1] [--table2] [--figure6..12] \
                      [--overall] [--summary] [--sweep-summary] [--all]"
                 );
                 std::process::exit(0);
@@ -132,10 +213,59 @@ fn parse_args() -> Options {
             }
         }
     }
+    if options.shard.is_some() && options.shards.is_some() {
+        eprintln!("error: --shard (worker) and --shards (coordinator) are mutually exclusive");
+        std::process::exit(2);
+    }
+    if options.shard.is_some() && options.save.is_none() && options.checkpoint.is_none() {
+        eprintln!("error: a --shard worker needs --save or --checkpoint to deliver its cells");
+        std::process::exit(2);
+    }
     if options.selections.is_empty() {
         options.selections.insert("all".to_string());
     }
     options
+}
+
+/// The argument vector a worker subprocess needs to rebuild this run's
+/// matrix (everything that shapes the cell space; the coordinator appends
+/// the seed `--load` and the `--shard k/n --save <path>` pair itself).
+///
+/// `--jobs` is treated as the *run's* parallelism budget: the coordinator
+/// divides it (or, unset, the machine's cores) evenly among the workers,
+/// so `--shards 4` on a 16-core box runs 4 workers × 4 threads instead of
+/// oversubscribing 4 × 16.
+fn worker_args(options: &Options, shards: usize) -> Vec<String> {
+    let mut args = Vec::new();
+    if let Some(scale) = options.scale {
+        args.push("--scale".to_string());
+        args.push(scale.to_string());
+    }
+    let jobs_budget = options.jobs.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
+    args.push("--jobs".to_string());
+    args.push((jobs_budget / shards).max(1).to_string());
+    for (axis, values) in &options.sweeps {
+        args.push("--sweep".to_string());
+        let rendered: Vec<String> = values.iter().map(|v| v.to_string()).collect();
+        args.push(format!("{axis}={}", rendered.join(",")));
+    }
+    if let Some(benchmarks) = &options.benchmarks {
+        args.push("--benchmarks".to_string());
+        let names: Vec<&str> = benchmarks.iter().map(|b| b.name()).collect();
+        args.push(names.join(","));
+    }
+    if let Some(techniques) = &options.techniques {
+        args.push("--techniques".to_string());
+        let names: Vec<&str> = techniques.iter().map(|t| t.name()).collect();
+        args.push(names.join(","));
+    }
+    // No --load forwarding here: the engine ships the coordinator's whole
+    // merged seed (loads + checkpoint) to every worker as one seed file.
+    args
 }
 
 fn wants(options: &Options, what: &str) -> bool {
@@ -160,13 +290,16 @@ fn main() {
         experiment.scale = scale;
     }
 
-    if wants(&options, "table1") {
+    // Worker mode computes cells, nothing else: skip the table sections
+    // (table2 alone would re-compile every benchmark).
+    let tables = options.shard.is_none();
+    if tables && wants(&options, "table1") {
         println!("== Table 1: processor configuration ==");
         print!("{}", experiments::table1(&SimConfig::hpca2005()));
         println!();
     }
 
-    if wants(&options, "table2") {
+    if tables && wants(&options, "table2") {
         println!("== Table 2: compilation time (baseline vs with analysis pass) ==");
         for (benchmark, baseline, limited) in experiment.compile_times(&Benchmark::ALL) {
             println!(
@@ -200,12 +333,23 @@ fn main() {
     .iter()
     .any(|f| options.selections.contains(*f))
         || options.save.is_some()
-        || options.load.is_some();
+        || !options.loads.is_empty()
+        || options.checkpoint.is_some()
+        || options.shard.is_some()
+        || options.shards.is_some();
 
     let sweep = if needs_suite {
+        let benchmarks = options
+            .benchmarks
+            .clone()
+            .unwrap_or_else(|| Benchmark::ALL.to_vec());
+        let techniques = options
+            .techniques
+            .clone()
+            .unwrap_or_else(|| Technique::ALL.to_vec());
         let mut matrix = Matrix::new(&experiment)
-            .benchmarks(&Benchmark::ALL)
-            .techniques(&Technique::ALL);
+            .benchmarks(&benchmarks)
+            .techniques(&techniques);
         if let Some(jobs) = options.jobs {
             matrix = matrix.jobs(jobs);
         }
@@ -219,46 +363,117 @@ fn main() {
                 _ => matrix.sweep_scales(values),
             };
         }
+        if let Some((index, count)) = options.shard {
+            matrix = matrix.shard(index, count);
+        }
 
-        let seed: HashMap<String, sdiq_core::RunReport> = match &options.load {
-            Some(path) => {
-                let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-                    eprintln!("error: reading {path}: {e}");
-                    std::process::exit(2);
-                });
-                let cells = persist::load_cells(&text).unwrap_or_else(|e| {
-                    eprintln!("error: parsing {path}: {e}");
-                    std::process::exit(2);
-                });
-                eprintln!("loaded {} cells from {path}", cells.len());
-                cells
+        // Seed from every --load file plus (for crash resume) the
+        // checkpoint file itself, if a previous run left one. Later
+        // sources win on key collisions; `load_cells_any` accepts save
+        // and checkpoint formats interchangeably.
+        let mut seed: HashMap<String, sdiq_core::RunReport> = HashMap::new();
+        let mut seed_paths: Vec<&String> = options.loads.iter().collect();
+        if let Some(path) = &options.checkpoint {
+            if std::path::Path::new(path).exists() {
+                seed_paths.push(path);
             }
-            None => HashMap::new(),
-        };
+        }
+        for path in seed_paths {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("error: reading {path}: {e}");
+                std::process::exit(2);
+            });
+            let cells = persist::load_cells_any(&text).unwrap_or_else(|e| {
+                eprintln!("error: parsing {path}: {e}");
+                std::process::exit(2);
+            });
+            eprintln!("loaded {} cells from {path}", cells.len());
+            seed.extend(cells);
+        }
 
-        let total = matrix.cell_count();
-        // `missing_cells` applies the engine's own seed-integrity check
-        // (key present *and* report matches the cell), so this count is
-        // exactly what the workers will compute — a corrupted save file
-        // shows up here instead of being silently recomputed.
-        let missing = matrix.missing_cells(&seed);
-        eprintln!(
-            "running {} of {} matrix cells ({} benchmarks x {} techniques x {} configs, scale {}) ...",
-            missing,
-            total,
-            Benchmark::ALL.len(),
-            Technique::ALL.len(),
-            total / (Benchmark::ALL.len() * Technique::ALL.len()),
-            experiment.scale
-        );
-        let cache = ArtifactCache::new();
-        let sweep = matrix.run_with(&cache, &seed);
-        eprintln!(
-            "engine: {} program builds, {} compiler passes for {} computed cells",
-            cache.program_builds(),
-            cache.compile_runs(),
-            missing
-        );
+        // --checkpoint receives every newly computed cell in both modes:
+        // streamed per cell in-process, per landed shard in coordinator
+        // mode (where workers additionally keep per-shard checkpoints).
+        let checkpoint = options.checkpoint.as_ref().map(|path| {
+            persist::CheckpointWriter::append_to(path).unwrap_or_else(|e| {
+                eprintln!("error: opening checkpoint {path}: {e}");
+                std::process::exit(2);
+            })
+        });
+        let checkpoint_sink = checkpoint.as_ref().map(|w| w as &dyn sdiq_core::CellSink);
+
+        let sweep = if let Some(shards) = options.shards {
+            // Coordinator mode: one worker subprocess per shard, merged
+            // into a sweep bit-identical to a serial run.
+            let worker_exe = std::env::current_exe().unwrap_or_else(|e| {
+                eprintln!("error: cannot locate own binary for workers: {e}");
+                std::process::exit(2);
+            });
+            let scratch_dir =
+                std::env::temp_dir().join(format!("sdiq-shards-{}", std::process::id()));
+            let backend = Backend::Subprocess(SubprocessSpec {
+                worker_exe,
+                worker_args: worker_args(&options, shards),
+                shards,
+                scratch_dir: scratch_dir.clone(),
+                worker_checkpoint_stem: options.checkpoint.as_ref().map(std::path::PathBuf::from),
+            });
+            eprintln!(
+                "coordinator: spawning {shards} shard workers over {} cells (scratch {}) ...",
+                matrix.cell_count(),
+                scratch_dir.display()
+            );
+            let sweep = matrix
+                .run_on(&backend, &seed, checkpoint_sink)
+                .unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                });
+            let _ = std::fs::remove_dir_all(&scratch_dir);
+            sweep
+        } else {
+            let total = matrix.cell_count();
+            // `missing_cells` applies the engine's own seed-integrity check
+            // (key present *and* report matches the cell), so this count is
+            // exactly what the workers will compute — a corrupted save file
+            // shows up here instead of being silently recomputed.
+            let missing = matrix.missing_cells(&seed);
+            match options.shard {
+                Some((index, count)) => eprintln!(
+                    "shard {}/{}: running {} of {} owned cells ({} in the full matrix, scale {}) ...",
+                    index + 1,
+                    count,
+                    missing,
+                    total,
+                    matrix.unsharded_cell_count(),
+                    experiment.scale
+                ),
+                None => eprintln!(
+                    "running {} of {} matrix cells ({} benchmarks x {} techniques x {} configs, scale {}) ...",
+                    missing,
+                    total,
+                    benchmarks.len(),
+                    techniques.len(),
+                    total / (benchmarks.len() * techniques.len()).max(1),
+                    experiment.scale
+                ),
+            }
+            let cache = ArtifactCache::new();
+            let sweep = matrix.run_with_sink(&cache, &seed, checkpoint_sink);
+            eprintln!(
+                "engine: {} program builds, {} compiler passes for {} computed cells",
+                cache.program_builds(),
+                cache.compile_runs(),
+                missing
+            );
+            if let Some(writer) = &checkpoint {
+                eprintln!(
+                    "checkpointed {missing} newly computed cells to {}",
+                    writer.path().display()
+                );
+            }
+            sweep
+        };
 
         if let Some(path) = &options.save {
             let cells = matrix.collect_cells(&sweep);
@@ -272,6 +487,12 @@ fn main() {
     } else {
         None
     };
+
+    // A --shard run is a worker: its suite is partial, so figures would be
+    // misleading — the cells were delivered via --save/--checkpoint.
+    if options.shard.is_some() {
+        return;
+    }
     let suite: Option<&Suite> = sweep.as_ref().map(|s| s.suite(0));
 
     if let Some(suite) = suite {

@@ -15,10 +15,11 @@
 //! `--quick` shrinks the workload and repeat count for CI smoke runs.
 
 use sdiq_compiler::{CompilerPass, PassConfig};
-use sdiq_core::{Experiment, Matrix, Suite, Technique};
+use sdiq_core::{Backend, Experiment, Matrix, SubprocessSpec, Suite, Technique};
 use sdiq_isa::Executor;
 use sdiq_sim::{AdaptiveConfig, ResizePolicy, SimConfig, Simulator};
 use sdiq_workloads::Benchmark;
+use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -233,12 +234,91 @@ fn main() {
         "matrix"
     );
 
+    // Sharded-backend row: the same reduced matrix through the subprocess
+    // coordinator (one `repro` worker per shard, partial suites merged).
+    // Workers pay process startup and cannot share the in-process artifact
+    // cache, so this row prices the multi-process substrate against the
+    // in-process engine — the counters must still be bit-identical.
+    const SHARDS: usize = 2;
+    let repro_exe = std::env::current_exe().ok().and_then(|own| {
+        let exe = own
+            .parent()?
+            .join(format!("repro{}", std::env::consts::EXE_SUFFIX));
+        exe.exists().then_some(exe)
+    });
+    let sharded_json = match repro_exe {
+        Some(worker_exe) => {
+            let benchmark_names: Vec<&str> = matrix_benchmarks.iter().map(|b| b.name()).collect();
+            let technique_names: Vec<&str> = matrix_techniques.iter().map(|t| t.name()).collect();
+            let scratch_dir =
+                std::env::temp_dir().join(format!("sdiq-throughput-shards-{}", std::process::id()));
+            let backend = Backend::Subprocess(SubprocessSpec {
+                worker_exe,
+                worker_args: vec![
+                    "--scale".to_string(),
+                    options.scale.to_string(),
+                    "--benchmarks".to_string(),
+                    benchmark_names.join(","),
+                    "--techniques".to_string(),
+                    technique_names.join(","),
+                    // Split the machine between the workers instead of
+                    // oversubscribing every core in each of them.
+                    "--jobs".to_string(),
+                    (jobs / SHARDS).max(1).to_string(),
+                ],
+                shards: SHARDS,
+                scratch_dir: scratch_dir.clone(),
+                worker_checkpoint_stem: None,
+            });
+            let sharded_start = Instant::now();
+            let sharded = Matrix::new(&matrix_experiment)
+                .benchmarks(&matrix_benchmarks)
+                .techniques(&matrix_techniques)
+                .run_on(&backend, &HashMap::new(), None);
+            let sharded_wall = sharded_start.elapsed().as_secs_f64();
+            let _ = std::fs::remove_dir_all(&scratch_dir);
+            match sharded {
+                Ok(sweep) => {
+                    let sharded_suite = sweep.into_suite();
+                    assert_eq!(
+                        sharded_suite, engine_suite,
+                        "merged sharded suite must be bit-identical to the in-process engine"
+                    );
+                    let vs_engine = sharded_wall / engine_wall.max(1e-9);
+                    eprintln!(
+                        "{:>14}: {cells} cells  {SHARDS} shard workers {sharded_wall:.3}s  \
+                         ({vs_engine:.2}x of engine wall, bit-identical)",
+                        "sharded"
+                    );
+                    format!(
+                        "{{\"shards\": {SHARDS}, \"wall_seconds\": {sharded_wall:.6}, \
+                         \"wall_vs_engine\": {vs_engine:.3}}}"
+                    )
+                }
+                Err(error) => {
+                    eprintln!("{:>14}: skipped ({error})", "sharded");
+                    "null".to_string()
+                }
+            }
+        }
+        None => {
+            eprintln!(
+                "{:>14}: skipped (repro worker binary not built next to sim_throughput)",
+                "sharded"
+            );
+            "null".to_string()
+        }
+    };
+
     let note = "Wall-clock throughput of the cycle-level simulator (per resize policy, \
                 gzip-analogue trace, best of N repeats; software_hint runs the \
                 compiler-annotated program) plus a matrix row: a reduced \
                 benchmark x technique matrix under the legacy one-thread-per-benchmark \
                 runner vs the work-queue engine with the shared artifact cache \
-                (activity counters asserted bit-identical before timing is reported). \
+                (activity counters asserted bit-identical before timing is reported), \
+                and a sharded row running the same matrix through the subprocess \
+                coordinator (one repro worker per shard, merged suites asserted \
+                bit-identical to the engine's). \
                 Regenerate with: cargo run --release -p sdiq-bench --bin sim_throughput \
                 -- --scale 1.0 --repeats 7. CAUTION: this binary rewrites the whole \
                 file; the committed artifact carries a hand-curated 'history' block \
@@ -250,7 +330,7 @@ fn main() {
          \"scale\": {},\n  \"repeats\": {},\n  \"trace_instructions\": {},\n  \"policies\": {{{}\n  }},\n  \
          \"matrix\": {{\"benchmarks\": {}, \"techniques\": {}, \"cells\": {cells}, \"jobs\": {jobs}, \
          \"legacy_wall_seconds\": {legacy_wall:.6}, \"engine_wall_seconds\": {engine_wall:.6}, \
-         \"speedup\": {speedup:.3}}}\n}}\n",
+         \"speedup\": {speedup:.3}, \"sharded\": {sharded_json}}}\n}}\n",
         options.scale,
         options.repeats,
         trace.len(),

@@ -106,18 +106,54 @@ pub fn emit(program: &Program, annotations: &Annotations, emit: EmitKind) -> Pro
             EmitKind::Tagging => {
                 // Tag the terminator (the branch/jump/call entering the loop);
                 // its tag is processed at decode before the loop body arrives.
-                if let Some(last) = block.instructions.last_mut() {
-                    if last.iq_hint.is_none() {
-                        last.iq_hint = Some(value);
-                    } else {
+                //
+                // Hints are applied in decode order and the last one wins, so
+                // the loop-preheader hint must be the last hint decoded
+                // before the loop. If the terminator already carries a tag
+                // (a single-instruction block whose block-entry hint landed
+                // on it), inserting the loop hint *before* it would let the
+                // earlier tag supersede it for the whole loop — the hint
+                // would be silently dropped. Instead the earlier tag moves
+                // onto a fallback NOOP before the terminator and the
+                // terminator is re-tagged with the loop value, preserving
+                // both hints in block-entry-first order.
+                match block
+                    .instructions
+                    .last()
+                    .map(|i| (i.iq_hint, i.is_hint_noop()))
+                {
+                    Some((None, _)) => {
+                        block
+                            .instructions
+                            .last_mut()
+                            .expect("checked non-empty")
+                            .iq_hint = Some(value);
+                    }
+                    Some((Some(earlier), false)) => {
+                        block
+                            .instructions
+                            .last_mut()
+                            .expect("checked non-empty")
+                            .iq_hint = Some(value);
+                        // The displaced tag goes immediately *before* the
+                        // re-tagged instruction — `pos` would equal `len`
+                        // for a fall-through preheader (no control
+                        // terminator) and land the earlier tag after the
+                        // loop hint, superseding it again.
+                        let before_last = block.instructions.len() - 1;
+                        block
+                            .instructions
+                            .insert(before_last, Instruction::hint_noop(earlier));
+                    }
+                    _ => {
+                        // Empty block, or the last instruction is itself a
+                        // hint NOOP: a fallback NOOP at `pos` (after any
+                        // trailing NOOP, which is not a control terminator)
+                        // keeps the loop hint decoded last.
                         block
                             .instructions
                             .insert(pos, Instruction::hint_noop(value));
                     }
-                } else {
-                    block
-                        .instructions
-                        .insert(pos, Instruction::hint_noop(value));
                 }
             }
         }
@@ -265,6 +301,146 @@ mod tests {
             .find(|i| i.opcode == Opcode::Call)
             .unwrap();
         assert_eq!(call.iq_hint, Some(255));
+    }
+
+    /// A preheader whose only instruction is its terminator: the block-entry
+    /// tag and the loop-preheader hint both land on the same block.
+    fn jump_only_preheader_program() -> (Program, Annotations) {
+        let mut b = ProgramBuilder::new();
+        let main = b.procedure("main");
+        {
+            let p = b.proc_mut(main);
+            let pre = p.block();
+            let body = p.block();
+            let exit = p.block();
+            p.with_block(pre, |bb| {
+                bb.jump(body);
+            });
+            p.with_block(body, |bb| {
+                bb.li(int_reg(1), 1);
+                bb.addi(int_reg(1), int_reg(1), 1);
+                bb.jump(exit);
+            });
+            p.with_block(exit, |bb| {
+                bb.ret();
+            });
+            p.set_entry(pre);
+        }
+        let program = b.finish(main).unwrap();
+        let main = program.proc_by_name("main").unwrap();
+        let pre_ref = BlockRef {
+            proc: main,
+            block: BlockId(0),
+        };
+        let mut block_entries = HashMap::new();
+        block_entries.insert(pre_ref, 5);
+        let mut loop_preheader_entries = HashMap::new();
+        loop_preheader_entries.insert(pre_ref, 9);
+        (
+            program,
+            Annotations {
+                block_entries,
+                loop_preheader_entries,
+                max_before_call: Vec::new(),
+            },
+        )
+    }
+
+    #[test]
+    fn tagging_keeps_the_loop_preheader_hint_decoded_last() {
+        // Regression: with the block-entry tag already on the terminator,
+        // the loop-preheader hint used to be emitted as a NOOP *before* it —
+        // decode order then let the block-entry tag supersede the loop hint
+        // for the entire loop, silently dropping it.
+        let (program, ann) = jump_only_preheader_program();
+        let out = emit(&program, &ann, EmitKind::Tagging);
+        assert!(out.validate().is_ok());
+        let main = out.proc_by_name("main").unwrap();
+        let instrs = &out.proc(main).block(BlockId(0)).instructions;
+        assert_eq!(instrs.len(), 2, "one fallback NOOP + the terminator");
+        // Block-entry hint first (the fallback NOOP), loop hint on the
+        // terminator — the last hint decoded before the loop body.
+        assert!(instrs[0].is_hint_noop());
+        assert_eq!(instrs[0].iq_hint, Some(5));
+        assert_eq!(instrs[1].opcode, Opcode::Jump);
+        assert_eq!(
+            instrs[1].iq_hint,
+            Some(9),
+            "loop-preheader hint must win at decode, not be dropped"
+        );
+    }
+
+    #[test]
+    fn tagging_keeps_the_loop_hint_last_in_a_fall_through_preheader() {
+        // Same two-hints-on-one-block collision, but the preheader *falls
+        // through* into the loop (no control terminator): the displaced
+        // block-entry tag must still end up before the re-tagged
+        // instruction, not after it.
+        let mut b = ProgramBuilder::new();
+        let main = b.procedure("main");
+        {
+            let p = b.proc_mut(main);
+            let pre = p.block();
+            let body = p.block();
+            let exit = p.block();
+            p.with_block(pre, |bb| {
+                bb.li(int_reg(1), 0);
+                bb.fallthrough(body);
+            });
+            p.with_block(body, |bb| {
+                bb.addi(int_reg(1), int_reg(1), 1);
+                bb.jump(exit);
+            });
+            p.with_block(exit, |bb| {
+                bb.ret();
+            });
+            p.set_entry(pre);
+        }
+        let program = b.finish(main).unwrap();
+        let main = program.proc_by_name("main").unwrap();
+        let pre_ref = BlockRef {
+            proc: main,
+            block: BlockId(0),
+        };
+        let mut block_entries = HashMap::new();
+        block_entries.insert(pre_ref, 5);
+        let mut loop_preheader_entries = HashMap::new();
+        loop_preheader_entries.insert(pre_ref, 9);
+        let ann = Annotations {
+            block_entries,
+            loop_preheader_entries,
+            max_before_call: Vec::new(),
+        };
+
+        let out = emit(&program, &ann, EmitKind::Tagging);
+        assert!(out.validate().is_ok());
+        let main = out.proc_by_name("main").unwrap();
+        let instrs = &out.proc(main).block(BlockId(0)).instructions;
+        assert_eq!(instrs.len(), 2);
+        assert!(instrs[0].is_hint_noop());
+        assert_eq!(instrs[0].iq_hint, Some(5), "block-entry tag first");
+        assert_eq!(instrs[1].opcode, Opcode::Li);
+        assert_eq!(
+            instrs[1].iq_hint,
+            Some(9),
+            "loop hint decodes last even without a control terminator"
+        );
+    }
+
+    #[test]
+    fn noop_insertion_orders_two_hints_on_one_block_the_same_way() {
+        // The NOOP-insertion mechanism has always kept the loop hint last;
+        // pin it so the two emit kinds agree on precedence.
+        let (program, ann) = jump_only_preheader_program();
+        let out = emit(&program, &ann, EmitKind::NoopInsertion);
+        assert!(out.validate().is_ok());
+        let main = out.proc_by_name("main").unwrap();
+        let instrs = &out.proc(main).block(BlockId(0)).instructions;
+        assert_eq!(instrs.len(), 3);
+        assert_eq!(instrs[0].iq_hint, Some(5), "block-entry hint first");
+        assert_eq!(instrs[1].iq_hint, Some(9), "loop hint decoded last");
+        assert_eq!(instrs[2].opcode, Opcode::Jump);
+        assert!(instrs[2].iq_hint.is_none());
     }
 
     #[test]

@@ -17,6 +17,18 @@
 //! engine's hard guarantee: **the assembled [`Sweep`] is bit-identical for
 //! any worker count**, `jobs = 1` included. The integration suite asserts
 //! this.
+//!
+//! # Scaling beyond one process
+//!
+//! The same cell space shards across processes: [`shard_of`] assigns every
+//! cell key to one of `N` shards by a stable fingerprint, [`Matrix::shard`]
+//! restricts a matrix to exactly its shard's cells, and [`Backend`] chooses
+//! between the in-process pool and a coordinator that spawns one worker
+//! subprocess per shard and merges their partial cell maps — with the same
+//! hard guarantee: the merged sweep is bit-identical to a serial run.
+//! Completed cells can additionally stream into a [`CellSink`] (the
+//! engine's crash-resume hook: [`crate::persist::CheckpointWriter`] appends
+//! each one to disk the moment it exists).
 
 use crate::cache::{ArtifactCache, CompileKey, ProgramKey};
 use crate::runner::{Experiment, RunReport, Suite};
@@ -24,7 +36,9 @@ use crate::technique::Technique;
 use sdiq_sim::SimConfig;
 use sdiq_workloads::Benchmark;
 use std::collections::HashMap;
+use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
@@ -202,6 +216,9 @@ pub struct Matrix<'a> {
     techniques: Vec<Technique>,
     variants: Vec<ConfigVariant>,
     jobs: usize,
+    /// `(index, count)`: restrict to the cells [`shard_of`] assigns to
+    /// `index` (zero-based) out of `count` shards. `None` = every cell.
+    shard: Option<(usize, usize)>,
 }
 
 impl<'a> Matrix<'a> {
@@ -214,6 +231,7 @@ impl<'a> Matrix<'a> {
             techniques: Technique::ALL.to_vec(),
             variants: Vec::new(),
             jobs: 0,
+            shard: None,
         }
     }
 
@@ -276,6 +294,26 @@ impl<'a> Matrix<'a> {
         self
     }
 
+    /// Restricts the matrix to shard `index` (zero-based) of `count`:
+    /// exactly the cells whose key [`shard_of`] assigns to that shard, and
+    /// nothing else — key generation, execution, persistence and seed
+    /// accounting all see only the owned cells. The partition is a pure
+    /// function of the cell keys, so every process of a sharded run
+    /// computes the same assignment without coordination.
+    ///
+    /// # Panics
+    ///
+    /// If `count` is zero or `index >= count`.
+    pub fn shard(mut self, index: usize, count: usize) -> Self {
+        assert!(count >= 1, "shard count must be at least 1");
+        assert!(
+            index < count,
+            "shard index {index} out of range for {count} shards"
+        );
+        self.shard = Some((index, count));
+        self
+    }
+
     fn ensure_base(&mut self) {
         if self.variants.is_empty() {
             self.variants.push(ConfigVariant::base(self.experiment));
@@ -291,9 +329,17 @@ impl<'a> Matrix<'a> {
         }
     }
 
-    /// Total number of cells in the cross product (without materialising
-    /// keys or cells).
+    /// Total number of cells this matrix owns: the full cross product, or
+    /// only this shard's share of it when [`Matrix::shard`] is set.
     pub fn cell_count(&self) -> usize {
+        match self.shard {
+            None => self.effective_variants().len() * self.benchmarks.len() * self.techniques.len(),
+            Some(_) => self.cells(&self.effective_variants()).len(),
+        }
+    }
+
+    /// The full cross-product size, ignoring any shard restriction.
+    pub fn unsharded_cell_count(&self) -> usize {
         self.effective_variants().len() * self.benchmarks.len() * self.techniques.len()
     }
 
@@ -318,6 +364,21 @@ impl<'a> Matrix<'a> {
                     });
                 }
             }
+        }
+        // Shard restriction: keep only the cells whose key this shard owns.
+        // Filtering the canonical list (instead of building a different
+        // one) preserves the relative cell order, so a sharded save file
+        // merges back into exactly the serial key space.
+        if let Some((index, count)) = self.shard {
+            cells.retain(|cell| {
+                let key = cell_key(
+                    self.experiment,
+                    &variants[cell.variant],
+                    cell.benchmark,
+                    cell.technique,
+                );
+                shard_of(&key, count) == index
+            });
         }
         cells
     }
@@ -370,6 +431,21 @@ impl<'a> Matrix<'a> {
     /// it verbatim (the `--load` path re-runs only missing cells), the
     /// rest are computed on the worker pool through `cache`.
     pub fn run_with(&self, cache: &ArtifactCache, seed: &HashMap<String, RunReport>) -> Sweep {
+        self.run_with_sink(cache, seed, None)
+    }
+
+    /// [`Matrix::run_with`], additionally streaming every **computed**
+    /// cell (not the seeded ones — they are already durable wherever the
+    /// seed came from) into `sink` the moment its report exists. This is
+    /// the crash-resume hook: with a
+    /// [`crate::persist::CheckpointWriter`] as the sink, a killed run
+    /// loses at most the cells that were still in flight.
+    pub fn run_with_sink(
+        &self,
+        cache: &ArtifactCache,
+        seed: &HashMap<String, RunReport>,
+        sink: Option<&dyn CellSink>,
+    ) -> Sweep {
         let variants = self.effective_variants();
         let cells = self.cells(&variants);
 
@@ -396,13 +472,19 @@ impl<'a> Matrix<'a> {
                         .filter(|report| seed_matches(report, cell.benchmark, cell.technique));
                     let report = match seeded {
                         Some(seeded) => seeded.clone(),
-                        None => run_cell(
-                            self.experiment,
-                            cache,
-                            variant,
-                            cell.benchmark,
-                            cell.technique,
-                        ),
+                        None => {
+                            let report = run_cell(
+                                self.experiment,
+                                cache,
+                                variant,
+                                cell.benchmark,
+                                cell.technique,
+                            );
+                            if let Some(sink) = sink {
+                                sink.cell_complete(&key, &report);
+                            }
+                            report
+                        }
                     };
                     results[index]
                         .set(report)
@@ -458,6 +540,311 @@ impl<'a> Matrix<'a> {
         let jobs = if self.jobs == 0 { auto() } else { self.jobs };
         jobs.clamp(1, cells.max(1))
     }
+
+    /// Runs the matrix on the chosen [`Backend`].
+    ///
+    /// * [`Backend::InProcess`] is [`Matrix::run_with_sink`] with a fresh
+    ///   cache and the given seed — infallible, same-process.
+    /// * [`Backend::Subprocess`] turns this process into a coordinator: it
+    ///   spawns one worker per shard (the worker protocol is documented on
+    ///   [`SubprocessSpec`]), waits for all of them, loads their partial
+    ///   cell maps and assembles the merged sweep, which is bit-identical
+    ///   to a serial run because every cell is a pure function of its key.
+    ///
+    /// Either way, `sink` observes every cell that was not already in
+    /// `seed`: computed locally for the in-process backend, returned by a
+    /// worker for the subprocess one (delivered as each worker finishes,
+    /// so a killed coordinator keeps its completed shards).
+    pub fn run_on(
+        &self,
+        backend: &Backend,
+        seed: &HashMap<String, RunReport>,
+        sink: Option<&dyn CellSink>,
+    ) -> Result<Sweep, BackendError> {
+        match backend {
+            Backend::InProcess { jobs } => {
+                let mut matrix = self.clone();
+                matrix.jobs = *jobs;
+                Ok(matrix.run_with_sink(&ArtifactCache::new(), seed, sink))
+            }
+            Backend::Subprocess(spec) => self.run_subprocess(spec, seed, sink),
+        }
+    }
+
+    fn run_subprocess(
+        &self,
+        spec: &SubprocessSpec,
+        seed: &HashMap<String, RunReport>,
+        sink: Option<&dyn CellSink>,
+    ) -> Result<Sweep, BackendError> {
+        assert!(
+            self.shard.is_none(),
+            "the subprocess coordinator owns the whole matrix; shard() is for workers"
+        );
+        assert!(spec.shards >= 1, "need at least one shard");
+        std::fs::create_dir_all(&spec.scratch_dir).map_err(|e| {
+            BackendError::new(format!(
+                "creating scratch dir {}: {e}",
+                spec.scratch_dir.display()
+            ))
+        })?;
+
+        // The coordinator's whole seed (loaded save files, its checkpoint)
+        // travels to the workers as one extra `--load` file, so cells that
+        // are already durable are never recomputed — including across a
+        // serial-checkpoint → sharded mode switch.
+        let seed_path = (!seed.is_empty()).then(|| {
+            let path = spec.scratch_dir.join("seed.json");
+            let cells: std::collections::BTreeMap<String, RunReport> =
+                seed.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+            std::fs::write(&path, crate::persist::save_cells(&cells)).map(|()| path)
+        });
+        let seed_path = match seed_path {
+            None => None,
+            Some(Ok(path)) => Some(path),
+            Some(Err(e)) => {
+                return Err(BackendError::new(format!("writing worker seed file: {e}")))
+            }
+        };
+
+        // Spawn every worker first, then wait: shards run concurrently.
+        let mut children = Vec::with_capacity(spec.shards);
+        for shard in 0..spec.shards {
+            let save_path =
+                spec.scratch_dir
+                    .join(format!("shard-{}-of-{}.json", shard + 1, spec.shards));
+            let mut command = std::process::Command::new(&spec.worker_exe);
+            command.args(&spec.worker_args);
+            if let Some(seed_path) = &seed_path {
+                command.arg("--load").arg(seed_path);
+            }
+            command
+                .arg("--shard")
+                .arg(format!("{}/{}", shard + 1, spec.shards))
+                .arg("--save")
+                .arg(&save_path);
+            if let Some(stem) = &spec.worker_checkpoint_stem {
+                // Per-shard crash durability: each worker appends its
+                // completed cells to its own *stable* checkpoint path (not
+                // in the scratch dir) and seeds itself from it when the
+                // coordinator is re-run after a kill.
+                command.arg("--checkpoint").arg(format!(
+                    "{}.shard-{}-of-{}",
+                    stem.display(),
+                    shard + 1,
+                    spec.shards
+                ));
+            }
+            let child = command
+                .stdout(std::process::Stdio::null())
+                .stderr(std::process::Stdio::inherit())
+                .spawn()
+                .map_err(|e| {
+                    BackendError::new(format!(
+                        "spawning worker {} ({}): {e}",
+                        shard + 1,
+                        spec.worker_exe.display()
+                    ))
+                });
+            match child {
+                Ok(child) => children.push((shard, save_path, child)),
+                Err(error) => {
+                    // Don't strand the workers that did spawn.
+                    reap(children);
+                    return Err(error);
+                }
+            }
+        }
+
+        // Wait for every worker. After the first failure the remaining
+        // children are killed and reaped instead of being dropped — a
+        // dropped `Child` keeps running (and burning CPU on its whole
+        // shard) with nobody left to collect it.
+        let expected: std::collections::HashSet<String> = self.cell_keys().into_iter().collect();
+        let mut merged: HashMap<String, RunReport> = seed.clone();
+        let mut failure: Option<BackendError> = None;
+        for (shard, save_path, mut child) in children {
+            if failure.is_some() {
+                reap(vec![(shard, save_path, child)]);
+                continue;
+            }
+            let cells = wait_for_worker(shard, spec.shards, &save_path, &mut child);
+            let cells = match cells {
+                Ok(cells) => cells,
+                Err(error) => {
+                    failure = Some(error);
+                    continue;
+                }
+            };
+            for (key, report) in cells {
+                // A well-behaved worker only writes keys from this matrix's
+                // key space; anything else means the worker ran a different
+                // configuration than the coordinator.
+                if !expected.contains(&key) {
+                    failure = Some(BackendError::new(format!(
+                        "worker {} produced foreign cell key `{key}` — \
+                         worker and coordinator configurations disagree",
+                        shard + 1
+                    )));
+                    break;
+                }
+                // Cells the seed already held were durable before this run;
+                // everything a worker newly delivered streams to the sink
+                // (the coordinator's own checkpoint) as its shard lands.
+                if let Some(sink) = sink {
+                    if !seed.contains_key(&key) {
+                        sink.cell_complete(&key, &report);
+                    }
+                }
+                merged.insert(key, report);
+            }
+        }
+        if let Some(failure) = failure {
+            return Err(failure);
+        }
+
+        let missing = self.missing_cells(&merged);
+        if missing > 0 {
+            return Err(BackendError::new(format!(
+                "merged worker outputs still miss {missing} cells — \
+                 a worker under-covered its shard"
+            )));
+        }
+        // Assembly only: every cell is seeded, so nothing is recomputed and
+        // the merged sweep is bit-identical to a serial run.
+        Ok(self.run_with(&ArtifactCache::new(), &merged))
+    }
+}
+
+/// Kills and reaps worker children that are no longer wanted (spawn
+/// failure or an earlier worker's error). Best-effort: a child that
+/// already exited makes `kill` a no-op and `wait` collects it.
+fn reap(children: Vec<(usize, PathBuf, std::process::Child)>) {
+    for (_, _, mut child) in children {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+}
+
+/// Waits for one worker and loads its delivered cell map.
+fn wait_for_worker(
+    shard: usize,
+    shards: usize,
+    save_path: &std::path::Path,
+    child: &mut std::process::Child,
+) -> Result<HashMap<String, RunReport>, BackendError> {
+    let status = child
+        .wait()
+        .map_err(|e| BackendError::new(format!("waiting for worker {}: {e}", shard + 1)))?;
+    if !status.success() {
+        return Err(BackendError::new(format!(
+            "worker {}/{shards} exited with {status}",
+            shard + 1
+        )));
+    }
+    let text = std::fs::read_to_string(save_path).map_err(|e| {
+        BackendError::new(format!(
+            "reading worker {} output {}: {e}",
+            shard + 1,
+            save_path.display()
+        ))
+    })?;
+    crate::persist::load_cells_any(&text)
+        .map_err(|e| BackendError::new(format!("worker {} output: {e}", shard + 1)))
+}
+
+/// Observer of completed cells (see [`Matrix::run_with_sink`]). Called from
+/// worker threads, hence `Sync`; implementations serialise internally.
+pub trait CellSink: Sync {
+    /// One computed cell's report, delivered as soon as it exists.
+    fn cell_complete(&self, key: &str, report: &RunReport);
+}
+
+/// Where a matrix run executes.
+#[derive(Debug, Clone)]
+pub enum Backend {
+    /// The in-process worker pool (`jobs = 0` → one worker per hardware
+    /// thread) — the default, and the execution layer every other backend
+    /// bottoms out in.
+    InProcess {
+        /// Worker-pool size (`0` = auto).
+        jobs: usize,
+    },
+    /// A coordinator spawning one worker subprocess per shard and merging
+    /// their partial suites.
+    Subprocess(SubprocessSpec),
+}
+
+/// The subprocess backend's worker protocol.
+///
+/// For shard `k` of `n` (1-based), the coordinator invokes
+///
+/// ```text
+/// <worker_exe> <worker_args...> --shard k/n --save <scratch_dir>/shard-k-of-n.json
+///              [--checkpoint <stem>.shard-k-of-n]
+/// ```
+///
+/// and expects the worker to (1) construct the *same* matrix the
+/// coordinator holds from `worker_args` alone, (2) compute exactly the
+/// cells [`shard_of`] assigns to shard `k−1`, (3) write them as a
+/// cell-keyed save file (or checkpoint file) at the given path, and
+/// (4) exit 0. `repro` implements this protocol; the coordinator verifies
+/// it (exit status, key-space membership, full coverage of the merged
+/// map) rather than trusting it.
+#[derive(Debug, Clone)]
+pub struct SubprocessSpec {
+    /// The worker binary (normally `std::env::current_exe()`).
+    pub worker_exe: PathBuf,
+    /// Arguments that reproduce this matrix in the worker, *excluding* the
+    /// `--shard`/`--save` pair the coordinator appends.
+    pub worker_args: Vec<String>,
+    /// Number of worker processes (= shards).
+    pub shards: usize,
+    /// Directory for the per-shard save files.
+    pub scratch_dir: PathBuf,
+    /// When set, each worker additionally gets
+    /// `--checkpoint <stem>.shard-<k>-of-<n>` so its completed cells are
+    /// crash-durable per cell (and the worker seeds itself from that file
+    /// when the coordinator is re-run). `None` = workers don't checkpoint.
+    pub worker_checkpoint_stem: Option<PathBuf>,
+}
+
+/// A failure of the subprocess backend (spawn, worker exit, unreadable or
+/// protocol-violating worker output).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackendError {
+    message: String,
+}
+
+impl BackendError {
+    fn new(message: impl Into<String>) -> Self {
+        BackendError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for BackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "subprocess backend: {}", self.message)
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+/// The shard a cell key belongs to, out of `count` shards: a stable
+/// FNV-1a fingerprint of the key text, reduced mod `count`. Pure function
+/// of `(key, count)` — every process computes the same partition, so a
+/// worker needs no coordination to know which cells are its own.
+///
+/// # Panics
+///
+/// If `count` is zero.
+pub fn shard_of(key: &str, count: usize) -> usize {
+    assert!(count >= 1, "shard count must be at least 1");
+    let mut hasher = Fnv1a::default();
+    hasher.write(key.as_bytes());
+    (hasher.finish() % count as u64) as usize
 }
 
 /// Runs one cell through the artifact cache: software techniques reuse the

@@ -18,8 +18,13 @@
 //! * [`ArtifactCache`] — content-addressed sharing of built programs and
 //!   compiler-pass outputs across cells (`Arc`-handled, built exactly once
 //!   per key),
+//! * [`Backend`] — where a matrix runs: the in-process pool, or a
+//!   coordinator spawning one worker subprocess per [`shard_of`]-assigned
+//!   shard and merging their partial suites (bit-identical to serial),
 //! * [`persist`] — save/load of matrix cells as JSON keyed by cell cache
-//!   keys, so a reload re-runs only missing cells,
+//!   keys, so a reload re-runs only missing cells; plus the append-style
+//!   [`CheckpointWriter`] that makes runs crash-resumable (each completed
+//!   cell is flushed to disk the moment it exists),
 //! * [`experiments`] — turns a matrix of runs ([`Suite`]) into the data
 //!   behind every table and figure of §5 (per-experiment index in
 //!   `DESIGN.md`).
@@ -45,11 +50,15 @@ pub mod runner;
 pub mod technique;
 
 pub use cache::{ArtifactCache, CompileKey, CompiledArtifact, ProgramKey};
-pub use engine::{cell_key, ConfigVariant, Matrix, Sweep};
+pub use engine::{
+    cell_key, shard_of, Backend, BackendError, CellSink, ConfigVariant, Matrix, SubprocessSpec,
+    Sweep,
+};
 pub use experiments::{
     figure10, figure11, figure12, figure6, figure7, figure8, figure9, overall_processor_savings,
     render_sweep_sensitivity, summarise, sweep_sensitivity, table1, FigureSeries, PowerFigure,
     SweepRow, TechniqueSummary,
 };
+pub use persist::CheckpointWriter;
 pub use runner::{Comparison, Experiment, RunReport, Suite};
 pub use technique::Technique;

@@ -15,7 +15,21 @@
 //! are written with Rust's shortest-round-trip formatting, so a loaded
 //! suite is bit-identical to the saved one (asserted by the integration
 //! suite).
+//!
+//! # Checkpoint files
+//!
+//! `--save` writes the whole cell map in one shot at the end of a run — a
+//! killed run leaves nothing. The *checkpoint* format is the incremental
+//! twin: a JSONL file whose first line is a tagged header and every further
+//! line one `{"key": …, "report": …}` cell, appended and flushed by
+//! [`CheckpointWriter`] the moment the engine finishes the cell. A crash
+//! can lose at most the in-flight cells plus one torn final line, which
+//! [`load_checkpoint`] tolerates (and *only* that: a malformed line with
+//! more lines after it is corruption, not a crash artifact, and is
+//! rejected). [`load_cells_any`] sniffs the header so `--load` accepts
+//! either format interchangeably.
 
+use crate::engine::CellSink;
 use crate::runner::RunReport;
 use crate::technique::Technique;
 use sdiq_compiler::{CompileStats, ProcedureStats};
@@ -23,6 +37,9 @@ use sdiq_power::{PowerBreakdown, StructurePower};
 use sdiq_sim::ActivityStats;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::io::{Seek, Write};
+use std::path::Path;
+use std::sync::Mutex;
 use std::time::Duration;
 
 /// Save-file format version (bumped on breaking schema changes; loading
@@ -647,6 +664,181 @@ pub fn load_cells(text: &str) -> Result<HashMap<String, RunReport>, PersistError
         .collect()
 }
 
+// ---------------------------------------------------------------------------
+// Incremental checkpoint files (JSONL)
+// ---------------------------------------------------------------------------
+
+fn checkpoint_header() -> String {
+    let header = Json::Obj(vec![
+        ("format".to_string(), Json::of_u64(FORMAT_VERSION)),
+        ("kind".to_string(), Json::Str("checkpoint".to_string())),
+    ]);
+    let mut out = String::new();
+    header.render(&mut out);
+    out
+}
+
+/// Incremental, crash-durable cell persistence: one JSONL line per
+/// completed cell, written and flushed immediately (see the module docs).
+///
+/// The writer opens its file in append mode, so resuming a run with the
+/// same checkpoint path keeps extending the same file; the header line is
+/// only written when the file starts empty. It is `Sync` (a mutex
+/// serialises the worker threads' appends) and implements [`CellSink`], so
+/// it plugs straight into [`crate::Matrix::run_with_sink`].
+#[derive(Debug)]
+pub struct CheckpointWriter {
+    file: Mutex<std::fs::File>,
+    path: std::path::PathBuf,
+}
+
+impl CheckpointWriter {
+    /// Opens (or creates) the checkpoint file at `path` for appending,
+    /// writing the header line if the file is empty.
+    ///
+    /// A file that does not end in a newline carries the torn final line
+    /// of a killed append. That fragment is incomplete JSON and can never
+    /// be recovered, so it is **trimmed here** before appending resumes —
+    /// otherwise the first new cell would be written onto the end of the
+    /// fragment, fusing both into one malformed *interior* line that
+    /// poisons every later load of the file.
+    pub fn append_to(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .read(true)
+            .write(true)
+            .truncate(false) // existing cells are the whole point
+            .open(&path)?;
+        let mut file = Self::trim_torn_tail(file)?;
+        file.seek(std::io::SeekFrom::End(0))?;
+        if file.metadata()?.len() == 0 {
+            writeln!(file, "{}", checkpoint_header())?;
+            file.flush()?;
+        }
+        Ok(CheckpointWriter {
+            file: Mutex::new(file),
+            path,
+        })
+    }
+
+    /// Truncates an unterminated (torn) final line, leaving only whole
+    /// newline-terminated lines behind.
+    fn trim_torn_tail(mut file: std::fs::File) -> std::io::Result<std::fs::File> {
+        use std::io::Read;
+        let len = file.metadata()?.len();
+        if len == 0 {
+            return Ok(file);
+        }
+        let mut contents = Vec::with_capacity(len as usize);
+        file.read_to_end(&mut contents)?;
+        if contents.last() != Some(&b'\n') {
+            let keep = contents
+                .iter()
+                .rposition(|&b| b == b'\n')
+                .map_or(0, |pos| pos + 1);
+            file.set_len(keep as u64)?;
+            file.flush()?;
+        }
+        Ok(file)
+    }
+
+    /// Appends one completed cell and flushes it to the OS, so a kill
+    /// right after this call cannot lose the cell.
+    pub fn append(&self, key: &str, report: &RunReport) -> std::io::Result<()> {
+        let mut line = String::new();
+        Json::Obj(vec![
+            ("key".to_string(), Json::Str(key.to_string())),
+            ("report".to_string(), report_to_json(report)),
+        ])
+        .render(&mut line);
+        line.push('\n');
+        let mut file = self.file.lock().expect("checkpoint writer poisoned");
+        file.write_all(line.as_bytes())?;
+        file.flush()
+    }
+
+    /// The path this writer appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl CellSink for CheckpointWriter {
+    fn cell_complete(&self, key: &str, report: &RunReport) {
+        // A checkpoint that silently stops persisting is worse than a
+        // crash — fail the run loudly (disk full, permissions, …).
+        self.append(key, report)
+            .unwrap_or_else(|e| panic!("checkpoint append to {} failed: {e}", self.path.display()));
+    }
+}
+
+/// Parses a checkpoint file (see the module docs). A torn **final** line —
+/// the signature of a run killed mid-append — is tolerated and simply not
+/// part of the result; a malformed line anywhere else is corruption and an
+/// error. Duplicate keys keep the newest line.
+pub fn load_checkpoint(text: &str) -> Result<HashMap<String, RunReport>, PersistError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| PersistError::new("empty checkpoint file"))?;
+    let header = parse(header)?;
+    let format = header.get("format")?.u64()?;
+    if format != FORMAT_VERSION {
+        return Err(PersistError::new(format!(
+            "unsupported format version {format} (this build reads {FORMAT_VERSION})"
+        )));
+    }
+    if header.get("kind")?.str()? != "checkpoint" {
+        return Err(PersistError::new("header is not a checkpoint header"));
+    }
+
+    let mut cells = HashMap::new();
+    let mut pending: Option<(usize, PersistError)> = None;
+    for (index, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        // A parse failure is only acceptable on the final line; remember it
+        // and fail if any non-empty line follows.
+        if let Some((bad_index, error)) = pending.take() {
+            return Err(PersistError::new(format!(
+                "malformed checkpoint line {} followed by more data: {error}",
+                bad_index + 1
+            )));
+        }
+        let cell = parse(line).and_then(|json| {
+            Ok((
+                json.get("key")?.str()?.to_string(),
+                report_from_json(json.get("report")?)?,
+            ))
+        });
+        match cell {
+            Ok((key, report)) => {
+                cells.insert(key, report);
+            }
+            Err(error) => pending = Some((index, error)),
+        }
+    }
+    Ok(cells)
+}
+
+/// Loads either persistence format: a whole-document save file
+/// ([`save_cells`]) or a JSONL checkpoint ([`CheckpointWriter`]), detected
+/// by the checkpoint header on the first line.
+pub fn load_cells_any(text: &str) -> Result<HashMap<String, RunReport>, PersistError> {
+    let first_line = text.lines().next().unwrap_or("");
+    let is_checkpoint = parse(first_line)
+        .ok()
+        .and_then(|header| Some(header.get("kind").ok()?.str().ok()? == "checkpoint"))
+        .unwrap_or(false);
+    if is_checkpoint {
+        load_checkpoint(text)
+    } else {
+        load_cells(text)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -694,6 +886,133 @@ mod tests {
             let back = report_from_json(&json).unwrap();
             assert_eq!(report, back, "{technique} report must round-trip");
         }
+    }
+
+    #[test]
+    fn checkpoint_round_trips_and_tolerates_a_torn_tail() {
+        let exp = Experiment {
+            scale: 0.05,
+            ..Experiment::paper()
+        };
+        let a = exp.run(Benchmark::Gzip, Technique::Baseline);
+        let b = exp.run(Benchmark::Gzip, Technique::Noop);
+        let dir = std::env::temp_dir().join(format!("sdiq-ckpt-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("suite.ckpt");
+        let _ = std::fs::remove_file(&path);
+
+        let writer = CheckpointWriter::append_to(&path).unwrap();
+        writer.append("k1", &a).unwrap();
+        writer.append("k2", &b).unwrap();
+        drop(writer);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let cells = load_checkpoint(&text).unwrap();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells.get("k1"), Some(&a), "checkpoint cells round-trip");
+        assert_eq!(cells.get("k2"), Some(&b));
+        // The sniffing loader picks the right decoder for both formats.
+        assert_eq!(load_cells_any(&text).unwrap(), cells);
+        let save = save_cells(&cells.clone().into_iter().collect());
+        assert_eq!(load_cells_any(&save).unwrap(), cells);
+
+        // A kill mid-append tears the final line: that cell is lost, every
+        // earlier cell survives.
+        let torn = &text[..text.len() - 10];
+        let survivors = load_checkpoint(torn).unwrap();
+        assert_eq!(survivors.len(), 1);
+        assert_eq!(survivors.get("k1"), Some(&a));
+
+        // Re-opening the same path appends (no second header), and a newer
+        // line for an existing key wins.
+        let writer = CheckpointWriter::append_to(&path).unwrap();
+        writer.append("k1", &b).unwrap();
+        drop(writer);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.matches("checkpoint").count(), 1, "one header");
+        let cells = load_checkpoint(&text).unwrap();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells.get("k1"), Some(&b), "newest line wins");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resuming_onto_a_torn_checkpoint_heals_the_file() {
+        // Regression: append mode used to write the first resumed cell
+        // straight onto the torn fragment, fusing them into one malformed
+        // *interior* line — every load after a ≥2-cell resume then failed
+        // with "malformed checkpoint line followed by more data".
+        let exp = Experiment {
+            scale: 0.05,
+            ..Experiment::paper()
+        };
+        let a = exp.run(Benchmark::Gzip, Technique::Baseline);
+        let b = exp.run(Benchmark::Gzip, Technique::Noop);
+        let dir = std::env::temp_dir().join(format!("sdiq-ckpt-heal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("suite.ckpt");
+        let _ = std::fs::remove_file(&path);
+
+        let writer = CheckpointWriter::append_to(&path).unwrap();
+        writer.append("k1", &a).unwrap();
+        writer.append("k2", &b).unwrap();
+        drop(writer);
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 10]).unwrap(); // tear k2
+
+        // Resume and append two cells past the torn fragment.
+        let writer = CheckpointWriter::append_to(&path).unwrap();
+        writer.append("k2", &b).unwrap();
+        writer.append("k3", &a).unwrap();
+        drop(writer);
+        let healed = std::fs::read_to_string(&path).unwrap();
+        let cells = load_checkpoint(&healed).expect("resumed file must stay loadable");
+        assert_eq!(cells.len(), 3);
+        assert_eq!(cells.get("k2"), Some(&b), "torn cell rewritten cleanly");
+
+        // And a second resume keeps working (the file stays healthy).
+        let writer = CheckpointWriter::append_to(&path).unwrap();
+        writer.append("k4", &b).unwrap();
+        drop(writer);
+        let again = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(load_checkpoint(&again).unwrap().len(), 4);
+
+        // A file torn *inside the header* heals to a fresh checkpoint.
+        std::fs::write(&path, "{\"format\":1,\"ki").unwrap();
+        let writer = CheckpointWriter::append_to(&path).unwrap();
+        writer.append("k1", &a).unwrap();
+        drop(writer);
+        let fresh = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(load_checkpoint(&fresh).unwrap().len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checkpoint_rejects_interior_corruption_and_bad_headers() {
+        let exp = Experiment {
+            scale: 0.05,
+            ..Experiment::paper()
+        };
+        let report = exp.run(Benchmark::Gzip, Technique::Baseline);
+        let mut good_line = String::new();
+        Json::Obj(vec![
+            ("key".to_string(), Json::Str("k".to_string())),
+            ("report".to_string(), report_to_json(&report)),
+        ])
+        .render(&mut good_line);
+
+        // A torn line *followed by more data* is corruption, not a crash.
+        let corrupt = format!("{}\n{{torn\n{good_line}\n", checkpoint_header());
+        assert!(load_checkpoint(&corrupt).is_err());
+
+        assert!(load_checkpoint("").is_err(), "empty file");
+        assert!(
+            load_checkpoint("{\"format\":1,\"kind\":\"elsewise\"}\n").is_err(),
+            "wrong kind"
+        );
+        assert!(
+            load_checkpoint("{\"format\":99,\"kind\":\"checkpoint\"}\n").is_err(),
+            "unknown format version"
+        );
     }
 
     #[test]

@@ -27,4 +27,4 @@ pub mod model;
 pub mod savings;
 
 pub use model::{EnergyModel, PowerBreakdown, StructurePower, WakeupScheme};
-pub use savings::{overall_processor_dynamic_savings, PowerSavings};
+pub use savings::{overall_processor_dynamic_savings, pct_saving, PowerSavings};

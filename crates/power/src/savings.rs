@@ -18,22 +18,39 @@ pub struct PowerSavings {
     pub rf_static_pct: f64,
 }
 
-fn pct_saving(baseline: f64, technique: f64) -> f64 {
-    if baseline <= 0.0 {
-        0.0
+/// Percentage saving of `technique` power relative to `baseline` power.
+///
+/// A negative result means the technique *spends* power the baseline did
+/// not. `None` marks the degenerate case: a non-positive baseline with a
+/// technique that still consumes power has no meaningful percentage — the
+/// old convention of returning `0.0` there silently reported "no savings"
+/// for a strictly worse technique. When both sides are non-positive the
+/// runs are indistinguishable and the saving is an honest `Some(0.0)`.
+pub fn pct_saving(baseline: f64, technique: f64) -> Option<f64> {
+    if baseline > 0.0 {
+        Some((1.0 - technique / baseline) * 100.0)
+    } else if technique > 0.0 {
+        None
     } else {
-        (1.0 - technique / baseline) * 100.0
+        Some(0.0)
     }
 }
 
 impl PowerSavings {
     /// Computes the savings of `technique` relative to `baseline`.
+    ///
+    /// Fields keep the plain-`f64` shape the figures consume; the
+    /// degenerate case ([`pct_saving`] returning `None`) surfaces as `NaN`
+    /// rather than a fake `0.0`, so it poisons averages and renders as
+    /// `NaN` instead of masquerading as "no savings". Real runs always
+    /// have positive baseline power for the structures reported here.
     pub fn relative_to(baseline: &PowerBreakdown, technique: &PowerBreakdown) -> Self {
+        let pct = |b, t| pct_saving(b, t).unwrap_or(f64::NAN);
         PowerSavings {
-            iq_dynamic_pct: pct_saving(baseline.iq.dynamic, technique.iq.dynamic),
-            iq_static_pct: pct_saving(baseline.iq.static_, technique.iq.static_),
-            rf_dynamic_pct: pct_saving(baseline.int_rf.dynamic, technique.int_rf.dynamic),
-            rf_static_pct: pct_saving(baseline.int_rf.static_, technique.int_rf.static_),
+            iq_dynamic_pct: pct(baseline.iq.dynamic, technique.iq.dynamic),
+            iq_static_pct: pct(baseline.iq.static_, technique.iq.static_),
+            rf_dynamic_pct: pct(baseline.int_rf.dynamic, technique.int_rf.dynamic),
+            rf_static_pct: pct(baseline.int_rf.static_, technique.int_rf.static_),
         }
     }
 }
@@ -98,11 +115,32 @@ mod tests {
     }
 
     #[test]
-    fn zero_baseline_is_handled() {
+    fn identical_zero_power_runs_save_exactly_nothing() {
+        let base = breakdown(0.0, 0.0, 0.0, 0.0);
+        let s = PowerSavings::relative_to(&base, &base);
+        assert_eq!(s.iq_dynamic_pct, 0.0);
+        assert_eq!(s.rf_static_pct, 0.0);
+        assert_eq!(pct_saving(0.0, 0.0), Some(0.0));
+    }
+
+    #[test]
+    fn spending_against_a_zero_baseline_is_not_reported_as_no_savings() {
+        // Regression: this used to return 0.0 — "no savings" — even though
+        // the technique burns power the baseline never did.
+        assert_eq!(pct_saving(0.0, 1.0), None);
+        assert_eq!(pct_saving(-0.5, 1.0), None);
         let base = breakdown(0.0, 0.0, 0.0, 0.0);
         let tech = breakdown(1.0, 1.0, 1.0, 1.0);
         let s = PowerSavings::relative_to(&base, &tech);
-        assert_eq!(s.iq_dynamic_pct, 0.0);
+        assert!(s.iq_dynamic_pct.is_nan(), "undefined, not 0.0");
+        assert!(s.rf_static_pct.is_nan());
+    }
+
+    #[test]
+    fn negative_savings_pass_through_the_helper() {
+        let worse = pct_saving(100.0, 110.0).expect("positive baseline is well defined");
+        assert!((worse + 10.0).abs() < 1e-9);
+        assert_eq!(pct_saving(50.0, 100.0), Some(-100.0));
     }
 
     #[test]

@@ -140,9 +140,17 @@ impl AdaptiveController {
     }
 
     /// Current usable reorder-buffer entries.
+    ///
+    /// The IqRob coupling never runs the ROB below `min_entries ×
+    /// rob_ratio`: the issue-queue limit itself never drops below
+    /// `min_entries`, so a floor of `bank_entries` (which is smaller) would
+    /// let a machine whose *capacity* is below `min_entries` — e.g. an
+    /// `iq=8` sensitivity sweep — clamp the ROB tighter than the coupling
+    /// implies.
     pub fn rob_limit(&self) -> usize {
+        let floor = ((self.config.min_entries as f64) * self.config.rob_ratio).round() as usize;
         (((self.limit as f64) * self.config.rob_ratio).round() as usize)
-            .clamp(self.config.bank_entries, self.rob_capacity)
+            .clamp(floor.min(self.rob_capacity), self.rob_capacity)
     }
 
     /// Number of resize decisions taken so far.
@@ -166,7 +174,15 @@ impl AdaptiveController {
         // Interval boundary: decide.
         let old_limit = self.limit;
         self.intervals_since_expand += 1;
-        if self.intervals_since_expand >= self.config.expand_period_intervals {
+        let probe_due = self.intervals_since_expand >= self.config.expand_period_intervals;
+        // The probe is *taken* only when it actually grows the queue. At
+        // full capacity there is nothing to probe: consuming the interval
+        // anyway would skip the shrink check below and delay the
+        // Folegnani-style feedback by a whole interval. (The expand clock
+        // keeps running while saturated, so the first boundary after a
+        // shrink re-probes — the probe is overdue by then.)
+        let probed = probe_due && self.limit < self.capacity;
+        if probed {
             // Periodic probing expansion.
             self.limit = (self.limit + self.config.bank_entries).min(self.capacity);
             self.intervals_since_expand = 0;
@@ -305,12 +321,241 @@ mod tests {
     }
 
     #[test]
+    fn saturated_at_capacity_probe_does_not_swallow_the_shrink_check() {
+        // Regression: the periodic probe used to "fire" (reset its clock and
+        // skip the shrink check) even when the queue was already at full
+        // capacity and the expansion was a no-op, so a queue that became
+        // useless exactly on the probe interval shrank one interval late.
+        let mut c = controller();
+        let mut cursor = 0;
+        // Five intervals where the youngest bank contributes (no shrink, no
+        // probe yet): the expand clock reaches the probe period.
+        for _ in 0..AdaptiveConfig::iqrob64().expand_period_intervals - 1 {
+            let d = run_interval(&mut c, &mut cursor, 4, 1);
+            assert_eq!(d.iq_limit, 80);
+        }
+        // Probe interval, still at capacity, youngest bank suddenly useless:
+        // the no-op probe must not consume the interval — the shrink check
+        // runs and the queue drops a bank *now*, not next interval.
+        let d = run_interval(&mut c, &mut cursor, 4, 0);
+        assert_eq!(
+            d.iq_limit, 72,
+            "shrink must not be delayed by a no-op probe"
+        );
+        assert_eq!(c.resizes(), 1);
+    }
+
+    #[test]
+    fn probe_clock_keeps_running_while_saturated() {
+        // While the queue sits at capacity the probe cannot take; once a
+        // shrink happens the (overdue) probe fires at the next boundary.
+        let mut c = controller();
+        let mut cursor = 0;
+        for _ in 0..2 * AdaptiveConfig::iqrob64().expand_period_intervals {
+            let d = run_interval(&mut c, &mut cursor, 4, 1);
+            assert_eq!(d.iq_limit, 80, "contributing youngest bank holds size");
+        }
+        let d = run_interval(&mut c, &mut cursor, 4, 0);
+        assert_eq!(d.iq_limit, 72);
+        let d = run_interval(&mut c, &mut cursor, 4, 0);
+        assert_eq!(d.iq_limit, 80, "overdue probe fires right after the shrink");
+        assert_eq!(c.resizes(), 2);
+    }
+
+    #[test]
+    fn rob_floor_follows_min_entries_not_bank_entries() {
+        // An adaptive run on a machine whose whole queue is smaller than
+        // `min_entries` (an `iq=8` sensitivity sweep): the raw coupling
+        // would give round(8 × 1.6) = 13, but the IqRob floor is
+        // min_entries × rob_ratio = round(16 × 1.6) = 26 — the old
+        // `bank_entries` floor (8) let the tighter value through.
+        let c = AdaptiveController::new(AdaptiveConfig::iqrob64(), 8, 128);
+        assert_eq!(c.iq_limit(), 8);
+        assert_eq!(c.rob_limit(), 26);
+    }
+
+    #[test]
+    fn rob_floor_at_the_min_entries_boundary() {
+        // Shrink the standard machine all the way to `min_entries`: the ROB
+        // sits exactly on the coupled floor and never below it.
+        let mut c = controller();
+        let mut cursor = 0;
+        for _ in 0..40 {
+            let _ = run_interval(&mut c, &mut cursor, 2, 0);
+        }
+        let config = AdaptiveConfig::iqrob64();
+        let floor = ((config.min_entries as f64) * config.rob_ratio).round() as usize;
+        assert_eq!(floor, 26);
+        assert!(
+            c.rob_limit() >= floor,
+            "ROB never below min_entries × ratio"
+        );
+        if c.iq_limit() == config.min_entries {
+            assert_eq!(c.rob_limit(), floor);
+        }
+    }
+
+    #[test]
+    fn rob_floor_is_capped_by_the_rob_capacity() {
+        // A tiny ROB: the floor cannot exceed what the machine has.
+        let c = AdaptiveController::new(AdaptiveConfig::iqrob64(), 8, 20);
+        assert_eq!(c.rob_limit(), 20);
+    }
+
+    #[test]
     fn idle_intervals_do_not_shrink_the_queue() {
         let mut c = controller();
         let mut cursor = 0;
         let d = run_interval(&mut c, &mut cursor, 0, 0);
         // Nothing issued → no evidence the youngest bank is useless.
         assert_eq!(d.iq_limit, 80);
+    }
+
+    /// Naive reference reimplementation of the adaptive controller: plain
+    /// interval accumulation and the Folegnani/Abella decision rule, written
+    /// for obviousness rather than for the simulator hot path. The
+    /// differential property below pins `AdaptiveController` to it.
+    struct ReferenceModel {
+        config: AdaptiveConfig,
+        capacity: usize,
+        rob_capacity: usize,
+        limit: usize,
+        interval_start: u64,
+        issued: u64,
+        youngest: u64,
+        since_expand: u64,
+    }
+
+    impl ReferenceModel {
+        fn new(config: AdaptiveConfig, capacity: usize, rob_capacity: usize) -> Self {
+            ReferenceModel {
+                config,
+                capacity,
+                rob_capacity,
+                limit: capacity,
+                interval_start: 0,
+                issued: 0,
+                youngest: 0,
+                since_expand: 0,
+            }
+        }
+
+        fn rob_limit(&self) -> usize {
+            let floor = ((self.config.min_entries as f64) * self.config.rob_ratio).round() as usize;
+            (((self.limit as f64) * self.config.rob_ratio).round() as usize)
+                .clamp(floor.min(self.rob_capacity), self.rob_capacity)
+        }
+
+        fn on_cycle(&mut self, cycle: u64, obs: AdaptiveObservation) -> Option<AdaptiveDecision> {
+            self.issued += u64::from(obs.issued);
+            self.youngest += u64::from(obs.issued_from_youngest_bank);
+            if cycle < self.interval_start + self.config.interval_cycles {
+                return None;
+            }
+            self.since_expand += 1;
+            if self.since_expand >= self.config.expand_period_intervals
+                && self.limit < self.capacity
+            {
+                self.limit = (self.limit + self.config.bank_entries).min(self.capacity);
+                self.since_expand = 0;
+            } else if self.issued > 0
+                && (self.youngest as f64 / self.issued as f64)
+                    < self.config.youngest_contribution_threshold
+                && self.limit > self.config.min_entries
+            {
+                self.limit = (self.limit - self.config.bank_entries).max(self.config.min_entries);
+            }
+            self.interval_start = cycle;
+            self.issued = 0;
+            self.youngest = 0;
+            Some(AdaptiveDecision {
+                iq_limit: self.limit,
+                rob_limit: self.rob_limit(),
+            })
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            /// Random `(issued, issued_from_youngest)` cycle streams over
+            /// random bank-aligned geometries: the controller's limits stay
+            /// within `[min_entries, capacity]`, every decision moves by at
+            /// most exactly one bank, `resizes` counts every transition,
+            /// the ROB limit respects its coupled floor and the machine
+            /// capacity — and the whole decision sequence is identical to
+            /// the naive reference model's.
+            #[test]
+            fn controller_matches_reference_and_keeps_invariants(
+                cycles in prop::collection::vec((0u32..9u32, 0u32..9u32), 1..600),
+                banks_above_min in 0usize..9usize,
+                interval in 1u64..40u64,
+                period in 1u64..8u64,
+                threshold_millis in 0u64..900u64,
+                rob_capacity in 16usize..257usize,
+            ) {
+                let config = AdaptiveConfig {
+                    interval_cycles: interval,
+                    expand_period_intervals: period,
+                    youngest_contribution_threshold: threshold_millis as f64 / 1000.0,
+                    ..AdaptiveConfig::iqrob64()
+                };
+                // Bank-aligned capacity so resizes are always whole banks.
+                let capacity = config.min_entries + banks_above_min * config.bank_entries;
+                let mut controller = AdaptiveController::new(config, capacity, rob_capacity);
+                let mut reference = ReferenceModel::new(config, capacity, rob_capacity);
+                let rob_floor = ((config.min_entries as f64) * config.rob_ratio).round() as usize;
+
+                let mut previous_limit = controller.iq_limit();
+                let mut transitions = 0u64;
+                for (cycle, &(issued, youngest)) in cycles.iter().enumerate() {
+                    let observation = AdaptiveObservation {
+                        issued,
+                        issued_from_youngest_bank: youngest.min(issued),
+                    };
+                    let decision = controller.on_cycle(cycle as u64, observation);
+                    let expected = reference.on_cycle(cycle as u64, observation);
+                    prop_assert!(
+                        decision == expected,
+                        "differential divergence at cycle {}: {:?} vs reference {:?}",
+                        cycle,
+                        decision,
+                        expected
+                    );
+
+                    if let Some(decision) = decision {
+                        prop_assert!(decision.iq_limit >= config.min_entries.min(capacity));
+                        prop_assert!(decision.iq_limit <= capacity);
+                        let moved = decision.iq_limit.abs_diff(previous_limit);
+                        prop_assert!(
+                            moved == 0 || moved == config.bank_entries,
+                            "limit moved {} → {} (bank is {})",
+                            previous_limit,
+                            decision.iq_limit,
+                            config.bank_entries
+                        );
+                        if moved != 0 {
+                            transitions += 1;
+                        }
+                        previous_limit = decision.iq_limit;
+
+                        prop_assert!(decision.rob_limit <= rob_capacity);
+                        prop_assert!(decision.rob_limit >= rob_floor.min(rob_capacity));
+                        prop_assert_eq!(decision.rob_limit, controller.rob_limit());
+                    }
+                }
+                prop_assert!(
+                    controller.resizes() == transitions,
+                    "resizes {} must count every transition ({})",
+                    controller.resizes(),
+                    transitions
+                );
+            }
+        }
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //! 4. the D-cache activity counters are wired to the cache hierarchy (the
 //!    memory-bound `mcf` analogue must show real traffic).
 
-use sdiq::core::{persist, ArtifactCache, Experiment, Matrix, Sweep, Technique};
+use sdiq::core::{
+    persist, shard_of, ArtifactCache, CellSink, Experiment, Matrix, Sweep, Technique,
+};
 use sdiq::workloads::Benchmark;
 use std::collections::HashMap;
 
@@ -242,6 +244,153 @@ fn mcf_analogue_exercises_the_dcache_counters() {
         mcf_rate > gzip_rate,
         "mcf miss rate {mcf_rate:.4} should exceed gzip's {gzip_rate:.4}"
     );
+}
+
+#[test]
+fn shards_partition_the_cell_space_and_merge_bit_identically() {
+    let experiment = tiny_experiment();
+    let serial = swept_matrix(&experiment);
+    let all_keys = serial.cell_keys();
+    let serial_sweep = serial.run();
+    let serial_cells = serial.collect_cells(&serial_sweep);
+
+    const SHARDS: usize = 3;
+    let mut merged = std::collections::BTreeMap::new();
+    let mut owned_counts = Vec::new();
+    for index in 0..SHARDS {
+        let shard = swept_matrix(&experiment).shard(index, SHARDS);
+        let keys = shard.cell_keys();
+        // Every owned key really belongs to this shard — the partition is
+        // a pure function of the key.
+        for key in &keys {
+            assert_eq!(shard_of(key, SHARDS), index, "{key}");
+        }
+        owned_counts.push(keys.len());
+        let cells = shard.collect_cells(&shard.run_with(&ArtifactCache::new(), &HashMap::new()));
+        assert_eq!(cells.len(), keys.len(), "shard computes all its cells");
+        for (key, report) in cells {
+            assert!(
+                merged.insert(key.clone(), report).is_none(),
+                "{key}: shards must be disjoint"
+            );
+        }
+    }
+    // The shards partition the space: disjoint (asserted above), complete,
+    // and cell-for-cell bit-identical to the serial run.
+    assert_eq!(owned_counts.iter().sum::<usize>(), all_keys.len());
+    assert_eq!(merged, serial_cells, "merged shards == serial run");
+
+    // Re-assembling a sweep from the merged cells computes nothing and is
+    // bit-identical to the serial sweep.
+    let cache = ArtifactCache::new();
+    let seed: HashMap<_, _> = merged.into_iter().collect();
+    assert_eq!(serial.missing_cells(&seed), 0);
+    let assembled = serial.run_with(&cache, &seed);
+    assert_eq!(assembled, serial_sweep, "merged sweep == serial sweep");
+    assert_eq!(cache.program_builds(), 0, "assembly is pure merge");
+}
+
+#[test]
+fn checkpoint_resume_recomputes_only_the_lost_cells() {
+    let experiment = tiny_experiment();
+    let matrix = Matrix::new(&experiment)
+        .benchmarks(&[Benchmark::Gzip, Benchmark::Mcf])
+        .techniques(&[Technique::Baseline, Technique::Noop, Technique::Abella]);
+    let reference = matrix.run();
+
+    // First run streams every completed cell into a checkpoint file.
+    let dir = std::env::temp_dir().join(format!("sdiq-resume-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("engine.ckpt");
+    let _ = std::fs::remove_file(&path);
+    let writer = persist::CheckpointWriter::append_to(&path).unwrap();
+    let first = matrix.run_with_sink(&ArtifactCache::new(), &HashMap::new(), Some(&writer));
+    drop(writer);
+    assert_eq!(first, reference);
+
+    // Simulate a kill mid-append: tear the final checkpoint line.
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert_eq!(text.lines().count(), 1 + 6, "header + one line per cell");
+    std::fs::write(&path, &text[..text.len() - 25]).unwrap();
+
+    // Resume: the torn cell (and only it) is missing and recomputed; the
+    // resumed sweep is bit-identical to the uninterrupted one.
+    let seed = persist::load_cells_any(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    assert_eq!(seed.len(), 5, "the torn line lost exactly one cell");
+    assert_eq!(matrix.missing_cells(&seed), 1);
+    let cache = ArtifactCache::new();
+    let resumed = matrix.run_with(&cache, &seed);
+    assert_eq!(resumed, reference, "resume is bit-identical");
+    assert_eq!(
+        cache.program_builds(),
+        1,
+        "only the lost cell was recomputed"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn sink_sees_computed_cells_only() {
+    struct Recorder(std::sync::Mutex<Vec<String>>);
+    impl CellSink for Recorder {
+        fn cell_complete(&self, key: &str, _report: &sdiq::core::RunReport) {
+            self.0.lock().unwrap().push(key.to_string());
+        }
+    }
+
+    let experiment = tiny_experiment();
+    let matrix = Matrix::new(&experiment)
+        .benchmarks(&[Benchmark::Gzip])
+        .techniques(&[Technique::Baseline, Technique::Noop]);
+    let recorder = Recorder(std::sync::Mutex::new(Vec::new()));
+    let sweep = matrix.run_with_sink(&ArtifactCache::new(), &HashMap::new(), Some(&recorder));
+    {
+        let mut seen = recorder.0.lock().unwrap().clone();
+        seen.sort();
+        let mut expected = matrix.cell_keys();
+        expected.sort();
+        assert_eq!(seen, expected, "every computed cell reaches the sink once");
+    }
+
+    // A fully seeded re-run computes nothing, so the sink stays silent.
+    let recorder = Recorder(std::sync::Mutex::new(Vec::new()));
+    let seed: HashMap<_, _> = matrix.collect_cells(&sweep).into_iter().collect();
+    let again = matrix.run_with_sink(&ArtifactCache::new(), &seed, Some(&recorder));
+    assert_eq!(again, sweep);
+    assert!(
+        recorder.0.lock().unwrap().is_empty(),
+        "seeded cells are already durable — not re-reported"
+    );
+}
+
+#[test]
+fn negative_savings_survive_persist_round_trips() {
+    // A technique that is *worse* than its baseline must come back from a
+    // save file still reporting negative savings — pct_saving's old
+    // zero-baseline convention silently flattened such cases to "no
+    // savings" (see sdiq_power::pct_saving).
+    let experiment = tiny_experiment();
+    let frugal = experiment.run(Benchmark::Gzip, Technique::Abella);
+    let spender = experiment.run(Benchmark::Gzip, Technique::Baseline);
+    assert!(
+        spender.power.iq.dynamic > frugal.power.iq.dynamic,
+        "the unmanaged baseline burns more IQ power than the gated run"
+    );
+    // Treat the frugal run as the reference: the spender shows negative
+    // savings.
+    let before = spender.compared_to(&frugal);
+    assert!(before.savings.iq_dynamic_pct < 0.0);
+
+    let mut cells = std::collections::BTreeMap::new();
+    cells.insert("frugal".to_string(), frugal);
+    cells.insert("spender".to_string(), spender);
+    let loaded = persist::load_cells(&persist::save_cells(&cells)).unwrap();
+    let after = loaded["spender"].compared_to(&loaded["frugal"]);
+    assert_eq!(
+        after.savings, before.savings,
+        "savings recomputed from reloaded cells are bit-identical"
+    );
+    assert!(after.savings.iq_dynamic_pct < 0.0, "still negative");
 }
 
 #[test]
