@@ -4,10 +4,11 @@
 //! repro [--scale <f64>] [--jobs <n>] [--sweep <axis>=<v1,v2,...>]
 //!       [--benchmarks <b1,b2,...>] [--techniques <t1,t2,...>]
 //!       [--save <path>] [--load <path>]... [--checkpoint <path>]
-//!       [--shard <k>/<n>] [--shards <n>]
+//!       [--shard <k>/<n>] [--shards <n>] [--workers <host:port,...>]
 //!       [--table1] [--table2] [--figure6] [--figure7] [--figure8]
 //!       [--figure9] [--figure10] [--figure11] [--figure12]
 //!       [--overall] [--summary] [--sweep-summary] [--all]
+//! repro serve [--listen <host:port>] [--jobs <n>] [--fail-after <n>]
 //! ```
 //!
 //! With no selection flags, `--all` is assumed. `--scale` shrinks or grows
@@ -41,9 +42,20 @@
 //!   this same binary, one per shard, merges their partial suites and
 //!   proceeds exactly like a serial run — the merged output is
 //!   bit-identical to one.
+//! * `repro serve` turns this binary into a networked worker daemon
+//!   (`sdiq-remote`): it listens for a coordinator, advertises `--jobs`
+//!   as its capacity and streams computed cells back per cell.
+//!   `--fail-after n` is the fault-injection hook the failover tests and
+//!   CI smoke use to simulate a worker machine dying mid-cell.
+//! * `--workers host:port,...` (remote coordinator mode) distributes the
+//!   missing cells over those daemons instead of computing locally; a
+//!   worker that dies mid-suite has its cells re-queued onto the
+//!   survivors, and the assembled suite is still byte-for-byte identical
+//!   to a serial run. Composes with `--checkpoint` (a killed coordinator
+//!   resumes by re-running the identical command) and `--save`.
 
 use sdiq_core::{
-    experiments, persist, ArtifactCache, Backend, Experiment, Matrix, SubprocessSpec, Suite,
+    experiments, persist, ArtifactCache, Backend, Experiment, MatrixSpec, SubprocessSpec, Suite,
     Technique,
 };
 use sdiq_sim::SimConfig;
@@ -64,6 +76,8 @@ struct Options {
     shard: Option<(usize, usize)>,
     /// Coordinator mode: number of worker subprocesses to spawn.
     shards: Option<usize>,
+    /// Remote coordinator mode: worker daemon addresses.
+    workers: Option<Vec<String>>,
     selections: BTreeSet<String>,
 }
 
@@ -88,10 +102,7 @@ fn parse_args() -> Options {
             }
             "--jobs" => {
                 let value = required_value(&mut args, "--jobs");
-                options.jobs = Some(value.parse::<usize>().unwrap_or_else(|_| {
-                    eprintln!("error: --jobs needs an integer, got `{value}`");
-                    std::process::exit(2);
-                }));
+                options.jobs = Some(parse_jobs(&value));
             }
             "--sweep" => {
                 let spec = required_value(&mut args, "--sweep");
@@ -108,35 +119,10 @@ fn parse_args() -> Options {
                         })
                     })
                     .collect();
-                match axis {
-                    "iq" | "bank" => {
-                        // These become machine geometry: zero panics in
-                        // `banks()`, negatives saturate to zero, fractions
-                        // would silently truncate, and absurdly large
-                        // values OOM the simulator — reject them all here.
-                        const MAX_GEOMETRY: f64 = 65536.0;
-                        for &v in &values {
-                            if v < 1.0 || v.fract() != 0.0 || v > MAX_GEOMETRY {
-                                eprintln!(
-                                    "error: --sweep {axis} wants integers in 1..={MAX_GEOMETRY}, got `{v}`"
-                                );
-                                std::process::exit(2);
-                            }
-                        }
-                    }
-                    "scale" => {
-                        for &v in &values {
-                            if !(v > 0.0 && v.is_finite()) {
-                                eprintln!("error: --sweep scale wants positive values, got `{v}`");
-                                std::process::exit(2);
-                            }
-                        }
-                    }
-                    _ => {
-                        eprintln!("error: unknown sweep axis `{axis}` (iq, bank, scale)");
-                        std::process::exit(2);
-                    }
-                }
+                // Axis names and value ranges are validated by the one
+                // shared validator, `MatrixSpec::matrix` (worker daemons
+                // apply the identical rules to wire input, so the two
+                // cannot drift); main() exits 2 on its error.
                 options.sweeps.push((axis.to_string(), values));
             }
             "--benchmarks" => {
@@ -192,13 +178,29 @@ fn parse_args() -> Options {
                 };
                 options.shards = Some(shards);
             }
+            "--workers" => {
+                let spec = required_value(&mut args, "--workers");
+                let workers: Vec<String> = spec
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|worker| !worker.is_empty())
+                    .map(str::to_string)
+                    .collect();
+                if workers.is_empty() {
+                    eprintln!("error: --workers wants <host:port>[,<host:port>...], got `{spec}`");
+                    std::process::exit(2);
+                }
+                options.workers = Some(workers);
+            }
             "--help" | "-h" => {
                 println!(
                     "repro [--scale <f>] [--jobs <n>] [--sweep iq|bank|scale=<v,..>] \
                      [--benchmarks <b,..>] [--techniques <t,..>] \
                      [--save <path>] [--load <path>]... [--checkpoint <path>] \
-                     [--shard <k>/<n>] [--shards <n>] [--table1] [--table2] [--figure6..12] \
-                     [--overall] [--summary] [--sweep-summary] [--all]"
+                     [--shard <k>/<n>] [--shards <n>] [--workers <host:port,..>] \
+                     [--table1] [--table2] [--figure6..12] \
+                     [--overall] [--summary] [--sweep-summary] [--all]\n\
+                     repro serve [--listen <host:port>] [--jobs <n>] [--fail-after <n>]"
                 );
                 std::process::exit(0);
             }
@@ -217,6 +219,16 @@ fn parse_args() -> Options {
         eprintln!("error: --shard (worker) and --shards (coordinator) are mutually exclusive");
         std::process::exit(2);
     }
+    if options.workers.is_some() && options.shard.is_some() {
+        eprintln!(
+            "error: --workers (remote coordinator) cannot combine with --shard (subprocess worker)"
+        );
+        std::process::exit(2);
+    }
+    if options.workers.is_some() && options.shards.is_some() {
+        eprintln!("error: --workers (remote coordinator) and --shards (subprocess coordinator) are mutually exclusive");
+        std::process::exit(2);
+    }
     if options.shard.is_some() && options.save.is_none() && options.checkpoint.is_none() {
         eprintln!("error: a --shard worker needs --save or --checkpoint to deliver its cells");
         std::process::exit(2);
@@ -225,6 +237,61 @@ fn parse_args() -> Options {
         options.selections.insert("all".to_string());
     }
     options
+}
+
+/// Parses a `--jobs` value. Zero is rejected here rather than silently
+/// meaning "auto": a pool of zero workers is never what the user asked
+/// for, and in worker-budget arithmetic it would divide away to nothing.
+fn parse_jobs(value: &str) -> usize {
+    match value.parse::<usize>() {
+        Ok(0) => {
+            eprintln!("error: --jobs wants a positive worker count (omit the flag for one per hardware thread), got `0`");
+            std::process::exit(2);
+        }
+        Ok(jobs) => jobs,
+        Err(_) => {
+            eprintln!("error: --jobs needs an integer, got `{value}`");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Parses the `repro serve ...` argument tail and runs the worker daemon
+/// (never returns on success — the daemon serves until killed).
+fn serve_main(args: impl Iterator<Item = String>) -> ! {
+    let mut options = sdiq_remote::server::ServeOptions {
+        listen: "127.0.0.1:0".to_string(),
+        jobs: 0,
+        fail_after: None,
+    };
+    let mut args = args;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => options.listen = required_value(&mut args, "--listen"),
+            "--jobs" => {
+                let value = required_value(&mut args, "--jobs");
+                options.jobs = parse_jobs(&value);
+            }
+            "--fail-after" => {
+                let value = required_value(&mut args, "--fail-after");
+                options.fail_after = Some(value.parse::<usize>().unwrap_or_else(|_| {
+                    eprintln!("error: --fail-after needs an integer, got `{value}`");
+                    std::process::exit(2);
+                }));
+            }
+            "--help" | "-h" => {
+                println!("repro serve [--listen <host:port>] [--jobs <n>] [--fail-after <n>]");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown serve argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let error = sdiq_remote::server::serve(&options).expect_err("serve only returns on error");
+    eprintln!("error: worker daemon: {error}");
+    std::process::exit(1);
 }
 
 /// The argument vector a worker subprocess needs to rebuild this run's
@@ -284,10 +351,47 @@ fn print_power_figure(title: &str, figure: &experiments::PowerFigure) {
 }
 
 fn main() {
+    // `repro serve` is a different program shape (a daemon, not a run);
+    // branch before flag parsing so serve flags don't collide.
+    let mut args = std::env::args().skip(1);
+    if args.next().as_deref() == Some("serve") {
+        serve_main(args);
+    }
     let options = parse_args();
     let mut experiment = Experiment::paper();
     if let Some(scale) = options.scale {
         experiment.scale = scale;
+    }
+
+    let benchmarks = options
+        .benchmarks
+        .clone()
+        .unwrap_or_else(|| Benchmark::ALL.to_vec());
+    let techniques = options
+        .techniques
+        .clone()
+        .unwrap_or_else(|| Technique::ALL.to_vec());
+    // Both the local matrix and (in remote mode) the spec shipped to
+    // worker daemons derive from this one description, so the two sides
+    // cannot disagree about what the matrix is. `MatrixSpec::matrix` is
+    // also the one validator of sweep axes and values (worker daemons
+    // apply the identical rules to wire input): built before anything
+    // prints, so a bad sweep exits 2 up front whatever was selected.
+    let matrix_spec = MatrixSpec {
+        scale: experiment.scale,
+        sweeps: options.sweeps.clone(),
+        benchmarks: benchmarks.iter().map(|b| b.name().to_string()).collect(),
+        techniques: techniques.iter().map(|t| t.name().to_string()).collect(),
+    };
+    let mut matrix = matrix_spec.matrix(&experiment).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    if let Some(jobs) = options.jobs {
+        matrix = matrix.jobs(jobs);
+    }
+    if let Some((index, count)) = options.shard {
+        matrix = matrix.shard(index, count);
     }
 
     // Worker mode computes cells, nothing else: skip the table sections
@@ -336,37 +440,10 @@ fn main() {
         || !options.loads.is_empty()
         || options.checkpoint.is_some()
         || options.shard.is_some()
-        || options.shards.is_some();
+        || options.shards.is_some()
+        || options.workers.is_some();
 
     let sweep = if needs_suite {
-        let benchmarks = options
-            .benchmarks
-            .clone()
-            .unwrap_or_else(|| Benchmark::ALL.to_vec());
-        let techniques = options
-            .techniques
-            .clone()
-            .unwrap_or_else(|| Technique::ALL.to_vec());
-        let mut matrix = Matrix::new(&experiment)
-            .benchmarks(&benchmarks)
-            .techniques(&techniques);
-        if let Some(jobs) = options.jobs {
-            matrix = matrix.jobs(jobs);
-        }
-        for (axis, values) in &options.sweeps {
-            matrix = match axis.as_str() {
-                "iq" => {
-                    matrix.sweep_iq_entries(&values.iter().map(|&v| v as usize).collect::<Vec<_>>())
-                }
-                "bank" => matrix
-                    .sweep_iq_bank_sizes(&values.iter().map(|&v| v as usize).collect::<Vec<_>>()),
-                _ => matrix.sweep_scales(values),
-            };
-        }
-        if let Some((index, count)) = options.shard {
-            matrix = matrix.shard(index, count);
-        }
-
         // Seed from every --load file plus (for crash resume) the
         // checkpoint file itself, if a previous run left one. Later
         // sources win on key collisions; `load_cells_any` accepts save
@@ -402,7 +479,31 @@ fn main() {
         });
         let checkpoint_sink = checkpoint.as_ref().map(|w| w as &dyn sdiq_core::CellSink);
 
-        let sweep = if let Some(shards) = options.shards {
+        let sweep = if let Some(workers) = &options.workers {
+            // Remote coordinator mode: distribute the missing cells over
+            // `repro serve` daemons; completed cells stream back into the
+            // checkpoint sink as they land, and the assembled sweep is
+            // bit-identical to a serial run.
+            let backend = sdiq_remote::backend(
+                workers.clone(),
+                matrix_spec.clone(),
+                sdiq_remote::DEFAULT_RETRY_BUDGET,
+            );
+            eprintln!(
+                "remote coordinator: distributing {} of {} cells across {} worker(s) ...",
+                matrix.missing_cells(&seed),
+                matrix.cell_count(),
+                workers.len()
+            );
+            let sweep = matrix
+                .run_on(&backend, &seed, checkpoint_sink)
+                .unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                });
+            eprintln!("remote coordinator: suite complete");
+            sweep
+        } else if let Some(shards) = options.shards {
             // Coordinator mode: one worker subprocess per shard, merged
             // into a sweep bit-identical to a serial run.
             let worker_exe = std::env::current_exe().unwrap_or_else(|e| {

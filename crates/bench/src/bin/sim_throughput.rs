@@ -15,12 +15,13 @@
 //! `--quick` shrinks the workload and repeat count for CI smoke runs.
 
 use sdiq_compiler::{CompilerPass, PassConfig};
-use sdiq_core::{Backend, Experiment, Matrix, SubprocessSpec, Suite, Technique};
+use sdiq_core::{Backend, Experiment, Matrix, MatrixSpec, SubprocessSpec, Suite, Technique};
 use sdiq_isa::Executor;
 use sdiq_sim::{AdaptiveConfig, ResizePolicy, SimConfig, Simulator};
 use sdiq_workloads::Benchmark;
 use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::io::BufRead;
 use std::time::Instant;
 
 /// Floor for the CI smoke check, in simulated instructions per second of
@@ -115,6 +116,30 @@ fn run_matrix_per_benchmark_threads(
         }
     });
     suite
+}
+
+/// Starts one `repro serve` daemon on an ephemeral localhost port and
+/// blocks until it announces its bound address (the machine-readable
+/// `LISTENING <addr>` first stdout line).
+fn spawn_serve_daemon(exe: &std::path::Path, jobs: usize) -> Option<(std::process::Child, String)> {
+    let mut child = std::process::Command::new(exe)
+        .args(["serve", "--listen", "127.0.0.1:0", "--jobs"])
+        .arg(jobs.to_string())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .ok()?;
+    let stdout = child.stdout.take()?;
+    let mut line = String::new();
+    let announced = std::io::BufReader::new(stdout).read_line(&mut line).is_ok();
+    match line.trim().strip_prefix("LISTENING ") {
+        Some(addr) if announced => Some((child, addr.to_string())),
+        _ => {
+            let _ = child.kill();
+            let _ = child.wait();
+            None
+        }
+    }
 }
 
 fn main() {
@@ -310,6 +335,94 @@ fn main() {
         }
     };
 
+    // Remote row: the same reduced matrix once more, now through two
+    // localhost `repro serve` daemons driven by the TCP scheduler
+    // (sdiq-remote). On one box this prices the networked substrate —
+    // frame codec, per-cell streaming, capacity-batched scheduling,
+    // seeded reassembly — against the in-process engine; across boxes it
+    // is the substrate that scales. Counters asserted bit-identical yet
+    // again before any timing is reported.
+    let repro_exe = std::env::current_exe().ok().and_then(|own| {
+        let exe = own
+            .parent()?
+            .join(format!("repro{}", std::env::consts::EXE_SUFFIX));
+        exe.exists().then_some(exe)
+    });
+    let remote_json = match repro_exe {
+        Some(exe) => {
+            const WORKERS: usize = 2;
+            let worker_jobs = (jobs / WORKERS).max(1);
+            let mut daemons: Vec<(std::process::Child, String)> = Vec::new();
+            for _ in 0..WORKERS {
+                match spawn_serve_daemon(&exe, worker_jobs) {
+                    Some(daemon) => daemons.push(daemon),
+                    None => break,
+                }
+            }
+            let row = if daemons.len() < WORKERS {
+                eprintln!("{:>14}: skipped (could not start serve daemons)", "remote");
+                "null".to_string()
+            } else {
+                let spec = MatrixSpec {
+                    scale: options.scale,
+                    sweeps: Vec::new(),
+                    benchmarks: matrix_benchmarks
+                        .iter()
+                        .map(|b| b.name().to_string())
+                        .collect(),
+                    techniques: matrix_techniques
+                        .iter()
+                        .map(|t| t.name().to_string())
+                        .collect(),
+                };
+                let addrs: Vec<String> = daemons.iter().map(|(_, addr)| addr.clone()).collect();
+                let backend =
+                    sdiq_remote::backend(addrs, spec.clone(), sdiq_remote::DEFAULT_RETRY_BUDGET);
+                let remote_start = Instant::now();
+                let remote = spec
+                    .matrix(&matrix_experiment)
+                    .expect("spec mirrors the reduced matrix")
+                    .run_on(&backend, &HashMap::new(), None);
+                let remote_wall = remote_start.elapsed().as_secs_f64();
+                match remote {
+                    Ok(sweep) => {
+                        let remote_suite = sweep.into_suite();
+                        assert_eq!(
+                            remote_suite, engine_suite,
+                            "remote suite must be bit-identical to the in-process engine"
+                        );
+                        let vs_engine = remote_wall / engine_wall.max(1e-9);
+                        eprintln!(
+                            "{:>14}: {cells} cells  {WORKERS} localhost workers {remote_wall:.3}s  \
+                             ({vs_engine:.2}x of engine wall, bit-identical)",
+                            "remote"
+                        );
+                        format!(
+                            "{{\"workers\": {WORKERS}, \"wall_seconds\": {remote_wall:.6}, \
+                             \"wall_vs_engine\": {vs_engine:.3}}}"
+                        )
+                    }
+                    Err(error) => {
+                        eprintln!("{:>14}: skipped ({error})", "remote");
+                        "null".to_string()
+                    }
+                }
+            };
+            for (mut child, _) in daemons {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+            row
+        }
+        None => {
+            eprintln!(
+                "{:>14}: skipped (repro worker binary not built next to sim_throughput)",
+                "remote"
+            );
+            "null".to_string()
+        }
+    };
+
     let note = "Wall-clock throughput of the cycle-level simulator (per resize policy, \
                 gzip-analogue trace, best of N repeats; software_hint runs the \
                 compiler-annotated program) plus a matrix row: a reduced \
@@ -318,7 +431,11 @@ fn main() {
                 (activity counters asserted bit-identical before timing is reported), \
                 and a sharded row running the same matrix through the subprocess \
                 coordinator (one repro worker per shard, merged suites asserted \
-                bit-identical to the engine's). \
+                bit-identical to the engine's), and a remote row running it through \
+                two localhost repro serve daemons driven by the sdiq-remote TCP \
+                scheduler (suite asserted bit-identical again; on one box this \
+                prices the networked substrate, across boxes it is the substrate \
+                that scales). \
                 Regenerate with: cargo run --release -p sdiq-bench --bin sim_throughput \
                 -- --scale 1.0 --repeats 7. CAUTION: this binary rewrites the whole \
                 file; the committed artifact carries a hand-curated 'history' block \
@@ -330,7 +447,7 @@ fn main() {
          \"scale\": {},\n  \"repeats\": {},\n  \"trace_instructions\": {},\n  \"policies\": {{{}\n  }},\n  \
          \"matrix\": {{\"benchmarks\": {}, \"techniques\": {}, \"cells\": {cells}, \"jobs\": {jobs}, \
          \"legacy_wall_seconds\": {legacy_wall:.6}, \"engine_wall_seconds\": {engine_wall:.6}, \
-         \"speedup\": {speedup:.3}, \"sharded\": {sharded_json}}}\n}}\n",
+         \"speedup\": {speedup:.3}, \"sharded\": {sharded_json}, \"remote\": {remote_json}}}\n}}\n",
         options.scale,
         options.repeats,
         trace.len(),

@@ -1,0 +1,290 @@
+//! End-to-end tests of the networked cell-execution subsystem over real
+//! TCP and real processes — `repro serve` worker daemons driven by a
+//! `repro --workers` coordinator:
+//!
+//! 1. a remote suite over two localhost workers is **byte-for-byte**
+//!    equal to a serial `--save`,
+//! 2. a worker killed mid-suite (the `--fail-after` fault injection dies
+//!    in place of delivering a cell, exactly like a machine crash) has
+//!    its cells re-queued onto the survivor and the bytes still match,
+//! 3. a drained pool and an unreachable worker are clear errors, not
+//!    partial suites,
+//! 4. `--workers` composes with `--checkpoint`: cells streamed before a
+//!    failed run are not recomputed by the resume,
+//! 5. the CLI rejects `--jobs 0` and contradictory distribution flags.
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+
+/// Axis flags shared by every run: a tiny matrix so each invocation is a
+/// few hundred milliseconds.
+const AXES: [&str; 6] = [
+    "--scale",
+    "0.02",
+    "--benchmarks",
+    "gzip,mcf",
+    "--techniques",
+    "baseline,noop,abella",
+];
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sdiq-remote-{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// A `repro serve` daemon on an ephemeral localhost port, killed on drop
+/// so a failing test never leaks processes.
+struct Worker {
+    child: Child,
+    addr: String,
+}
+
+impl Worker {
+    /// Spawns a daemon with the given extra serve flags and blocks until
+    /// it prints its bound address (`LISTENING <addr>`, the machine-
+    /// readable first stdout line).
+    fn spawn(extra: &[&str]) -> Worker {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_repro"))
+            .args(["serve", "--listen", "127.0.0.1:0"])
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn repro serve");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("read LISTENING line");
+        let addr = line
+            .trim()
+            .strip_prefix("LISTENING ")
+            .unwrap_or_else(|| panic!("daemon announced `{line}`, expected LISTENING <addr>"))
+            .to_string();
+        Worker { child, addr }
+    }
+}
+
+impl Drop for Worker {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Runs `repro` with the tiny axes plus `args`; returns `(success,
+/// stderr)` — progress and errors both go to stderr.
+fn repro_raw(args: &[&str]) -> (bool, String) {
+    let output = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(AXES)
+        .args(args)
+        .output()
+        .expect("spawn repro");
+    (
+        output.status.success(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+    )
+}
+
+fn repro(args: &[&str]) -> String {
+    let (success, stderr) = repro_raw(args);
+    assert!(success, "repro {args:?} failed:\n{stderr}");
+    stderr
+}
+
+fn read(path: &Path) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
+}
+
+#[test]
+fn remote_suite_is_byte_identical_to_a_serial_save() {
+    let dir = scratch_dir("identity");
+    let serial = dir.join("serial.json");
+    let remote = dir.join("remote.json");
+
+    repro(&["--summary", "--save", serial.to_str().unwrap()]);
+    // Unequal capacities on purpose: the capacity-weighted batching must
+    // not affect a single byte of the result.
+    let fast = Worker::spawn(&["--jobs", "2"]);
+    let slow = Worker::spawn(&["--jobs", "1"]);
+    let log = repro(&[
+        "--summary",
+        "--workers",
+        &format!("{},{}", fast.addr, slow.addr),
+        "--save",
+        remote.to_str().unwrap(),
+    ]);
+    assert!(
+        log.contains("distributing 6 of 6 cells across 2 worker(s)"),
+        "coordinator announces the distribution:\n{log}"
+    );
+    assert_eq!(
+        read(&serial),
+        read(&remote),
+        "remote suite must be byte-identical to serial"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn worker_death_mid_suite_requeues_cells_onto_the_survivor() {
+    let dir = scratch_dir("failover");
+    let serial = dir.join("serial.json");
+    let remote = dir.join("remote.json");
+
+    repro(&["--summary", "--save", serial.to_str().unwrap()]);
+    // The doomed worker delivers two cells, then aborts in place of its
+    // third — the wire-visible behaviour of a machine dying mid-cell.
+    let doomed = Worker::spawn(&["--jobs", "1", "--fail-after", "2"]);
+    let survivor = Worker::spawn(&["--jobs", "1"]);
+    let log = repro(&[
+        "--summary",
+        "--workers",
+        &format!("{},{}", doomed.addr, survivor.addr),
+        "--save",
+        remote.to_str().unwrap(),
+    ]);
+    assert!(
+        log.contains("re-queueing"),
+        "the dead worker's cells are re-queued:\n{log}"
+    );
+    assert_eq!(
+        read(&serial),
+        read(&remote),
+        "suite after failover must still be byte-identical to serial"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn drained_pools_and_unreachable_workers_are_clear_errors() {
+    let dir = scratch_dir("drained");
+    let save = dir.join("never-written.json");
+
+    // The lone worker dies before delivering anything: after its death
+    // the pool is empty and the run must fail — loudly, not partially.
+    let doomed = Worker::spawn(&["--jobs", "1", "--fail-after", "0"]);
+    let (success, log) = repro_raw(&[
+        "--summary",
+        "--workers",
+        &doomed.addr,
+        "--save",
+        save.to_str().unwrap(),
+    ]);
+    assert!(!success, "a drained pool must fail the run");
+    assert!(
+        log.contains("pool drained"),
+        "error names the drained pool:\n{log}"
+    );
+    assert!(!save.exists(), "no partial save file is left behind");
+
+    // An address nobody listens on: the dial fails, the pool is empty
+    // from the start.
+    let (success, log) = repro_raw(&["--summary", "--workers", "127.0.0.1:9"]);
+    assert!(!success);
+    assert!(log.contains("dial failed"), "{log}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn remote_coordinator_composes_with_checkpoint_resume() {
+    let dir = scratch_dir("ckpt");
+    let serial = dir.join("serial.json");
+    let resumed = dir.join("resumed.json");
+    let checkpoint = dir.join("run.ckpt");
+
+    repro(&["--summary", "--save", serial.to_str().unwrap()]);
+
+    // First attempt: a lone worker that dies after two cells. The run
+    // fails (pool drained), but the two streamed cells are already
+    // durable in the coordinator's checkpoint.
+    let doomed = Worker::spawn(&["--jobs", "1", "--fail-after", "2"]);
+    let (success, log) = repro_raw(&[
+        "--summary",
+        "--workers",
+        &doomed.addr,
+        "--checkpoint",
+        checkpoint.to_str().unwrap(),
+    ]);
+    assert!(!success, "the drained first attempt fails:\n{log}");
+    assert_eq!(
+        read(&checkpoint).lines().count(),
+        3,
+        "header + the two cells that streamed back before the death"
+    );
+    drop(doomed);
+
+    // Resume with a healthy worker: the checkpoint seeds the run, only
+    // the four missing cells are distributed, and the save is still
+    // byte-identical to serial.
+    let healthy = Worker::spawn(&["--jobs", "1"]);
+    let log = repro(&[
+        "--summary",
+        "--workers",
+        &healthy.addr,
+        "--checkpoint",
+        checkpoint.to_str().unwrap(),
+        "--save",
+        resumed.to_str().unwrap(),
+    ]);
+    assert!(log.contains("loaded 2 cells"), "checkpoint seeds:\n{log}");
+    assert!(
+        log.contains("distributing 4 of 6"),
+        "only missing cells travel:\n{log}"
+    );
+    assert_eq!(
+        read(&serial),
+        read(&resumed),
+        "resumed remote suite must be byte-identical to serial"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_rejects_zero_jobs_and_contradictory_distribution_flags() {
+    let run = |args: &[&str]| {
+        let output = Command::new(env!("CARGO_BIN_EXE_repro"))
+            .args(args)
+            .output()
+            .expect("spawn repro");
+        (
+            output.status.code(),
+            String::from_utf8_lossy(&output.stderr).into_owned(),
+        )
+    };
+
+    // --jobs 0 is never what the user asked for (and would divide away
+    // to nothing in worker-budget arithmetic): exit 2, one clear line.
+    let (code, stderr) = run(&["--summary", "--jobs", "0"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("--jobs wants a positive"), "{stderr}");
+    let (code, stderr) = run(&["serve", "--jobs", "0"]);
+    assert_eq!(code, Some(2), "serve applies the same rule");
+    assert!(stderr.contains("--jobs wants a positive"), "{stderr}");
+
+    // One process cannot be a remote coordinator and a shard worker (or
+    // a subprocess coordinator) at once.
+    let (code, stderr) = run(&[
+        "--workers",
+        "127.0.0.1:9",
+        "--shard",
+        "1/2",
+        "--save",
+        "/dev/null",
+    ]);
+    assert_eq!(code, Some(2));
+    assert!(
+        stderr.contains("--workers") && stderr.contains("--shard"),
+        "{stderr}"
+    );
+    let (code, stderr) = run(&["--workers", "127.0.0.1:9", "--shards", "2"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("mutually exclusive"), "{stderr}");
+
+    // An empty worker list is rejected before any run starts.
+    let (code, stderr) = run(&["--workers", ","]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("--workers wants"), "{stderr}");
+}

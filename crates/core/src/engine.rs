@@ -23,12 +23,17 @@
 //! The same cell space shards across processes: [`shard_of`] assigns every
 //! cell key to one of `N` shards by a stable fingerprint, [`Matrix::shard`]
 //! restricts a matrix to exactly its shard's cells, and [`Backend`] chooses
-//! between the in-process pool and a coordinator that spawns one worker
-//! subprocess per shard and merges their partial cell maps — with the same
-//! hard guarantee: the merged sweep is bit-identical to a serial run.
-//! Completed cells can additionally stream into a [`CellSink`] (the
+//! between the in-process pool, a coordinator that spawns one worker
+//! subprocess per shard, and a coordinator that distributes cells over
+//! networked worker daemons ([`Backend::Remote`]; the TCP transport and
+//! fault-tolerant scheduler live in the `sdiq-remote` crate, wired in via
+//! [`RemoteSpec::launch`] so this crate stays transport-free) — all with
+//! the same hard guarantee: the merged sweep is bit-identical to a serial
+//! run. Completed cells can additionally stream into a [`CellSink`] (the
 //! engine's crash-resume hook: [`crate::persist::CheckpointWriter`] appends
-//! each one to disk the moment it exists).
+//! each one to disk the moment it exists). A [`MatrixSpec`] is the portable
+//! matrix description distribution backends ship to processes that never
+//! saw the coordinator's command line.
 
 use crate::cache::{ArtifactCache, CompileKey, ProgramKey};
 use crate::runner::{Experiment, RunReport, Suite};
@@ -177,6 +182,127 @@ impl Sweep {
         );
         self.points.pop().expect("one point").1
     }
+}
+
+/// A self-contained, serialisable description of a matrix: everything a
+/// process that did **not** parse this run's command line needs to rebuild
+/// the identical cell space (experiment scale, sweep axes, benchmark and
+/// technique names).
+///
+/// This is the portable twin of [`SubprocessSpec::worker_args`]: the
+/// subprocess backend re-ships the coordinator's CLI flags, while the
+/// remote backend ships a `MatrixSpec` inside its `RunCells` frame (see
+/// `sdiq-remote`) so a worker daemon on another machine rebuilds the same
+/// matrix. Both the coordinator and the worker derive their [`Matrix`]
+/// from the same spec via [`MatrixSpec::matrix`], so they cannot drift.
+///
+/// The parts of an [`Experiment`] that are not spelled out here (energy
+/// model, instruction budget) are pinned to [`Experiment::paper`]; the
+/// per-cell key fingerprint covers them, so any future divergence shows up
+/// as a key mismatch, never as a silently different result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixSpec {
+    /// Workload scale ([`Experiment::scale`]).
+    pub scale: f64,
+    /// Sweep axes in declaration order: `(axis, values)` with axis one of
+    /// `iq`, `bank`, `scale` (the `repro --sweep` grammar).
+    pub sweeps: Vec<(String, Vec<f64>)>,
+    /// Benchmark names ([`Benchmark::name`]) of the benchmark axis.
+    pub benchmarks: Vec<String>,
+    /// Technique names ([`Technique::name`]) of the technique axis.
+    pub techniques: Vec<String>,
+}
+
+impl MatrixSpec {
+    /// The experiment this spec describes: the paper's machine at the
+    /// spec's workload scale.
+    pub fn experiment(&self) -> Experiment {
+        Experiment {
+            scale: self.scale,
+            ..Experiment::paper()
+        }
+    }
+
+    /// Builds the matrix this spec describes over `experiment` (which must
+    /// come from [`MatrixSpec::experiment`] — split only because [`Matrix`]
+    /// borrows it). Returns an error for unknown benchmark, technique or
+    /// axis names and for out-of-range sweep values: a spec arriving over
+    /// the wire is input, not an invariant, so nothing here panics.
+    pub fn matrix<'a>(&self, experiment: &'a Experiment) -> Result<Matrix<'a>, String> {
+        let benchmarks = self
+            .benchmarks
+            .iter()
+            .map(|name| {
+                Benchmark::from_name(name).ok_or_else(|| format!("unknown benchmark `{name}`"))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let techniques = self
+            .techniques
+            .iter()
+            .map(|name| {
+                Technique::from_name(name).ok_or_else(|| format!("unknown technique `{name}`"))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let mut matrix = Matrix::new(experiment)
+            .benchmarks(&benchmarks)
+            .techniques(&techniques);
+        for (axis, values) in &self.sweeps {
+            matrix = match axis.as_str() {
+                "iq" | "bank" => {
+                    // Machine geometry: zero would panic in `banks()`,
+                    // fractions would silently truncate, huge values OOM
+                    // the simulator (the CLI enforces the same bound).
+                    const MAX_GEOMETRY: f64 = 65536.0;
+                    let entries = values
+                        .iter()
+                        .map(|&v| {
+                            if v >= 1.0 && v.fract() == 0.0 && v <= MAX_GEOMETRY {
+                                Ok(v as usize)
+                            } else {
+                                Err(format!(
+                                    "sweep axis `{axis}` wants integers in 1..={MAX_GEOMETRY}, got `{v}`"
+                                ))
+                            }
+                        })
+                        .collect::<Result<Vec<_>, String>>()?;
+                    if axis == "iq" {
+                        matrix.sweep_iq_entries(&entries)
+                    } else {
+                        matrix.sweep_iq_bank_sizes(&entries)
+                    }
+                }
+                "scale" => {
+                    for &v in values {
+                        if !(v > 0.0 && v.is_finite()) {
+                            return Err(format!(
+                                "sweep axis `scale` wants positive values, got `{v}`"
+                            ));
+                        }
+                    }
+                    matrix.sweep_scales(values)
+                }
+                other => return Err(format!("unknown sweep axis `{other}` (iq, bank, scale)")),
+            };
+        }
+        Ok(matrix)
+    }
+}
+
+/// A stable fingerprint of a matrix's whole cell-key space (order
+/// independent). The remote coordinator sends it with every `RunCells`
+/// frame and the worker daemon recomputes it from the shipped
+/// [`MatrixSpec`]: a mismatch means the two processes disagree about what
+/// the matrix *is* (version skew, a hand-edited spec) and is rejected
+/// before any cell runs.
+pub fn matrix_fingerprint(keys: &[String]) -> u64 {
+    let mut sorted: Vec<&String> = keys.iter().collect();
+    sorted.sort();
+    let mut hasher = Fnv1a::default();
+    for key in sorted {
+        hasher.write(key.as_bytes());
+        hasher.write_u8(0); // unambiguous key boundary
+    }
+    hasher.finish()
 }
 
 /// One cell of the flattened cross product (see [`Matrix`]).
@@ -405,21 +531,123 @@ impl<'a> Matrix<'a> {
     /// fails the integrity check (wrong technique/workload under the key)
     /// and is therefore recomputed.
     pub fn missing_cells(&self, seed: &HashMap<String, RunReport>) -> usize {
+        self.missing_cell_keys(seed).len()
+    }
+
+    /// The keys of exactly the cells [`Matrix::run_with`] would compute
+    /// given `seed`, in canonical cell order (the same predicate as
+    /// [`Matrix::missing_cells`]). This is the work list a distribution
+    /// backend schedules: seeded cells are already durable and never leave
+    /// the coordinator.
+    pub fn missing_cell_keys(&self, seed: &HashMap<String, RunReport>) -> Vec<String> {
         let variants = self.effective_variants();
         self.cells(&variants)
             .iter()
-            .filter(|cell| {
+            .filter_map(|cell| {
                 let key = cell_key(
                     self.experiment,
                     &variants[cell.variant],
                     cell.benchmark,
                     cell.technique,
                 );
-                !seed
+                let seeded = seed
                     .get(&key)
-                    .is_some_and(|report| seed_matches(report, cell.benchmark, cell.technique))
+                    .is_some_and(|report| seed_matches(report, cell.benchmark, cell.technique));
+                (!seeded).then_some(key)
             })
-            .count()
+            .collect()
+    }
+
+    /// Runs exactly the cells named by `requested` (a subset of this
+    /// matrix's key space) on the worker pool, streaming each computed
+    /// report into `sink` as it lands, and returns the key-addressed
+    /// results. A requested key this matrix does not own is an error —
+    /// it means the requester built a different matrix (the remote worker
+    /// daemon's defence against version skew, mirroring the subprocess
+    /// coordinator's foreign-key check from the other side).
+    pub fn run_cells_by_key(
+        &self,
+        cache: &ArtifactCache,
+        requested: &std::collections::HashSet<String>,
+        sink: Option<&dyn CellSink>,
+    ) -> Result<HashMap<String, RunReport>, String> {
+        let variants = self.effective_variants();
+        let keyed: Vec<(String, Cell)> = self
+            .cells(&variants)
+            .into_iter()
+            .map(|cell| {
+                (
+                    cell_key(
+                        self.experiment,
+                        &variants[cell.variant],
+                        cell.benchmark,
+                        cell.technique,
+                    ),
+                    cell,
+                )
+            })
+            .collect();
+        {
+            let own: std::collections::HashSet<&str> =
+                keyed.iter().map(|(key, _)| key.as_str()).collect();
+            let mut foreign: Vec<&str> = requested
+                .iter()
+                .map(String::as_str)
+                .filter(|key| !own.contains(key))
+                .collect();
+            if !foreign.is_empty() {
+                foreign.sort();
+                return Err(format!(
+                    "{} requested cell key(s) not in this matrix (configurations \
+                     disagree), first: `{}`",
+                    foreign.len(),
+                    foreign[0]
+                ));
+            }
+        }
+        let todo: Vec<&(String, Cell)> = keyed
+            .iter()
+            .filter(|(key, _)| requested.contains(key))
+            .collect();
+
+        let results: Vec<OnceLock<RunReport>> = todo.iter().map(|_| OnceLock::new()).collect();
+        let cursor = AtomicUsize::new(0);
+        let jobs = self.effective_jobs(todo.len());
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some((key, cell)) = todo.get(index).map(|entry| (&entry.0, &entry.1))
+                    else {
+                        break;
+                    };
+                    let report = run_cell(
+                        self.experiment,
+                        cache,
+                        &variants[cell.variant],
+                        cell.benchmark,
+                        cell.technique,
+                    );
+                    if let Some(sink) = sink {
+                        sink.cell_complete(key, &report);
+                    }
+                    results[index]
+                        .set(report)
+                        .expect("each cell is claimed by exactly one worker");
+                });
+            }
+        });
+        Ok(todo
+            .into_iter()
+            .zip(results)
+            .map(|((key, _), slot)| {
+                (
+                    key.clone(),
+                    slot.into_inner()
+                        .expect("worker pool filled every requested cell"),
+                )
+            })
+            .collect())
     }
 
     /// Runs the matrix on a private artifact cache with no seeded cells.
@@ -550,11 +778,17 @@ impl<'a> Matrix<'a> {
     ///   [`SubprocessSpec`]), waits for all of them, loads their partial
     ///   cell maps and assembles the merged sweep, which is bit-identical
     ///   to a serial run because every cell is a pure function of its key.
+    /// * [`Backend::Remote`] distributes the missing cells over networked
+    ///   worker daemons through the [`RemoteSpec::launch`] hook (the TCP
+    ///   transport and scheduler live in the `sdiq-remote` crate; the
+    ///   engine stays transport-free). Same hard guarantee: the assembled
+    ///   sweep is bit-identical to a serial run.
     ///
     /// Either way, `sink` observes every cell that was not already in
     /// `seed`: computed locally for the in-process backend, returned by a
-    /// worker for the subprocess one (delivered as each worker finishes,
-    /// so a killed coordinator keeps its completed shards).
+    /// worker for the distributed ones (delivered as each shard lands /
+    /// each remote cell streams in, so a killed coordinator keeps what
+    /// finished).
     pub fn run_on(
         &self,
         backend: &Backend,
@@ -568,6 +802,7 @@ impl<'a> Matrix<'a> {
                 Ok(matrix.run_with_sink(&ArtifactCache::new(), seed, sink))
             }
             Backend::Subprocess(spec) => self.run_subprocess(spec, seed, sink),
+            Backend::Remote(spec) => (spec.launch)(self, spec, seed, sink),
         }
     }
 
@@ -773,6 +1008,43 @@ pub enum Backend {
     /// A coordinator spawning one worker subprocess per shard and merging
     /// their partial suites.
     Subprocess(SubprocessSpec),
+    /// A coordinator distributing cells over networked worker daemons
+    /// (`repro serve` instances) and streaming their results back — the
+    /// scheduler and TCP transport live in the `sdiq-remote` crate.
+    Remote(RemoteSpec),
+}
+
+/// The remote backend's launch hook: given the coordinator's matrix, the
+/// spec, the seed and the streaming sink, distribute the missing cells and
+/// assemble the sweep. `sdiq-remote` provides the implementation
+/// (`sdiq_remote::backend` fills this in); keeping it a plain function
+/// pointer keeps `sdiq-core` free of any transport code while letting
+/// [`Matrix::run_on`] treat all backends uniformly.
+pub type RemoteLaunch = fn(
+    &Matrix<'_>,
+    &RemoteSpec,
+    &HashMap<String, RunReport>,
+    Option<&dyn CellSink>,
+) -> Result<Sweep, BackendError>;
+
+/// The remote backend: which worker daemons to dial and how to describe
+/// this matrix to them (see `sdiq-remote` for the wire protocol and the
+/// fault-tolerant scheduler behind [`RemoteSpec::launch`]).
+#[derive(Debug, Clone)]
+pub struct RemoteSpec {
+    /// Worker daemon addresses (`host:port`), one entry per worker.
+    pub workers: Vec<String>,
+    /// The portable matrix description shipped to every worker, so a
+    /// daemon that never saw this run's command line rebuilds the
+    /// identical cell space. Must describe the same matrix `run_on` is
+    /// called on — deriving both from one [`MatrixSpec`] guarantees it.
+    pub spec: MatrixSpec,
+    /// How many times a single cell may be re-queued after worker
+    /// failures before the whole run aborts (guards against a cell that
+    /// kills every worker it lands on).
+    pub retry_budget: usize,
+    /// The scheduler implementation (see [`RemoteLaunch`]).
+    pub launch: RemoteLaunch,
 }
 
 /// The subprocess backend's worker protocol.
@@ -809,15 +1081,17 @@ pub struct SubprocessSpec {
     pub worker_checkpoint_stem: Option<PathBuf>,
 }
 
-/// A failure of the subprocess backend (spawn, worker exit, unreadable or
-/// protocol-violating worker output).
+/// A failure of a distribution backend (worker spawn/dial, worker exit or
+/// death, unreadable or protocol-violating worker output, a drained pool).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BackendError {
     message: String,
 }
 
 impl BackendError {
-    fn new(message: impl Into<String>) -> Self {
+    /// Wraps a backend failure message (public so out-of-crate backends —
+    /// the `sdiq-remote` scheduler — report through the same type).
+    pub fn new(message: impl Into<String>) -> Self {
         BackendError {
             message: message.into(),
         }
@@ -826,7 +1100,7 @@ impl BackendError {
 
 impl fmt::Display for BackendError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "subprocess backend: {}", self.message)
+        write!(f, "matrix backend: {}", self.message)
     }
 }
 

@@ -18,9 +18,10 @@
 //! * [`ArtifactCache`] — content-addressed sharing of built programs and
 //!   compiler-pass outputs across cells (`Arc`-handled, built exactly once
 //!   per key),
-//! * [`Backend`] — where a matrix runs: the in-process pool, or a
+//! * [`Backend`] — where a matrix runs: the in-process pool, a
 //!   coordinator spawning one worker subprocess per [`shard_of`]-assigned
-//!   shard and merging their partial suites (bit-identical to serial),
+//!   shard, or a coordinator streaming cells to networked worker daemons
+//!   (`sdiq-remote`) — all merged bit-identically to a serial run,
 //! * [`persist`] — save/load of matrix cells as JSON keyed by cell cache
 //!   keys, so a reload re-runs only missing cells; plus the append-style
 //!   [`CheckpointWriter`] that makes runs crash-resumable (each completed
@@ -51,8 +52,8 @@ pub mod technique;
 
 pub use cache::{ArtifactCache, CompileKey, CompiledArtifact, ProgramKey};
 pub use engine::{
-    cell_key, shard_of, Backend, BackendError, CellSink, ConfigVariant, Matrix, SubprocessSpec,
-    Sweep,
+    cell_key, matrix_fingerprint, shard_of, Backend, BackendError, CellSink, ConfigVariant, Matrix,
+    MatrixSpec, RemoteLaunch, RemoteSpec, SubprocessSpec, Sweep,
 };
 pub use experiments::{
     figure10, figure11, figure12, figure6, figure7, figure8, figure9, overall_processor_savings,

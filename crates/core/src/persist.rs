@@ -29,7 +29,7 @@
 //! rejected). [`load_cells_any`] sniffs the header so `--load` accepts
 //! either format interchangeably.
 
-use crate::engine::CellSink;
+use crate::engine::{CellSink, MatrixSpec};
 use crate::runner::RunReport;
 use crate::technique::Technique;
 use sdiq_compiler::{CompileStats, ProcedureStats};
@@ -53,7 +53,10 @@ pub struct PersistError {
 }
 
 impl PersistError {
-    fn new(message: impl Into<String>) -> Self {
+    /// Wraps a codec failure message (public so protocol layers built on
+    /// the shared [`Json`] model — the `sdiq-remote` frames — report
+    /// through the same type).
+    pub fn new(message: impl Into<String>) -> Self {
         PersistError {
             message: message.into(),
         }
@@ -74,26 +77,43 @@ impl std::error::Error for PersistError {}
 
 /// A parsed JSON value. Numbers keep their literal token so integer and
 /// float round trips are exact (see the module docs).
+///
+/// Public because it is the workspace's one JSON codec: the save/checkpoint
+/// files here and the `sdiq-remote` wire frames are all built from and
+/// parsed into this model, so every layer round-trips numbers identically.
 #[derive(Debug, Clone, PartialEq)]
-enum Json {
+pub enum Json {
+    /// `null`.
     Null,
+    /// `true` / `false`.
     Bool(bool),
+    /// A number, kept as its literal token text.
     Num(String),
+    /// A string.
     Str(String),
+    /// An array.
     Arr(Vec<Json>),
+    /// An object as an ordered field list (order is preserved on render).
     Obj(Vec<(String, Json)>),
 }
 
 impl Json {
-    fn of_u64(v: u64) -> Json {
+    /// A number value holding `v`'s exact decimal text.
+    pub fn of_u64(v: u64) -> Json {
         Json::Num(v.to_string())
     }
 
-    fn of_usize(v: usize) -> Json {
+    /// A number value holding `v`'s exact decimal text.
+    pub fn of_usize(v: usize) -> Json {
         Json::Num(v.to_string())
     }
 
-    fn of_f64(v: f64) -> Json {
+    /// A number value holding `v`'s shortest round-trip text.
+    ///
+    /// # Panics
+    ///
+    /// If `v` is not finite (JSON has no token for it).
+    pub fn of_f64(v: f64) -> Json {
         // Fail loudly at save time: a bare `NaN`/`inf` token would write a
         // file that every later load rejects — the corruption would be
         // detected at the wrong end. The simulator and power model never
@@ -105,14 +125,16 @@ impl Json {
         Json::Num(format!("{v:?}"))
     }
 
-    fn obj(&self) -> Result<&[(String, Json)], PersistError> {
+    /// The object's field list, or an error for any other value.
+    pub fn obj(&self) -> Result<&[(String, Json)], PersistError> {
         match self {
             Json::Obj(fields) => Ok(fields),
             other => Err(PersistError::new(format!("expected object, got {other:?}"))),
         }
     }
 
-    fn get(&self, key: &str) -> Result<&Json, PersistError> {
+    /// Field `key` of this object (an error if absent or not an object).
+    pub fn get(&self, key: &str) -> Result<&Json, PersistError> {
         self.obj()?
             .iter()
             .find(|(k, _)| k == key)
@@ -120,7 +142,8 @@ impl Json {
             .ok_or_else(|| PersistError::new(format!("missing field `{key}`")))
     }
 
-    fn u64(&self) -> Result<u64, PersistError> {
+    /// This number as a `u64`.
+    pub fn u64(&self) -> Result<u64, PersistError> {
         match self {
             Json::Num(s) => s
                 .parse::<u64>()
@@ -129,11 +152,13 @@ impl Json {
         }
     }
 
-    fn usize(&self) -> Result<usize, PersistError> {
+    /// This number as a `usize`.
+    pub fn usize(&self) -> Result<usize, PersistError> {
         self.u64().map(|v| v as usize)
     }
 
-    fn f64(&self) -> Result<f64, PersistError> {
+    /// This number as an `f64` (exact for tokens written by [`Json::of_f64`]).
+    pub fn f64(&self) -> Result<f64, PersistError> {
         match self {
             Json::Num(s) => s
                 .parse::<f64>()
@@ -142,21 +167,24 @@ impl Json {
         }
     }
 
-    fn str(&self) -> Result<&str, PersistError> {
+    /// This value as a string slice.
+    pub fn str(&self) -> Result<&str, PersistError> {
         match self {
             Json::Str(s) => Ok(s),
             other => Err(PersistError::new(format!("expected string, got {other:?}"))),
         }
     }
 
-    fn arr(&self) -> Result<&[Json], PersistError> {
+    /// This value's array items.
+    pub fn arr(&self) -> Result<&[Json], PersistError> {
         match self {
             Json::Arr(items) => Ok(items),
             other => Err(PersistError::new(format!("expected array, got {other:?}"))),
         }
     }
 
-    fn render(&self, out: &mut String) {
+    /// Renders this value as compact JSON text appended to `out`.
+    pub fn render(&self, out: &mut String) {
         match self {
             Json::Null => out.push_str("null"),
             Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
@@ -396,7 +424,8 @@ impl<'a> Parser<'a> {
     }
 }
 
-fn parse(text: &str) -> Result<Json, PersistError> {
+/// Parses one complete JSON document (trailing content is an error).
+pub fn parse(text: &str) -> Result<Json, PersistError> {
     let mut parser = Parser::new(text);
     let value = parser.value()?;
     parser.skip_ws();
@@ -576,7 +605,10 @@ fn compile_from_json(json: &Json) -> Result<CompileStats, PersistError> {
     })
 }
 
-fn report_to_json(report: &RunReport) -> Json {
+/// Serialises one [`RunReport`] into the shared JSON model (the same
+/// encoding used inside save files, checkpoint lines and remote frames —
+/// numbers round-trip exactly in all three).
+pub fn report_to_json(report: &RunReport) -> Json {
     Json::Obj(vec![
         ("workload".to_string(), Json::Str(report.workload.clone())),
         (
@@ -603,7 +635,8 @@ fn report_to_json(report: &RunReport) -> Json {
     ])
 }
 
-fn report_from_json(json: &Json) -> Result<RunReport, PersistError> {
+/// Parses a [`RunReport`] back out of the shared JSON model.
+pub fn report_from_json(json: &Json) -> Result<RunReport, PersistError> {
     let technique_name = json.get("technique")?.str()?;
     let technique = Technique::from_name(technique_name)
         .ok_or_else(|| PersistError::new(format!("unknown technique `{technique_name}`")))?;
@@ -619,6 +652,74 @@ fn report_from_json(json: &Json) -> Result<RunReport, PersistError> {
         compile,
         adaptive_resizes: json.get("adaptive_resizes")?.u64()?,
         hint_noops_inserted: json.get("hint_noops_inserted")?.usize()?,
+    })
+}
+
+/// Serialises a [`MatrixSpec`] into the shared JSON model (shipped inside
+/// the remote protocol's `RunCells` frame).
+pub fn matrix_spec_to_json(spec: &MatrixSpec) -> Json {
+    Json::Obj(vec![
+        ("scale".to_string(), Json::of_f64(spec.scale)),
+        (
+            "sweeps".to_string(),
+            Json::Arr(
+                spec.sweeps
+                    .iter()
+                    .map(|(axis, values)| {
+                        Json::Obj(vec![
+                            ("axis".to_string(), Json::Str(axis.clone())),
+                            (
+                                "values".to_string(),
+                                Json::Arr(values.iter().map(|&v| Json::of_f64(v)).collect()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "benchmarks".to_string(),
+            Json::Arr(spec.benchmarks.iter().cloned().map(Json::Str).collect()),
+        ),
+        (
+            "techniques".to_string(),
+            Json::Arr(spec.techniques.iter().cloned().map(Json::Str).collect()),
+        ),
+    ])
+}
+
+/// Parses a [`MatrixSpec`] back out of the shared JSON model. Only the
+/// shape is validated here; name resolution and range checks happen in
+/// [`MatrixSpec::matrix`], where a precise error can name the field.
+pub fn matrix_spec_from_json(json: &Json) -> Result<MatrixSpec, PersistError> {
+    let strings = |value: &Json| -> Result<Vec<String>, PersistError> {
+        value
+            .arr()?
+            .iter()
+            .map(|item| item.str().map(str::to_string))
+            .collect()
+    };
+    let sweeps = json
+        .get("sweeps")?
+        .arr()?
+        .iter()
+        .map(|sweep| {
+            Ok((
+                sweep.get("axis")?.str()?.to_string(),
+                sweep
+                    .get("values")?
+                    .arr()?
+                    .iter()
+                    .map(Json::f64)
+                    .collect::<Result<Vec<_>, _>>()?,
+            ))
+        })
+        .collect::<Result<Vec<_>, PersistError>>()?;
+    Ok(MatrixSpec {
+        scale: json.get("scale")?.f64()?,
+        sweeps,
+        benchmarks: strings(json.get("benchmarks")?)?,
+        techniques: strings(json.get("techniques")?)?,
     })
 }
 
@@ -678,18 +779,40 @@ fn checkpoint_header() -> String {
     out
 }
 
+/// Renders one checkpoint cell line (no trailing newline): the
+/// `{"key": …, "report": …}` JSONL record [`CheckpointWriter`] appends.
+/// Public so tests and tooling can synthesise checkpoint files that are
+/// byte-compatible with the writer's.
+pub fn checkpoint_line(key: &str, report: &RunReport) -> String {
+    let mut line = String::new();
+    Json::Obj(vec![
+        ("key".to_string(), Json::Str(key.to_string())),
+        ("report".to_string(), report_to_json(report)),
+    ])
+    .render(&mut line);
+    line
+}
+
 /// Incremental, crash-durable cell persistence: one JSONL line per
-/// completed cell, written and flushed immediately (see the module docs).
+/// completed cell, written and fsynced immediately (see the module docs).
 ///
 /// The writer opens its file in append mode, so resuming a run with the
 /// same checkpoint path keeps extending the same file; the header line is
 /// only written when the file starts empty. It is `Sync` (a mutex
 /// serialises the worker threads' appends) and implements [`CellSink`], so
 /// it plugs straight into [`crate::Matrix::run_with_sink`].
+///
+/// # Durability
+///
+/// Every [`CheckpointWriter::append`] ends in `File::sync_data`, and
+/// creating a fresh checkpoint file fsyncs the parent directory, so an
+/// acked cell survives a *machine* crash (power loss), not just a killed
+/// process — a userspace flush alone leaves the data in the page cache.
 #[derive(Debug)]
 pub struct CheckpointWriter {
     file: Mutex<std::fs::File>,
     path: std::path::PathBuf,
+    synced_appends: std::sync::atomic::AtomicU64,
 }
 
 impl CheckpointWriter {
@@ -704,6 +827,7 @@ impl CheckpointWriter {
     /// poisons every later load of the file.
     pub fn append_to(path: impl AsRef<Path>) -> std::io::Result<Self> {
         let path = path.as_ref().to_path_buf();
+        let created = !path.exists();
         let file = std::fs::OpenOptions::new()
             .create(true)
             .read(true)
@@ -714,11 +838,28 @@ impl CheckpointWriter {
         file.seek(std::io::SeekFrom::End(0))?;
         if file.metadata()?.len() == 0 {
             writeln!(file, "{}", checkpoint_header())?;
-            file.flush()?;
+            file.sync_data()?;
         }
+        // The file's *name* is a directory entry: without a directory
+        // fsync a machine crash can forget the file existed at all, even
+        // though its data blocks were synced. Unix-only — Windows cannot
+        // open a directory with File::open (and NTFS journals the
+        // namespace anyway), so there this would turn creation into an
+        // Access Denied error.
+        #[cfg(unix)]
+        if created {
+            let dir = match path.parent() {
+                Some(parent) if !parent.as_os_str().is_empty() => parent.to_path_buf(),
+                _ => std::path::PathBuf::from("."),
+            };
+            std::fs::File::open(&dir)?.sync_all()?;
+        }
+        #[cfg(not(unix))]
+        let _ = created;
         Ok(CheckpointWriter {
             file: Mutex::new(file),
             path,
+            synced_appends: std::sync::atomic::AtomicU64::new(0),
         })
     }
 
@@ -743,19 +884,26 @@ impl CheckpointWriter {
         Ok(file)
     }
 
-    /// Appends one completed cell and flushes it to the OS, so a kill
-    /// right after this call cannot lose the cell.
+    /// Appends one completed cell and **fsyncs** it (`File::sync_data`), so
+    /// neither a kill nor a machine crash right after this call returns can
+    /// lose the cell.
     pub fn append(&self, key: &str, report: &RunReport) -> std::io::Result<()> {
-        let mut line = String::new();
-        Json::Obj(vec![
-            ("key".to_string(), Json::Str(key.to_string())),
-            ("report".to_string(), report_to_json(report)),
-        ])
-        .render(&mut line);
+        let mut line = checkpoint_line(key, report);
         line.push('\n');
         let mut file = self.file.lock().expect("checkpoint writer poisoned");
         file.write_all(line.as_bytes())?;
-        file.flush()
+        file.sync_data()?;
+        self.synced_appends
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Number of appends that have reached `sync_data` successfully — an
+    /// append is only acked durable once this has ticked (tests pin that
+    /// every append syncs rather than merely flushing to the page cache).
+    pub fn synced_appends(&self) -> u64 {
+        self.synced_appends
+            .load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// The path this writer appends to.
@@ -984,6 +1132,46 @@ mod tests {
         let fresh = std::fs::read_to_string(&path).unwrap();
         assert_eq!(load_checkpoint(&fresh).unwrap().len(), 1);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checkpoint_appends_are_fsynced_durable() {
+        // A flushed-but-unsynced append survives a process kill but not a
+        // machine crash: the cell would still sit in the page cache. Every
+        // `append` must therefore reach `sync_data` before acking — pinned
+        // via the writer's synced-append counter (one tick per successful
+        // sync), on a freshly *created* file so the parent-directory fsync
+        // path runs too.
+        let exp = Experiment {
+            scale: 0.05,
+            ..Experiment::paper()
+        };
+        let report = exp.run(Benchmark::Gzip, Technique::Baseline);
+        let dir = std::env::temp_dir().join(format!("sdiq-ckpt-sync-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("suite.ckpt");
+        let _ = std::fs::remove_file(&path);
+
+        let writer = CheckpointWriter::append_to(&path).unwrap();
+        assert_eq!(writer.synced_appends(), 0, "no cells yet");
+        writer.append("k1", &report).unwrap();
+        writer.append("k2", &report).unwrap();
+        assert_eq!(writer.synced_appends(), 2, "every append syncs");
+        drop(writer);
+
+        // Re-opening an existing file (the resume path, no directory-entry
+        // creation to sync) keeps the same per-append guarantee.
+        let writer = CheckpointWriter::append_to(&path).unwrap();
+        writer.append("k3", &report).unwrap();
+        assert_eq!(writer.synced_appends(), 1);
+        drop(writer);
+        assert_eq!(
+            load_checkpoint(&std::fs::read_to_string(&path).unwrap())
+                .unwrap()
+                .len(),
+            3
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

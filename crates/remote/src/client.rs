@@ -1,0 +1,86 @@
+//! The coordinator's side of one worker connection: dial the daemon,
+//! read its `Hello`, then expose the connection as a
+//! [`WorkerLink`](crate::scheduler::WorkerLink) for the scheduler.
+
+use crate::frame;
+use crate::protocol::Message;
+use crate::scheduler::{WorkerEvent, WorkerLink};
+use sdiq_core::MatrixSpec;
+use std::io::{self, BufReader};
+use std::net::TcpStream;
+
+/// A worker daemon reached over TCP.
+struct TcpWorkerLink {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    capacity: usize,
+    spec: MatrixSpec,
+    fingerprint: u64,
+}
+
+/// Dials a worker daemon at `addr` (`host:port`), performs the `Hello`
+/// handshake, and returns the connected link. This is the production
+/// [`Dialer`](crate::scheduler::Dialer).
+pub fn dial(addr: &str, spec: &MatrixSpec, fingerprint: u64) -> io::Result<Box<dyn WorkerLink>> {
+    let stream = TcpStream::connect(addr)?;
+    // Frames are small and latency-sensitive (each CellDone unblocks
+    // scheduling decisions); never batch them behind Nagle.
+    stream.set_nodelay(true)?;
+    let writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    match frame::read_message(&mut reader)? {
+        Message::Hello { capacity } => Ok(Box::new(TcpWorkerLink {
+            reader,
+            writer,
+            capacity,
+            spec: spec.clone(),
+            fingerprint,
+        })),
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("worker {addr} opened with {other:?} instead of Hello"),
+        )),
+    }
+}
+
+impl WorkerLink for TcpWorkerLink {
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn submit(&mut self, keys: &[String]) -> io::Result<()> {
+        frame::write_message(
+            &mut self.writer,
+            &Message::RunCells {
+                fingerprint: self.fingerprint,
+                spec: self.spec.clone(),
+                keys: keys.to_vec(),
+            },
+        )
+    }
+
+    fn recv(&mut self) -> io::Result<WorkerEvent> {
+        loop {
+            match frame::read_message(&mut self.reader)? {
+                Message::CellDone { key, report } => return Ok(WorkerEvent::Cell(key, report)),
+                Message::Done { .. } => return Ok(WorkerEvent::Done),
+                Message::Heartbeat => continue, // keep-alive, not an event
+                Message::Error { message } => {
+                    // The worker refused or failed the batch; surfacing it
+                    // as an I/O error makes the scheduler re-queue this
+                    // batch and abandon the worker.
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("worker refused the batch: {message}"),
+                    ));
+                }
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unexpected frame from worker: {other:?}"),
+                    ))
+                }
+            }
+        }
+    }
+}

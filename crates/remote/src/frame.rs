@@ -1,0 +1,137 @@
+//! Wire framing: every message travels as a 4-byte **big-endian** length
+//! prefix followed by exactly that many bytes of UTF-8 JSON (the
+//! [`crate::protocol`] grammar). Length prefixes make the stream
+//! self-delimiting without sentinel scanning; big-endian keeps the bytes
+//! architecture-independent, like the engine's cell-key fingerprints.
+
+use crate::protocol::Message;
+use std::io::{self, Read, Write};
+
+/// Hard ceiling on one frame's payload, in bytes. A `RunCells` frame
+/// carries at most a few thousand cell keys and a `CellDone` one report
+/// (a few KiB); anything near this limit is a corrupt or hostile length
+/// prefix, and rejecting it beats a multi-gigabyte allocation.
+pub const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
+
+/// Writes one message as a frame and flushes it, so the peer sees it
+/// immediately (cell streaming is the whole point of the protocol).
+pub fn write_message(writer: &mut impl Write, message: &Message) -> io::Result<()> {
+    let payload = message.render();
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|&len| len <= MAX_FRAME_BYTES)
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "frame payload of {} bytes exceeds the protocol limit",
+                    payload.len()
+                ),
+            )
+        })?;
+    writer.write_all(&len.to_be_bytes())?;
+    writer.write_all(payload.as_bytes())?;
+    writer.flush()
+}
+
+/// Reads one message, or `Ok(None)` on a clean end-of-stream (the peer
+/// closed the connection *between* frames — the normal way a coordinator
+/// releases a worker). EOF in the middle of a frame is an error: it is
+/// the signature of a peer that died mid-send.
+pub fn read_message_opt(reader: &mut impl Read) -> io::Result<Option<Message>> {
+    let mut prefix = [0u8; 4];
+    let mut filled = 0;
+    while filled < prefix.len() {
+        let n = reader.read(&mut prefix[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "peer closed the connection inside a frame length prefix",
+            ));
+        }
+        filled += n;
+    }
+    let len = u32::from_be_bytes(prefix);
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds the protocol limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    reader.read_exact(&mut payload)?;
+    let text = String::from_utf8(payload).map_err(|e| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame is not UTF-8: {e}"),
+        )
+    })?;
+    Message::parse(&text)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad frame: {e}")))
+}
+
+/// [`read_message_opt`] for callers to whom *any* end-of-stream is a
+/// failure (the coordinator mid-batch: a vanished worker must surface as
+/// an error so its cells get re-queued).
+pub fn read_message(reader: &mut impl Read) -> io::Result<Message> {
+    read_message_opt(reader)?
+        .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "peer closed the connection"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_and_eof_positions_are_distinguished() {
+        let mut buffer = Vec::new();
+        write_message(&mut buffer, &Message::Heartbeat).unwrap();
+        write_message(&mut buffer, &Message::Hello { capacity: 7 }).unwrap();
+
+        let mut reader = &buffer[..];
+        assert_eq!(read_message(&mut reader).unwrap(), Message::Heartbeat);
+        assert_eq!(
+            read_message(&mut reader).unwrap(),
+            Message::Hello { capacity: 7 }
+        );
+        // Clean EOF at a frame boundary: Ok(None) for the daemon...
+        assert!(read_message_opt(&mut reader).unwrap().is_none());
+        // ...and an error for the mid-batch coordinator.
+        let mut reader = &buffer[..];
+        read_message(&mut reader).unwrap();
+        read_message(&mut reader).unwrap();
+        assert_eq!(
+            read_message(&mut reader).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+
+        // EOF *inside* a frame is always an error, wherever it lands.
+        for cut in 1..buffer.len() {
+            let mut torn = &buffer[..cut];
+            let mut result = Ok(Some(Message::Heartbeat));
+            while matches!(result, Ok(Some(_))) {
+                result = read_message_opt(&mut torn);
+            }
+            match cut {
+                // First frame (heartbeat) is 4 + 20 bytes; any cut before a
+                // boundary must error, a cut exactly on one must not.
+                c if c == 4 + 20 => assert!(matches!(result, Ok(None))),
+                _ => assert!(result.is_err(), "cut at {cut} should tear a frame"),
+            }
+        }
+    }
+
+    #[test]
+    fn hostile_length_prefixes_are_rejected_without_allocating() {
+        let mut buffer = Vec::new();
+        buffer.extend_from_slice(&u32::MAX.to_be_bytes());
+        buffer.extend_from_slice(b"junk");
+        let error = read_message(&mut &buffer[..]).unwrap_err();
+        assert_eq!(error.kind(), io::ErrorKind::InvalidData);
+        assert!(error.to_string().contains("exceeds the protocol limit"));
+    }
+}

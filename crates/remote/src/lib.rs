@@ -1,0 +1,82 @@
+//! # sdiq-remote — networked cell execution for the experiment matrix
+//!
+//! The engine's distribution story so far stops at one machine: the
+//! subprocess backend spawns `repro --shard k/n` workers next to the
+//! coordinator. This crate is the next scaling step the ROADMAP asked
+//! for — "something that runs the worker command on another machine and
+//! ships the file back" — except nothing is shipped as files: cells
+//! stream over TCP the moment they finish, straight into the engine's
+//! existing [`CellSink`](sdiq_core::CellSink) / checkpoint path.
+//!
+//! Std-only by construction (`std::net` is the whole transport): the
+//! workspace builds offline against vendored shims, and this crate adds
+//! no dependency beyond `sdiq-core` itself.
+//!
+//! ## The pieces
+//!
+//! * [`frame`] — the wire framing: 4-byte big-endian length prefix +
+//!   UTF-8 JSON payload.
+//! * [`protocol`] — the message grammar (`Hello`, `RunCells`, `CellDone`,
+//!   `Heartbeat`, `Done`, `Error`) and its codec over the same JSON model
+//!   save files use, so a report's numbers round-trip bit-identically
+//!   over the network.
+//! * [`server`] — the worker daemon behind `repro serve`: accept a
+//!   coordinator, advertise capacity, compute requested cells on the
+//!   in-process engine, stream each one back.
+//! * [`client`] — the coordinator side of one connection: dial, read the
+//!   `Hello`, submit batches, receive events.
+//! * [`scheduler`] — the fault-tolerant coordinator loop: a shared work
+//!   queue of missing cell keys, one driver thread per worker, batches
+//!   sized by each worker's advertised capacity, re-queueing of a dead
+//!   worker's in-flight cells onto survivors under a retry budget, and a
+//!   clear [`BackendError`](sdiq_core::BackendError) when the pool
+//!   drains.
+//!
+//! ## Wiring into the engine
+//!
+//! `sdiq-core` owns the [`Backend::Remote`](sdiq_core::Backend) variant
+//! but no transport: its [`RemoteSpec::launch`](sdiq_core::RemoteSpec)
+//! hook is a plain function pointer this crate fills in. [`backend`]
+//! builds a ready-to-run `Backend::Remote`; everything else about the
+//! run (seeding from `--load`/`--checkpoint` files, streaming into a
+//! [`CheckpointWriter`](sdiq_core::CheckpointWriter), `--save`) is the
+//! engine's existing machinery, which is how the remote path inherits
+//! the hard guarantee: **the assembled suite is byte-for-byte identical
+//! to a serial run**, worker deaths included.
+
+pub mod client;
+pub mod frame;
+pub mod protocol;
+pub mod scheduler;
+pub mod server;
+
+use sdiq_core::{Backend, MatrixSpec, RemoteSpec};
+
+/// Default number of times one cell may be re-queued after worker
+/// failures before the run aborts (a cell that kills three workers in a
+/// row is a poison cell, not bad luck).
+pub const DEFAULT_RETRY_BUDGET: usize = 3;
+
+/// A ready-to-run remote backend over the TCP transport: dial `workers`,
+/// describe the matrix to them as `spec`, tolerate up to `retry_budget`
+/// re-queues per cell. Pass the result to
+/// [`Matrix::run_on`](sdiq_core::Matrix::run_on).
+pub fn backend(workers: Vec<String>, spec: MatrixSpec, retry_budget: usize) -> Backend {
+    Backend::Remote(RemoteSpec {
+        workers,
+        spec,
+        retry_budget,
+        launch,
+    })
+}
+
+/// The [`sdiq_core::RemoteLaunch`] implementation: the generic scheduler
+/// over the TCP dialer.
+fn launch(
+    matrix: &sdiq_core::Matrix<'_>,
+    spec: &RemoteSpec,
+    seed: &std::collections::HashMap<String, sdiq_core::RunReport>,
+    sink: Option<&dyn sdiq_core::CellSink>,
+) -> Result<sdiq_core::Sweep, sdiq_core::BackendError> {
+    scheduler::run(matrix, spec, seed, sink, client::dial)
+}

@@ -1,0 +1,225 @@
+//! The message grammar of the remote cell-execution protocol.
+//!
+//! One coordinator connection to one worker daemon speaks, in order:
+//!
+//! ```text
+//! worker → coordinator   Hello{capacity}            once, on accept
+//! coordinator → worker   RunCells{fingerprint, spec, keys}     per batch
+//! worker → coordinator   Heartbeat                  keep-alive, any time
+//! worker → coordinator   CellDone{key, report}      per finished cell
+//! worker → coordinator   Done{computed}             batch complete
+//! worker → coordinator   Error{message}             instead of Done
+//! (coordinator closes the connection when the work queue is empty)
+//! ```
+//!
+//! Messages are JSON objects tagged by a `type` field, rendered and
+//! parsed through `sdiq_core::persist`'s exact-round-trip JSON model —
+//! the same codec save files and checkpoints use — so a report that
+//! crosses the wire is bit-identical to one computed locally, which is
+//! what makes the remote suite byte-for-byte equal to a serial `--save`.
+//!
+//! `Heartbeat` frames may appear anywhere in the worker's stream (the
+//! daemon emits one as a batch ack and periodically during long cells);
+//! receivers skip them. Unknown `type` tags are an error, not a skip:
+//! silently dropping a frame a newer peer considered important is how
+//! split-version fleets corrupt results.
+
+use sdiq_core::persist::{
+    matrix_spec_from_json, matrix_spec_to_json, parse, report_from_json, report_to_json, Json,
+    PersistError,
+};
+use sdiq_core::{MatrixSpec, RunReport};
+
+/// One protocol message (see the module docs for the grammar).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Worker → coordinator greeting: how many cells the daemon runs in
+    /// parallel (its `--jobs`). The scheduler sizes this worker's batches
+    /// to exactly this number.
+    Hello {
+        /// Advertised parallel capacity (≥ 1).
+        capacity: usize,
+    },
+    /// Coordinator → worker: compute these cells of the matrix `spec`
+    /// describes. `fingerprint` is [`sdiq_core::matrix_fingerprint`] over
+    /// the coordinator's whole cell-key space; the worker recomputes it
+    /// from `spec` and refuses on mismatch (version skew).
+    RunCells {
+        /// Fingerprint of the full cell-key space.
+        fingerprint: u64,
+        /// Portable description of the matrix.
+        spec: MatrixSpec,
+        /// The cell keys to compute (a subset of the matrix's key space).
+        keys: Vec<String>,
+    },
+    /// Worker → coordinator: one finished cell, streamed the moment it
+    /// exists (the coordinator feeds it straight into its `CellSink`).
+    CellDone {
+        /// The cell's cache key.
+        key: String,
+        /// The computed report (boxed: it dwarfs every other variant).
+        report: Box<RunReport>,
+    },
+    /// Keep-alive; receivers skip it.
+    Heartbeat,
+    /// Worker → coordinator: the current batch is fully delivered.
+    Done {
+        /// Number of cells the worker computed for this batch.
+        computed: usize,
+    },
+    /// Worker → coordinator: the batch failed (bad spec, fingerprint
+    /// mismatch, foreign keys). The coordinator abandons this worker.
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+impl Message {
+    /// Serialises this message into the shared JSON model.
+    pub fn to_json(&self) -> Json {
+        let tagged = |tag: &str, mut fields: Vec<(String, Json)>| {
+            fields.insert(0, ("type".to_string(), Json::Str(tag.to_string())));
+            Json::Obj(fields)
+        };
+        match self {
+            Message::Hello { capacity } => tagged(
+                "hello",
+                vec![("capacity".to_string(), Json::of_usize(*capacity))],
+            ),
+            Message::RunCells {
+                fingerprint,
+                spec,
+                keys,
+            } => tagged(
+                "run_cells",
+                vec![
+                    ("fingerprint".to_string(), Json::of_u64(*fingerprint)),
+                    ("spec".to_string(), matrix_spec_to_json(spec)),
+                    (
+                        "keys".to_string(),
+                        Json::Arr(keys.iter().cloned().map(Json::Str).collect()),
+                    ),
+                ],
+            ),
+            Message::CellDone { key, report } => tagged(
+                "cell_done",
+                vec![
+                    ("key".to_string(), Json::Str(key.clone())),
+                    ("report".to_string(), report_to_json(report)),
+                ],
+            ),
+            Message::Heartbeat => tagged("heartbeat", Vec::new()),
+            Message::Done { computed } => tagged(
+                "done",
+                vec![("computed".to_string(), Json::of_usize(*computed))],
+            ),
+            Message::Error { message } => tagged(
+                "error",
+                vec![("message".to_string(), Json::Str(message.clone()))],
+            ),
+        }
+    }
+
+    /// Parses a message out of the shared JSON model.
+    pub fn from_json(json: &Json) -> Result<Message, PersistError> {
+        let tag = json.get("type")?.str()?;
+        match tag {
+            "hello" => Ok(Message::Hello {
+                capacity: json.get("capacity")?.usize()?,
+            }),
+            "run_cells" => Ok(Message::RunCells {
+                fingerprint: json.get("fingerprint")?.u64()?,
+                spec: matrix_spec_from_json(json.get("spec")?)?,
+                keys: json
+                    .get("keys")?
+                    .arr()?
+                    .iter()
+                    .map(|key| key.str().map(str::to_string))
+                    .collect::<Result<Vec<_>, _>>()?,
+            }),
+            "cell_done" => Ok(Message::CellDone {
+                key: json.get("key")?.str()?.to_string(),
+                report: Box::new(report_from_json(json.get("report")?)?),
+            }),
+            "heartbeat" => Ok(Message::Heartbeat),
+            "done" => Ok(Message::Done {
+                computed: json.get("computed")?.usize()?,
+            }),
+            "error" => Ok(Message::Error {
+                message: json.get("message")?.str()?.to_string(),
+            }),
+            other => Err(PersistError::new(format!(
+                "unknown protocol message type `{other}`"
+            ))),
+        }
+    }
+
+    /// Renders this message as one compact JSON document (a frame
+    /// payload).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.to_json().render(&mut out);
+        out
+    }
+
+    /// Parses one frame payload.
+    pub fn parse(text: &str) -> Result<Message, PersistError> {
+        Message::from_json(&parse(text)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdiq_core::{Experiment, Technique};
+    use sdiq_workloads::Benchmark;
+
+    #[test]
+    fn every_message_round_trips_through_its_frame_payload() {
+        let experiment = Experiment {
+            scale: 0.05,
+            ..Experiment::paper()
+        };
+        let report = experiment.run(Benchmark::Gzip, Technique::Noop);
+        let spec = MatrixSpec {
+            scale: 0.05,
+            sweeps: vec![
+                ("iq".to_string(), vec![48.0, 32.0]),
+                ("scale".to_string(), vec![0.5]),
+            ],
+            benchmarks: vec!["gzip".to_string(), "mcf".to_string()],
+            techniques: vec!["baseline".to_string(), "noop".to_string()],
+        };
+        let messages = [
+            Message::Hello { capacity: 4 },
+            Message::RunCells {
+                fingerprint: 0xdead_beef_0123_4567,
+                spec,
+                keys: vec!["a|b|c|00".to_string(), "d|e|f|01".to_string()],
+            },
+            Message::CellDone {
+                key: "gzip|noop|base|0123456789abcdef".to_string(),
+                report: Box::new(report),
+            },
+            Message::Heartbeat,
+            Message::Done { computed: 6 },
+            Message::Error {
+                message: "matrix fingerprint mismatch".to_string(),
+            },
+        ];
+        for message in messages {
+            let text = message.render();
+            assert_eq!(
+                Message::parse(&text).unwrap(),
+                message,
+                "{text} must round-trip"
+            );
+        }
+        assert!(
+            Message::parse("{\"type\":\"warp\"}").is_err(),
+            "unknown tag"
+        );
+        assert!(Message::parse("{\"capacity\":1}").is_err(), "untagged");
+    }
+}

@@ -1,0 +1,587 @@
+//! The fault-tolerant coordinator scheduler.
+//!
+//! One driver thread per configured worker pulls batches of cell keys
+//! from a shared queue — batch size = that worker's advertised capacity,
+//! so a 16-way daemon claims sixteen cells while a laptop claims one,
+//! which is the capacity-weighted partition of the key space (and,
+//! unlike a static split, it keeps every worker busy until the queue is
+//! empty no matter how wrong the capacities are about real speed).
+//!
+//! Fault model: a worker may die at any point — refuse the dial, drop
+//! mid-batch, claim `Done` while cells are still owed. In every case the
+//! cells that worker still owed go back on the queue for the survivors,
+//! each re-queue charging that cell's retry budget; a cell that exhausts
+//! the budget aborts the run (it is killing workers, not unlucky), and a
+//! queue that still holds cells when every driver has exited surfaces as
+//! a drained-pool [`BackendError`] naming the worker failures.
+//!
+//! An idle driver does not exit just because the queue is momentarily
+//! empty: while any *other* driver still has cells in flight, those
+//! cells may yet be re-queued by a death, so the idle driver **parks**
+//! on a condvar and wakes when work reappears (or everything resolves).
+//! Without this, a straggler worker dying after the queue drained would
+//! strand its cells with healthy, already-departed survivors — the
+//! failover guarantee would hold except near the end of a run, which is
+//! exactly when deaths are most likely.
+//!
+//! The scheduler is deliberately transport-free: drivers speak to a
+//! [`WorkerLink`], and the [`Dialer`] that produces links is a
+//! parameter. [`crate::client::dial`] is the TCP implementation; tests
+//! inject in-memory links to pin the failover behaviour without sockets.
+//!
+//! Determinism: completed reports are keyed by cell key and the final
+//! sweep is assembled by the engine's own seeded run
+//! ([`Matrix::run_with`]), exactly like the subprocess backend — so
+//! *which* worker computed a cell, and in what order, cannot influence a
+//! single byte of the result.
+
+use sdiq_core::{
+    ArtifactCache, BackendError, CellSink, Matrix, MatrixSpec, RemoteSpec, RunReport, Sweep,
+};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io;
+use std::sync::{Condvar, Mutex};
+
+/// A connected worker, as one driver thread sees it.
+pub trait WorkerLink: Send {
+    /// The capacity the worker advertised in its `Hello`.
+    fn capacity(&self) -> usize;
+
+    /// Submits a batch of cell keys.
+    fn submit(&mut self, keys: &[String]) -> io::Result<()>;
+
+    /// Blocks for the next scheduling event (heartbeats are skipped
+    /// inside the link, never surfaced).
+    fn recv(&mut self) -> io::Result<WorkerEvent>;
+}
+
+/// What a worker's stream yields between `submit` calls.
+#[derive(Debug)]
+pub enum WorkerEvent {
+    /// One finished cell (boxed: the report dwarfs the other variant).
+    Cell(String, Box<RunReport>),
+    /// The submitted batch is fully delivered.
+    Done,
+}
+
+/// Produces a connected [`WorkerLink`] for one worker address; the spec
+/// and fingerprint are what the link will send in its `RunCells` frames.
+pub type Dialer = fn(&str, &MatrixSpec, u64) -> io::Result<Box<dyn WorkerLink>>;
+
+/// The work ledger: pending keys plus a count of cells currently in
+/// flight on some worker, guarded together so [`State::claim`] can park
+/// on one condvar until either changes (see the module docs).
+struct WorkState {
+    /// Cell keys waiting for a worker.
+    queue: VecDeque<String>,
+    /// Cells claimed but not yet completed or re-queued.
+    in_flight: usize,
+    /// Mirror of the fatal flag, kept under this lock so parked
+    /// claimers observe it without a second mutex.
+    fatal: bool,
+}
+
+/// Shared scheduler state. Lock discipline where locks nest:
+/// `retries` → `work` → (`completed` | `failures` | `fatal`), and the
+/// condvar is always signalled while holding `work` so a claimer cannot
+/// miss a wakeup between its check and its wait.
+struct State {
+    /// Pending/in-flight ledger (see [`WorkState`]).
+    work: Mutex<WorkState>,
+    /// Wakes parked claimers when the ledger changes.
+    work_changed: Condvar,
+    /// Per-cell re-queue counts.
+    retries: Mutex<HashMap<String, usize>>,
+    /// Completed cells.
+    completed: Mutex<HashMap<String, RunReport>>,
+    /// First unrecoverable failure message (the flag lives in
+    /// [`WorkState::fatal`]).
+    fatal: Mutex<Option<String>>,
+    /// Human-readable record of every worker failure (for the
+    /// drained-pool error).
+    failures: Mutex<Vec<String>>,
+}
+
+impl State {
+    fn new(pending: Vec<String>) -> State {
+        State {
+            work: Mutex::new(WorkState {
+                queue: pending.into(),
+                in_flight: 0,
+                fatal: false,
+            }),
+            work_changed: Condvar::new(),
+            retries: Mutex::new(HashMap::new()),
+            completed: Mutex::new(HashMap::new()),
+            fatal: Mutex::new(None),
+            failures: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn fatal_is_set(&self) -> bool {
+        self.work.lock().expect("scheduler poisoned").fatal
+    }
+
+    fn set_fatal(&self, message: String) {
+        self.fatal
+            .lock()
+            .expect("scheduler poisoned")
+            .get_or_insert(message);
+        let mut work = self.work.lock().expect("scheduler poisoned");
+        work.fatal = true;
+        // Parked claimers must wake to observe the abort; signalling
+        // under the work lock closes the check-then-wait window.
+        self.work_changed.notify_all();
+    }
+
+    /// Claims up to `capacity` cells, **parking** while the queue is
+    /// empty but other drivers still have cells in flight (a death
+    /// could hand them back at any moment). Returns an empty batch only
+    /// when the run is over for this driver: nothing pending, nothing
+    /// in flight anywhere — or the run turned fatal.
+    fn claim(&self, capacity: usize) -> Vec<String> {
+        let mut work = self.work.lock().expect("scheduler poisoned");
+        loop {
+            if work.fatal {
+                return Vec::new();
+            }
+            if !work.queue.is_empty() {
+                let take = capacity.max(1).min(work.queue.len());
+                let batch: Vec<String> = work.queue.drain(..take).collect();
+                work.in_flight += batch.len();
+                return batch;
+            }
+            if work.in_flight == 0 {
+                return Vec::new();
+            }
+            work = self.work_changed.wait(work).expect("scheduler poisoned");
+        }
+    }
+
+    /// Records one finished cell and releases its in-flight slot.
+    fn complete(&self, key: String, report: RunReport) {
+        self.completed
+            .lock()
+            .expect("scheduler poisoned")
+            .insert(key, report);
+        let mut work = self.work.lock().expect("scheduler poisoned");
+        work.in_flight -= 1;
+        if work.in_flight == 0 {
+            // The last in-flight cell resolved cleanly: parked claimers
+            // can now conclude the run is over.
+            self.work_changed.notify_all();
+        }
+    }
+
+    /// Returns a dead worker's owed cells to the queue (waking parked
+    /// survivors), charging each cell's retry budget; a cell over
+    /// budget turns the failure fatal.
+    fn requeue(&self, addr: &str, owed: Vec<String>, retry_budget: usize, why: &str) {
+        self.failures
+            .lock()
+            .expect("scheduler poisoned")
+            .push(format!("worker {addr}: {why}"));
+        eprintln!(
+            "remote: worker {addr} failed ({why}); re-queueing {} in-flight cell(s)",
+            owed.len()
+        );
+        let mut retries = self.retries.lock().expect("scheduler poisoned");
+        let mut work = self.work.lock().expect("scheduler poisoned");
+        work.in_flight -= owed.len();
+        for key in owed {
+            let count = retries.entry(key.clone()).or_insert(0);
+            *count += 1;
+            if *count > retry_budget {
+                let count = *count;
+                drop(work);
+                drop(retries);
+                self.set_fatal(format!(
+                    "cell `{key}` was re-queued {count} times (retry budget \
+                     {retry_budget}) — aborting instead of killing more workers"
+                ));
+                return;
+            }
+            work.queue.push_back(key);
+        }
+        self.work_changed.notify_all();
+    }
+}
+
+/// Runs `matrix`'s missing cells over the remote worker pool and
+/// assembles the full sweep (see the module docs for the scheduling and
+/// fault model). `dialer` is the transport; production callers go
+/// through [`crate::backend`], which plugs in TCP.
+pub fn run(
+    matrix: &Matrix<'_>,
+    spec: &RemoteSpec,
+    seed: &HashMap<String, RunReport>,
+    sink: Option<&dyn CellSink>,
+    dialer: Dialer,
+) -> Result<Sweep, BackendError> {
+    if spec.workers.is_empty() {
+        return Err(BackendError::new(
+            "remote backend needs at least one worker address",
+        ));
+    }
+    let fingerprint = sdiq_core::matrix_fingerprint(&matrix.cell_keys());
+    let expected: HashSet<String> = matrix.cell_keys().into_iter().collect();
+    let pending = matrix.missing_cell_keys(seed);
+    let state = State::new(pending);
+
+    std::thread::scope(|scope| {
+        for addr in &spec.workers {
+            let state = &state;
+            let expected = &expected;
+            scope.spawn(move || {
+                drive_worker(
+                    addr,
+                    &spec.spec,
+                    fingerprint,
+                    spec.retry_budget,
+                    state,
+                    expected,
+                    sink,
+                    dialer,
+                );
+            });
+        }
+    });
+
+    if let Some(fatal) = state.fatal.into_inner().expect("scheduler poisoned") {
+        return Err(BackendError::new(fatal));
+    }
+    let completed = state.completed.into_inner().expect("scheduler poisoned");
+    let mut merged = seed.clone();
+    merged.extend(completed);
+    let missing = matrix.missing_cells(&merged);
+    if missing > 0 {
+        let failures = state.failures.into_inner().expect("scheduler poisoned");
+        let detail = if failures.is_empty() {
+            "no worker reported an error".to_string()
+        } else {
+            failures.join("; ")
+        };
+        return Err(BackendError::new(format!(
+            "remote worker pool drained with {missing} cell(s) unfinished — {detail}"
+        )));
+    }
+    // Assembly only: every cell is seeded, nothing is recomputed, and the
+    // sweep is bit-identical to a serial run.
+    Ok(matrix.run_with(&ArtifactCache::new(), &merged))
+}
+
+/// One worker's driver loop: dial, then claim/submit/receive until the
+/// queue is empty, the worker dies, or the run turns fatal.
+#[allow(clippy::too_many_arguments)] // driver wiring, called from one place
+fn drive_worker(
+    addr: &str,
+    spec: &MatrixSpec,
+    fingerprint: u64,
+    retry_budget: usize,
+    state: &State,
+    expected: &HashSet<String>,
+    sink: Option<&dyn CellSink>,
+    dialer: Dialer,
+) {
+    let mut link = match dialer(addr, spec, fingerprint) {
+        Ok(link) => link,
+        Err(error) => {
+            // Nothing was claimed yet, so nothing re-queues; the worker
+            // simply never joins the pool.
+            state
+                .failures
+                .lock()
+                .expect("scheduler poisoned")
+                .push(format!("worker {addr}: dial failed: {error}"));
+            eprintln!("remote: worker {addr}: dial failed: {error}");
+            return;
+        }
+    };
+    let capacity = link.capacity().max(1);
+    loop {
+        if state.fatal_is_set() {
+            return;
+        }
+        let batch = state.claim(capacity);
+        if batch.is_empty() {
+            // Nothing pending and nothing in flight anywhere (or the run
+            // turned fatal): release the worker (drop closes the link).
+            return;
+        }
+        if let Err(error) = link.submit(&batch) {
+            state.requeue(
+                addr,
+                batch,
+                retry_budget,
+                &format!("submit failed: {error}"),
+            );
+            return;
+        }
+        let mut outstanding: HashSet<String> = batch.into_iter().collect();
+        loop {
+            match link.recv() {
+                Ok(WorkerEvent::Cell(key, report)) => {
+                    if !outstanding.remove(&key) {
+                        // A key we did not ask this worker for: either
+                        // foreign (configurations disagree) or duplicated.
+                        // Both are protocol violations, and accepting the
+                        // report could mask a real divergence — abort.
+                        let kind = if expected.contains(&key) {
+                            "a cell it was not asked for"
+                        } else {
+                            "a foreign cell key — worker and coordinator configurations disagree"
+                        };
+                        state.set_fatal(format!("worker {addr} delivered {kind} (`{key}`)"));
+                        return;
+                    }
+                    if let Some(sink) = sink {
+                        sink.cell_complete(&key, &report);
+                    }
+                    state.complete(key, *report);
+                }
+                Ok(WorkerEvent::Done) => {
+                    if !outstanding.is_empty() {
+                        state.requeue(
+                            addr,
+                            outstanding.into_iter().collect(),
+                            retry_budget,
+                            "batch reported done with cells still owed",
+                        );
+                        return;
+                    }
+                    break; // claim the next batch
+                }
+                Err(error) => {
+                    state.requeue(
+                        addr,
+                        outstanding.into_iter().collect(),
+                        retry_budget,
+                        &format!("died mid-batch: {error}"),
+                    );
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdiq_core::{cell_key, RemoteSpec};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::OnceLock;
+
+    fn tiny_spec() -> MatrixSpec {
+        MatrixSpec {
+            scale: 0.05,
+            sweeps: Vec::new(),
+            benchmarks: vec!["gzip".to_string(), "mcf".to_string()],
+            techniques: vec!["baseline".to_string(), "noop".to_string()],
+        }
+    }
+
+    /// Precomputed reports for the tiny matrix, shared across tests so
+    /// fake workers "compute" cells by lookup.
+    fn oracle() -> &'static HashMap<String, RunReport> {
+        static ORACLE: OnceLock<HashMap<String, RunReport>> = OnceLock::new();
+        ORACLE.get_or_init(|| {
+            let spec = tiny_spec();
+            let experiment = spec.experiment();
+            let matrix = spec.matrix(&experiment).unwrap();
+            let sweep = matrix.run();
+            matrix.collect_cells(&sweep).into_iter().collect()
+        })
+    }
+
+    /// An in-memory worker: serves cells from the oracle, with optional
+    /// scripted death after a given number of delivered cells and an
+    /// optional per-event delay (a deterministic straggler).
+    struct FakeLink {
+        capacity: usize,
+        /// Cells queued by `submit`, not yet delivered.
+        pending: VecDeque<String>,
+        /// Delivered-cell countdown; reaching zero kills the link.
+        die_after: Option<usize>,
+        /// `Done` is owed after the last pending cell.
+        done_pending: bool,
+        /// Delivers this key instead of the first requested one.
+        alias_first_to: Option<String>,
+        /// Sleep this long at every `recv` (straggler script).
+        delay: Option<std::time::Duration>,
+        delivered: &'static AtomicUsize,
+    }
+
+    impl WorkerLink for FakeLink {
+        fn capacity(&self) -> usize {
+            self.capacity
+        }
+
+        fn submit(&mut self, keys: &[String]) -> io::Result<()> {
+            self.pending.extend(keys.iter().cloned());
+            self.done_pending = true;
+            Ok(())
+        }
+
+        fn recv(&mut self) -> io::Result<WorkerEvent> {
+            if let Some(delay) = self.delay {
+                std::thread::sleep(delay);
+            }
+            if let Some(0) = self.die_after {
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionReset,
+                    "scripted death",
+                ));
+            }
+            match self.pending.pop_front() {
+                Some(key) => {
+                    if let Some(budget) = &mut self.die_after {
+                        *budget -= 1;
+                    }
+                    let report = oracle()
+                        .get(&key)
+                        .expect("oracle covers the matrix")
+                        .clone();
+                    // An aliasing worker computes the right cell but labels
+                    // it with a key the coordinator never asked it for.
+                    let key = self.alias_first_to.take().unwrap_or(key);
+                    self.delivered.fetch_add(1, Ordering::Relaxed);
+                    Ok(WorkerEvent::Cell(key, Box::new(report)))
+                }
+                None if self.done_pending => {
+                    self.done_pending = false;
+                    Ok(WorkerEvent::Done)
+                }
+                None => Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "nothing submitted",
+                )),
+            }
+        }
+    }
+
+    static DELIVERED: AtomicUsize = AtomicUsize::new(0);
+
+    /// Addresses script the fake transport: `cap<N>` sets capacity,
+    /// `die<N>` kills the link after N delivered cells, `slow<N>` sleeps
+    /// N ms at every recv, `refuse` fails the dial, `alias` mis-delivers
+    /// the first cell.
+    fn fake_dial(addr: &str, _: &MatrixSpec, _: u64) -> io::Result<Box<dyn WorkerLink>> {
+        if addr.contains("refuse") {
+            return Err(io::Error::new(io::ErrorKind::ConnectionRefused, "refused"));
+        }
+        let script = |token: &str| {
+            addr.split(token).nth(1).and_then(|rest| {
+                rest.split(|c: char| !c.is_ascii_digit())
+                    .next()?
+                    .parse::<usize>()
+                    .ok()
+            })
+        };
+        let capacity = script("cap").unwrap_or(1);
+        let die_after = script("die");
+        let delay = script("slow").map(|ms| std::time::Duration::from_millis(ms as u64));
+        let alias_first_to = addr.contains("alias").then(|| {
+            let spec = tiny_spec();
+            let experiment = spec.experiment();
+            cell_key(
+                &experiment,
+                &sdiq_core::ConfigVariant::base(&experiment),
+                sdiq_workloads::Benchmark::Gcc, // not in the tiny matrix
+                sdiq_core::Technique::Baseline,
+            )
+        });
+        Ok(Box::new(FakeLink {
+            capacity,
+            pending: VecDeque::new(),
+            die_after,
+            done_pending: false,
+            alias_first_to,
+            delay,
+            delivered: &DELIVERED,
+        }))
+    }
+
+    fn run_fake(workers: &[&str], retry_budget: usize) -> Result<Sweep, BackendError> {
+        let spec = tiny_spec();
+        let experiment = spec.experiment();
+        let matrix = spec.matrix(&experiment).unwrap();
+        let remote = RemoteSpec {
+            workers: workers.iter().map(|w| w.to_string()).collect(),
+            spec,
+            retry_budget,
+            launch: |_, _, _, _| unreachable!("tests call the scheduler directly"),
+        };
+        run(&matrix, &remote, &HashMap::new(), None, fake_dial)
+    }
+
+    fn serial() -> Sweep {
+        let spec = tiny_spec();
+        let experiment = spec.experiment();
+        spec.matrix(&experiment).unwrap().run()
+    }
+
+    #[test]
+    fn healthy_pool_produces_the_serial_sweep() {
+        let sweep = run_fake(&["a-cap1", "b-cap2"], 0).unwrap();
+        assert_eq!(sweep, serial(), "remote assembly is bit-identical");
+    }
+
+    #[test]
+    fn worker_death_requeues_its_cells_onto_survivors() {
+        // Worker `a` dies after one delivered cell; worker `b` must pick
+        // up everything it still owed, and the sweep is still exact.
+        let sweep = run_fake(&["a-cap2-die1", "b-cap1"], 1).unwrap();
+        assert_eq!(sweep, serial(), "failover keeps the result bit-identical");
+
+        // A refused dial just shrinks the pool.
+        let sweep = run_fake(&["refuse", "b-cap2"], 0).unwrap();
+        assert_eq!(sweep, serial());
+    }
+
+    #[test]
+    fn late_straggler_death_returns_cells_to_parked_survivors() {
+        // Regression: the fast worker drains the queue and goes idle
+        // while the slow worker still holds one in-flight cell; then the
+        // slow worker dies. The idle survivor must be parked — not
+        // exited — so the re-queued cell finds a worker and the run
+        // still completes bit-identically. (Pre-fix, drivers exited on
+        // the first empty claim and this run died with a drained pool.)
+        let sweep = run_fake(&["a-cap1", "b-cap1-slow40-die0"], 1).unwrap();
+        assert_eq!(sweep, serial(), "straggler failover is bit-identical");
+    }
+
+    #[test]
+    fn a_drained_pool_is_a_clear_error_not_a_partial_suite() {
+        let error = run_fake(&["a-die0"], 9).unwrap_err().to_string();
+        assert!(
+            error.contains("pool drained") && error.contains("died mid-batch"),
+            "error names the failure: {error}"
+        );
+        let error = run_fake(&["refuse"], 0).unwrap_err().to_string();
+        assert!(error.contains("dial failed"), "{error}");
+        let error = run_fake(&[], 0).unwrap_err().to_string();
+        assert!(error.contains("at least one worker"), "{error}");
+    }
+
+    #[test]
+    fn the_retry_budget_stops_a_poison_cell() {
+        // The lone worker dies on its first cell, over and over; dialing
+        // happens once per worker, so a budget of 0 must abort on the
+        // first re-queue rather than loop forever.
+        let error = run_fake(&["a-die0"], 0).unwrap_err().to_string();
+        assert!(
+            error.contains("retry budget"),
+            "budget exhaustion is fatal: {error}"
+        );
+    }
+
+    #[test]
+    fn foreign_cell_keys_abort_the_run() {
+        let error = run_fake(&["a-alias"], 3).unwrap_err().to_string();
+        assert!(
+            error.contains("configurations disagree"),
+            "foreign key is fatal: {error}"
+        );
+    }
+}

@@ -1,0 +1,292 @@
+//! The worker daemon behind `repro serve`: accept one coordinator at a
+//! time, advertise capacity, compute requested cells on the in-process
+//! engine and stream each one back the moment it finishes.
+//!
+//! The daemon is stateless between connections on purpose: everything a
+//! batch needs arrives in its `RunCells` frame (the [`MatrixSpec`] plus
+//! the cell keys), so any daemon can serve any coordinator — there is no
+//! enrolment step, and a daemon that restarts loses nothing but its warm
+//! [`ArtifactCache`]. The cache *is* kept across batches and connections
+//! (it is content-addressed, so staleness is impossible): a sweep that
+//! re-dials the same daemon never rebuilds a program it already built.
+//!
+//! A coordinator that vanishes mid-batch only costs the daemon that
+//! batch: write failures are recorded, the batch's remaining cells still
+//! compute into the cache (warming it for the retry), and the daemon
+//! goes back to `accept`.
+
+use crate::frame;
+use crate::protocol::Message;
+use sdiq_core::{matrix_fingerprint, ArtifactCache, CellSink, MatrixSpec, RunReport};
+use std::io::{self, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Configuration of one worker daemon.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Address to bind (`host:port`; port `0` picks a free one).
+    pub listen: String,
+    /// Parallel capacity advertised to coordinators and used as the
+    /// in-process pool size (`0` = one per hardware thread).
+    pub jobs: usize,
+    /// Fault-injection hook for the failover tests and the CI smoke:
+    /// after delivering this many cells (across the daemon's lifetime),
+    /// abort the whole process *in place of* delivering the next one —
+    /// exactly the wire-visible behaviour of a worker machine dying
+    /// mid-cell. `None` in production.
+    pub fail_after: Option<usize>,
+}
+
+/// Seconds of silence after which the daemon interleaves a `Heartbeat`
+/// frame into the stream while a batch is computing, so WAN middleboxes
+/// don't reap the idle-looking connection during a long cell.
+const HEARTBEAT_INTERVAL: Duration = Duration::from_secs(5);
+
+/// Runs the worker daemon forever (until the process is killed):
+/// bind, print the bound address, then serve coordinators one at a time.
+///
+/// The first stdout line is machine-readable — `LISTENING <addr>` — so
+/// scripts that start daemons on port 0 can discover the real port;
+/// human logging goes to stderr.
+pub fn serve(options: &ServeOptions) -> io::Result<()> {
+    let listener = TcpListener::bind(&options.listen)?;
+    let addr = listener.local_addr()?;
+    let capacity = effective_capacity(options.jobs);
+    println!("LISTENING {addr}");
+    io::stdout().flush()?;
+    eprintln!("sdiq-remote worker: listening on {addr}, capacity {capacity}");
+
+    let cache = ArtifactCache::new();
+    let delivered = AtomicUsize::new(0);
+    for stream in listener.incoming() {
+        let stream = match stream {
+            Ok(stream) => stream,
+            Err(error) => {
+                // Transient accept failures (a peer resetting before the
+                // handshake, a momentary fd shortage) must not kill the
+                // daemon — it outlives any one coordinator. Back off a
+                // beat so a persistent failure can't spin the loop hot.
+                eprintln!("sdiq-remote worker: accept failed: {error}; continuing");
+                std::thread::sleep(Duration::from_millis(50));
+                continue;
+            }
+        };
+        let peer = stream
+            .peer_addr()
+            .map(|peer| peer.to_string())
+            .unwrap_or_else(|_| "<unknown>".to_string());
+        eprintln!("sdiq-remote worker: coordinator connected from {peer}");
+        match handle_connection(stream, capacity, &cache, &delivered, options.fail_after) {
+            Ok(()) => eprintln!("sdiq-remote worker: coordinator {peer} disconnected"),
+            Err(error) => {
+                // The daemon outlives any one coordinator: log and accept
+                // the next connection.
+                eprintln!("sdiq-remote worker: connection to {peer} failed: {error}");
+            }
+        }
+    }
+    unreachable!("TcpListener::incoming never returns None");
+}
+
+fn effective_capacity(jobs: usize) -> usize {
+    if jobs == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        jobs
+    }
+}
+
+/// Serves one coordinator until it disconnects.
+fn handle_connection(
+    stream: TcpStream,
+    capacity: usize,
+    cache: &ArtifactCache,
+    delivered: &AtomicUsize,
+    fail_after: Option<usize>,
+) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    let writer = Mutex::new(stream.try_clone()?);
+    let mut reader = BufReader::new(stream);
+    write_locked(&writer, &Message::Hello { capacity })?;
+
+    loop {
+        let Some(message) = frame::read_message_opt(&mut reader)? else {
+            return Ok(()); // coordinator released us cleanly
+        };
+        match message {
+            Message::RunCells {
+                fingerprint,
+                spec,
+                keys,
+            } => run_batch(
+                &writer,
+                fingerprint,
+                &spec,
+                keys,
+                capacity,
+                cache,
+                delivered,
+                fail_after,
+            )?,
+            Message::Heartbeat => continue,
+            other => {
+                // Tell the coordinator what went wrong instead of
+                // silently dropping the frame; it will abandon us.
+                write_locked(
+                    &writer,
+                    &Message::Error {
+                        message: format!("worker cannot handle {other:?}"),
+                    },
+                )?;
+            }
+        }
+    }
+}
+
+/// Computes one `RunCells` batch, streaming each cell as it finishes.
+#[allow(clippy::too_many_arguments)] // daemon wiring, called from one place
+fn run_batch(
+    writer: &Mutex<TcpStream>,
+    fingerprint: u64,
+    spec: &MatrixSpec,
+    keys: Vec<String>,
+    capacity: usize,
+    cache: &ArtifactCache,
+    delivered: &AtomicUsize,
+    fail_after: Option<usize>,
+) -> io::Result<()> {
+    // The spec is wire input: resolve it fully (names, sweep ranges) and
+    // refuse with a frame — never a panic — on anything off.
+    let experiment = spec.experiment();
+    let matrix = match spec.matrix(&experiment) {
+        Ok(matrix) => matrix.jobs(capacity),
+        Err(reason) => {
+            return write_locked(writer, &Message::Error { message: reason });
+        }
+    };
+    let own_fingerprint = matrix_fingerprint(&matrix.cell_keys());
+    if own_fingerprint != fingerprint {
+        return write_locked(
+            writer,
+            &Message::Error {
+                message: format!(
+                    "matrix fingerprint mismatch (coordinator {fingerprint:016x}, \
+                     worker {own_fingerprint:016x}) — version skew between binaries?"
+                ),
+            },
+        );
+    }
+    // Ack the batch so the coordinator's heartbeat-skipping path is
+    // exercised on every exchange, not only on slow cells.
+    write_locked(writer, &Message::Heartbeat)?;
+
+    let requested: std::collections::HashSet<String> = keys.into_iter().collect();
+    eprintln!(
+        "sdiq-remote worker: computing {} cell(s), {capacity} jobs",
+        requested.len()
+    );
+    let sink = StreamSink {
+        writer,
+        failed: Mutex::new(None),
+        delivered,
+        fail_after,
+    };
+    let stop_heartbeats = AtomicBool::new(false);
+    let computed = std::thread::scope(|scope| {
+        let heartbeats = scope.spawn(|| {
+            // Poll the stop flag frequently but send rarely: teardown must
+            // not wait out the full heartbeat interval.
+            let tick = Duration::from_millis(50);
+            let mut elapsed = Duration::ZERO;
+            while !stop_heartbeats.load(Ordering::Relaxed) {
+                std::thread::sleep(tick);
+                elapsed += tick;
+                if elapsed >= HEARTBEAT_INTERVAL {
+                    elapsed = Duration::ZERO;
+                    if sink.write(&Message::Heartbeat).is_err() {
+                        return; // sink recorded the failure
+                    }
+                }
+            }
+        });
+        let computed = matrix.run_cells_by_key(cache, &requested, Some(&sink));
+        stop_heartbeats.store(true, Ordering::Relaxed);
+        heartbeats.join().expect("heartbeat thread never panics");
+        computed
+    });
+
+    if let Some(error) = sink.failed.into_inner().expect("sink poisoned") {
+        return Err(error); // coordinator vanished mid-stream
+    }
+    match computed {
+        Ok(map) => write_locked(
+            writer,
+            &Message::Done {
+                computed: map.len(),
+            },
+        ),
+        Err(reason) => write_locked(writer, &Message::Error { message: reason }),
+    }
+}
+
+fn write_locked(writer: &Mutex<TcpStream>, message: &Message) -> io::Result<()> {
+    let mut stream = writer.lock().expect("writer poisoned");
+    frame::write_message(&mut *stream, message)
+}
+
+/// A [`CellSink`] that streams every finished cell to the coordinator.
+/// Engine worker threads call it concurrently; the writer mutex keeps
+/// frames whole. Write failures are recorded instead of panicking (a
+/// vanished coordinator must not kill the daemon), after which further
+/// cells are computed but not sent — they stay in the artifact cache,
+/// warming the inevitable retry.
+struct StreamSink<'a> {
+    writer: &'a Mutex<TcpStream>,
+    failed: Mutex<Option<io::Error>>,
+    delivered: &'a AtomicUsize,
+    fail_after: Option<usize>,
+}
+
+impl StreamSink<'_> {
+    fn write(&self, message: &Message) -> io::Result<()> {
+        if let Some(error) = &*self.failed.lock().expect("sink poisoned") {
+            return Err(io::Error::new(error.kind(), error.to_string()));
+        }
+        let result = write_locked(self.writer, message);
+        if let Err(error) = &result {
+            let mut failed = self.failed.lock().expect("sink poisoned");
+            failed.get_or_insert(io::Error::new(error.kind(), error.to_string()));
+        }
+        result
+    }
+}
+
+impl CellSink for StreamSink<'_> {
+    fn cell_complete(&self, key: &str, report: &RunReport) {
+        if let Some(limit) = self.fail_after {
+            if self.delivered.load(Ordering::Relaxed) >= limit {
+                // Fault injection: die exactly as a killed machine would —
+                // mid-cell, without a goodbye frame.
+                eprintln!(
+                    "sdiq-remote worker: --fail-after {limit} reached, \
+                     aborting in place of delivering `{key}`"
+                );
+                std::process::exit(3);
+            }
+        }
+        if self
+            .write(&Message::CellDone {
+                key: key.to_string(),
+                report: Box::new(report.clone()),
+            })
+            .is_ok()
+        {
+            self.delivered.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}

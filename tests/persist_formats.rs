@@ -1,0 +1,168 @@
+//! Property tests pinning `persist::load_cells_any`'s format sniffing and
+//! merge semantics over randomly mixed inputs.
+//!
+//! `--load` accepts whole-document save files and JSONL checkpoints
+//! interchangeably, detected by the first line; a checkpoint may carry
+//! duplicate keys (newest line wins — that is what healing a torn resume
+//! relies on) and exactly one torn final line (the artifact of a killed
+//! append). These properties generate random mixtures of all of that and
+//! assert the loaded map is exactly the survivor set — same decoder as
+//! the format-specific loaders, bit-identical reports, torn tail dropped,
+//! newest duplicate kept.
+
+use proptest::prelude::*;
+use sdiq::core::persist::{
+    checkpoint_line, load_cells, load_cells_any, load_checkpoint, save_cells,
+};
+use sdiq::core::{Experiment, RunReport, Technique};
+use sdiq::workloads::Benchmark;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::OnceLock;
+
+/// A small pool of genuinely distinct reports to draw cells from.
+/// Computed once — each is a full compile + simulate run. Note the two
+/// pool entries sharing the key `shared|cell`: selecting both exercises
+/// duplicate-key resolution.
+fn pool() -> &'static Vec<(String, RunReport)> {
+    static POOL: OnceLock<Vec<(String, RunReport)>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let experiment = Experiment {
+            scale: 0.05,
+            ..Experiment::paper()
+        };
+        vec![
+            (
+                "gzip|baseline|base|0".to_string(),
+                experiment.run(Benchmark::Gzip, Technique::Baseline),
+            ),
+            (
+                "gzip|noop|base|1".to_string(),
+                experiment.run(Benchmark::Gzip, Technique::Noop),
+            ),
+            (
+                "shared|cell".to_string(),
+                experiment.run(Benchmark::Gzip, Technique::NonEmpty),
+            ),
+            (
+                "shared|cell".to_string(),
+                experiment.run(Benchmark::Gzip, Technique::Abella),
+            ),
+        ]
+    })
+}
+
+/// The map a well-formed loader must produce from `lines` of pool
+/// indices: later lines win on key collisions.
+fn expected_of(selection: &[usize]) -> HashMap<String, RunReport> {
+    let mut expected = HashMap::new();
+    for &index in selection {
+        let (key, report) = &pool()[index];
+        expected.insert(key.clone(), report.clone());
+    }
+    expected
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Save-format inputs: `save_cells` → `load_cells_any` is the
+    /// identity on the deduplicated cell map, through the sniffing
+    /// loader and the format-specific one alike.
+    #[test]
+    fn save_files_round_trip_through_the_sniffing_loader(
+        selection in prop::collection::vec(0usize..4, 1..8),
+    ) {
+        // A save file's map is already deduplicated at build time (the
+        // BTreeMap keeps the last insert), matching expected_of.
+        let mut cells = BTreeMap::new();
+        for &index in &selection {
+            let (key, report) = &pool()[index];
+            cells.insert(key.clone(), report.clone());
+        }
+        let text = save_cells(&cells);
+        let loaded = load_cells_any(&text).expect("save file loads");
+        prop_assert_eq!(&loaded, &expected_of(&selection));
+        prop_assert_eq!(
+            &loaded,
+            &load_cells(&text).expect("save decoder agrees"),
+        );
+        // A save file must not be mistaken for a checkpoint.
+        prop_assert!(load_checkpoint(&text).is_err());
+    }
+
+    /// Checkpoint-format inputs, including duplicate keys and an
+    /// optionally torn final line: the sniffing loader picks the
+    /// checkpoint decoder, keeps the newest line per key, and drops
+    /// exactly the torn cell.
+    #[test]
+    fn checkpoints_survive_duplicates_and_one_torn_tail(
+        selection in prop::collection::vec(0usize..4, 1..10),
+        torn in prop_oneof![
+            (0usize..1).prop_map(|_| false),
+            (0usize..1).prop_map(|_| true),
+        ],
+        cut in 1usize..18,
+    ) {
+        let mut text = String::from("{\"format\":1,\"kind\":\"checkpoint\"}\n");
+        for &index in &selection {
+            let (key, report) = &pool()[index];
+            text.push_str(&checkpoint_line(key, report));
+            text.push('\n');
+        }
+        let survivors = if torn {
+            // Tear the final append mid-line: every cell line is hundreds
+            // of bytes, so cutting < 18 bytes plus the newline tears
+            // exactly one line. The torn cell is lost; earlier
+            // duplicates of its key resurface.
+            text.truncate(text.len() - 1 - cut);
+            &selection[..selection.len() - 1]
+        } else {
+            &selection[..]
+        };
+        let loaded = load_cells_any(&text).expect("checkpoint loads");
+        prop_assert_eq!(&loaded, &expected_of(survivors));
+        prop_assert_eq!(
+            &loaded,
+            &load_checkpoint(&text).expect("checkpoint decoder agrees"),
+        );
+        // A checkpoint must not be parseable as a save file.
+        prop_assert!(load_cells(&text).is_err());
+    }
+
+    /// Merging mixed-format partials (the repeatable `--load` path:
+    /// later files win key collisions) is order-dependent only where
+    /// keys genuinely collide, and never depends on each file's format.
+    #[test]
+    fn mixed_format_merges_are_format_independent(
+        first in prop::collection::vec(0usize..4, 1..5),
+        second in prop::collection::vec(0usize..4, 1..5),
+        first_is_checkpoint in prop_oneof![
+            (0usize..1).prop_map(|_| false),
+            (0usize..1).prop_map(|_| true),
+        ],
+    ) {
+        let render = |selection: &[usize], as_checkpoint: bool| {
+            if as_checkpoint {
+                let mut text = String::from("{\"format\":1,\"kind\":\"checkpoint\"}\n");
+                for &index in selection {
+                    let (key, report) = &pool()[index];
+                    text.push_str(&checkpoint_line(key, report));
+                    text.push('\n');
+                }
+                text
+            } else {
+                let mut cells = BTreeMap::new();
+                for &index in selection {
+                    let (key, report) = &pool()[index];
+                    cells.insert(key.clone(), report.clone());
+                }
+                save_cells(&cells)
+            }
+        };
+        let mut merged = load_cells_any(&render(&first, first_is_checkpoint)).unwrap();
+        merged.extend(load_cells_any(&render(&second, !first_is_checkpoint)).unwrap());
+        let mut expected = expected_of(&first);
+        expected.extend(expected_of(&second));
+        prop_assert_eq!(merged, expected);
+    }
+}
