@@ -5,10 +5,13 @@
 //!       [--benchmarks <b1,b2,...>] [--techniques <t1,t2,...>]
 //!       [--save <path>] [--load <path>]... [--checkpoint <path>]
 //!       [--shard <k>/<n>] [--shards <n>] [--workers <host:port,...>]
+//!       [--listen-workers <host:port> --expect <n>] [--retry-budget <n>]
+//!       [--connect-timeout <secs>] [--heartbeat-deadline <secs>] [--no-speculate]
 //!       [--table1] [--table2] [--figure6] [--figure7] [--figure8]
 //!       [--figure9] [--figure10] [--figure11] [--figure12]
 //!       [--overall] [--summary] [--sweep-summary] [--all]
-//! repro serve [--listen <host:port>] [--jobs <n>] [--fail-after <n>]
+//! repro serve [--listen <host:port> | --register <host:port>] [--jobs <n>]
+//!             [--fail-after <n>] [--stall-after <n>]
 //! ```
 //!
 //! With no selection flags, `--all` is assumed. `--scale` shrinks or grows
@@ -43,16 +46,25 @@
 //!   proceeds exactly like a serial run — the merged output is
 //!   bit-identical to one.
 //! * `repro serve` turns this binary into a networked worker daemon
-//!   (`sdiq-remote`): it listens for a coordinator, advertises `--jobs`
-//!   as its capacity and streams computed cells back per cell.
-//!   `--fail-after n` is the fault-injection hook the failover tests and
-//!   CI smoke use to simulate a worker machine dying mid-cell.
+//!   (`sdiq-remote`): it listens for a coordinator (or, with
+//!   `--register host:port`, dials a rendezvous coordinator itself —
+//!   for fleets behind NAT), advertises `--jobs` as its capacity and
+//!   streams computed cells back per cell. `--fail-after n` (die) and
+//!   `--stall-after n` (hang silently, socket open) are the
+//!   fault-injection hooks the failover tests and CI smoke use to
+//!   simulate the two shapes of worker death.
 //! * `--workers host:port,...` (remote coordinator mode) distributes the
-//!   missing cells over those daemons instead of computing locally; a
-//!   worker that dies mid-suite has its cells re-queued onto the
-//!   survivors, and the assembled suite is still byte-for-byte identical
-//!   to a serial run. Composes with `--checkpoint` (a killed coordinator
-//!   resumes by re-running the identical command) and `--save`.
+//!   missing cells over those daemons instead of computing locally;
+//!   `--listen-workers addr --expect n` additionally (or instead) waits
+//!   for `n` self-registering daemons. A worker that dies — or goes
+//!   silent past `--heartbeat-deadline` (default 30 s) — has its cells
+//!   re-queued onto the survivors under `--retry-budget` (default 3),
+//!   idle workers speculatively double-issue straggler cells (first
+//!   result wins; `--no-speculate` disables), and the assembled suite is
+//!   still byte-for-byte identical to a serial run. Dials are bounded by
+//!   `--connect-timeout` (default 10 s). Composes with `--checkpoint` (a
+//!   killed coordinator resumes by re-running the identical command) and
+//!   `--save`.
 
 use sdiq_core::{
     experiments, persist, ArtifactCache, Backend, Experiment, MatrixSpec, SubprocessSpec, Suite,
@@ -78,6 +90,20 @@ struct Options {
     shards: Option<usize>,
     /// Remote coordinator mode: worker daemon addresses.
     workers: Option<Vec<String>>,
+    /// Remote coordinator mode: rendezvous address for self-registering
+    /// workers (`repro serve --register`).
+    listen_workers: Option<String>,
+    /// How many worker registrations to wait for on `listen_workers`.
+    expect: Option<usize>,
+    /// Per-cell re-queue budget for the remote scheduler.
+    retry_budget: Option<usize>,
+    /// Dial bound for remote workers, seconds (0 disables).
+    connect_timeout: Option<f64>,
+    /// Silence-means-dead threshold for remote workers, seconds
+    /// (0 disables — the pre-liveness behaviour).
+    heartbeat_deadline: Option<f64>,
+    /// Disable speculative double-issue of straggler cells.
+    no_speculate: bool,
     selections: BTreeSet<String>,
 }
 
@@ -192,15 +218,46 @@ fn parse_args() -> Options {
                 }
                 options.workers = Some(workers);
             }
+            "--listen-workers" => {
+                options.listen_workers = Some(required_value(&mut args, "--listen-workers"));
+            }
+            "--expect" => {
+                let value = required_value(&mut args, "--expect");
+                let expect = value.parse::<usize>().ok().filter(|&n| n >= 1);
+                let Some(expect) = expect else {
+                    eprintln!("error: --expect needs a positive integer, got `{value}`");
+                    std::process::exit(2);
+                };
+                options.expect = Some(expect);
+            }
+            "--retry-budget" => {
+                let value = required_value(&mut args, "--retry-budget");
+                options.retry_budget = Some(value.parse::<usize>().unwrap_or_else(|_| {
+                    eprintln!("error: --retry-budget needs a non-negative integer, got `{value}`");
+                    std::process::exit(2);
+                }));
+            }
+            "--connect-timeout" => {
+                let value = required_value(&mut args, "--connect-timeout");
+                options.connect_timeout = Some(parse_seconds("--connect-timeout", &value));
+            }
+            "--heartbeat-deadline" => {
+                let value = required_value(&mut args, "--heartbeat-deadline");
+                options.heartbeat_deadline = Some(parse_seconds("--heartbeat-deadline", &value));
+            }
+            "--no-speculate" => options.no_speculate = true,
             "--help" | "-h" => {
                 println!(
                     "repro [--scale <f>] [--jobs <n>] [--sweep iq|bank|scale=<v,..>] \
                      [--benchmarks <b,..>] [--techniques <t,..>] \
                      [--save <path>] [--load <path>]... [--checkpoint <path>] \
                      [--shard <k>/<n>] [--shards <n>] [--workers <host:port,..>] \
+                     [--listen-workers <host:port> --expect <n>] [--retry-budget <n>] \
+                     [--connect-timeout <secs>] [--heartbeat-deadline <secs>] [--no-speculate] \
                      [--table1] [--table2] [--figure6..12] \
                      [--overall] [--summary] [--sweep-summary] [--all]\n\
-                     repro serve [--listen <host:port>] [--jobs <n>] [--fail-after <n>]"
+                     repro serve [--listen <host:port> | --register <host:port>] [--jobs <n>] \
+                     [--fail-after <n>] [--stall-after <n>]"
                 );
                 std::process::exit(0);
             }
@@ -219,14 +276,22 @@ fn parse_args() -> Options {
         eprintln!("error: --shard (worker) and --shards (coordinator) are mutually exclusive");
         std::process::exit(2);
     }
-    if options.workers.is_some() && options.shard.is_some() {
+    let remote = options.workers.is_some() || options.listen_workers.is_some();
+    if remote && options.shard.is_some() {
         eprintln!(
-            "error: --workers (remote coordinator) cannot combine with --shard (subprocess worker)"
+            "error: --workers/--listen-workers (remote coordinator) cannot combine with --shard (subprocess worker)"
         );
         std::process::exit(2);
     }
-    if options.workers.is_some() && options.shards.is_some() {
-        eprintln!("error: --workers (remote coordinator) and --shards (subprocess coordinator) are mutually exclusive");
+    if remote && options.shards.is_some() {
+        eprintln!("error: --workers/--listen-workers (remote coordinator) and --shards (subprocess coordinator) are mutually exclusive");
+        std::process::exit(2);
+    }
+    if options.listen_workers.is_some() != options.expect.is_some() {
+        eprintln!(
+            "error: --listen-workers <addr> and --expect <n> go together (the rendezvous \
+             must know how many registrations to wait for)"
+        );
         std::process::exit(2);
     }
     if options.shard.is_some() && options.save.is_none() && options.checkpoint.is_none() {
@@ -237,6 +302,25 @@ fn parse_args() -> Options {
         options.selections.insert("all".to_string());
     }
     options
+}
+
+/// Parses a seconds value for the remote timeouts (`--connect-timeout`,
+/// `--heartbeat-deadline`). Zero means "disabled" and is allowed;
+/// anything non-numeric, negative, or past a year exits 2 (the upper
+/// bound is really an overflow guard: `Duration::from_secs_f64` panics
+/// on values that do not fit a `Duration`).
+fn parse_seconds(flag: &str, value: &str) -> f64 {
+    const MAX_SECONDS: f64 = 365.0 * 24.0 * 3600.0;
+    match value.parse::<f64>() {
+        Ok(seconds) if seconds.is_finite() && (0.0..=MAX_SECONDS).contains(&seconds) => seconds,
+        _ => {
+            eprintln!(
+                "error: {flag} needs a number of seconds between 0 and {MAX_SECONDS:.0}, \
+                 got `{value}`"
+            );
+            std::process::exit(2);
+        }
+    }
 }
 
 /// Parses a `--jobs` value. Zero is rejected here rather than silently
@@ -261,13 +345,20 @@ fn parse_jobs(value: &str) -> usize {
 fn serve_main(args: impl Iterator<Item = String>) -> ! {
     let mut options = sdiq_remote::server::ServeOptions {
         listen: "127.0.0.1:0".to_string(),
+        register: None,
         jobs: 0,
         fail_after: None,
+        stall_after: None,
     };
+    let mut listen_given = false;
     let mut args = args;
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--listen" => options.listen = required_value(&mut args, "--listen"),
+            "--listen" => {
+                options.listen = required_value(&mut args, "--listen");
+                listen_given = true;
+            }
+            "--register" => options.register = Some(required_value(&mut args, "--register")),
             "--jobs" => {
                 let value = required_value(&mut args, "--jobs");
                 options.jobs = parse_jobs(&value);
@@ -279,8 +370,18 @@ fn serve_main(args: impl Iterator<Item = String>) -> ! {
                     std::process::exit(2);
                 }));
             }
+            "--stall-after" => {
+                let value = required_value(&mut args, "--stall-after");
+                options.stall_after = Some(value.parse::<usize>().unwrap_or_else(|_| {
+                    eprintln!("error: --stall-after needs an integer, got `{value}`");
+                    std::process::exit(2);
+                }));
+            }
             "--help" | "-h" => {
-                println!("repro serve [--listen <host:port>] [--jobs <n>] [--fail-after <n>]");
+                println!(
+                    "repro serve [--listen <host:port> | --register <host:port>] [--jobs <n>] \
+                     [--fail-after <n>] [--stall-after <n>]"
+                );
                 std::process::exit(0);
             }
             other => {
@@ -288,6 +389,13 @@ fn serve_main(args: impl Iterator<Item = String>) -> ! {
                 std::process::exit(2);
             }
         }
+    }
+    if options.register.is_some() && listen_given {
+        eprintln!(
+            "error: --listen (coordinator dials us) and --register (we dial the coordinator) \
+             are mutually exclusive"
+        );
+        std::process::exit(2);
     }
     let error = sdiq_remote::server::serve(&options).expect_err("serve only returns on error");
     eprintln!("error: worker daemon: {error}");
@@ -441,7 +549,8 @@ fn main() {
         || options.checkpoint.is_some()
         || options.shard.is_some()
         || options.shards.is_some()
-        || options.workers.is_some();
+        || options.workers.is_some()
+        || options.listen_workers.is_some();
 
     let sweep = if needs_suite {
         // Seed from every --load file plus (for crash resume) the
@@ -479,21 +588,45 @@ fn main() {
         });
         let checkpoint_sink = checkpoint.as_ref().map(|w| w as &dyn sdiq_core::CellSink);
 
-        let sweep = if let Some(workers) = &options.workers {
+        let sweep = if options.workers.is_some() || options.listen_workers.is_some() {
             // Remote coordinator mode: distribute the missing cells over
-            // `repro serve` daemons; completed cells stream back into the
-            // checkpoint sink as they land, and the assembled sweep is
-            // bit-identical to a serial run.
-            let backend = sdiq_remote::backend(
-                workers.clone(),
-                matrix_spec.clone(),
-                sdiq_remote::DEFAULT_RETRY_BUDGET,
-            );
+            // `repro serve` daemons — dialed (`--workers`) and/or
+            // self-registered (`--listen-workers`/`--expect`); completed
+            // cells stream back into the checkpoint sink as they land,
+            // and the assembled sweep is bit-identical to a serial run.
+            let workers = options.workers.clone().unwrap_or_default();
+            let registration =
+                options
+                    .listen_workers
+                    .clone()
+                    .map(|listen| sdiq_core::Registration {
+                        listen,
+                        expect: options.expect.expect("validated with --listen-workers"),
+                    });
+            let defaults = sdiq_remote::RemoteOptions::default();
+            let pool_size = workers.len() + registration.as_ref().map_or(0, |r| r.expect);
+            let remote_options = sdiq_remote::RemoteOptions {
+                workers,
+                registration,
+                retry_budget: options
+                    .retry_budget
+                    .unwrap_or(sdiq_remote::DEFAULT_RETRY_BUDGET),
+                connect_timeout: options
+                    .connect_timeout
+                    .map(std::time::Duration::from_secs_f64)
+                    .unwrap_or(defaults.connect_timeout),
+                heartbeat_deadline: options
+                    .heartbeat_deadline
+                    .map(std::time::Duration::from_secs_f64)
+                    .unwrap_or(defaults.heartbeat_deadline),
+                speculate: !options.no_speculate,
+            };
+            let backend = sdiq_remote::backend(matrix_spec.clone(), remote_options);
             eprintln!(
                 "remote coordinator: distributing {} of {} cells across {} worker(s) ...",
                 matrix.missing_cells(&seed),
                 matrix.cell_count(),
-                workers.len()
+                pool_size
             );
             let sweep = matrix
                 .run_on(&backend, &seed, checkpoint_sink)

@@ -376,8 +376,13 @@ fn main() {
                         .collect(),
                 };
                 let addrs: Vec<String> = daemons.iter().map(|(_, addr)| addr.clone()).collect();
-                let backend =
-                    sdiq_remote::backend(addrs, spec.clone(), sdiq_remote::DEFAULT_RETRY_BUDGET);
+                let backend = sdiq_remote::backend(
+                    spec.clone(),
+                    sdiq_remote::RemoteOptions {
+                        workers: addrs,
+                        ..sdiq_remote::RemoteOptions::default()
+                    },
+                );
                 let remote_start = Instant::now();
                 let remote = spec
                     .matrix(&matrix_experiment)

@@ -11,7 +11,18 @@
 //!    partial suites,
 //! 4. `--workers` composes with `--checkpoint`: cells streamed before a
 //!    failed run are not recomputed by the resume,
-//! 5. the CLI rejects `--jobs 0` and contradictory distribution flags.
+//! 5. the CLI rejects `--jobs 0` and contradictory distribution flags,
+//! 6. a worker that *hangs* mid-batch (the `--stall-after` fault
+//!    injection holds the socket open and goes silent — a frozen
+//!    machine, not a dead one) trips the coordinator's heartbeat
+//!    deadline, its cells are re-queued/speculated onto the survivor,
+//!    and the bytes still match serial — **pre-liveness this run hung
+//!    forever**,
+//! 7. `--retry-budget` is validated and actually threads through to the
+//!    scheduler,
+//! 8. self-registered workers (`serve --register` dialing a
+//!    `--listen-workers` rendezvous coordinator) complete the suite
+//!    byte-identically with zero inbound connections to the workers.
 
 use std::io::{BufRead, BufReader};
 use std::path::{Path, PathBuf};
@@ -64,6 +75,32 @@ impl Worker {
             .unwrap_or_else(|| panic!("daemon announced `{line}`, expected LISTENING <addr>"))
             .to_string();
         Worker { child, addr }
+    }
+
+    /// Spawns a daemon in reverse-dial mode (`serve --register`) and
+    /// blocks until it confirms startup (`REGISTERING <addr>`, the
+    /// machine-readable first stdout line of that mode). The daemon
+    /// keeps knocking until the coordinator's rendezvous port answers.
+    fn spawn_registering(coordinator: &str) -> Worker {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_repro"))
+            .args(["serve", "--register", coordinator, "--jobs", "1"])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn repro serve --register");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("read REGISTERING line");
+        assert!(
+            line.starts_with("REGISTERING "),
+            "daemon announced `{line}`, expected REGISTERING <addr>"
+        );
+        Worker {
+            child,
+            addr: coordinator.to_string(),
+        }
     }
 }
 
@@ -243,6 +280,141 @@ fn remote_coordinator_composes_with_checkpoint_resume() {
 }
 
 #[test]
+fn a_stalled_worker_trips_the_heartbeat_deadline_and_bytes_still_match() {
+    let dir = scratch_dir("stall");
+    let serial = dir.join("serial.json");
+    let remote = dir.join("remote.json");
+
+    repro(&["--summary", "--save", serial.to_str().unwrap()]);
+    // The stalled worker delivers one cell, then freezes: socket open,
+    // heartbeats silenced, no frames — the wire-visible behaviour of a
+    // hung machine. Only the heartbeat deadline can detect this; the
+    // pre-liveness scheduler blocked in `recv` forever and this test
+    // never terminated.
+    let stalled = Worker::spawn(&["--jobs", "1", "--stall-after", "1"]);
+    let survivor = Worker::spawn(&["--jobs", "1"]);
+    let started = std::time::Instant::now();
+    let log = repro(&[
+        "--summary",
+        "--workers",
+        &format!("{},{}", stalled.addr, survivor.addr),
+        "--heartbeat-deadline",
+        "2",
+        "--save",
+        remote.to_str().unwrap(),
+    ]);
+    assert!(
+        log.contains("heartbeat deadline"),
+        "the stalled worker is declared dead by the deadline:\n{log}"
+    );
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(60),
+        "the run is bounded by the deadline, not hung"
+    );
+    assert_eq!(
+        read(&serial),
+        read(&remote),
+        "suite after a hung worker must still be byte-identical to serial"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn retry_budget_flag_is_validated_and_threaded_through() {
+    // Non-numeric: exit 2 before anything runs, like --jobs.
+    let output = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["--summary", "--retry-budget", "lots"])
+        .output()
+        .expect("spawn repro");
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("--retry-budget needs a non-negative integer"),
+        "{stderr}"
+    );
+
+    // Threaded: a lone worker that dies pre-delivery with a budget of 0
+    // must abort on budget exhaustion (the default budget of 3 instead
+    // reports a drained pool after the re-queues go nowhere).
+    let doomed = Worker::spawn(&["--jobs", "1", "--fail-after", "0"]);
+    let (success, log) = repro_raw(&[
+        "--summary",
+        "--workers",
+        &doomed.addr,
+        "--retry-budget",
+        "0",
+    ]);
+    assert!(!success, "budget exhaustion fails the run");
+    assert!(
+        log.contains("retry budget"),
+        "the scheduler saw the configured budget:\n{log}"
+    );
+}
+
+#[test]
+fn self_registered_workers_complete_the_suite_byte_identically() {
+    let dir = scratch_dir("register");
+    let serial = dir.join("serial.json");
+    let remote = dir.join("remote.json");
+
+    repro(&["--summary", "--save", serial.to_str().unwrap()]);
+
+    // The coordinator binds an ephemeral rendezvous port and announces
+    // it on stderr; spawn it first, with stderr piped, and read lines
+    // until the announcement so we know where workers must dial.
+    let mut coordinator = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(AXES)
+        .args([
+            "--summary",
+            "--listen-workers",
+            "127.0.0.1:0",
+            "--expect",
+            "2",
+            "--save",
+            remote.to_str().unwrap(),
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn rendezvous coordinator");
+    let stderr = coordinator.stderr.take().expect("piped stderr");
+    let mut reader = BufReader::new(stderr);
+    let rendezvous = loop {
+        let mut line = String::new();
+        assert!(
+            reader.read_line(&mut line).expect("read coordinator log") > 0,
+            "coordinator exited before announcing its rendezvous address"
+        );
+        if let Some(rest) = line
+            .trim()
+            .strip_prefix("remote: listening for workers on ")
+        {
+            break rest
+                .split_whitespace()
+                .next()
+                .expect("announcement carries the address")
+                .to_string();
+        }
+    };
+
+    // Workers dial *out* to the coordinator — the NAT'd-fleet direction;
+    // nothing ever connects to the workers.
+    let _w1 = Worker::spawn_registering(&rendezvous);
+    let _w2 = Worker::spawn_registering(&rendezvous);
+
+    let status = coordinator.wait().expect("coordinator exits");
+    let mut log = String::new();
+    std::io::Read::read_to_string(&mut reader, &mut log).expect("drain coordinator log");
+    assert!(status.success(), "rendezvous run failed:\n{log}");
+    assert_eq!(
+        read(&serial),
+        read(&remote),
+        "self-registered suite must be byte-identical to serial"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn cli_rejects_zero_jobs_and_contradictory_distribution_flags() {
     let run = |args: &[&str]| {
         let output = Command::new(env!("CARGO_BIN_EXE_repro"))
@@ -287,4 +459,32 @@ fn cli_rejects_zero_jobs_and_contradictory_distribution_flags() {
     let (code, stderr) = run(&["--workers", ","]);
     assert_eq!(code, Some(2));
     assert!(stderr.contains("--workers wants"), "{stderr}");
+
+    // The rendezvous flags travel as a pair: a listener that does not
+    // know how many registrations to wait for would wait forever.
+    let (code, stderr) = run(&["--listen-workers", "127.0.0.1:0"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("--expect"), "{stderr}");
+    let (code, stderr) = run(&["--expect", "2"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("--listen-workers"), "{stderr}");
+
+    // A daemon either listens or registers, never both.
+    let (code, stderr) = run(&[
+        "serve",
+        "--listen",
+        "127.0.0.1:0",
+        "--register",
+        "127.0.0.1:9",
+    ]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("mutually exclusive"), "{stderr}");
+
+    // The liveness timeouts want non-negative seconds.
+    let (code, stderr) = run(&["--summary", "--heartbeat-deadline", "soon"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("--heartbeat-deadline"), "{stderr}");
+    let (code, stderr) = run(&["--summary", "--connect-timeout", "-1"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("--connect-timeout"), "{stderr}");
 }

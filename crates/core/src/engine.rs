@@ -46,6 +46,7 @@ use std::hash::{Hash, Hasher};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
+use std::time::Duration;
 
 /// One point on the configuration sweep axis: a simulator configuration
 /// plus the workload scale to run it at.
@@ -1034,6 +1035,10 @@ pub type RemoteLaunch = fn(
 pub struct RemoteSpec {
     /// Worker daemon addresses (`host:port`), one entry per worker.
     pub workers: Vec<String>,
+    /// When set, the coordinator additionally listens for worker daemons
+    /// that dial *it* (`repro serve --register`) and waits for this many
+    /// registrations before scheduling — the NAT'd-fleet rendezvous.
+    pub registration: Option<Registration>,
     /// The portable matrix description shipped to every worker, so a
     /// daemon that never saw this run's command line rebuilds the
     /// identical cell space. Must describe the same matrix `run_on` is
@@ -1043,8 +1048,36 @@ pub struct RemoteSpec {
     /// failures before the whole run aborts (guards against a cell that
     /// kills every worker it lands on).
     pub retry_budget: usize,
+    /// How long one dial attempt may take before the worker counts as
+    /// unreachable. Without this a single blackholed address stalls
+    /// coordinator startup for the OS connect default (minutes).
+    pub connect_timeout: Duration,
+    /// Declare a worker dead after this much silence on its socket.
+    /// Healthy daemons heartbeat every few seconds even mid-cell, so any
+    /// silence past this deadline means the worker is hung (frozen OS,
+    /// blackholed network) and its in-flight cells must re-queue.
+    /// `Duration::ZERO` disables the deadline (reads block forever — the
+    /// pre-liveness behaviour; only sensible for debugging).
+    pub heartbeat_deadline: Duration,
+    /// When the shared queue drains but cells are still in flight, let
+    /// idle drivers speculatively re-issue straggler cells to their
+    /// workers. First result wins; duplicates are benign because cell
+    /// results are deterministic (MapReduce-style backup tasks).
+    pub speculate: bool,
     /// The scheduler implementation (see [`RemoteLaunch`]).
     pub launch: RemoteLaunch,
+}
+
+/// Rendezvous configuration for worker self-registration: instead of the
+/// coordinator dialing `host:port` workers, daemons behind NAT dial the
+/// coordinator and announce themselves with a `Register` frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Registration {
+    /// Address the coordinator binds for incoming registrations
+    /// (`host:port`; port `0` picks a free one).
+    pub listen: String,
+    /// How many worker registrations to wait for before scheduling.
+    pub expect: usize,
 }
 
 /// The subprocess backend's worker protocol.

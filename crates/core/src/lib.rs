@@ -53,7 +53,7 @@ pub mod technique;
 pub use cache::{ArtifactCache, CompileKey, CompiledArtifact, ProgramKey};
 pub use engine::{
     cell_key, matrix_fingerprint, shard_of, Backend, BackendError, CellSink, ConfigVariant, Matrix,
-    MatrixSpec, RemoteLaunch, RemoteSpec, SubprocessSpec, Sweep,
+    MatrixSpec, Registration, RemoteLaunch, RemoteSpec, SubprocessSpec, Sweep,
 };
 pub use experiments::{
     figure10, figure11, figure12, figure6, figure7, figure8, figure9, overall_processor_savings,

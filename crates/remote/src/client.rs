@@ -1,45 +1,207 @@
-//! The coordinator's side of one worker connection: dial the daemon,
-//! read its `Hello`, then expose the connection as a
-//! [`WorkerLink`](crate::scheduler::WorkerLink) for the scheduler.
+//! The coordinator's side of one worker connection: dial the daemon
+//! (or accept its `Register`), read its greeting, then expose the
+//! connection as a [`WorkerLink`](crate::scheduler::WorkerLink) for the
+//! scheduler.
+//!
+//! Liveness lives here: every worker socket carries a read deadline of
+//! [`RemoteSpec::heartbeat_deadline`]. Healthy daemons emit a
+//! `Heartbeat` at least every few seconds even while a long cell
+//! computes, so *any* read that times out means the worker went silent
+//! past the deadline — a hung machine, a blackholed network — and the
+//! link surfaces it as an error so the scheduler re-queues the worker's
+//! in-flight cells. Before this deadline existed, a hung worker stalled
+//! the whole run forever: `recv` blocked in `read` with no way out.
 
 use crate::frame;
 use crate::protocol::Message;
 use crate::scheduler::{WorkerEvent, WorkerLink};
-use sdiq_core::MatrixSpec;
+use sdiq_core::{Registration, RemoteSpec};
 use std::io::{self, BufReader};
-use std::net::TcpStream;
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
-/// A worker daemon reached over TCP.
+/// A worker daemon reached over TCP (dialed or self-registered).
 struct TcpWorkerLink {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
     capacity: usize,
-    spec: MatrixSpec,
+    remote: RemoteSpec,
     fingerprint: u64,
+}
+
+/// Connects to `addr` within `remote.connect_timeout` (a blackholed
+/// address must not stall startup for the OS default of minutes) and
+/// applies the heartbeat read deadline to the stream. The error names
+/// the address: with several `--workers`, "connection timed out" alone
+/// does not say which machine to go look at.
+fn connect(addr: &str, remote: &RemoteSpec) -> io::Result<TcpStream> {
+    let timeout = remote.connect_timeout;
+    let stream = connect_bounded(addr, timeout).map_err(|error| {
+        io::Error::new(
+            error.kind(),
+            format!("worker {addr} unreachable within {timeout:?}: {error}"),
+        )
+    })?;
+    configure(&stream, remote)?;
+    Ok(stream)
+}
+
+/// `TcpStream::connect` with a per-attempt bound: like the unbounded
+/// version, every resolved socket address is tried in turn (a dual-stack
+/// host whose first record is unreachable must not shadow a reachable
+/// second one), and the last error is reported. Zero timeout = plain
+/// `connect`.
+pub(crate) fn connect_bounded(addr: &str, timeout: Duration) -> io::Result<TcpStream> {
+    if timeout.is_zero() {
+        return TcpStream::connect(addr);
+    }
+    let mut last = None;
+    for resolved in addr.to_socket_addrs()? {
+        match TcpStream::connect_timeout(&resolved, timeout) {
+            Ok(stream) => return Ok(stream),
+            Err(error) => last = Some(error),
+        }
+    }
+    Err(last.unwrap_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("address `{addr}` resolves to no socket address"),
+        )
+    }))
+}
+
+/// Socket options every worker link needs, dialed or accepted: no Nagle
+/// (frames are small and latency-sensitive — each `CellDone` unblocks
+/// scheduling decisions) and the heartbeat read deadline (zero = the
+/// deadline is disabled and reads block forever).
+fn configure(stream: &TcpStream, remote: &RemoteSpec) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    let deadline = remote.heartbeat_deadline;
+    stream.set_read_timeout((!deadline.is_zero()).then_some(deadline))
 }
 
 /// Dials a worker daemon at `addr` (`host:port`), performs the `Hello`
 /// handshake, and returns the connected link. This is the production
 /// [`Dialer`](crate::scheduler::Dialer).
-pub fn dial(addr: &str, spec: &MatrixSpec, fingerprint: u64) -> io::Result<Box<dyn WorkerLink>> {
-    let stream = TcpStream::connect(addr)?;
-    // Frames are small and latency-sensitive (each CellDone unblocks
-    // scheduling decisions); never batch them behind Nagle.
-    stream.set_nodelay(true)?;
+pub fn dial(addr: &str, remote: &RemoteSpec, fingerprint: u64) -> io::Result<Box<dyn WorkerLink>> {
+    let stream = connect(addr, remote)?;
     let writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
-    match frame::read_message(&mut reader)? {
+    // The deadline already applies: a daemon that accepts and then hangs
+    // cannot stall the handshake either.
+    match frame::read_message(&mut reader).map_err(|e| deadline_error(remote, e))? {
         Message::Hello { capacity } => Ok(Box::new(TcpWorkerLink {
             reader,
             writer,
             capacity,
-            spec: spec.clone(),
+            remote: remote.clone(),
             fingerprint,
         })),
         other => Err(io::Error::new(
             io::ErrorKind::InvalidData,
             format!("worker {addr} opened with {other:?} instead of Hello"),
         )),
+    }
+}
+
+/// Binds `registration.listen` and accepts worker daemons dialing *in*
+/// (`repro serve --register`) until `registration.expect` of them have
+/// sent a valid `Register` frame; returns their connected links. A
+/// connection that opens with anything else (or goes silent before
+/// registering) is logged and dropped — the listener keeps accepting, so
+/// a port-scanner cannot consume a registration slot.
+///
+/// The bound address is announced on stderr as
+/// `remote: listening for workers on <addr> (expecting <n>)` so scripts
+/// binding port `0` can discover the real port.
+pub fn accept_registrations(
+    registration: &Registration,
+    remote: &RemoteSpec,
+    fingerprint: u64,
+) -> io::Result<Vec<(String, Box<dyn WorkerLink>)>> {
+    let listener = TcpListener::bind(&registration.listen)?;
+    let bound = listener.local_addr()?;
+    eprintln!(
+        "remote: listening for workers on {bound} (expecting {})",
+        registration.expect
+    );
+    let mut links: Vec<(String, Box<dyn WorkerLink>)> = Vec::new();
+    while links.len() < registration.expect {
+        let (stream, peer) = match listener.accept() {
+            Ok(accepted) => accepted,
+            Err(error) => {
+                eprintln!("remote: accepting a registration failed: {error}; continuing");
+                std::thread::sleep(Duration::from_millis(50));
+                continue;
+            }
+        };
+        let peer = peer.to_string();
+        // The Register frame must arrive promptly even when the run's
+        // heartbeat deadline is disabled: a half-open connection must
+        // not wedge the rendezvous.
+        let handshake = match remote.heartbeat_deadline {
+            deadline if deadline.is_zero() => Duration::from_secs(10),
+            deadline => deadline,
+        };
+        let register = configure(&stream, remote)
+            .and_then(|()| stream.set_read_timeout(Some(handshake)))
+            .and_then(|()| stream.try_clone())
+            .and_then(|writer| {
+                let mut reader = BufReader::new(stream);
+                frame::read_message(&mut reader).map(|message| (message, reader, writer))
+            });
+        match register {
+            Ok((Message::Register { capacity }, reader, writer)) => {
+                // Restore the run deadline the handshake timeout replaced
+                // (the clone shares the socket, so this covers the reader).
+                let deadline = remote.heartbeat_deadline;
+                if let Err(error) =
+                    writer.set_read_timeout((!deadline.is_zero()).then_some(deadline))
+                {
+                    eprintln!("remote: configuring registered worker {peer} failed: {error}");
+                    continue;
+                }
+                eprintln!(
+                    "remote: worker {peer} registered with capacity {capacity} ({}/{})",
+                    links.len() + 1,
+                    registration.expect
+                );
+                links.push((
+                    peer,
+                    Box::new(TcpWorkerLink {
+                        reader,
+                        writer,
+                        capacity,
+                        remote: remote.clone(),
+                        fingerprint,
+                    }),
+                ));
+            }
+            Ok((other, _, _)) => {
+                eprintln!("remote: {peer} opened with {other:?} instead of Register; dropping");
+            }
+            Err(error) => {
+                eprintln!("remote: registration from {peer} failed: {error}; dropping");
+            }
+        }
+    }
+    Ok(links)
+}
+
+/// Rewrites a socket-timeout error into the liveness verdict it means:
+/// the worker was silent past the heartbeat deadline. (`WouldBlock` is
+/// what Unix returns for a timed-out read on a socket with
+/// `SO_RCVTIMEO`; Windows says `TimedOut`.)
+fn deadline_error(remote: &RemoteSpec, error: io::Error) -> io::Error {
+    match error.kind() {
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => io::Error::new(
+            io::ErrorKind::TimedOut,
+            format!(
+                "silent past the {:?} heartbeat deadline — presumed hung",
+                remote.heartbeat_deadline
+            ),
+        ),
+        _ => error,
     }
 }
 
@@ -53,7 +215,7 @@ impl WorkerLink for TcpWorkerLink {
             &mut self.writer,
             &Message::RunCells {
                 fingerprint: self.fingerprint,
-                spec: self.spec.clone(),
+                spec: self.remote.spec.clone(),
                 keys: keys.to_vec(),
             },
         )
@@ -61,10 +223,12 @@ impl WorkerLink for TcpWorkerLink {
 
     fn recv(&mut self) -> io::Result<WorkerEvent> {
         loop {
-            match frame::read_message(&mut self.reader)? {
+            let message = frame::read_message(&mut self.reader)
+                .map_err(|e| deadline_error(&self.remote, e))?;
+            match message {
                 Message::CellDone { key, report } => return Ok(WorkerEvent::Cell(key, report)),
                 Message::Done { .. } => return Ok(WorkerEvent::Done),
-                Message::Heartbeat => continue, // keep-alive, not an event
+                Message::Heartbeat => continue, // keep-alive: the read itself reset the deadline
                 Message::Error { message } => {
                     // The worker refused or failed the batch; surfacing it
                     // as an I/O error makes the scheduler re-queue this
@@ -82,5 +246,112 @@ impl WorkerLink for TcpWorkerLink {
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdiq_core::MatrixSpec;
+
+    fn test_spec(heartbeat_deadline: Duration) -> RemoteSpec {
+        RemoteSpec {
+            workers: Vec::new(),
+            registration: None,
+            spec: MatrixSpec {
+                scale: 0.05,
+                sweeps: Vec::new(),
+                benchmarks: vec!["gzip".to_string()],
+                techniques: vec!["baseline".to_string()],
+            },
+            retry_budget: 0,
+            connect_timeout: Duration::from_secs(5),
+            heartbeat_deadline,
+            speculate: true,
+            launch: |_, _, _, _| unreachable!("client tests never launch"),
+        }
+    }
+
+    /// The liveness bugfix, pinned at the socket level: a worker that
+    /// says Hello and then goes silent (no frames, socket open — the
+    /// wire signature of a hung machine) must surface as a timeout
+    /// within the heartbeat deadline, not block forever.
+    #[test]
+    fn a_silent_worker_times_out_at_the_heartbeat_deadline() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            frame::write_message(&mut stream, &Message::Hello { capacity: 1 }).unwrap();
+            // Hold the socket open, silently, longer than the deadline.
+            std::thread::sleep(Duration::from_secs(2));
+            drop(stream);
+        });
+        let spec = test_spec(Duration::from_millis(200));
+        let mut link = dial(&addr, &spec, 0).expect("handshake inside the deadline");
+        let started = std::time::Instant::now();
+        let error = link.recv().expect_err("silence must not block forever");
+        assert_eq!(error.kind(), io::ErrorKind::TimedOut);
+        assert!(
+            error.to_string().contains("heartbeat deadline"),
+            "error names the deadline: {error}"
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(1),
+            "the deadline fired, not the 2 s server sleep"
+        );
+        server.join().unwrap();
+    }
+
+    /// Heartbeats are what keeps a slow-but-alive worker alive: each one
+    /// resets the read deadline, so a cell that computes for many
+    /// deadline-lengths survives as long as the daemon keeps beating.
+    #[test]
+    fn heartbeats_reset_the_deadline() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            frame::write_message(&mut stream, &Message::Hello { capacity: 1 }).unwrap();
+            for _ in 0..6 {
+                std::thread::sleep(Duration::from_millis(100));
+                frame::write_message(&mut stream, &Message::Heartbeat).unwrap();
+            }
+            frame::write_message(&mut stream, &Message::Done { computed: 0 }).unwrap();
+        });
+        let spec = test_spec(Duration::from_millis(300));
+        let mut link = dial(&addr, &spec, 0).unwrap();
+        // Six 100 ms beats span 600 ms — twice the deadline — yet the
+        // stream stays live because every beat resets it.
+        match link.recv().expect("kept alive by heartbeats") {
+            WorkerEvent::Done => {}
+            other => panic!("expected Done, got {other:?}"),
+        }
+        server.join().unwrap();
+    }
+
+    /// The dial itself is bounded too: an address that drops SYNs (here:
+    /// a listener whose backlog we never accept from is the closest
+    /// portable stand-in — so instead use an unroutable port on a bound
+    /// but never-accepting socket) must fail within `connect_timeout`.
+    /// Localhost refuses instantly, so the observable contract is just
+    /// that refused dials name the address.
+    #[test]
+    fn unreachable_workers_name_the_address() {
+        let spec = test_spec(Duration::from_millis(200));
+        // Bind-then-drop: the port was just free, so the dial is refused.
+        let port = {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap().port()
+        };
+        let addr = format!("127.0.0.1:{port}");
+        let error = match dial(&addr, &spec, 0) {
+            Err(error) => error,
+            Ok(_) => panic!("nobody listens there"),
+        };
+        assert!(
+            error.to_string().contains(&addr),
+            "error names the address: {error}"
+        );
     }
 }

@@ -30,7 +30,15 @@
 //!   sized by each worker's advertised capacity, re-queueing of a dead
 //!   worker's in-flight cells onto survivors under a retry budget, and a
 //!   clear [`BackendError`](sdiq_core::BackendError) when the pool
-//!   drains.
+//!   drains. Liveness is heartbeat-deadline based: a worker silent past
+//!   [`RemoteSpec::heartbeat_deadline`] counts as dead even if its
+//!   socket never closes (hung OS, blackholed network), and idle
+//!   drivers speculatively double-issue straggler cells (first result
+//!   wins — benign, because cell results are deterministic). Workers
+//!   can also self-register: `repro serve --register host:port` dials
+//!   the coordinator's rendezvous listener
+//!   ([`sdiq_core::Registration`]) instead of being dialed, for fleets
+//!   behind NAT.
 //!
 //! ## Wiring into the engine
 //!
@@ -50,33 +58,107 @@ pub mod protocol;
 pub mod scheduler;
 pub mod server;
 
-use sdiq_core::{Backend, MatrixSpec, RemoteSpec};
+use scheduler::WorkerSource;
+use sdiq_core::{Backend, MatrixSpec, Registration, RemoteSpec};
+use std::time::Duration;
 
 /// Default number of times one cell may be re-queued after worker
 /// failures before the run aborts (a cell that kills three workers in a
 /// row is a poison cell, not bad luck).
 pub const DEFAULT_RETRY_BUDGET: usize = 3;
 
-/// A ready-to-run remote backend over the TCP transport: dial `workers`,
-/// describe the matrix to them as `spec`, tolerate up to `retry_budget`
-/// re-queues per cell. Pass the result to
+/// Default bound on one dial attempt. Generous for a WAN handshake, yet
+/// ~12× faster than the OS connect default a blackholed address would
+/// otherwise cost (typically over two minutes of stalled startup).
+pub const DEFAULT_CONNECT_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Default silence-means-dead threshold: thirty missed heartbeats
+/// ([`server`] beats every ~1 s even mid-cell), so transient scheduler
+/// hiccups on a loaded worker never count as a death, while a genuinely
+/// hung machine is reaped in half a minute instead of never.
+pub const DEFAULT_HEARTBEAT_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Everything about a remote pool except the matrix itself; the
+/// defaults are what `repro --workers` uses when no tuning flags are
+/// given.
+#[derive(Debug, Clone)]
+pub struct RemoteOptions {
+    /// Worker daemon addresses to dial (`host:port`).
+    pub workers: Vec<String>,
+    /// Rendezvous for workers that dial in (`repro serve --register`).
+    pub registration: Option<Registration>,
+    /// Per-cell re-queue budget ([`DEFAULT_RETRY_BUDGET`]).
+    pub retry_budget: usize,
+    /// Dial bound ([`DEFAULT_CONNECT_TIMEOUT`]; zero disables).
+    pub connect_timeout: Duration,
+    /// Silence-means-dead threshold ([`DEFAULT_HEARTBEAT_DEADLINE`];
+    /// zero disables — reads block forever, the pre-liveness behaviour).
+    pub heartbeat_deadline: Duration,
+    /// Whether idle drivers double-issue straggler cells (default on;
+    /// benign because cell results are deterministic).
+    pub speculate: bool,
+}
+
+impl Default for RemoteOptions {
+    fn default() -> RemoteOptions {
+        RemoteOptions {
+            workers: Vec::new(),
+            registration: None,
+            retry_budget: DEFAULT_RETRY_BUDGET,
+            connect_timeout: DEFAULT_CONNECT_TIMEOUT,
+            heartbeat_deadline: DEFAULT_HEARTBEAT_DEADLINE,
+            speculate: true,
+        }
+    }
+}
+
+/// A ready-to-run remote backend over the TCP transport: dial
+/// `options.workers` (and/or wait for `options.registration` daemons to
+/// dial in), describe the matrix to them as `spec`. Pass the result to
 /// [`Matrix::run_on`](sdiq_core::Matrix::run_on).
-pub fn backend(workers: Vec<String>, spec: MatrixSpec, retry_budget: usize) -> Backend {
+pub fn backend(spec: MatrixSpec, options: RemoteOptions) -> Backend {
     Backend::Remote(RemoteSpec {
-        workers,
+        workers: options.workers,
+        registration: options.registration,
         spec,
-        retry_budget,
+        retry_budget: options.retry_budget,
+        connect_timeout: options.connect_timeout,
+        heartbeat_deadline: options.heartbeat_deadline,
+        speculate: options.speculate,
         launch,
     })
 }
 
 /// The [`sdiq_core::RemoteLaunch`] implementation: the generic scheduler
-/// over the TCP dialer.
+/// over the TCP dialer, with the registration rendezvous (when
+/// configured) run first so self-registered workers join the same pool
+/// as dialed ones.
 fn launch(
     matrix: &sdiq_core::Matrix<'_>,
     spec: &RemoteSpec,
     seed: &std::collections::HashMap<String, sdiq_core::RunReport>,
     sink: Option<&dyn sdiq_core::CellSink>,
 ) -> Result<sdiq_core::Sweep, sdiq_core::BackendError> {
-    scheduler::run(matrix, spec, seed, sink, client::dial)
+    let mut sources: Vec<WorkerSource> = spec
+        .workers
+        .iter()
+        .cloned()
+        .map(WorkerSource::Dial)
+        .collect();
+    if let Some(registration) = &spec.registration {
+        let fingerprint = sdiq_core::matrix_fingerprint(&matrix.cell_keys());
+        let registered =
+            client::accept_registrations(registration, spec, fingerprint).map_err(|e| {
+                sdiq_core::BackendError::new(format!(
+                    "waiting for worker registrations on {}: {e}",
+                    registration.listen
+                ))
+            })?;
+        sources.extend(
+            registered
+                .into_iter()
+                .map(|(addr, link)| WorkerSource::Ready { addr, link }),
+        );
+    }
+    scheduler::run_with_sources(matrix, spec, seed, sink, client::dial, sources)
 }

@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! worker → coordinator   Hello{capacity}            once, on accept
+//! worker → coordinator   Register{capacity}         once, when the *worker* dialed
 //! coordinator → worker   RunCells{fingerprint, spec, keys}     per batch
 //! worker → coordinator   Heartbeat                  keep-alive, any time
 //! worker → coordinator   CellDone{key, report}      per finished cell
@@ -38,6 +39,14 @@ pub enum Message {
     /// to exactly this number.
     Hello {
         /// Advertised parallel capacity (≥ 1).
+        capacity: usize,
+    },
+    /// Worker → coordinator greeting with the dial direction reversed:
+    /// a NAT'd daemon (`repro serve --register`) dialed the coordinator's
+    /// rendezvous listener and is announcing itself. After this frame the
+    /// connection is indistinguishable from a dialed-and-`Hello`ed one.
+    Register {
+        /// Advertised parallel capacity (≥ 1), exactly as in [`Message::Hello`].
         capacity: usize,
     },
     /// Coordinator → worker: compute these cells of the matrix `spec`
@@ -87,6 +96,10 @@ impl Message {
                 "hello",
                 vec![("capacity".to_string(), Json::of_usize(*capacity))],
             ),
+            Message::Register { capacity } => tagged(
+                "register",
+                vec![("capacity".to_string(), Json::of_usize(*capacity))],
+            ),
             Message::RunCells {
                 fingerprint,
                 spec,
@@ -126,6 +139,9 @@ impl Message {
         let tag = json.get("type")?.str()?;
         match tag {
             "hello" => Ok(Message::Hello {
+                capacity: json.get("capacity")?.usize()?,
+            }),
+            "register" => Ok(Message::Register {
                 capacity: json.get("capacity")?.usize()?,
             }),
             "run_cells" => Ok(Message::RunCells {
@@ -193,6 +209,7 @@ mod tests {
         };
         let messages = [
             Message::Hello { capacity: 4 },
+            Message::Register { capacity: 16 },
             Message::RunCells {
                 fingerprint: 0xdead_beef_0123_4567,
                 spec,

@@ -1,28 +1,37 @@
 //! The fault-tolerant coordinator scheduler.
 //!
-//! One driver thread per configured worker pulls batches of cell keys
-//! from a shared queue — batch size = that worker's advertised capacity,
+//! One driver thread per worker pulls batches of cell keys from a
+//! shared queue — batch size = that worker's advertised capacity,
 //! so a 16-way daemon claims sixteen cells while a laptop claims one,
 //! which is the capacity-weighted partition of the key space (and,
 //! unlike a static split, it keeps every worker busy until the queue is
 //! empty no matter how wrong the capacities are about real speed).
+//! A worker is either dialed by its driver ([`WorkerSource::Dial`]) or
+//! arrives pre-connected from the registration rendezvous
+//! ([`WorkerSource::Ready`], a daemon that dialed *us*).
 //!
 //! Fault model: a worker may die at any point — refuse the dial, drop
-//! mid-batch, claim `Done` while cells are still owed. In every case the
-//! cells that worker still owed go back on the queue for the survivors,
-//! each re-queue charging that cell's retry budget; a cell that exhausts
-//! the budget aborts the run (it is killing workers, not unlucky), and a
-//! queue that still holds cells when every driver has exited surfaces as
-//! a drained-pool [`BackendError`] naming the worker failures.
+//! mid-batch, go **silent past the heartbeat deadline** (the link
+//! surfaces that as a timed-out read; see `client`), claim `Done` while
+//! cells are still owed. In every case the cells that worker still owed
+//! go back on the queue for the survivors, each re-queue charging that
+//! cell's retry budget; a cell that exhausts the budget aborts the run
+//! (it is killing workers, not unlucky), and a queue that still holds
+//! cells when every driver has exited surfaces as a drained-pool
+//! [`BackendError`] naming the worker failures.
 //!
 //! An idle driver does not exit just because the queue is momentarily
 //! empty: while any *other* driver still has cells in flight, those
-//! cells may yet be re-queued by a death, so the idle driver **parks**
-//! on a condvar and wakes when work reappears (or everything resolves).
-//! Without this, a straggler worker dying after the queue drained would
-//! strand its cells with healthy, already-departed survivors — the
-//! failover guarantee would hold except near the end of a run, which is
-//! exactly when deaths are most likely.
+//! cells may yet be re-queued by a death. With speculation enabled
+//! (the default), the idle driver does better than park: it
+//! **speculatively re-issues** straggler cells — in-flight cells that
+//! have no backup copy yet — to its own worker, MapReduce-style. The
+//! first result to land wins; the loser's duplicate is discarded after
+//! checking it is bit-identical (cell results are deterministic, so a
+//! *divergent* duplicate means something is deeply wrong and aborts the
+//! run). Only when there is nothing to speculate on does the driver
+//! park on a condvar, waking when work reappears (or everything
+//! resolves).
 //!
 //! The scheduler is deliberately transport-free: drivers speak to a
 //! [`WorkerLink`], and the [`Dialer`] that produces links is a
@@ -32,26 +41,27 @@
 //! Determinism: completed reports are keyed by cell key and the final
 //! sweep is assembled by the engine's own seeded run
 //! ([`Matrix::run_with`]), exactly like the subprocess backend — so
-//! *which* worker computed a cell, and in what order, cannot influence a
-//! single byte of the result.
+//! *which* worker computed a cell (speculative twin or original), and
+//! in what order, cannot influence a single byte of the result.
 
-use sdiq_core::{
-    ArtifactCache, BackendError, CellSink, Matrix, MatrixSpec, RemoteSpec, RunReport, Sweep,
-};
+use sdiq_core::{ArtifactCache, BackendError, CellSink, Matrix, RemoteSpec, RunReport, Sweep};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io;
 use std::sync::{Condvar, Mutex};
 
 /// A connected worker, as one driver thread sees it.
 pub trait WorkerLink: Send {
-    /// The capacity the worker advertised in its `Hello`.
+    /// The capacity the worker advertised in its `Hello`/`Register`.
     fn capacity(&self) -> usize;
 
     /// Submits a batch of cell keys.
     fn submit(&mut self, keys: &[String]) -> io::Result<()>;
 
     /// Blocks for the next scheduling event (heartbeats are skipped
-    /// inside the link, never surfaced).
+    /// inside the link — each one resets the read deadline, which is how
+    /// a slow-but-alive worker stays alive). A worker silent past the
+    /// heartbeat deadline surfaces as an [`io::ErrorKind::TimedOut`]
+    /// error, which the scheduler treats exactly like a death.
     fn recv(&mut self) -> io::Result<WorkerEvent>;
 }
 
@@ -65,20 +75,50 @@ pub enum WorkerEvent {
 }
 
 /// Produces a connected [`WorkerLink`] for one worker address; the spec
-/// and fingerprint are what the link will send in its `RunCells` frames.
-pub type Dialer = fn(&str, &MatrixSpec, u64) -> io::Result<Box<dyn WorkerLink>>;
+/// carries what the link needs (the `RunCells` matrix description, the
+/// connect timeout, the heartbeat deadline).
+pub type Dialer = fn(&str, &RemoteSpec, u64) -> io::Result<Box<dyn WorkerLink>>;
 
-/// The work ledger: pending keys plus a count of cells currently in
-/// flight on some worker, guarded together so [`State::claim`] can park
-/// on one condvar until either changes (see the module docs).
+/// One worker as handed to a driver thread.
+pub enum WorkerSource {
+    /// An address the driver dials through the scheduler's [`Dialer`].
+    Dial(String),
+    /// A link already connected and greeted — a worker that registered
+    /// itself at the rendezvous listener (`repro serve --register`).
+    Ready {
+        /// The peer address, for failure messages.
+        addr: String,
+        /// The connected link.
+        link: Box<dyn WorkerLink>,
+    },
+}
+
+/// The work ledger: pending keys plus, per cell key not yet completed,
+/// the number of copies currently claimed by drivers (1 normally, 2 when
+/// an idle driver speculated a backup) — guarded together so
+/// [`State::claim`] can park on one condvar until either changes.
 struct WorkState {
     /// Cell keys waiting for a worker.
     queue: VecDeque<String>,
-    /// Cells claimed but not yet completed or re-queued.
-    in_flight: usize,
+    /// Copies in flight per not-yet-completed cell key. A key leaves
+    /// this map the moment its first result is recorded; stale twin
+    /// copies finish (or die) without the ledger caring.
+    in_flight: HashMap<String, usize>,
     /// Mirror of the fatal flag, kept under this lock so parked
     /// claimers observe it without a second mutex.
     fatal: bool,
+}
+
+/// What [`State::record`] found when a result landed.
+enum Recorded {
+    /// First result for this key — it is the suite's result.
+    New,
+    /// A speculative twin (or a worker-side duplicate) lost the race;
+    /// the report is bit-identical to the recorded one, so it is noise.
+    DuplicateIdentical,
+    /// A duplicate that *differs* from the recorded report: cell
+    /// determinism is broken and no answer can be trusted.
+    DuplicateDivergent,
 }
 
 /// Shared scheduler state. Lock discipline where locks nest:
@@ -90,6 +130,8 @@ struct State {
     work: Mutex<WorkState>,
     /// Wakes parked claimers when the ledger changes.
     work_changed: Condvar,
+    /// Whether idle drivers may double-issue straggler cells.
+    speculate: bool,
     /// Per-cell re-queue counts.
     retries: Mutex<HashMap<String, usize>>,
     /// Completed cells.
@@ -103,14 +145,15 @@ struct State {
 }
 
 impl State {
-    fn new(pending: Vec<String>) -> State {
+    fn new(pending: Vec<String>, speculate: bool) -> State {
         State {
             work: Mutex::new(WorkState {
                 queue: pending.into(),
-                in_flight: 0,
+                in_flight: HashMap::new(),
                 fatal: false,
             }),
             work_changed: Condvar::new(),
+            speculate,
             retries: Mutex::new(HashMap::new()),
             completed: Mutex::new(HashMap::new()),
             fatal: Mutex::new(None),
@@ -134,61 +177,125 @@ impl State {
         self.work_changed.notify_all();
     }
 
-    /// Claims up to `capacity` cells, **parking** while the queue is
-    /// empty but other drivers still have cells in flight (a death
-    /// could hand them back at any moment). Returns an empty batch only
-    /// when the run is over for this driver: nothing pending, nothing
-    /// in flight anywhere — or the run turned fatal.
-    fn claim(&self, capacity: usize) -> Vec<String> {
+    /// Claims up to `capacity` cells. While the queue is empty but other
+    /// drivers still have cells in flight, first tries to claim
+    /// **speculative** copies of stragglers (in-flight keys with no
+    /// backup yet — the second element is `true` for such a batch), and
+    /// only **parks** when there is nothing to speculate on either (a
+    /// death could hand cells back at any moment). Returns an empty
+    /// batch only when the run is over for this driver: nothing pending,
+    /// nothing in flight anywhere — or the run turned fatal.
+    fn claim(&self, capacity: usize) -> (Vec<String>, bool) {
         let mut work = self.work.lock().expect("scheduler poisoned");
         loop {
             if work.fatal {
-                return Vec::new();
+                return (Vec::new(), false);
             }
             if !work.queue.is_empty() {
                 let take = capacity.max(1).min(work.queue.len());
                 let batch: Vec<String> = work.queue.drain(..take).collect();
-                work.in_flight += batch.len();
-                return batch;
+                for key in &batch {
+                    *work.in_flight.entry(key.clone()).or_insert(0) += 1;
+                }
+                return (batch, false);
             }
-            if work.in_flight == 0 {
-                return Vec::new();
+            if work.in_flight.is_empty() {
+                return (Vec::new(), false);
+            }
+            if self.speculate {
+                let stragglers: Vec<String> = work
+                    .in_flight
+                    .iter()
+                    .filter(|(_, &copies)| copies == 1)
+                    .map(|(key, _)| key.clone())
+                    .take(capacity.max(1))
+                    .collect();
+                if !stragglers.is_empty() {
+                    for key in &stragglers {
+                        *work.in_flight.get_mut(key).expect("just listed") += 1;
+                    }
+                    return (stragglers, true);
+                }
             }
             work = self.work_changed.wait(work).expect("scheduler poisoned");
         }
     }
 
-    /// Records one finished cell and releases its in-flight slot.
-    fn complete(&self, key: String, report: RunReport) {
+    fn is_completed(&self, key: &str) -> bool {
         self.completed
             .lock()
             .expect("scheduler poisoned")
-            .insert(key, report);
+            .contains_key(key)
+    }
+
+    /// Records one result: first result wins; a losing twin is checked
+    /// for bit-identity against the winner (determinism is the whole
+    /// basis for speculation being benign).
+    fn record(&self, key: &str, report: &RunReport) -> Recorded {
+        let mut completed = self.completed.lock().expect("scheduler poisoned");
+        match completed.get(key) {
+            None => {
+                completed.insert(key.to_string(), report.clone());
+                Recorded::New
+            }
+            Some(existing) if existing == report => Recorded::DuplicateIdentical,
+            Some(_) => Recorded::DuplicateDivergent,
+        }
+    }
+
+    /// Releases a completed key's in-flight entry (all copies at once —
+    /// a stale twin still computing it no longer owes anything), waking
+    /// parked claimers if the run just resolved.
+    fn release(&self, key: &str) {
         let mut work = self.work.lock().expect("scheduler poisoned");
-        work.in_flight -= 1;
-        if work.in_flight == 0 {
-            // The last in-flight cell resolved cleanly: parked claimers
-            // can now conclude the run is over.
+        work.in_flight.remove(key);
+        if work.in_flight.is_empty() {
+            // The last in-flight cell resolved: parked claimers can now
+            // conclude the run is over (the queue must be empty too, or
+            // they would not be parked).
             self.work_changed.notify_all();
         }
     }
 
     /// Returns a dead worker's owed cells to the queue (waking parked
-    /// survivors), charging each cell's retry budget; a cell over
-    /// budget turns the failure fatal.
+    /// survivors), charging each actually-re-queued cell's retry budget;
+    /// a cell over budget turns the failure fatal. Cells a speculative
+    /// twin already completed (or still holds a live copy of) are
+    /// released without a charge — the death cost nothing.
     fn requeue(&self, addr: &str, owed: Vec<String>, retry_budget: usize, why: &str) {
         self.failures
             .lock()
             .expect("scheduler poisoned")
             .push(format!("worker {addr}: {why}"));
-        eprintln!(
-            "remote: worker {addr} failed ({why}); re-queueing {} in-flight cell(s)",
-            owed.len()
-        );
         let mut retries = self.retries.lock().expect("scheduler poisoned");
         let mut work = self.work.lock().expect("scheduler poisoned");
-        work.in_flight -= owed.len();
+        let mut requeued = 0usize;
+        let mut covered = 0usize;
         for key in owed {
+            if self
+                .completed
+                .lock()
+                .expect("scheduler poisoned")
+                .contains_key(&key)
+            {
+                // A twin's result already landed; the ledger entry was
+                // released then. Nothing is owed.
+                covered += 1;
+                continue;
+            }
+            match work.in_flight.get_mut(&key) {
+                Some(copies) if *copies > 1 => {
+                    // A live backup copy is still computing this cell on
+                    // another worker; no need to re-queue (yet).
+                    *copies -= 1;
+                    covered += 1;
+                    continue;
+                }
+                entry => {
+                    debug_assert!(entry.is_some(), "owed key `{key}` must be in flight");
+                    work.in_flight.remove(&key);
+                }
+            }
             let count = retries.entry(key.clone()).or_insert(0);
             *count += 1;
             if *count > retry_budget {
@@ -202,15 +309,27 @@ impl State {
                 return;
             }
             work.queue.push_back(key);
+            requeued += 1;
         }
+        eprintln!(
+            "remote: worker {addr} failed ({why}); re-queueing {requeued} in-flight cell(s)\
+             {}",
+            if covered > 0 {
+                format!(", {covered} already covered elsewhere")
+            } else {
+                String::new()
+            }
+        );
         self.work_changed.notify_all();
     }
 }
 
-/// Runs `matrix`'s missing cells over the remote worker pool and
-/// assembles the full sweep (see the module docs for the scheduling and
-/// fault model). `dialer` is the transport; production callers go
-/// through [`crate::backend`], which plugs in TCP.
+/// Runs `matrix`'s missing cells over the remote worker pool —
+/// `spec.workers` addresses dialed through `dialer` — and assembles the
+/// full sweep (see the module docs for the scheduling and fault model).
+/// Production callers go through [`crate::backend`], which plugs in TCP
+/// (and, when registration is configured, pre-connected links via
+/// [`run_with_sources`]).
 pub fn run(
     matrix: &Matrix<'_>,
     spec: &RemoteSpec,
@@ -218,31 +337,41 @@ pub fn run(
     sink: Option<&dyn CellSink>,
     dialer: Dialer,
 ) -> Result<Sweep, BackendError> {
-    if spec.workers.is_empty() {
+    let sources = spec
+        .workers
+        .iter()
+        .cloned()
+        .map(WorkerSource::Dial)
+        .collect();
+    run_with_sources(matrix, spec, seed, sink, dialer, sources)
+}
+
+/// [`run`] over an explicit worker pool: dialed addresses, pre-connected
+/// registered links, or a mix of both.
+pub fn run_with_sources(
+    matrix: &Matrix<'_>,
+    spec: &RemoteSpec,
+    seed: &HashMap<String, RunReport>,
+    sink: Option<&dyn CellSink>,
+    dialer: Dialer,
+    sources: Vec<WorkerSource>,
+) -> Result<Sweep, BackendError> {
+    if sources.is_empty() {
         return Err(BackendError::new(
-            "remote backend needs at least one worker address",
+            "remote backend needs at least one worker (a --workers address or a registered daemon)",
         ));
     }
     let fingerprint = sdiq_core::matrix_fingerprint(&matrix.cell_keys());
     let expected: HashSet<String> = matrix.cell_keys().into_iter().collect();
     let pending = matrix.missing_cell_keys(seed);
-    let state = State::new(pending);
+    let state = State::new(pending, spec.speculate);
 
     std::thread::scope(|scope| {
-        for addr in &spec.workers {
+        for source in sources {
             let state = &state;
             let expected = &expected;
             scope.spawn(move || {
-                drive_worker(
-                    addr,
-                    &spec.spec,
-                    fingerprint,
-                    spec.retry_budget,
-                    state,
-                    expected,
-                    sink,
-                    dialer,
-                );
+                drive_worker(source, spec, fingerprint, state, expected, sink, dialer);
             });
         }
     });
@@ -270,47 +399,56 @@ pub fn run(
     Ok(matrix.run_with(&ArtifactCache::new(), &merged))
 }
 
-/// One worker's driver loop: dial, then claim/submit/receive until the
-/// queue is empty, the worker dies, or the run turns fatal.
-#[allow(clippy::too_many_arguments)] // driver wiring, called from one place
+/// One worker's driver loop: dial (unless pre-connected), then
+/// claim/submit/receive until the queue is empty, the worker dies or
+/// goes silent past the heartbeat deadline, or the run turns fatal.
 fn drive_worker(
-    addr: &str,
-    spec: &MatrixSpec,
+    source: WorkerSource,
+    spec: &RemoteSpec,
     fingerprint: u64,
-    retry_budget: usize,
     state: &State,
     expected: &HashSet<String>,
     sink: Option<&dyn CellSink>,
     dialer: Dialer,
 ) {
-    let mut link = match dialer(addr, spec, fingerprint) {
-        Ok(link) => link,
-        Err(error) => {
-            // Nothing was claimed yet, so nothing re-queues; the worker
-            // simply never joins the pool.
-            state
-                .failures
-                .lock()
-                .expect("scheduler poisoned")
-                .push(format!("worker {addr}: dial failed: {error}"));
-            eprintln!("remote: worker {addr}: dial failed: {error}");
-            return;
-        }
+    let retry_budget = spec.retry_budget;
+    let (addr, mut link) = match source {
+        WorkerSource::Ready { addr, link } => (addr, link),
+        WorkerSource::Dial(addr) => match dialer(&addr, spec, fingerprint) {
+            Ok(link) => (addr, link),
+            Err(error) => {
+                // Nothing was claimed yet, so nothing re-queues; the worker
+                // simply never joins the pool.
+                state
+                    .failures
+                    .lock()
+                    .expect("scheduler poisoned")
+                    .push(format!("worker {addr}: dial failed: {error}"));
+                eprintln!("remote: worker {addr}: dial failed: {error}");
+                return;
+            }
+        },
     };
     let capacity = link.capacity().max(1);
     loop {
         if state.fatal_is_set() {
             return;
         }
-        let batch = state.claim(capacity);
+        let (batch, speculative) = state.claim(capacity);
         if batch.is_empty() {
             // Nothing pending and nothing in flight anywhere (or the run
             // turned fatal): release the worker (drop closes the link).
             return;
         }
+        if speculative {
+            eprintln!(
+                "remote: speculatively re-issuing {} straggler cell(s) to idle worker {addr}",
+                batch.len()
+            );
+        }
         if let Err(error) = link.submit(&batch) {
             state.requeue(
-                addr,
+                &addr,
                 batch,
                 retry_budget,
                 &format!("submit failed: {error}"),
@@ -322,27 +460,57 @@ fn drive_worker(
             match link.recv() {
                 Ok(WorkerEvent::Cell(key, report)) => {
                     if !outstanding.remove(&key) {
-                        // A key we did not ask this worker for: either
-                        // foreign (configurations disagree) or duplicated.
-                        // Both are protocol violations, and accepting the
-                        // report could mask a real divergence — abort.
-                        let kind = if expected.contains(&key) {
-                            "a cell it was not asked for"
-                        } else {
-                            "a foreign cell key — worker and coordinator configurations disagree"
-                        };
-                        state.set_fatal(format!("worker {addr} delivered {kind} (`{key}`)"));
-                        return;
+                        // A key this worker was not asked for in this
+                        // batch. A duplicate of an already-completed cell
+                        // is benign (verified bit-identical below) — a
+                        // speculative twin, or a worker re-sending. A
+                        // foreign key, or a duplicate of a cell *nobody*
+                        // finished, is a protocol violation: accepting it
+                        // could mask a real divergence — abort.
+                        if !expected.contains(&key) {
+                            state.set_fatal(format!(
+                                "worker {addr} delivered a foreign cell key (`{key}`) — \
+                                 worker and coordinator configurations disagree"
+                            ));
+                            return;
+                        }
+                        if !state.is_completed(&key) {
+                            state.set_fatal(format!(
+                                "worker {addr} delivered a cell it was not asked for (`{key}`)"
+                            ));
+                            return;
+                        }
                     }
-                    if let Some(sink) = sink {
-                        sink.cell_complete(&key, &report);
+                    match state.record(&key, &report) {
+                        Recorded::New => {
+                            if let Some(sink) = sink {
+                                sink.cell_complete(&key, &report);
+                            }
+                            state.release(&key);
+                        }
+                        Recorded::DuplicateIdentical => {
+                            // First result won the race; this copy is
+                            // redundant by design. The key already left
+                            // the in-flight ledger when the winner landed.
+                            eprintln!(
+                                "remote: duplicate result for `{key}` from {addr} \
+                                 (lost the speculation race); keeping the first"
+                            );
+                        }
+                        Recorded::DuplicateDivergent => {
+                            state.set_fatal(format!(
+                                "worker {addr} delivered a result for `{key}` that differs \
+                                 from the one already recorded — cell determinism is broken, \
+                                 no answer can be trusted"
+                            ));
+                            return;
+                        }
                     }
-                    state.complete(key, *report);
                 }
                 Ok(WorkerEvent::Done) => {
                     if !outstanding.is_empty() {
                         state.requeue(
-                            addr,
+                            &addr,
                             outstanding.into_iter().collect(),
                             retry_budget,
                             "batch reported done with cells still owed",
@@ -353,7 +521,7 @@ fn drive_worker(
                 }
                 Err(error) => {
                     state.requeue(
-                        addr,
+                        &addr,
                         outstanding.into_iter().collect(),
                         retry_budget,
                         &format!("died mid-batch: {error}"),
@@ -368,9 +536,10 @@ fn drive_worker(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sdiq_core::{cell_key, RemoteSpec};
+    use sdiq_core::{cell_key, MatrixSpec, RemoteSpec};
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::OnceLock;
+    use std::time::Duration;
 
     fn tiny_spec() -> MatrixSpec {
         MatrixSpec {
@@ -395,20 +564,27 @@ mod tests {
     }
 
     /// An in-memory worker: serves cells from the oracle, with optional
-    /// scripted death after a given number of delivered cells and an
-    /// optional per-event delay (a deterministic straggler).
+    /// scripted death or hang after a given number of delivered cells
+    /// and an optional per-event delay (a deterministic straggler).
     struct FakeLink {
         capacity: usize,
         /// Cells queued by `submit`, not yet delivered.
         pending: VecDeque<String>,
         /// Delivered-cell countdown; reaching zero kills the link.
         die_after: Option<usize>,
+        /// Delivered-cell countdown; reaching zero makes every further
+        /// `recv` report a heartbeat-deadline timeout — the wire-visible
+        /// signature of a hung worker under the liveness layer.
+        hang_after: Option<usize>,
         /// `Done` is owed after the last pending cell.
         done_pending: bool,
         /// Delivers this key instead of the first requested one.
         alias_first_to: Option<String>,
+        /// Re-delivers the first key of each batch a second time, after
+        /// the batch (a worker-side duplicate).
+        duplicate_first: bool,
         /// Sleep this long at every `recv` (straggler script).
-        delay: Option<std::time::Duration>,
+        delay: Option<Duration>,
         delivered: &'static AtomicUsize,
     }
 
@@ -419,6 +595,11 @@ mod tests {
 
         fn submit(&mut self, keys: &[String]) -> io::Result<()> {
             self.pending.extend(keys.iter().cloned());
+            if self.duplicate_first {
+                if let Some(first) = keys.first() {
+                    self.pending.push_back(first.clone());
+                }
+            }
             self.done_pending = true;
             Ok(())
         }
@@ -433,9 +614,20 @@ mod tests {
                     "scripted death",
                 ));
             }
+            if let Some(0) = self.hang_after {
+                // What `client::dial`'s link reports when the socket was
+                // silent past the heartbeat deadline.
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "silent past the 200ms heartbeat deadline — presumed hung",
+                ));
+            }
             match self.pending.pop_front() {
                 Some(key) => {
                     if let Some(budget) = &mut self.die_after {
+                        *budget -= 1;
+                    }
+                    if let Some(budget) = &mut self.hang_after {
                         *budget -= 1;
                     }
                     let report = oracle()
@@ -463,10 +655,12 @@ mod tests {
     static DELIVERED: AtomicUsize = AtomicUsize::new(0);
 
     /// Addresses script the fake transport: `cap<N>` sets capacity,
-    /// `die<N>` kills the link after N delivered cells, `slow<N>` sleeps
-    /// N ms at every recv, `refuse` fails the dial, `alias` mis-delivers
-    /// the first cell.
-    fn fake_dial(addr: &str, _: &MatrixSpec, _: u64) -> io::Result<Box<dyn WorkerLink>> {
+    /// `die<N>` kills the link after N delivered cells, `hang<N>` turns
+    /// every recv after N delivered cells into a heartbeat-deadline
+    /// timeout, `slow<N>` sleeps N ms at every recv, `refuse` fails the
+    /// dial, `alias` mis-delivers the first cell, `dup` re-delivers each
+    /// batch's first cell twice.
+    fn fake_dial(addr: &str, _: &RemoteSpec, _: u64) -> io::Result<Box<dyn WorkerLink>> {
         if addr.contains("refuse") {
             return Err(io::Error::new(io::ErrorKind::ConnectionRefused, "refused"));
         }
@@ -480,7 +674,8 @@ mod tests {
         };
         let capacity = script("cap").unwrap_or(1);
         let die_after = script("die");
-        let delay = script("slow").map(|ms| std::time::Duration::from_millis(ms as u64));
+        let hang_after = script("hang");
+        let delay = script("slow").map(|ms| Duration::from_millis(ms as u64));
         let alias_first_to = addr.contains("alias").then(|| {
             let spec = tiny_spec();
             let experiment = spec.experiment();
@@ -495,24 +690,41 @@ mod tests {
             capacity,
             pending: VecDeque::new(),
             die_after,
+            hang_after,
             done_pending: false,
             alias_first_to,
+            duplicate_first: addr.contains("dup"),
             delay,
             delivered: &DELIVERED,
         }))
     }
 
-    fn run_fake(workers: &[&str], retry_budget: usize) -> Result<Sweep, BackendError> {
-        let spec = tiny_spec();
-        let experiment = spec.experiment();
-        let matrix = spec.matrix(&experiment).unwrap();
-        let remote = RemoteSpec {
+    fn fake_spec(workers: &[&str], retry_budget: usize, speculate: bool) -> RemoteSpec {
+        RemoteSpec {
             workers: workers.iter().map(|w| w.to_string()).collect(),
-            spec,
+            registration: None,
+            spec: tiny_spec(),
             retry_budget,
+            connect_timeout: Duration::from_secs(5),
+            heartbeat_deadline: Duration::from_millis(200),
+            speculate,
             launch: |_, _, _, _| unreachable!("tests call the scheduler directly"),
-        };
+        }
+    }
+
+    fn run_fake_opts(
+        workers: &[&str],
+        retry_budget: usize,
+        speculate: bool,
+    ) -> Result<Sweep, BackendError> {
+        let remote = fake_spec(workers, retry_budget, speculate);
+        let experiment = remote.spec.experiment();
+        let matrix = remote.spec.matrix(&experiment).unwrap();
         run(&matrix, &remote, &HashMap::new(), None, fake_dial)
+    }
+
+    fn run_fake(workers: &[&str], retry_budget: usize) -> Result<Sweep, BackendError> {
+        run_fake_opts(workers, retry_budget, true)
     }
 
     fn serial() -> Sweep {
@@ -543,12 +755,71 @@ mod tests {
     fn late_straggler_death_returns_cells_to_parked_survivors() {
         // Regression: the fast worker drains the queue and goes idle
         // while the slow worker still holds one in-flight cell; then the
-        // slow worker dies. The idle survivor must be parked — not
-        // exited — so the re-queued cell finds a worker and the run
-        // still completes bit-identically. (Pre-fix, drivers exited on
-        // the first empty claim and this run died with a drained pool.)
-        let sweep = run_fake(&["a-cap1", "b-cap1-slow40-die0"], 1).unwrap();
+        // slow worker dies. The idle survivor must be parked (or, with
+        // speculation, already computing a backup) — not exited — so the
+        // cell finds a worker and the run still completes bit-identically.
+        // (Pre-fix, drivers exited on the first empty claim and this run
+        // died with a drained pool.) Pinned with speculation off so the
+        // park-and-requeue path itself stays covered.
+        let sweep = run_fake_opts(&["a-cap1", "b-cap1-slow40-die0"], 1, false).unwrap();
         assert_eq!(sweep, serial(), "straggler failover is bit-identical");
+    }
+
+    #[test]
+    fn a_hung_worker_trips_the_deadline_and_its_cells_requeue() {
+        // The liveness bugfix at the scheduler level: worker `a` claims
+        // two cells, delivers one, then goes silent — its link reports a
+        // heartbeat-deadline timeout (exactly what the TCP link does).
+        // Its remaining cell must re-queue onto `b` and the sweep must
+        // still be exact. Pre-fix, `recv` blocked forever and this run
+        // never terminated. Speculation off: this pins the pure
+        // deadline → re-queue path.
+        let sweep = run_fake_opts(&["a-cap2-hang1", "b-cap1"], 1, false).unwrap();
+        assert_eq!(sweep, serial(), "deadline failover is bit-identical");
+        let error = run_fake_opts(&["a-hang0"], 9, false)
+            .unwrap_err()
+            .to_string();
+        assert!(
+            error.contains("pool drained") && error.contains("heartbeat deadline"),
+            "a lone hung worker drains the pool with the deadline named: {error}"
+        );
+    }
+
+    #[test]
+    fn speculation_covers_a_straggler_before_its_deadline_charges_anyone() {
+        // Worker `b` hangs on its very first cell (delivers nothing, and
+        // after 400 ms its link reports the deadline timeout); worker `a`
+        // is merely slow (20 ms/cell), so `b` reliably claims a cell
+        // before `a` drains the queue. With speculation ON and a retry
+        // budget of ZERO the run must still succeed: the idle worker `a`
+        // double-issues `b`'s in-flight cell the moment the queue
+        // drains, the speculative result lands first, and `b`'s later
+        // death finds nothing owed — so nothing re-queues and the zero
+        // budget is never charged.
+        let sweep = run_fake_opts(&["a-cap1-slow20", "b-cap1-hang0-slow400"], 0, true).unwrap();
+        assert_eq!(sweep, serial(), "speculative result is bit-identical");
+
+        // The differential pin: the identical pool with speculation OFF
+        // must instead charge the re-queue and abort on the zero budget —
+        // proving the success above came from speculation, not timing.
+        let error = run_fake_opts(&["a-cap1-slow20", "b-cap1-hang0-slow400"], 0, false)
+            .unwrap_err()
+            .to_string();
+        assert!(
+            error.contains("retry budget"),
+            "without speculation the zero budget aborts: {error}"
+        );
+    }
+
+    #[test]
+    fn duplicate_cell_done_for_a_completed_key_is_benign() {
+        // A worker re-delivers its batch's first cell after completing
+        // the batch. Pre-fix this was fatal ("a cell it was not asked
+        // for"); now a bit-identical duplicate of a *completed* cell is
+        // discarded and the run succeeds — while foreign keys (below)
+        // stay fatal.
+        let sweep = run_fake(&["a-cap2-dup"], 0).unwrap();
+        assert_eq!(sweep, serial(), "duplicates do not perturb the suite");
     }
 
     #[test]

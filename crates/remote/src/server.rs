@@ -14,6 +14,13 @@
 //! batch: write failures are recorded, the batch's remaining cells still
 //! compute into the cache (warming it for the retry), and the daemon
 //! goes back to `accept`.
+//!
+//! Two dial directions: normally the coordinator dials the daemon
+//! (`--listen`, greeting `Hello`); with `--register host:port` the
+//! daemon instead dials the coordinator's rendezvous listener and greets
+//! with `Register` — after which the connection is identical. The
+//! reverse direction exists for worker fleets behind NAT, where only
+//! outbound connections are possible.
 
 use crate::frame;
 use crate::protocol::Message;
@@ -28,7 +35,15 @@ use std::time::Duration;
 #[derive(Debug, Clone)]
 pub struct ServeOptions {
     /// Address to bind (`host:port`; port `0` picks a free one).
+    /// Ignored when `register` is set — a registering daemon dials out
+    /// instead of listening.
     pub listen: String,
+    /// When set, reverse the dial direction: dial this coordinator
+    /// rendezvous address (`repro --listen-workers`), announce capacity
+    /// with a `Register` frame, then serve that connection exactly like
+    /// an accepted one. For worker fleets behind NAT, where the
+    /// coordinator cannot dial in.
+    pub register: Option<String>,
     /// Parallel capacity advertised to coordinators and used as the
     /// in-process pool size (`0` = one per hardware thread).
     pub jobs: usize,
@@ -38,12 +53,24 @@ pub struct ServeOptions {
     /// exactly the wire-visible behaviour of a worker machine dying
     /// mid-cell. `None` in production.
     pub fail_after: Option<usize>,
+    /// Fault-injection hook mirroring `fail_after` for the *other* death
+    /// shape: after delivering this many cells, hang forever in place of
+    /// delivering the next one — socket held open, heartbeats silenced,
+    /// no frames — the wire-visible behaviour of a frozen machine or a
+    /// blackholed network. Only the coordinator's heartbeat deadline can
+    /// detect this one. `None` in production.
+    pub stall_after: Option<usize>,
 }
 
 /// Seconds of silence after which the daemon interleaves a `Heartbeat`
 /// frame into the stream while a batch is computing, so WAN middleboxes
-/// don't reap the idle-looking connection during a long cell.
-const HEARTBEAT_INTERVAL: Duration = Duration::from_secs(5);
+/// don't reap the idle-looking connection during a long cell — and, as
+/// of the liveness layer, so the coordinator's heartbeat deadline knows
+/// the daemon is alive. The cadence must stay *well* under any deadline
+/// a coordinator might configure (the frames are ~25 bytes, so beating
+/// every second costs nothing and buys a 30× margin against the default
+/// 30 s deadline).
+const HEARTBEAT_INTERVAL: Duration = Duration::from_secs(1);
 
 /// Runs the worker daemon forever (until the process is killed):
 /// bind, print the bound address, then serve coordinators one at a time.
@@ -52,6 +79,9 @@ const HEARTBEAT_INTERVAL: Duration = Duration::from_secs(5);
 /// scripts that start daemons on port 0 can discover the real port;
 /// human logging goes to stderr.
 pub fn serve(options: &ServeOptions) -> io::Result<()> {
+    if let Some(coordinator) = &options.register {
+        return serve_registered(coordinator, options);
+    }
     let listener = TcpListener::bind(&options.listen)?;
     let addr = listener.local_addr()?;
     let capacity = effective_capacity(options.jobs);
@@ -79,7 +109,14 @@ pub fn serve(options: &ServeOptions) -> io::Result<()> {
             .map(|peer| peer.to_string())
             .unwrap_or_else(|_| "<unknown>".to_string());
         eprintln!("sdiq-remote worker: coordinator connected from {peer}");
-        match handle_connection(stream, capacity, &cache, &delivered, options.fail_after) {
+        match handle_connection(
+            stream,
+            capacity,
+            &cache,
+            &delivered,
+            options,
+            Greeting::Hello,
+        ) {
             Ok(()) => eprintln!("sdiq-remote worker: coordinator {peer} disconnected"),
             Err(error) => {
                 // The daemon outlives any one coordinator: log and accept
@@ -89,6 +126,63 @@ pub fn serve(options: &ServeOptions) -> io::Result<()> {
         }
     }
     unreachable!("TcpListener::incoming never returns None");
+}
+
+/// The reverse-dial daemon: dial the coordinator's rendezvous address
+/// (retrying until it exists — worker fleets come up in any order),
+/// announce capacity with `Register`, then serve that connection exactly
+/// like an accepted one. When the coordinator finishes and closes, loop
+/// back and re-register, so the daemon is ready for the next run.
+fn serve_registered(coordinator: &str, options: &ServeOptions) -> io::Result<()> {
+    let capacity = effective_capacity(options.jobs);
+    // Machine-readable first line, mirroring `LISTENING <addr>`, so
+    // scripts know the daemon is up before a coordinator exists.
+    println!("REGISTERING {coordinator}");
+    io::stdout().flush()?;
+    eprintln!(
+        "sdiq-remote worker: registering with coordinator at {coordinator}, capacity {capacity}"
+    );
+    let cache = ArtifactCache::new();
+    let delivered = AtomicUsize::new(0);
+    // Each knock is bounded: a blackholed coordinator address must cost
+    // one short timeout per attempt, not the OS connect default
+    // (minutes) — the same stall the coordinator-side connect_timeout
+    // exists to prevent.
+    const KNOCK_TIMEOUT: Duration = Duration::from_secs(5);
+    loop {
+        let stream = match crate::client::connect_bounded(coordinator, KNOCK_TIMEOUT) {
+            Ok(stream) => stream,
+            Err(_) => {
+                // No coordinator (yet): keep knocking. The interval is a
+                // trade-off between rendezvous latency and log noise.
+                std::thread::sleep(Duration::from_millis(250));
+                continue;
+            }
+        };
+        eprintln!("sdiq-remote worker: registered with coordinator {coordinator}");
+        match handle_connection(
+            stream,
+            capacity,
+            &cache,
+            &delivered,
+            options,
+            Greeting::Register,
+        ) {
+            Ok(()) => eprintln!("sdiq-remote worker: coordinator {coordinator} released us"),
+            Err(error) => {
+                eprintln!("sdiq-remote worker: connection to {coordinator} failed: {error}")
+            }
+        }
+        std::thread::sleep(Duration::from_millis(250));
+    }
+}
+
+/// Which greeting this daemon owes on a fresh connection: `Hello` when
+/// the coordinator dialed us, `Register` when we dialed the coordinator.
+#[derive(Clone, Copy)]
+enum Greeting {
+    Hello,
+    Register,
 }
 
 fn effective_capacity(jobs: usize) -> usize {
@@ -107,12 +201,17 @@ fn handle_connection(
     capacity: usize,
     cache: &ArtifactCache,
     delivered: &AtomicUsize,
-    fail_after: Option<usize>,
+    options: &ServeOptions,
+    greeting: Greeting,
 ) -> io::Result<()> {
     stream.set_nodelay(true)?;
     let writer = Mutex::new(stream.try_clone()?);
     let mut reader = BufReader::new(stream);
-    write_locked(&writer, &Message::Hello { capacity })?;
+    let greeting = match greeting {
+        Greeting::Hello => Message::Hello { capacity },
+        Greeting::Register => Message::Register { capacity },
+    };
+    write_locked(&writer, &greeting)?;
 
     loop {
         let Some(message) = frame::read_message_opt(&mut reader)? else {
@@ -131,7 +230,7 @@ fn handle_connection(
                 capacity,
                 cache,
                 delivered,
-                fail_after,
+                options,
             )?,
             Message::Heartbeat => continue,
             other => {
@@ -158,7 +257,7 @@ fn run_batch(
     capacity: usize,
     cache: &ArtifactCache,
     delivered: &AtomicUsize,
-    fail_after: Option<usize>,
+    options: &ServeOptions,
 ) -> io::Result<()> {
     // The spec is wire input: resolve it fully (names, sweep ranges) and
     // refuse with a frame — never a panic — on anything off.
@@ -194,7 +293,9 @@ fn run_batch(
         writer,
         failed: Mutex::new(None),
         delivered,
-        fail_after,
+        fail_after: options.fail_after,
+        stall_after: options.stall_after,
+        stalled: AtomicBool::new(false),
     };
     let stop_heartbeats = AtomicBool::new(false);
     let computed = std::thread::scope(|scope| {
@@ -204,6 +305,12 @@ fn run_batch(
             let tick = Duration::from_millis(50);
             let mut elapsed = Duration::ZERO;
             while !stop_heartbeats.load(Ordering::Relaxed) {
+                if sink.stalled.load(Ordering::Relaxed) {
+                    // A frozen machine beats no heart: the --stall-after
+                    // hook must present total wire silence, or the
+                    // coordinator's deadline could never trip.
+                    return;
+                }
                 std::thread::sleep(tick);
                 elapsed += tick;
                 if elapsed >= HEARTBEAT_INTERVAL {
@@ -250,6 +357,11 @@ struct StreamSink<'a> {
     failed: Mutex<Option<io::Error>>,
     delivered: &'a AtomicUsize,
     fail_after: Option<usize>,
+    stall_after: Option<usize>,
+    /// Set once `stall_after` trips; silences the heartbeat thread and
+    /// freezes every compute thread that reaches the sink, so the whole
+    /// daemon goes wire-silent like a frozen machine.
+    stalled: AtomicBool,
 }
 
 impl StreamSink<'_> {
@@ -268,6 +380,24 @@ impl StreamSink<'_> {
 
 impl CellSink for StreamSink<'_> {
     fn cell_complete(&self, key: &str, report: &RunReport) {
+        if let Some(limit) = self.stall_after {
+            if self.delivered.load(Ordering::Relaxed) >= limit {
+                // Fault injection: hang exactly as a frozen machine would —
+                // socket open, no frames, heartbeats silenced (the flag
+                // above), this thread (and any other compute thread that
+                // lands here) parked forever. Only the coordinator's
+                // heartbeat deadline can detect this.
+                if !self.stalled.swap(true, Ordering::Relaxed) {
+                    eprintln!(
+                        "sdiq-remote worker: --stall-after {limit} reached, \
+                         hanging in place of delivering `{key}` (simulated freeze)"
+                    );
+                }
+                loop {
+                    std::thread::sleep(Duration::from_secs(3600));
+                }
+            }
+        }
         if let Some(limit) = self.fail_after {
             if self.delivered.load(Ordering::Relaxed) >= limit {
                 // Fault injection: die exactly as a killed machine would —
