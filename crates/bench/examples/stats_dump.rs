@@ -12,7 +12,7 @@ use sdiq_compiler::{CompilerPass, PassConfig};
 use sdiq_isa::builder::ProgramBuilder;
 use sdiq_isa::reg::int_reg;
 use sdiq_isa::{Executor, Program};
-use sdiq_sim::{AdaptiveConfig, ResizePolicy, SimConfig, Simulator};
+use sdiq_sim::{AdaptiveConfig, ExecPlan, PlanSimulator, ResizePolicy, SimConfig, Simulator};
 use sdiq_workloads::Benchmark;
 
 /// The pipeline unit-test loop program (mirrors `pipeline.rs` tests).
@@ -48,6 +48,10 @@ fn loop_program(trips: i64, ilp: usize) -> Program {
 
 fn dump(label: &str, program: &Program) {
     let trace = Executor::new(program).run(400_000).expect("trace executes");
+    let config = SimConfig::hpca2005();
+    // One plan per cell shape, shared across every policy — exactly how the
+    // artifact cache reuses it in production.
+    let plan = ExecPlan::build(config, program, &trace);
     for (policy_name, policy) in [
         ("fixed", ResizePolicy::Fixed),
         ("software_hint", ResizePolicy::SoftwareHint),
@@ -56,9 +60,18 @@ fn dump(label: &str, program: &Program) {
             ResizePolicy::Adaptive(AdaptiveConfig::iqrob64()),
         ),
     ] {
-        let result = Simulator::new(SimConfig::hpca2005(), program, &trace, policy)
+        let result = Simulator::new(config, program, &trace, policy)
             .run()
             .expect("simulation completes");
+        // The compiled backend must agree on every counter; the dump text
+        // stays interpreter-shaped so captures diff cleanly across changes.
+        let compiled = PlanSimulator::new(&plan, policy)
+            .run()
+            .expect("compiled replay completes");
+        assert_eq!(
+            compiled, result,
+            "compiled backend diverged from the interpreter on {label}/{policy_name}"
+        );
         println!("== {label} / {policy_name}");
         println!("{:#?}", result.stats);
         println!("adaptive_resizes: {}", result.adaptive_resizes);

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro [--scale <f64>] [--jobs <n>] [--sweep <axis>=<v1,v2,...>]
+//!       [--backend compiled|interpreted]
 //!       [--benchmarks <b1,b2,...>] [--techniques <t1,t2,...>]
 //!       [--save <path>] [--load <path>]... [--checkpoint <path>]
 //!       [--shard <k>/<n>] [--shards <n>] [--workers <host:port,...>]
@@ -11,11 +12,15 @@
 //!       [--figure9] [--figure10] [--figure11] [--figure12]
 //!       [--overall] [--summary] [--sweep-summary] [--all]
 //! repro serve [--listen <host:port> | --register <host:port>] [--jobs <n>]
-//!             [--fail-after <n>] [--stall-after <n>]
+//!             [--fail-after <n>] [--stall-after <n>] [--heartbeat-deadline <secs>]
 //! ```
 //!
 //! With no selection flags, `--all` is assumed. `--scale` shrinks or grows
 //! every workload's outer loop (1.0 = the default reproduction scale).
+//! `--backend` picks the simulator backend: `compiled` (the default —
+//! cells are lowered once into cached execution plans) or `interpreted`
+//! (the original cycle loop, for debugging); the two are bit-identical,
+//! so the flag never changes results, only speed.
 //!
 //! The matrix runs on the job engine (`sdiq_core::Matrix`): `--jobs` fixes
 //! the worker-pool size (default: one worker per hardware thread), and
@@ -67,12 +72,13 @@
 //!   `--save`.
 
 use sdiq_core::{
-    experiments, persist, ArtifactCache, Backend, Experiment, MatrixSpec, SubprocessSpec, Suite,
-    Technique,
+    experiments, persist, ArtifactCache, Backend, Experiment, MatrixSpec, SimBackend,
+    SubprocessSpec, Suite, Technique,
 };
 use sdiq_sim::SimConfig;
 use sdiq_workloads::Benchmark;
 use std::collections::{BTreeSet, HashMap};
+use std::time::Duration;
 
 #[derive(Debug, Default)]
 struct Options {
@@ -104,6 +110,8 @@ struct Options {
     heartbeat_deadline: Option<f64>,
     /// Disable speculative double-issue of straggler cells.
     no_speculate: bool,
+    /// Simulator backend override (`--backend compiled|interpreted`).
+    backend: Option<SimBackend>,
     selections: BTreeSet<String>,
 }
 
@@ -246,9 +254,17 @@ fn parse_args() -> Options {
                 options.heartbeat_deadline = Some(parse_seconds("--heartbeat-deadline", &value));
             }
             "--no-speculate" => options.no_speculate = true,
+            "--backend" => {
+                let value = required_value(&mut args, "--backend");
+                options.backend = Some(SimBackend::parse(&value).unwrap_or_else(|| {
+                    eprintln!("error: --backend wants `compiled` or `interpreted`, got `{value}`");
+                    std::process::exit(2);
+                }));
+            }
             "--help" | "-h" => {
                 println!(
-                    "repro [--scale <f>] [--jobs <n>] [--sweep iq|bank|scale=<v,..>] \
+                    "repro [--scale <f>] [--jobs <n>] [--backend compiled|interpreted] \
+                     [--sweep iq|bank|scale=<v,..>] \
                      [--benchmarks <b,..>] [--techniques <t,..>] \
                      [--save <path>] [--load <path>]... [--checkpoint <path>] \
                      [--shard <k>/<n>] [--shards <n>] [--workers <host:port,..>] \
@@ -257,7 +273,7 @@ fn parse_args() -> Options {
                      [--table1] [--table2] [--figure6..12] \
                      [--overall] [--summary] [--sweep-summary] [--all]\n\
                      repro serve [--listen <host:port> | --register <host:port>] [--jobs <n>] \
-                     [--fail-after <n>] [--stall-after <n>]"
+                     [--fail-after <n>] [--stall-after <n>] [--heartbeat-deadline <secs>]"
                 );
                 std::process::exit(0);
             }
@@ -349,6 +365,7 @@ fn serve_main(args: impl Iterator<Item = String>) -> ! {
         jobs: 0,
         fail_after: None,
         stall_after: None,
+        heartbeat_deadline: sdiq_remote::DEFAULT_HEARTBEAT_DEADLINE,
     };
     let mut listen_given = false;
     let mut args = args;
@@ -377,10 +394,15 @@ fn serve_main(args: impl Iterator<Item = String>) -> ! {
                     std::process::exit(2);
                 }));
             }
+            "--heartbeat-deadline" => {
+                let value = required_value(&mut args, "--heartbeat-deadline");
+                options.heartbeat_deadline =
+                    Duration::from_secs_f64(parse_seconds("--heartbeat-deadline", &value));
+            }
             "--help" | "-h" => {
                 println!(
                     "repro serve [--listen <host:port> | --register <host:port>] [--jobs <n>] \
-                     [--fail-after <n>] [--stall-after <n>]"
+                     [--fail-after <n>] [--stall-after <n>] [--heartbeat-deadline <secs>]"
                 );
                 std::process::exit(0);
             }
@@ -469,6 +491,9 @@ fn main() {
     let mut experiment = Experiment::paper();
     if let Some(scale) = options.scale {
         experiment.scale = scale;
+    }
+    if let Some(backend) = options.backend {
+        experiment.backend = backend;
     }
 
     let benchmarks = options

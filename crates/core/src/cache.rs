@@ -36,7 +36,8 @@
 //! [`ArtifactCache::compile_runs`] counters let tests assert exactly.
 
 use sdiq_compiler::{CompileStats, CompilerPass, PassConfig};
-use sdiq_isa::Program;
+use sdiq_isa::{Executor, Program};
+use sdiq_sim::{ExecPlan, SimConfig};
 use sdiq_workloads::Benchmark;
 use std::collections::HashMap;
 use std::hash::Hash;
@@ -93,14 +94,45 @@ pub struct CompiledArtifact {
     pub hint_noops_inserted: usize,
 }
 
+/// The program an execution plan is lowered from: either the raw built
+/// benchmark (hardware techniques) or a compiler-pass output (software
+/// techniques). Both are themselves cache keys, so a plan key is a pure
+/// content address all the way down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlanSource {
+    /// The built benchmark program, unannotated.
+    Program(ProgramKey),
+    /// The output of a compiler pass over the built program.
+    Compiled(CompileKey),
+}
+
+/// Content address of one lowered [`ExecPlan`]: the exact program it
+/// replays, the full simulator configuration it was lowered under (plan
+/// contents bake in cache geometry, predictor behaviour and decode
+/// timing), and the instruction budget bounding its trace.
+///
+/// The resize policy is deliberately **absent**: nothing in a plan depends
+/// on it, so one plan serves all techniques of a cell shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// The program the plan replays.
+    pub source: PlanSource,
+    /// The machine configuration the plan was lowered for.
+    pub sim_config: SimConfig,
+    /// The dynamic-instruction cap used when tracing the program.
+    pub max_dynamic_instructions: u64,
+}
+
 /// The shared artifact cache. One instance serves a whole sweep; creating
 /// it is free, so ad-hoc callers can also pass a fresh one per run.
 #[derive(Debug, Default)]
 pub struct ArtifactCache {
     programs: Mutex<HashMap<ProgramKey, Arc<OnceLock<Arc<Program>>>>>,
     compiles: Mutex<HashMap<CompileKey, Arc<OnceLock<Arc<CompiledArtifact>>>>>,
+    plans: Mutex<HashMap<PlanKey, Arc<OnceLock<Arc<ExecPlan>>>>>,
     program_builds: AtomicU64,
     compile_runs: AtomicU64,
+    plan_builds: AtomicU64,
 }
 
 /// Fetches (or inserts) the once-initialisable slot for `key`. The map
@@ -155,6 +187,27 @@ impl ArtifactCache {
         .clone()
     }
 
+    /// The execution plan for `key`, lowering it exactly once per key
+    /// (building the source program — and running its compiler pass, for
+    /// [`PlanSource::Compiled`] — through the cache if needed). The
+    /// functional execution producing the trace happens here too: the
+    /// trace is consumed by the lowering and never stored.
+    pub fn planned(&self, key: PlanKey) -> Arc<ExecPlan> {
+        let program = match key.source {
+            PlanSource::Program(program) => self.program(program),
+            PlanSource::Compiled(compile) => self.compiled(compile).program.clone(),
+        };
+        let slot = slot(&self.plans, key);
+        slot.get_or_init(|| {
+            self.plan_builds.fetch_add(1, Ordering::Relaxed);
+            let trace = Executor::new(&program)
+                .run(key.max_dynamic_instructions)
+                .expect("workload executes cleanly");
+            Arc::new(ExecPlan::build(key.sim_config, &program, &trace))
+        })
+        .clone()
+    }
+
     /// Number of programs actually built (one per unique [`ProgramKey`]
     /// requested, regardless of concurrency).
     pub fn program_builds(&self) -> u64 {
@@ -165,6 +218,12 @@ impl ArtifactCache {
     /// requested, regardless of concurrency).
     pub fn compile_runs(&self) -> u64 {
         self.compile_runs.load(Ordering::Relaxed)
+    }
+
+    /// Number of execution plans lowered (one per unique [`PlanKey`]
+    /// requested, regardless of concurrency).
+    pub fn plan_builds(&self) -> u64 {
+        self.plan_builds.load(Ordering::Relaxed)
     }
 }
 
@@ -226,6 +285,56 @@ mod tests {
         assert_eq!(a.stats, b.stats, "durations zeroed → stats bit-identical");
         assert_eq!(a.program, b.program);
         assert_eq!(a.stats.total_duration, Duration::ZERO);
+    }
+
+    #[test]
+    fn plan_is_lowered_once_per_key_and_shared() {
+        let cache = ArtifactCache::new();
+        let key = PlanKey {
+            source: PlanSource::Program(ProgramKey::new(Benchmark::Gzip, 0.05)),
+            sim_config: SimConfig::hpca2005(),
+            max_dynamic_instructions: 2_000_000,
+        };
+        let a = cache.planned(key);
+        let b = cache.planned(key);
+        assert!(Arc::ptr_eq(&a, &b), "same handle");
+        assert_eq!(cache.plan_builds(), 1);
+        assert_eq!(cache.program_builds(), 1, "program built through the cache");
+        // A different machine configuration is a different plan over the
+        // same built program.
+        let c = cache.planned(PlanKey {
+            sim_config: SimConfig::small_for_tests(),
+            ..key
+        });
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.plan_builds(), 2);
+        assert_eq!(cache.program_builds(), 1);
+    }
+
+    #[test]
+    fn compiled_source_plans_lower_the_annotated_program() {
+        use crate::technique::Technique;
+        let cache = ArtifactCache::new();
+        let program = ProgramKey::new(Benchmark::Gzip, 0.05);
+        let compile = CompileKey {
+            program,
+            pass: Technique::Noop.pass_config().unwrap(),
+        };
+        let annotated = cache.planned(PlanKey {
+            source: PlanSource::Compiled(compile),
+            sim_config: SimConfig::hpca2005(),
+            max_dynamic_instructions: 2_000_000,
+        });
+        let raw = cache.planned(PlanKey {
+            source: PlanSource::Program(program),
+            sim_config: SimConfig::hpca2005(),
+            max_dynamic_instructions: 2_000_000,
+        });
+        assert_eq!(cache.compile_runs(), 1);
+        assert_eq!(cache.plan_builds(), 2);
+        // The annotated program carries the inserted hint NOOPs; the raw
+        // one does not — the two sources must not alias.
+        assert!(annotated.len() > raw.len());
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub mod persist;
 pub mod runner;
 pub mod technique;
 
-pub use cache::{ArtifactCache, CompileKey, CompiledArtifact, ProgramKey};
+pub use cache::{ArtifactCache, CompileKey, CompiledArtifact, PlanKey, PlanSource, ProgramKey};
 pub use engine::{
     cell_key, matrix_fingerprint, shard_of, Backend, BackendError, CellSink, ConfigVariant, Matrix,
     MatrixSpec, Registration, RemoteLaunch, RemoteSpec, SubprocessSpec, Sweep,
@@ -61,5 +61,5 @@ pub use experiments::{
     SweepRow, TechniqueSummary,
 };
 pub use persist::CheckpointWriter;
-pub use runner::{Comparison, Experiment, RunReport, Suite};
+pub use runner::{Comparison, Experiment, RunReport, SimBackend, Suite};
 pub use technique::Technique;

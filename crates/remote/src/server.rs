@@ -60,6 +60,15 @@ pub struct ServeOptions {
     /// blackholed network. Only the coordinator's heartbeat deadline can
     /// detect this one. `None` in production.
     pub stall_after: Option<usize>,
+    /// Silence-means-dead threshold a *registered* daemon applies to its
+    /// coordinator socket (`SO_RCVTIMEO`): a coordinator that holds the
+    /// connection but never speaks again — hung process, blackholed
+    /// network — would otherwise wedge the daemon in a read forever,
+    /// with no listener to fall back to. Past the deadline the daemon
+    /// drops the connection and re-registers. Zero disables the
+    /// deadline; listening daemons never apply one (an accepted
+    /// coordinator that dies is survived by going back to `accept`).
+    pub heartbeat_deadline: Duration,
 }
 
 /// Seconds of silence after which the daemon interleaves a `Heartbeat`
@@ -149,6 +158,7 @@ fn serve_registered(coordinator: &str, options: &ServeOptions) -> io::Result<()>
     // (minutes) — the same stall the coordinator-side connect_timeout
     // exists to prevent.
     const KNOCK_TIMEOUT: Duration = Duration::from_secs(5);
+    let deadline = options.heartbeat_deadline;
     loop {
         let stream = match crate::client::connect_bounded(coordinator, KNOCK_TIMEOUT) {
             Ok(stream) => stream,
@@ -159,6 +169,16 @@ fn serve_registered(coordinator: &str, options: &ServeOptions) -> io::Result<()>
                 continue;
             }
         };
+        // The liveness guard this dial direction needs: an accepted
+        // coordinator that dies is survived by returning to `accept`,
+        // but a dialed one that goes silent would hold the read below
+        // forever — there is no listener behind it. The deadline turns
+        // that silence into an error, and the loop re-registers.
+        if let Err(error) = stream.set_read_timeout((!deadline.is_zero()).then_some(deadline)) {
+            eprintln!("sdiq-remote worker: configuring coordinator socket failed: {error}");
+            std::thread::sleep(Duration::from_millis(250));
+            continue;
+        }
         eprintln!("sdiq-remote worker: registered with coordinator {coordinator}");
         match handle_connection(
             stream,
@@ -214,7 +234,26 @@ fn handle_connection(
     write_locked(&writer, &greeting)?;
 
     loop {
-        let Some(message) = frame::read_message_opt(&mut reader)? else {
+        // A timed-out read is the socket deadline tripping (`WouldBlock`
+        // on Unix `SO_RCVTIMEO`, `TimedOut` on Windows): rewrite it into
+        // the liveness verdict it means so the registered loop's log says
+        // why it is re-registering.
+        let message = match frame::read_message_opt(&mut reader) {
+            Ok(message) => message,
+            Err(error)
+                if matches!(
+                    error.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "coordinator silent past the heartbeat deadline — presumed hung",
+                ));
+            }
+            Err(error) => return Err(error),
+        };
+        let Some(message) = message else {
             return Ok(()); // coordinator released us cleanly
         };
         match message {
@@ -418,5 +457,78 @@ impl CellSink for StreamSink<'_> {
         {
             self.delivered.fetch_add(1, Ordering::Relaxed);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::time::Instant;
+
+    /// Polls a non-blocking listener for the next connection, bounded so
+    /// a regression hangs the assertion, not the test suite.
+    fn accept_within(listener: &TcpListener, limit: Duration) -> TcpStream {
+        let deadline = Instant::now() + limit;
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    stream
+                        .set_nonblocking(false)
+                        .expect("accepted socket can be made blocking");
+                    return stream;
+                }
+                Err(error) if error.kind() == io::ErrorKind::WouldBlock => {
+                    assert!(Instant::now() < deadline, "no connection within {limit:?}");
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(error) => panic!("accept failed: {error}"),
+            }
+        }
+    }
+
+    /// Reads the daemon's opening frame and asserts it is `Register`.
+    fn expect_register(stream: &TcpStream) {
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("read timeout is settable");
+        let mut reader = BufReader::new(stream.try_clone().expect("stream clones"));
+        match frame::read_message(&mut reader).expect("greeting arrives") {
+            Message::Register { .. } => {}
+            other => panic!("worker opened with {other:?} instead of Register"),
+        }
+    }
+
+    /// The wire shape of a hung rendezvous coordinator: it accepts the
+    /// worker's `Register` and then never speaks again, holding the
+    /// socket open. The worker must trip its heartbeat deadline and dial
+    /// the rendezvous again, not block in the read forever.
+    #[test]
+    fn a_silent_coordinator_makes_the_registered_worker_redial() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral port binds");
+        listener.set_nonblocking(true).expect("listener can poll");
+        let coordinator = listener.local_addr().expect("bound address").to_string();
+        let options = ServeOptions {
+            listen: String::new(),
+            register: Some(coordinator),
+            jobs: 1,
+            fail_after: None,
+            stall_after: None,
+            heartbeat_deadline: Duration::from_millis(200),
+        };
+        // The daemon loops forever; park it on a thread the test outlives.
+        std::thread::spawn(move || {
+            let _ = serve(&options);
+        });
+
+        let first = accept_within(&listener, Duration::from_secs(10));
+        expect_register(&first);
+        // Total silence — but the socket stays open, so only the
+        // worker-side deadline can conclude the coordinator is gone.
+        let second = accept_within(&listener, Duration::from_secs(10));
+        expect_register(&second);
+        // `first` lived through the whole wait: the redial came from the
+        // deadline, not from a connection close.
+        drop(first);
     }
 }

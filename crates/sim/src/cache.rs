@@ -16,6 +16,10 @@ use crate::config::{CacheConfig, SimConfig};
 pub struct Cache {
     config: CacheConfig,
     sets: usize,
+    /// `(line_shift, set_mask, tag_shift)` when both the line size and the
+    /// set count are powers of two (every Table 1 geometry is): index math
+    /// becomes shift/mask instead of three hardware divisions per access.
+    pow2: Option<(u32, u64, u32)>,
     /// `tags[set * ways + way]`.
     tags: Vec<u64>,
     /// `last_use[set * ways + way]`; 0 = invalid way.
@@ -29,9 +33,17 @@ impl Cache {
     /// Creates an empty cache with the given geometry.
     pub fn new(config: CacheConfig) -> Self {
         let sets = config.sets();
+        let pow2 = (config.line_bytes.is_power_of_two() && sets.is_power_of_two()).then(|| {
+            (
+                config.line_bytes.trailing_zeros(),
+                sets as u64 - 1,
+                sets.trailing_zeros(),
+            )
+        });
         Cache {
             config,
             sets,
+            pow2,
             tags: vec![0; sets * config.ways],
             last_use: vec![0; sets * config.ways],
             use_counter: 0,
@@ -41,6 +53,10 @@ impl Cache {
     }
 
     fn set_and_tag(&self, addr: u64) -> (usize, u64) {
+        if let Some((line_shift, set_mask, tag_shift)) = self.pow2 {
+            let line = addr >> line_shift;
+            return ((line & set_mask) as usize, line >> tag_shift);
+        }
         let line = addr / self.config.line_bytes as u64;
         let set = (line % self.sets as u64) as usize;
         let tag = line / self.sets as u64;
@@ -158,6 +174,18 @@ impl CacheHierarchy {
         let hit = self.l1d.access(addr);
         let lat = self.l1d.hit_latency();
         self.access_backed(hit, lat, addr)
+    }
+
+    /// Completes an instruction fetch whose L1i outcome was precomputed as
+    /// a *miss* (the compiled backend of [`crate::plan`] resolves the L1i
+    /// hit/miss sequence at plan-build time): performs only the dynamic
+    /// part — the shared-L2 access — with the same latency accounting as
+    /// [`CacheHierarchy::access_instruction`] on a miss. The L2 is shared
+    /// between the instruction and data paths, so its state depends on the
+    /// run-time interleave and cannot be precomputed.
+    pub fn refill_instruction_after_l1i_miss(&mut self, addr: u64) -> MemAccessResult {
+        let lat = self.l1i.hit_latency();
+        self.access_backed(false, lat, addr)
     }
 
     /// D-cache statistics: (accesses, misses).

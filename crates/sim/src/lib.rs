@@ -62,11 +62,14 @@ pub mod cache;
 pub mod config;
 pub mod issue_queue;
 pub mod pipeline;
+pub mod plan;
+mod plan_queue;
 pub mod regfile;
 pub mod resize;
 pub mod stats;
 
 pub use config::{BranchPredictorConfig, CacheConfig, IssueQueueConfig, RegFileConfig, SimConfig};
 pub use pipeline::{SimError, SimResult, Simulator};
+pub use plan::{ExecPlan, PlanSimulator};
 pub use resize::{AdaptiveConfig, AdaptiveController, ResizePolicy};
 pub use stats::ActivityStats;

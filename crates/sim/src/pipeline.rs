@@ -126,10 +126,15 @@ struct ReadyCandidate {
 
 /// Circular event calendar for completion events: bucket `cycle % len`
 /// holds the instruction ids completing at `cycle`. O(1) schedule, O(due
-/// events) harvest, bucket allocations recycled.
+/// events) harvest, bucket allocations recycled. Shared with the compiled
+/// backend ([`crate::plan`]), which runs the identical calendar over its
+/// pre-lowered instruction stream.
 #[derive(Debug)]
-struct EventWheel {
+pub(crate) struct EventWheel {
     buckets: Vec<Vec<u64>>,
+    /// `buckets.len() - 1`; the length is a power of two, so `due & mask`
+    /// equals `due % len` without the hardware division.
+    mask: u64,
     /// Spare bucket storage swapped in by [`EventWheel::take_due`] and
     /// returned (cleared, capacity retained) by [`EventWheel::recycle`].
     spare: Vec<u64>,
@@ -137,16 +142,17 @@ struct EventWheel {
 
 impl EventWheel {
     /// A wheel able to schedule up to `max_latency` cycles ahead.
-    fn new(max_latency: u64) -> Self {
+    pub(crate) fn new(max_latency: u64) -> Self {
         let len = (max_latency + 1).next_power_of_two() as usize;
         EventWheel {
             buckets: (0..len).map(|_| Vec::new()).collect(),
+            mask: len as u64 - 1,
             spare: Vec::new(),
         }
     }
 
     /// Schedules `id` to complete at `due` (seen from `now`).
-    fn schedule(&mut self, now: u64, due: u64, id: u64) {
+    pub(crate) fn schedule(&mut self, now: u64, due: u64, id: u64) {
         debug_assert!(due > now, "completion must be in the future");
         assert!(
             (due - now) < self.buckets.len() as u64,
@@ -154,22 +160,31 @@ impl EventWheel {
             due - now,
             self.buckets.len()
         );
-        let index = (due % self.buckets.len() as u64) as usize;
+        let index = (due & self.mask) as usize;
         self.buckets[index].push(id);
     }
 
     /// Takes the ids due at `cycle` (possibly empty). Return the `Vec` via
     /// [`EventWheel::recycle`] to keep the steady state allocation-free.
-    fn take_due(&mut self, cycle: u64) -> Vec<u64> {
-        let index = (cycle % self.buckets.len() as u64) as usize;
+    pub(crate) fn take_due(&mut self, cycle: u64) -> Vec<u64> {
+        let index = (cycle & self.mask) as usize;
         std::mem::replace(&mut self.buckets[index], std::mem::take(&mut self.spare))
     }
 
     /// Returns a bucket taken with [`EventWheel::take_due`].
-    fn recycle(&mut self, mut bucket: Vec<u64>) {
+    pub(crate) fn recycle(&mut self, mut bucket: Vec<u64>) {
         bucket.clear();
         self.spare = bucket;
     }
+}
+
+/// The longest possible completion latency under `config`: a load missing
+/// all the way to memory, or the slowest functional unit (fp divide); +4
+/// for the issue-cycle offsets. One source of truth for both backends'
+/// event calendars.
+pub(crate) fn max_completion_latency(config: &SimConfig) -> u64 {
+    u64::from(1 + config.l1d.hit_latency + config.l2.hit_latency + config.memory_latency).max(16)
+        + 4
 }
 
 /// The trace-driven out-of-order pipeline simulator.
@@ -244,13 +259,7 @@ impl<'a> Simulator<'a> {
             ..ActivityStats::default()
         };
         stats.cycles = 0;
-        // The longest possible completion latency: a load missing all the
-        // way to memory, or the slowest functional unit (fp divide); +4 for
-        // the issue-cycle offsets.
-        let max_latency =
-            u64::from(1 + config.l1d.hit_latency + config.l2.hit_latency + config.memory_latency)
-                .max(16)
-                + 4;
+        let max_latency = max_completion_latency(&config);
         // Resolve every dynamic instruction's static side once. Consecutive
         // trace entries overwhelmingly share a basic block, so the block's
         // instruction slice is looked up only on block changes.

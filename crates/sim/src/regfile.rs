@@ -173,13 +173,7 @@ impl RenamedRegFile {
     /// Panics if `arch` belongs to a different class.
     pub fn allocate_dest(&mut self, arch: ArchReg) -> Option<(PhysReg, PhysReg)> {
         assert_eq!(arch.class(), self.class);
-        let new_index = self.lowest_free()?;
-        self.mark_allocated(new_index);
-        self.ready[new_index] = false;
-        let old_index = self.rename_map[arch.index() as usize];
-        self.rename_map[arch.index() as usize] = new_index;
-        self.mapped[old_index] = false;
-        self.mapped[new_index] = true;
+        let (new_index, old_index) = self.allocate_dest_index(arch.index() as usize)?;
         Some((
             PhysReg {
                 class: self.class,
@@ -190,6 +184,54 @@ impl RenamedRegFile {
                 index: old_index,
             },
         ))
+    }
+
+    /// Index-only variant of [`RenamedRegFile::allocate_dest`] for the
+    /// compiled backend's hot path: the caller tracks register classes
+    /// itself, so no [`ArchReg`] / [`PhysReg`] wrapping or class checks.
+    /// Returns `(new, previous)` physical indices.
+    #[inline]
+    pub fn allocate_dest_index(&mut self, arch_index: usize) -> Option<(usize, usize)> {
+        let new_index = self.lowest_free()?;
+        self.mark_allocated(new_index);
+        self.ready[new_index] = false;
+        let old_index = self.rename_map[arch_index];
+        self.rename_map[arch_index] = new_index;
+        self.mapped[old_index] = false;
+        self.mapped[new_index] = true;
+        Some((new_index, old_index))
+    }
+
+    /// Index-only variant of [`RenamedRegFile::rename_source`].
+    #[inline]
+    pub fn rename_source_index(&self, arch_index: usize) -> usize {
+        self.rename_map[arch_index]
+    }
+
+    /// Index-only variant of [`RenamedRegFile::is_ready`].
+    #[inline]
+    pub fn is_ready_index(&self, index: usize) -> bool {
+        self.ready[index]
+    }
+
+    /// Index-only variant of [`RenamedRegFile::write_value`] that skips the
+    /// write-port counter — the compiled backend bakes port totals at
+    /// plan-build time and never reads [`RenamedRegFile::port_stats`].
+    #[inline]
+    pub fn write_value_index(&mut self, index: usize) {
+        self.ready[index] = true;
+    }
+
+    /// Index-only variant of [`RenamedRegFile::release`].
+    #[inline]
+    pub fn release_index(&mut self, index: usize) {
+        if self.mapped[index] {
+            return;
+        }
+        if self.allocated[index] {
+            self.ready[index] = false;
+            self.mark_free(index);
+        }
     }
 
     /// Marks a physical register's value as produced (writeback) and counts
@@ -218,13 +260,7 @@ impl RenamedRegFile {
         debug_assert_eq!(reg.class, self.class);
         // Never release a register that is currently mapped (can happen only
         // through misuse; guard to keep the invariant).
-        if self.mapped[reg.index] {
-            return;
-        }
-        if self.allocated[reg.index] {
-            self.ready[reg.index] = false;
-            self.mark_free(reg.index);
-        }
+        self.release_index(reg.index);
     }
 
     /// Number of currently allocated (live) physical registers. O(1).
