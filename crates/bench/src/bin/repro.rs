@@ -8,11 +8,13 @@
 //!       [--shard <k>/<n>] [--shards <n>] [--workers <host:port,...>]
 //!       [--listen-workers <host:port> --expect <n>] [--retry-budget <n>]
 //!       [--connect-timeout <secs>] [--heartbeat-deadline <secs>] [--no-speculate]
+//!       [--wire binary|json] [--pipeline-window <n>] [--auth-key <key>]
 //!       [--table1] [--table2] [--figure6] [--figure7] [--figure8]
 //!       [--figure9] [--figure10] [--figure11] [--figure12]
 //!       [--overall] [--summary] [--sweep-summary] [--all]
 //! repro serve [--listen <host:port> | --register <host:port>] [--jobs <n>]
 //!             [--fail-after <n>] [--stall-after <n>] [--heartbeat-deadline <secs>]
+//!             [--wire binary|json] [--auth-key <key>]
 //! ```
 //!
 //! With no selection flags, `--all` is assumed. `--scale` shrinks or grows
@@ -70,6 +72,15 @@
 //!   `--connect-timeout` (default 10 s). Composes with `--checkpoint` (a
 //!   killed coordinator resumes by re-running the identical command) and
 //!   `--save`.
+//! * Wire tuning (both sides must only agree on `--auth-key`; the rest
+//!   negotiates): `--wire binary` (default) lets peers negotiate the
+//!   compact `bin1` frame codec, `--wire json` pins JSON frames (for
+//!   debugging, old peers interoperate either way);
+//!   `--pipeline-window n` keeps up to `n` cells outstanding per worker
+//!   connection (default 2× the worker's capacity) so daemons never
+//!   idle a round-trip between batches; `--auth-key <key>` requires the
+//!   HMAC handshake on every connection — a peer with a wrong or
+//!   missing key gets a clean protocol error, never a hang.
 
 use sdiq_core::{
     experiments, persist, ArtifactCache, Backend, Experiment, MatrixSpec, SimBackend,
@@ -110,6 +121,13 @@ struct Options {
     heartbeat_deadline: Option<f64>,
     /// Disable speculative double-issue of straggler cells.
     no_speculate: bool,
+    /// `--wire json` pins JSON frames (false); default/`--wire binary`
+    /// negotiates the compact codec (true).
+    binary_wire: Option<bool>,
+    /// Outstanding-cell window per worker connection (0 = 2× capacity).
+    pipeline_window: Option<usize>,
+    /// Shared secret for the HMAC connection handshake.
+    auth_key: Option<String>,
     /// Simulator backend override (`--backend compiled|interpreted`).
     backend: Option<SimBackend>,
     selections: BTreeSet<String>,
@@ -254,6 +272,21 @@ fn parse_args() -> Options {
                 options.heartbeat_deadline = Some(parse_seconds("--heartbeat-deadline", &value));
             }
             "--no-speculate" => options.no_speculate = true,
+            "--wire" => {
+                let value = required_value(&mut args, "--wire");
+                options.binary_wire = Some(parse_wire(&value));
+            }
+            "--pipeline-window" => {
+                let value = required_value(&mut args, "--pipeline-window");
+                options.pipeline_window = Some(value.parse::<usize>().unwrap_or_else(|_| {
+                    eprintln!(
+                        "error: --pipeline-window needs a non-negative integer \
+                         (0 = 2x worker capacity), got `{value}`"
+                    );
+                    std::process::exit(2);
+                }));
+            }
+            "--auth-key" => options.auth_key = Some(required_value(&mut args, "--auth-key")),
             "--backend" => {
                 let value = required_value(&mut args, "--backend");
                 options.backend = Some(SimBackend::parse(&value).unwrap_or_else(|| {
@@ -270,10 +303,12 @@ fn parse_args() -> Options {
                      [--shard <k>/<n>] [--shards <n>] [--workers <host:port,..>] \
                      [--listen-workers <host:port> --expect <n>] [--retry-budget <n>] \
                      [--connect-timeout <secs>] [--heartbeat-deadline <secs>] [--no-speculate] \
+                     [--wire binary|json] [--pipeline-window <n>] [--auth-key <key>] \
                      [--table1] [--table2] [--figure6..12] \
                      [--overall] [--summary] [--sweep-summary] [--all]\n\
                      repro serve [--listen <host:port> | --register <host:port>] [--jobs <n>] \
-                     [--fail-after <n>] [--stall-after <n>] [--heartbeat-deadline <secs>]"
+                     [--fail-after <n>] [--stall-after <n>] [--heartbeat-deadline <secs>] \
+                     [--wire binary|json] [--auth-key <key>]"
                 );
                 std::process::exit(0);
             }
@@ -339,6 +374,19 @@ fn parse_seconds(flag: &str, value: &str) -> f64 {
     }
 }
 
+/// Parses a `--wire` value into "negotiate the binary codec?" — shared
+/// by coordinator and serve modes so the two cannot drift.
+fn parse_wire(value: &str) -> bool {
+    match value {
+        "binary" => true,
+        "json" => false,
+        _ => {
+            eprintln!("error: --wire wants `binary` or `json`, got `{value}`");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// Parses a `--jobs` value. Zero is rejected here rather than silently
 /// meaning "auto": a pool of zero workers is never what the user asked
 /// for, and in worker-budget arithmetic it would divide away to nothing.
@@ -366,6 +414,8 @@ fn serve_main(args: impl Iterator<Item = String>) -> ! {
         fail_after: None,
         stall_after: None,
         heartbeat_deadline: sdiq_remote::DEFAULT_HEARTBEAT_DEADLINE,
+        auth_key: None,
+        advertise_binary: true,
     };
     let mut listen_given = false;
     let mut args = args;
@@ -399,10 +449,16 @@ fn serve_main(args: impl Iterator<Item = String>) -> ! {
                 options.heartbeat_deadline =
                     Duration::from_secs_f64(parse_seconds("--heartbeat-deadline", &value));
             }
+            "--wire" => {
+                let value = required_value(&mut args, "--wire");
+                options.advertise_binary = parse_wire(&value);
+            }
+            "--auth-key" => options.auth_key = Some(required_value(&mut args, "--auth-key")),
             "--help" | "-h" => {
                 println!(
                     "repro serve [--listen <host:port> | --register <host:port>] [--jobs <n>] \
-                     [--fail-after <n>] [--stall-after <n>] [--heartbeat-deadline <secs>]"
+                     [--fail-after <n>] [--stall-after <n>] [--heartbeat-deadline <secs>] \
+                     [--wire binary|json] [--auth-key <key>]"
                 );
                 std::process::exit(0);
             }
@@ -645,6 +701,9 @@ fn main() {
                     .map(std::time::Duration::from_secs_f64)
                     .unwrap_or(defaults.heartbeat_deadline),
                 speculate: !options.no_speculate,
+                binary_wire: options.binary_wire.unwrap_or(defaults.binary_wire),
+                pipeline_window: options.pipeline_window.unwrap_or(defaults.pipeline_window),
+                auth_key: options.auth_key.clone(),
             };
             let backend = sdiq_remote::backend(matrix_spec.clone(), remote_options);
             eprintln!(

@@ -51,6 +51,22 @@ const MIN_COMPILED_INSTRUCTIONS_PER_SECOND: f64 = 3_000_000.0;
 /// catches accidental reintroduction of O(capacity) per-cycle scans.
 const MIN_INTERPRETED_INSTRUCTIONS_PER_SECOND: f64 = 500_000.0;
 
+/// Ceiling for the binary-codec remote row's wall clock, as a multiple of
+/// the in-process engine's. With `bin1` frames, pipelined batches and the
+/// interruptible heartbeat teardown, two localhost daemons land around
+/// 1.3–1.5× the engine at the committed `--scale 1.0` artifact; 2.5
+/// leaves headroom for loaded CI machines while still failing loudly on
+/// a regression to the old per-batch stop-and-wait shape (3.6× and up).
+const MAX_REMOTE_WALL_VS_ENGINE: f64 = 2.5;
+
+/// Absolute grace added on top of the ratio ceiling, pricing the fixed
+/// per-run costs (two TCP dials, codec negotiation, per-daemon artifact
+/// warm-up) that do not shrink with the workload. Without it the
+/// `--quick` smoke — engine wall under 10 ms — would flake on millisecond
+/// noise; with it, even the quick run still catches the 0.3 s fixed
+/// teardown stall this assertion exists to keep out.
+const REMOTE_WALL_GRACE_SECONDS: f64 = 0.05;
+
 struct Options {
     scale: f64,
     repeats: usize,
@@ -460,10 +476,12 @@ fn main() {
         }
     };
 
-    // Remote row: the same reduced matrix once more, now through two
+    // Remote rows: the same reduced matrix once more, now through two
     // localhost `repro serve` daemons driven by the TCP scheduler
-    // (sdiq-remote). On one box this prices the networked substrate —
-    // frame codec, per-cell streaming, capacity-batched scheduling,
+    // (sdiq-remote) — once with the negotiated `bin1` binary codec and
+    // pipelined batches (the fleet defaults), once pinned to JSON frames
+    // for the side-by-side. On one box this prices the networked
+    // substrate — frame codec, per-cell streaming, pipelined scheduling,
     // seeded reassembly — against the in-process engine; across boxes it
     // is the substrate that scales. Counters asserted bit-identical yet
     // again before any timing is reported.
@@ -473,92 +491,105 @@ fn main() {
             .join(format!("repro{}", std::env::consts::EXE_SUFFIX));
         exe.exists().then_some(exe)
     });
-    let remote_json = match repro_exe {
+    let mut remote_rows = [Json::Null, Json::Null];
+    let mut remote_binary_wall = None;
+    match repro_exe {
         Some(exe) => {
             const WORKERS: usize = 2;
             let worker_jobs = (jobs / WORKERS).max(1);
-            let mut daemons: Vec<(std::process::Child, String)> = Vec::new();
-            for _ in 0..WORKERS {
-                match spawn_serve_daemon(&exe, worker_jobs) {
-                    Some(daemon) => daemons.push(daemon),
-                    None => break,
-                }
-            }
-            let row = if daemons.len() < WORKERS {
-                eprintln!("{:>14}: skipped (could not start serve daemons)", "remote");
-                Json::Null
-            } else {
-                let spec = MatrixSpec {
-                    scale: options.scale,
-                    sweeps: Vec::new(),
-                    benchmarks: matrix_benchmarks
-                        .iter()
-                        .map(|b| b.name().to_string())
-                        .collect(),
-                    techniques: matrix_techniques
-                        .iter()
-                        .map(|t| t.name().to_string())
-                        .collect(),
-                };
-                let addrs: Vec<String> = daemons.iter().map(|(_, addr)| addr.clone()).collect();
-                let backend = sdiq_remote::backend(
-                    spec.clone(),
-                    sdiq_remote::RemoteOptions {
-                        workers: addrs,
-                        ..sdiq_remote::RemoteOptions::default()
-                    },
-                );
-                let remote_start = Instant::now();
-                let remote = spec
-                    .matrix(&matrix_experiment)
-                    .expect("spec mirrors the reduced matrix")
-                    .run_on(&backend, &HashMap::new(), None);
-                let remote_wall = remote_start.elapsed().as_secs_f64();
-                match remote {
-                    Ok(sweep) => {
-                        let remote_suite = sweep.into_suite();
-                        assert_eq!(
-                            remote_suite, engine_suite,
-                            "remote suite must be bit-identical to the in-process engine"
-                        );
-                        let vs_engine = remote_wall / engine_wall.max(1e-9);
-                        eprintln!(
-                            "{:>14}: {cells} cells  {WORKERS} localhost workers {remote_wall:.3}s  \
-                             ({vs_engine:.2}x of engine wall, bit-identical)",
-                            "remote"
-                        );
-                        Json::Obj(vec![
-                            ("workers".to_string(), Json::of_usize(WORKERS)),
-                            (
-                                "wall_seconds".to_string(),
-                                Json::Num(format!("{remote_wall:.6}")),
-                            ),
-                            (
-                                "wall_vs_engine".to_string(),
-                                Json::Num(format!("{vs_engine:.3}")),
-                            ),
-                        ])
-                    }
-                    Err(error) => {
-                        eprintln!("{:>14}: skipped ({error})", "remote");
-                        Json::Null
-                    }
-                }
+            let spec = MatrixSpec {
+                scale: options.scale,
+                sweeps: Vec::new(),
+                benchmarks: matrix_benchmarks
+                    .iter()
+                    .map(|b| b.name().to_string())
+                    .collect(),
+                techniques: matrix_techniques
+                    .iter()
+                    .map(|t| t.name().to_string())
+                    .collect(),
             };
-            for (mut child, _) in daemons {
-                let _ = child.kill();
-                let _ = child.wait();
+            // Fresh daemons per codec row: a daemon's artifact cache
+            // survives coordinator disconnects, so reusing the pool
+            // would hand the second row pre-warmed workers and skew the
+            // side-by-side.
+            for (row, (label, codec_name, binary_wire)) in remote_rows
+                .iter_mut()
+                .zip([("remote", "bin1", true), ("remote_json", "json", false)])
+            {
+                let mut daemons: Vec<(std::process::Child, String)> = Vec::new();
+                for _ in 0..WORKERS {
+                    match spawn_serve_daemon(&exe, worker_jobs) {
+                        Some(daemon) => daemons.push(daemon),
+                        None => break,
+                    }
+                }
+                if daemons.len() < WORKERS {
+                    eprintln!("{label:>14}: skipped (could not start serve daemons)");
+                } else {
+                    let addrs: Vec<String> = daemons.iter().map(|(_, addr)| addr.clone()).collect();
+                    let backend = sdiq_remote::backend(
+                        spec.clone(),
+                        sdiq_remote::RemoteOptions {
+                            workers: addrs,
+                            binary_wire,
+                            ..sdiq_remote::RemoteOptions::default()
+                        },
+                    );
+                    let remote_start = Instant::now();
+                    let remote = spec
+                        .matrix(&matrix_experiment)
+                        .expect("spec mirrors the reduced matrix")
+                        .run_on(&backend, &HashMap::new(), None);
+                    let remote_wall = remote_start.elapsed().as_secs_f64();
+                    match remote {
+                        Ok(sweep) => {
+                            let remote_suite = sweep.into_suite();
+                            assert_eq!(
+                                remote_suite, engine_suite,
+                                "{label} suite must be bit-identical to the in-process engine"
+                            );
+                            let vs_engine = remote_wall / engine_wall.max(1e-9);
+                            eprintln!(
+                                "{label:>14}: {cells} cells  {WORKERS} localhost workers \
+                                 {remote_wall:.3}s  ({vs_engine:.2}x of engine wall, \
+                                 {codec_name} frames, bit-identical)"
+                            );
+                            if binary_wire {
+                                remote_binary_wall = Some(remote_wall);
+                            }
+                            *row = Json::Obj(vec![
+                                ("workers".to_string(), Json::of_usize(WORKERS)),
+                                ("codec".to_string(), Json::Str(codec_name.to_string())),
+                                (
+                                    "wall_seconds".to_string(),
+                                    Json::Num(format!("{remote_wall:.6}")),
+                                ),
+                                (
+                                    "wall_vs_engine".to_string(),
+                                    Json::Num(format!("{vs_engine:.3}")),
+                                ),
+                            ]);
+                        }
+                        Err(error) => {
+                            eprintln!("{label:>14}: skipped ({error})");
+                        }
+                    }
+                }
+                for (mut child, _) in daemons {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                }
             }
-            row
         }
         None => {
             eprintln!(
                 "{:>14}: skipped (repro worker binary not built next to sim_throughput)",
                 "remote"
             );
-            Json::Null
         }
     };
+    let [remote_json, remote_json_codec] = remote_rows;
 
     // Read-merge-write: re-attach the hand-curated `history` block from the
     // existing output file (if any) so regenerating the artifact never
@@ -586,10 +617,12 @@ fn main() {
                 bit-identical before timing is reported), and a sharded row running \
                 the same matrix through the subprocess coordinator (one repro worker \
                 per shard, merged suites asserted bit-identical to the engine's), \
-                and a remote row running it through two localhost repro serve \
-                daemons driven by the sdiq-remote TCP scheduler (suite asserted \
-                bit-identical again; on one box this prices the networked substrate, \
-                across boxes it is the substrate that scales). \
+                and two remote rows running it through two localhost repro serve \
+                daemons driven by the sdiq-remote TCP scheduler — 'remote' with the \
+                negotiated bin1 binary frames and pipelined batches (the fleet \
+                defaults), 'remote_json' pinned to JSON frames for the side-by-side \
+                (suites asserted bit-identical again; on one box this prices the \
+                networked substrate, across boxes it is the substrate that scales). \
                 Regenerate with: cargo run --release -p sdiq-bench --bin sim_throughput \
                 -- --scale 1.0 --repeats 7. The hand-curated 'history' block \
                 (per-PR before/after records) is parsed from the existing file and \
@@ -658,6 +691,7 @@ fn main() {
                 ("speedup".to_string(), Json::Num(format!("{speedup:.3}"))),
                 ("sharded".to_string(), sharded_json),
                 ("remote".to_string(), remote_json),
+                ("remote_json".to_string(), remote_json_codec),
             ]),
         ),
         ("history".to_string(), history),
@@ -685,6 +719,17 @@ fn main() {
              below the {MIN_INTERPRETED_INSTRUCTIONS_PER_SECOND:.0}/s floor"
         );
         failed = true;
+    }
+    if let Some(remote_wall) = remote_binary_wall {
+        let ceiling = engine_wall * MAX_REMOTE_WALL_VS_ENGINE + REMOTE_WALL_GRACE_SECONDS;
+        if remote_wall > ceiling {
+            eprintln!(
+                "FAIL: binary-codec remote row took {remote_wall:.3}s against an engine wall \
+                 of {engine_wall:.3}s — above the {MAX_REMOTE_WALL_VS_ENGINE}x + \
+                 {REMOTE_WALL_GRACE_SECONDS}s ceiling ({ceiling:.3}s)"
+            );
+            failed = true;
+        }
     }
     if failed {
         std::process::exit(1);

@@ -22,7 +22,13 @@
 //!    scheduler,
 //! 8. self-registered workers (`serve --register` dialing a
 //!    `--listen-workers` rendezvous coordinator) complete the suite
-//!    byte-identically with zero inbound connections to the workers.
+//!    byte-identically with zero inbound connections to the workers,
+//! 9. a mixed pool — one worker negotiating the `bin1` binary codec,
+//!    one pinned to JSON — still reproduces the suite byte-for-byte,
+//!    as does a coordinator pinned to `--wire json`,
+//! 10. the `--auth-key` HMAC handshake admits matching keys and turns
+//!     wrong or missing keys into clean, fast protocol errors — never
+//!     hangs.
 
 use std::io::{BufRead, BufReader};
 use std::path::{Path, PathBuf};
@@ -415,6 +421,107 @@ fn self_registered_workers_complete_the_suite_byte_identically() {
 }
 
 #[test]
+fn mixed_codec_pools_stay_byte_identical_to_serial() {
+    let dir = scratch_dir("codec");
+    let serial = dir.join("serial.json");
+    let mixed = dir.join("mixed.json");
+    let json_only = dir.join("json-only.json");
+
+    repro(&["--summary", "--save", serial.to_str().unwrap()]);
+
+    // One daemon negotiates up to `bin1`, the other is pinned to JSON —
+    // the fleet-upgrade shape where old and new workers share a pool.
+    // The codec must never be observable in the results.
+    let binary = Worker::spawn(&["--jobs", "1"]);
+    let json = Worker::spawn(&["--jobs", "1", "--wire", "json"]);
+    let pool = format!("{},{}", binary.addr, json.addr);
+    repro(&[
+        "--summary",
+        "--workers",
+        &pool,
+        "--save",
+        mixed.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        read(&serial),
+        read(&mixed),
+        "mixed-codec pool must be byte-identical to serial"
+    );
+
+    // A coordinator pinned to JSON against the same pool: nothing
+    // negotiates, every frame is JSON, the bytes still match.
+    repro(&[
+        "--summary",
+        "--workers",
+        &pool,
+        "--wire",
+        "json",
+        "--save",
+        json_only.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        read(&serial),
+        read(&json_only),
+        "JSON-pinned run must be byte-identical to serial"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn auth_handshake_admits_matching_keys_and_rejects_mismatches_cleanly() {
+    let dir = scratch_dir("auth");
+    let serial = dir.join("serial.json");
+    let remote = dir.join("remote.json");
+
+    repro(&["--summary", "--save", serial.to_str().unwrap()]);
+    let keyed = Worker::spawn(&["--jobs", "1", "--auth-key", "fleet-secret"]);
+    let started = std::time::Instant::now();
+
+    // A keyless coordinator is told what is missing, immediately.
+    let (success, log) = repro_raw(&["--summary", "--workers", &keyed.addr]);
+    assert!(!success, "keyless coordinator must fail");
+    assert!(
+        log.contains("requires authentication"),
+        "the error names the missing key:\n{log}"
+    );
+
+    // A wrong key fails the MAC check — a protocol error, not a hang.
+    let (success, log) = repro_raw(&[
+        "--summary",
+        "--workers",
+        &keyed.addr,
+        "--auth-key",
+        "not-the-secret",
+    ]);
+    assert!(!success, "wrong key must fail");
+    assert!(
+        log.contains("authentication"),
+        "the error names the failed handshake:\n{log}"
+    );
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(30),
+        "auth mismatches are refused promptly, never hung"
+    );
+
+    // Matching keys: handshake, then business as usual, bytes identical.
+    repro(&[
+        "--summary",
+        "--workers",
+        &keyed.addr,
+        "--auth-key",
+        "fleet-secret",
+        "--save",
+        remote.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        read(&serial),
+        read(&remote),
+        "authenticated suite must be byte-identical to serial"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn cli_rejects_zero_jobs_and_contradictory_distribution_flags() {
     let run = |args: &[&str]| {
         let output = Command::new(env!("CARGO_BIN_EXE_repro"))
@@ -487,4 +594,24 @@ fn cli_rejects_zero_jobs_and_contradictory_distribution_flags() {
     let (code, stderr) = run(&["--summary", "--connect-timeout", "-1"]);
     assert_eq!(code, Some(2));
     assert!(stderr.contains("--connect-timeout"), "{stderr}");
+
+    // The wire tuning flags validate their values on both sides.
+    let (code, stderr) = run(&["--summary", "--wire", "carrier-pigeon"]);
+    assert_eq!(code, Some(2));
+    assert!(
+        stderr.contains("--wire wants `binary` or `json`"),
+        "{stderr}"
+    );
+    let (code, stderr) = run(&["serve", "--wire", "smoke-signal"]);
+    assert_eq!(code, Some(2), "serve applies the same rule");
+    assert!(
+        stderr.contains("--wire wants `binary` or `json`"),
+        "{stderr}"
+    );
+    let (code, stderr) = run(&["--summary", "--pipeline-window", "wide"]);
+    assert_eq!(code, Some(2));
+    assert!(
+        stderr.contains("--pipeline-window needs a non-negative integer"),
+        "{stderr}"
+    );
 }

@@ -1064,6 +1064,21 @@ pub struct RemoteSpec {
     /// workers. First result wins; duplicates are benign because cell
     /// results are deterministic (MapReduce-style backup tasks).
     pub speculate: bool,
+    /// Offer workers the compact binary frame codec at `Hello` time
+    /// (workers that don't advertise it keep speaking JSON — the two
+    /// codecs interoperate per connection). Off forces JSON everywhere,
+    /// for debugging and for pricing the codecs against each other.
+    pub binary_wire: bool,
+    /// Per-worker pipelining window: how many cells the scheduler keeps
+    /// outstanding on one connection so the worker never idles between
+    /// batches. `0` means the default, 2× the worker's advertised
+    /// capacity.
+    pub pipeline_window: usize,
+    /// Shared secret for the HMAC handshake. When set, every connection
+    /// (dialed and registered) must prove knowledge of the key before
+    /// any protocol frame; when unset, connections are unauthenticated
+    /// (trusted networks only). Both sides must agree.
+    pub auth_key: Option<String>,
     /// The scheduler implementation (see [`RemoteLaunch`]).
     pub launch: RemoteLaunch,
 }

@@ -47,10 +47,14 @@ pub mod cache;
 pub mod engine;
 pub mod experiments;
 pub mod persist;
+pub mod persist_bin;
 pub mod runner;
 pub mod technique;
 
-pub use cache::{ArtifactCache, CompileKey, CompiledArtifact, PlanKey, PlanSource, ProgramKey};
+pub use cache::{
+    ArtifactCache, CompileKey, CompiledArtifact, PlanKey, PlanSource, ProgramKey, ResultStore,
+    Stored,
+};
 pub use engine::{
     cell_key, matrix_fingerprint, shard_of, Backend, BackendError, CellSink, ConfigVariant, Matrix,
     MatrixSpec, Registration, RemoteLaunch, RemoteSpec, SubprocessSpec, Sweep,

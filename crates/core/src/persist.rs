@@ -485,6 +485,9 @@ macro_rules! for_each_stats_field {
         );
     };
 }
+// The binary twin of this codec (`crate::persist_bin`) expands the same
+// list, so a new counter still needs exactly one edit.
+pub(crate) use for_each_stats_field;
 
 fn stats_to_json(stats: &ActivityStats) -> Json {
     let mut fields = Vec::new();

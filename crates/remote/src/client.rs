@@ -1,5 +1,6 @@
 //! The coordinator's side of one worker connection: dial the daemon
-//! (or accept its `Register`), read its greeting, then expose the
+//! (or accept its `Register`), authenticate when `--auth-key` is set,
+//! read its greeting, negotiate the frame codec, then expose the
 //! connection as a [`WorkerLink`](crate::scheduler::WorkerLink) for the
 //! scheduler.
 //!
@@ -11,9 +12,16 @@
 //! link surfaces it as an error so the scheduler re-queues the worker's
 //! in-flight cells. Before this deadline existed, a hung worker stalled
 //! the whole run forever: `recv` blocked in `read` with no way out.
+//!
+//! Codec negotiation is one-sided and cheap: a worker whose greeting
+//! advertises `bin1` gets a `SetCodec` frame back and both directions
+//! switch to the compact binary codec; any other worker — an old build,
+//! `serve --wire json` — keeps JSON and never sees a frame it cannot
+//! parse. Reads auto-detect per frame, so the switch needs no ack.
 
-use crate::frame;
-use crate::protocol::Message;
+use crate::auth;
+use crate::frame::{self, Codec};
+use crate::protocol::{Message, CODEC_BIN1};
 use crate::scheduler::{WorkerEvent, WorkerLink};
 use sdiq_core::{Registration, RemoteSpec};
 use std::io::{self, BufReader};
@@ -27,6 +35,8 @@ struct TcpWorkerLink {
     capacity: usize,
     remote: RemoteSpec,
     fingerprint: u64,
+    /// Negotiated codec for frames *we* send (reads auto-detect).
+    codec: Codec,
 }
 
 /// Connects to `addr` within `remote.connect_timeout` (a blackholed
@@ -80,23 +90,69 @@ fn configure(stream: &TcpStream, remote: &RemoteSpec) -> io::Result<()> {
     stream.set_read_timeout((!deadline.is_zero()).then_some(deadline))
 }
 
-/// Dials a worker daemon at `addr` (`host:port`), performs the `Hello`
-/// handshake, and returns the connected link. This is the production
+/// Picks the frame codec for a worker that advertised `codecs` and, when
+/// the pick is not the implicit JSON, tells the worker with `SetCodec`
+/// (the worker switches its own frames on receipt; TCP ordering makes an
+/// ack unnecessary).
+fn negotiate(writer: &mut TcpStream, remote: &RemoteSpec, codecs: &[String]) -> io::Result<Codec> {
+    if remote.binary_wire && codecs.iter().any(|codec| codec == CODEC_BIN1) {
+        frame::write_message(
+            writer,
+            &Message::SetCodec {
+                codec: CODEC_BIN1.to_string(),
+            },
+        )?;
+        Ok(Codec::Binary)
+    } else {
+        Ok(Codec::Json)
+    }
+}
+
+/// Dials a worker daemon at `addr` (`host:port`), runs the auth
+/// handshake when configured, performs the `Hello` handshake, and
+/// returns the connected link. This is the production
 /// [`Dialer`](crate::scheduler::Dialer).
 pub fn dial(addr: &str, remote: &RemoteSpec, fingerprint: u64) -> io::Result<Box<dyn WorkerLink>> {
     let stream = connect(addr, remote)?;
-    let writer = stream.try_clone()?;
+    let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
     // The deadline already applies: a daemon that accepts and then hangs
     // cannot stall the handshake either.
-    match frame::read_message(&mut reader).map_err(|e| deadline_error(remote, e))? {
-        Message::Hello { capacity } => Ok(Box::new(TcpWorkerLink {
-            reader,
-            writer,
-            capacity,
-            remote: remote.clone(),
-            fingerprint,
-        })),
+    let mut first = frame::read_message(&mut reader).map_err(|e| deadline_error(remote, e))?;
+    if let Message::AuthChallenge { nonce } = &first {
+        // The worker demands authentication (it is the acceptor here).
+        let Some(key) = &remote.auth_key else {
+            return Err(io::Error::new(
+                io::ErrorKind::PermissionDenied,
+                format!("worker {addr} requires authentication — pass the shared --auth-key"),
+            ));
+        };
+        auth::dialer_handshake(&mut reader, &mut writer, key, nonce)
+            .map_err(|e| io::Error::new(e.kind(), format!("worker {addr}: {e}")))?;
+        first = frame::read_message(&mut reader).map_err(|e| deadline_error(remote, e))?;
+    } else if remote.auth_key.is_some() {
+        // We hold a key but the worker never asked for proof: a config
+        // mismatch that would silently run unauthenticated — refuse.
+        return Err(io::Error::new(
+            io::ErrorKind::PermissionDenied,
+            format!(
+                "worker {addr} did not request authentication but --auth-key is set \
+                 (is the daemon running without --auth-key?)"
+            ),
+        ));
+    }
+    match first {
+        Message::Hello { capacity, codecs } => {
+            let codec = negotiate(&mut writer, remote, &codecs)?;
+            Ok(Box::new(TcpWorkerLink {
+                reader,
+                writer,
+                capacity,
+                remote: remote.clone(),
+                fingerprint,
+                codec,
+            }))
+        }
         other => Err(io::Error::new(
             io::ErrorKind::InvalidData,
             format!("worker {addr} opened with {other:?} instead of Hello"),
@@ -109,7 +165,10 @@ pub fn dial(addr: &str, remote: &RemoteSpec, fingerprint: u64) -> io::Result<Box
 /// sent a valid `Register` frame; returns their connected links. A
 /// connection that opens with anything else (or goes silent before
 /// registering) is logged and dropped — the listener keeps accepting, so
-/// a port-scanner cannot consume a registration slot.
+/// a port-scanner cannot consume a registration slot. With an auth key,
+/// the coordinator (the acceptor here) challenges every connection
+/// before reading its `Register`; failing the handshake also just drops
+/// the connection.
 ///
 /// The bound address is announced on stderr as
 /// `remote: listening for workers on <addr> (expecting <n>)` so scripts
@@ -136,7 +195,7 @@ pub fn accept_registrations(
             }
         };
         let peer = peer.to_string();
-        // The Register frame must arrive promptly even when the run's
+        // The handshake must complete promptly even when the run's
         // heartbeat deadline is disabled: a half-open connection must
         // not wedge the rendezvous.
         let handshake = match remote.heartbeat_deadline {
@@ -146,21 +205,28 @@ pub fn accept_registrations(
         let register = configure(&stream, remote)
             .and_then(|()| stream.set_read_timeout(Some(handshake)))
             .and_then(|()| stream.try_clone())
-            .and_then(|writer| {
+            .and_then(|mut writer| {
                 let mut reader = BufReader::new(stream);
+                if let Some(key) = &remote.auth_key {
+                    auth::acceptor_handshake(&mut reader, &mut writer, key)?;
+                }
                 frame::read_message(&mut reader).map(|message| (message, reader, writer))
             });
         match register {
-            Ok((Message::Register { capacity }, reader, writer)) => {
+            Ok((Message::Register { capacity, codecs }, reader, mut writer)) => {
                 // Restore the run deadline the handshake timeout replaced
                 // (the clone shares the socket, so this covers the reader).
                 let deadline = remote.heartbeat_deadline;
-                if let Err(error) =
-                    writer.set_read_timeout((!deadline.is_zero()).then_some(deadline))
-                {
-                    eprintln!("remote: configuring registered worker {peer} failed: {error}");
-                    continue;
-                }
+                let configured = writer
+                    .set_read_timeout((!deadline.is_zero()).then_some(deadline))
+                    .and_then(|()| negotiate(&mut writer, remote, &codecs));
+                let codec = match configured {
+                    Ok(codec) => codec,
+                    Err(error) => {
+                        eprintln!("remote: configuring registered worker {peer} failed: {error}");
+                        continue;
+                    }
+                };
                 eprintln!(
                     "remote: worker {peer} registered with capacity {capacity} ({}/{})",
                     links.len() + 1,
@@ -174,6 +240,7 @@ pub fn accept_registrations(
                         capacity,
                         remote: remote.clone(),
                         fingerprint,
+                        codec,
                     }),
                 ));
             }
@@ -211,13 +278,14 @@ impl WorkerLink for TcpWorkerLink {
     }
 
     fn submit(&mut self, keys: &[String]) -> io::Result<()> {
-        frame::write_message(
+        frame::write_message_codec(
             &mut self.writer,
             &Message::RunCells {
                 fingerprint: self.fingerprint,
                 spec: self.remote.spec.clone(),
                 keys: keys.to_vec(),
             },
+            self.codec,
         )
     }
 
@@ -268,7 +336,17 @@ mod tests {
             connect_timeout: Duration::from_secs(5),
             heartbeat_deadline,
             speculate: true,
+            binary_wire: true,
+            pipeline_window: 0,
+            auth_key: None,
             launch: |_, _, _, _| unreachable!("client tests never launch"),
+        }
+    }
+
+    fn hello(capacity: usize) -> Message {
+        Message::Hello {
+            capacity,
+            codecs: Vec::new(),
         }
     }
 
@@ -282,7 +360,7 @@ mod tests {
         let addr = listener.local_addr().unwrap().to_string();
         let server = std::thread::spawn(move || {
             let (mut stream, _) = listener.accept().unwrap();
-            frame::write_message(&mut stream, &Message::Hello { capacity: 1 }).unwrap();
+            frame::write_message(&mut stream, &hello(1)).unwrap();
             // Hold the socket open, silently, longer than the deadline.
             std::thread::sleep(Duration::from_secs(2));
             drop(stream);
@@ -312,7 +390,7 @@ mod tests {
         let addr = listener.local_addr().unwrap().to_string();
         let server = std::thread::spawn(move || {
             let (mut stream, _) = listener.accept().unwrap();
-            frame::write_message(&mut stream, &Message::Hello { capacity: 1 }).unwrap();
+            frame::write_message(&mut stream, &hello(1)).unwrap();
             for _ in 0..6 {
                 std::thread::sleep(Duration::from_millis(100));
                 frame::write_message(&mut stream, &Message::Heartbeat).unwrap();
@@ -353,5 +431,161 @@ mod tests {
             error.to_string().contains(&addr),
             "error names the address: {error}"
         );
+    }
+
+    /// A worker that advertises `bin1` gets `SetCodec` and subsequent
+    /// batches arrive binary-framed; one that advertises nothing keeps
+    /// receiving JSON. Both observed from the worker's side of the wire.
+    #[test]
+    fn codec_negotiation_switches_exactly_the_advertising_worker() {
+        for advertise in [true, false] {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap().to_string();
+            let server = std::thread::spawn(move || {
+                let (stream, _) = listener.accept().unwrap();
+                let mut writer = stream.try_clone().unwrap();
+                let codecs = if advertise {
+                    vec![CODEC_BIN1.to_string()]
+                } else {
+                    Vec::new()
+                };
+                frame::write_message(
+                    &mut writer,
+                    &Message::Hello {
+                        capacity: 1,
+                        codecs,
+                    },
+                )
+                .unwrap();
+                let mut reader = BufReader::new(stream);
+                let mut saw_set_codec = false;
+                // Read raw frames: length prefix + payload, so the test
+                // sees the actual encoding, not just the decoded message.
+                while let Ok(Some(message)) = frame::read_message_opt(&mut reader) {
+                    match message {
+                        Message::SetCodec { codec } => {
+                            assert_eq!(codec, CODEC_BIN1);
+                            saw_set_codec = true;
+                        }
+                        Message::RunCells { keys, .. } => {
+                            assert_eq!(keys, vec!["k".to_string()]);
+                            frame::write_message(&mut writer, &Message::Done { computed: 0 })
+                                .unwrap();
+                        }
+                        other => panic!("unexpected {other:?}"),
+                    }
+                }
+                assert_eq!(saw_set_codec, advertise, "SetCodec iff advertised");
+            });
+            let spec = test_spec(Duration::from_secs(2));
+            let mut link = dial(&addr, &spec, 0).unwrap();
+            link.submit(&["k".to_string()]).unwrap();
+            match link.recv().unwrap() {
+                WorkerEvent::Done => {}
+                other => panic!("expected Done, got {other:?}"),
+            }
+            drop(link);
+            server.join().unwrap();
+        }
+    }
+
+    /// Auth, both failure shapes: a keyless coordinator dialing a keyed
+    /// worker gets a clean "requires authentication" error, and a keyed
+    /// coordinator dialing a keyless worker refuses to proceed — neither
+    /// hangs.
+    #[test]
+    fn auth_mismatches_fail_cleanly_in_both_directions() {
+        // Keyed worker, keyless coordinator.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut writer = stream.try_clone().unwrap();
+            let mut reader = BufReader::new(stream);
+            let _ = auth::acceptor_handshake(&mut reader, &mut writer, "sesame");
+        });
+        let spec = test_spec(Duration::from_secs(2));
+        let error = match dial(&addr, &spec, 0) {
+            Err(error) => error,
+            Ok(_) => panic!("must refuse without a key"),
+        };
+        assert!(
+            error.to_string().contains("requires authentication"),
+            "clean error: {error}"
+        );
+        server.join().unwrap();
+
+        // Keyless worker, keyed coordinator.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            frame::write_message(&mut stream, &hello(1)).unwrap();
+            std::thread::sleep(Duration::from_millis(100));
+        });
+        let mut spec = test_spec(Duration::from_secs(2));
+        spec.auth_key = Some("sesame".to_string());
+        let error = match dial(&addr, &spec, 0) {
+            Err(error) => error,
+            Ok(_) => panic!("must refuse unauthenticated worker"),
+        };
+        assert!(
+            error.to_string().contains("did not request authentication"),
+            "clean error: {error}"
+        );
+        server.join().unwrap();
+
+        // Wrong key: the handshake itself rejects.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut writer = stream.try_clone().unwrap();
+            let mut reader = BufReader::new(stream);
+            let error = auth::acceptor_handshake(&mut reader, &mut writer, "sesame")
+                .expect_err("wrong key must fail");
+            assert_eq!(error.kind(), io::ErrorKind::PermissionDenied);
+        });
+        let mut spec = test_spec(Duration::from_secs(2));
+        spec.auth_key = Some("not-sesame".to_string());
+        let error = match dial(&addr, &spec, 0) {
+            Err(error) => error,
+            Ok(_) => panic!("wrong key must fail"),
+        };
+        assert!(
+            error.to_string().contains("authentication"),
+            "clean error: {error}"
+        );
+        server.join().unwrap();
+    }
+
+    /// The full handshake succeeding end to end: keyed on both sides,
+    /// then a normal greeting and batch.
+    #[test]
+    fn matching_auth_keys_handshake_and_run() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut writer = stream.try_clone().unwrap();
+            let mut reader = BufReader::new(stream);
+            auth::acceptor_handshake(&mut reader, &mut writer, "sesame").unwrap();
+            frame::write_message(&mut writer, &hello(1)).unwrap();
+            match frame::read_message(&mut reader).unwrap() {
+                Message::RunCells { .. } => {
+                    frame::write_message(&mut writer, &Message::Done { computed: 0 }).unwrap();
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        });
+        let mut spec = test_spec(Duration::from_secs(2));
+        spec.auth_key = Some("sesame".to_string());
+        let mut link = dial(&addr, &spec, 0).unwrap();
+        link.submit(&["k".to_string()]).unwrap();
+        match link.recv().unwrap() {
+            WorkerEvent::Done => {}
+            other => panic!("expected Done, got {other:?}"),
+        }
+        server.join().unwrap();
     }
 }

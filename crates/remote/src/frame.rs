@@ -1,9 +1,27 @@
 //! Wire framing: every message travels as a 4-byte **big-endian** length
-//! prefix followed by exactly that many bytes of UTF-8 JSON (the
-//! [`crate::protocol`] grammar). Length prefixes make the stream
-//! self-delimiting without sentinel scanning; big-endian keeps the bytes
-//! architecture-independent, like the engine's cell-key fingerprints.
+//! prefix followed by exactly that many payload bytes. Length prefixes
+//! make the stream self-delimiting without sentinel scanning; big-endian
+//! keeps the bytes architecture-independent, like the engine's cell-key
+//! fingerprints.
+//!
+//! The payload is one of two codecs, chosen per *writer* by negotiation
+//! (see [`crate::protocol`]): UTF-8 JSON, or the compact `bin1` layout in
+//! [`crate::binary`]. Readers never need to know what was negotiated —
+//! binary payloads start with a tag byte `< 0x20` and JSON documents
+//! cannot, so [`read_message_opt`] detects the codec of every frame from
+//! its first byte. That keeps the reader stateless across the `SetCodec`
+//! switch and makes mixed-codec streams (during negotiation) safe by
+//! construction.
+//!
+//! `Heartbeat` frames are the highest-frequency message on a healthy
+//! fleet, so both directions special-case them: the encoded frame is a
+//! compile-time constant in either codec (no rendering, no allocation),
+//! and the decoder recognises both constant payloads byte-wise before
+//! any codec machinery runs. Small frames are staged through a stack
+//! buffer, so a heartbeat round-trip allocates nothing at all (pinned by
+//! the `heartbeat_alloc` integration test).
 
+use crate::binary;
 use crate::protocol::Message;
 use std::io::{self, Read, Write};
 
@@ -13,10 +31,64 @@ use std::io::{self, Read, Write};
 /// prefix, and rejecting it beats a multi-gigabyte allocation.
 pub const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
 
-/// Writes one message as a frame and flushes it, so the peer sees it
-/// immediately (cell streaming is the whole point of the protocol).
-pub fn write_message(writer: &mut impl Write, message: &Message) -> io::Result<()> {
-    let payload = message.render();
+/// Which codec a writer uses for its frames (readers auto-detect).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Codec {
+    /// UTF-8 JSON payloads (the implicit default every peer speaks).
+    Json,
+    /// The `bin1` binary layout ([`crate::binary`]), after negotiation.
+    Binary,
+}
+
+/// The JSON heartbeat payload (exactly what `Message::Heartbeat.render()`
+/// produces — asserted by test, since the fast path must stay
+/// byte-identical to the slow one).
+const HEARTBEAT_JSON: &[u8] = b"{\"type\":\"heartbeat\"}";
+
+/// The complete JSON heartbeat frame, prefix included.
+const HEARTBEAT_JSON_FRAME: &[u8] = &{
+    let mut frame = [0u8; 4 + HEARTBEAT_JSON.len()];
+    let len = (HEARTBEAT_JSON.len() as u32).to_be_bytes();
+    let mut i = 0;
+    while i < 4 {
+        frame[i] = len[i];
+        i += 1;
+    }
+    while i < frame.len() {
+        frame[i] = HEARTBEAT_JSON[i - 4];
+        i += 1;
+    }
+    frame
+};
+
+/// The complete `bin1` heartbeat frame: length 1, one tag byte.
+const HEARTBEAT_BINARY_FRAME: &[u8] = &[0, 0, 0, 1, binary::TAG_HEARTBEAT];
+
+/// Frames at most this long are staged through a stack buffer on read —
+/// covers both heartbeat payloads (and most control frames) without
+/// touching the heap.
+const STACK_FRAME_BYTES: usize = 64;
+
+/// Writes one message as a frame in `codec` and flushes it, so the peer
+/// sees it immediately (cell streaming is the whole point of the
+/// protocol). Heartbeats take a zero-allocation constant path in either
+/// codec.
+pub fn write_message_codec(
+    writer: &mut impl Write,
+    message: &Message,
+    codec: Codec,
+) -> io::Result<()> {
+    if matches!(message, Message::Heartbeat) {
+        writer.write_all(match codec {
+            Codec::Json => HEARTBEAT_JSON_FRAME,
+            Codec::Binary => HEARTBEAT_BINARY_FRAME,
+        })?;
+        return writer.flush();
+    }
+    let payload = match codec {
+        Codec::Json => message.render().into_bytes(),
+        Codec::Binary => binary::encode_message(message),
+    };
     let len = u32::try_from(payload.len())
         .ok()
         .filter(|&len| len <= MAX_FRAME_BYTES)
@@ -30,8 +102,43 @@ pub fn write_message(writer: &mut impl Write, message: &Message) -> io::Result<(
             )
         })?;
     writer.write_all(&len.to_be_bytes())?;
-    writer.write_all(payload.as_bytes())?;
+    writer.write_all(&payload)?;
     writer.flush()
+}
+
+/// [`write_message_codec`] with the JSON codec (greetings and the auth
+/// handshake, which precede negotiation, plus every un-negotiated
+/// connection).
+pub fn write_message(writer: &mut impl Write, message: &Message) -> io::Result<()> {
+    write_message_codec(writer, message, Codec::Json)
+}
+
+/// Decodes one frame payload, auto-detecting its codec from the first
+/// byte (see the module docs).
+fn decode_payload(payload: &[u8]) -> io::Result<Message> {
+    // Zero-allocation heartbeat fast path, both codecs: exact payload
+    // compare, no parser.
+    if payload == &HEARTBEAT_BINARY_FRAME[4..] || payload == HEARTBEAT_JSON {
+        return Ok(Message::Heartbeat);
+    }
+    match payload.first() {
+        None => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad frame: empty payload",
+        )),
+        Some(&tag) if tag < binary::MAX_TAG => binary::decode_message(payload)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad frame: {e}"))),
+        Some(_) => {
+            let text = std::str::from_utf8(payload).map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("frame is not UTF-8: {e}"),
+                )
+            })?;
+            Message::parse(text)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad frame: {e}")))
+        }
+    }
 }
 
 /// Reads one message, or `Ok(None)` on a clean end-of-stream (the peer
@@ -61,17 +168,16 @@ pub fn read_message_opt(reader: &mut impl Read) -> io::Result<Option<Message>> {
             format!("frame length {len} exceeds the protocol limit"),
         ));
     }
-    let mut payload = vec![0u8; len as usize];
+    let len = len as usize;
+    if len <= STACK_FRAME_BYTES {
+        // Small frames — heartbeats above all — stay on the stack.
+        let mut payload = [0u8; STACK_FRAME_BYTES];
+        reader.read_exact(&mut payload[..len])?;
+        return decode_payload(&payload[..len]).map(Some);
+    }
+    let mut payload = vec![0u8; len];
     reader.read_exact(&mut payload)?;
-    let text = String::from_utf8(payload).map_err(|e| {
-        io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("frame is not UTF-8: {e}"),
-        )
-    })?;
-    Message::parse(&text)
-        .map(Some)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad frame: {e}")))
+    decode_payload(&payload).map(Some)
 }
 
 /// [`read_message_opt`] for callers to whom *any* end-of-stream is a
@@ -86,18 +192,22 @@ pub fn read_message(reader: &mut impl Read) -> io::Result<Message> {
 mod tests {
     use super::*;
 
+    fn hello(capacity: usize) -> Message {
+        Message::Hello {
+            capacity,
+            codecs: Vec::new(),
+        }
+    }
+
     #[test]
     fn frames_round_trip_and_eof_positions_are_distinguished() {
         let mut buffer = Vec::new();
         write_message(&mut buffer, &Message::Heartbeat).unwrap();
-        write_message(&mut buffer, &Message::Hello { capacity: 7 }).unwrap();
+        write_message(&mut buffer, &hello(7)).unwrap();
 
         let mut reader = &buffer[..];
         assert_eq!(read_message(&mut reader).unwrap(), Message::Heartbeat);
-        assert_eq!(
-            read_message(&mut reader).unwrap(),
-            Message::Hello { capacity: 7 }
-        );
+        assert_eq!(read_message(&mut reader).unwrap(), hello(7));
         // Clean EOF at a frame boundary: Ok(None) for the daemon...
         assert!(read_message_opt(&mut reader).unwrap().is_none());
         // ...and an error for the mid-batch coordinator.
@@ -126,6 +236,50 @@ mod tests {
     }
 
     #[test]
+    fn binary_frames_round_trip_and_interleave_with_json() {
+        // A mixed stream — as seen across a SetCodec switch — decodes
+        // frame by frame with no reader-side state.
+        let mut buffer = Vec::new();
+        write_message_codec(&mut buffer, &hello(3), Codec::Json).unwrap();
+        write_message_codec(
+            &mut buffer,
+            &Message::SetCodec {
+                codec: crate::protocol::CODEC_BIN1.to_string(),
+            },
+            Codec::Json,
+        )
+        .unwrap();
+        write_message_codec(&mut buffer, &Message::Heartbeat, Codec::Binary).unwrap();
+        write_message_codec(&mut buffer, &Message::Done { computed: 9 }, Codec::Binary).unwrap();
+
+        let mut reader = &buffer[..];
+        assert_eq!(read_message(&mut reader).unwrap(), hello(3));
+        assert!(matches!(
+            read_message(&mut reader).unwrap(),
+            Message::SetCodec { .. }
+        ));
+        assert_eq!(read_message(&mut reader).unwrap(), Message::Heartbeat);
+        assert_eq!(
+            read_message(&mut reader).unwrap(),
+            Message::Done { computed: 9 }
+        );
+        assert!(read_message_opt(&mut reader).unwrap().is_none());
+    }
+
+    #[test]
+    fn heartbeat_fast_paths_stay_byte_identical_to_the_codecs() {
+        // The constant frames must be exactly what the codecs produce —
+        // otherwise the fast path would silently fork the protocol.
+        assert_eq!(Message::Heartbeat.render().as_bytes(), HEARTBEAT_JSON);
+        assert_eq!(
+            binary::encode_message(&Message::Heartbeat),
+            HEARTBEAT_BINARY_FRAME[4..].to_vec()
+        );
+        // And the binary heartbeat is the smallest possible frame.
+        assert_eq!(HEARTBEAT_BINARY_FRAME.len(), 5);
+    }
+
+    #[test]
     fn hostile_length_prefixes_are_rejected_without_allocating() {
         let mut buffer = Vec::new();
         buffer.extend_from_slice(&u32::MAX.to_be_bytes());
@@ -133,5 +287,17 @@ mod tests {
         let error = read_message(&mut &buffer[..]).unwrap_err();
         assert_eq!(error.kind(), io::ErrorKind::InvalidData);
         assert!(error.to_string().contains("exceeds the protocol limit"));
+    }
+
+    #[test]
+    fn empty_and_garbage_payloads_error_cleanly() {
+        // Zero-length frame.
+        let buffer = 0u32.to_be_bytes();
+        assert!(read_message(&mut &buffer[..]).is_err());
+        // A binary-range first byte with a broken body.
+        let mut buffer = Vec::new();
+        buffer.extend_from_slice(&2u32.to_be_bytes());
+        buffer.extend_from_slice(&[binary::TAG_ERROR, 0xff]);
+        assert!(read_message(&mut &buffer[..]).is_err());
     }
 }

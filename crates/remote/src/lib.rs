@@ -15,11 +15,18 @@
 //! ## The pieces
 //!
 //! * [`frame`] — the wire framing: 4-byte big-endian length prefix +
-//!   UTF-8 JSON payload.
+//!   a payload in one of two codecs, auto-detected on read; heartbeats
+//!   take a zero-allocation constant path in both.
 //! * [`protocol`] — the message grammar (`Hello`, `RunCells`, `CellDone`,
-//!   `Heartbeat`, `Done`, `Error`) and its codec over the same JSON model
-//!   save files use, so a report's numbers round-trip bit-identically
-//!   over the network.
+//!   `Heartbeat`, `Done`, `Error`, plus codec negotiation and the auth
+//!   handshake) and its JSON codec over the same model save files use,
+//!   so a report's numbers round-trip bit-identically over the network.
+//! * [`binary`] — the negotiated `bin1` frame codec: tag bytes, varints,
+//!   length-prefixed strings over `sdiq_core::persist_bin` (the persist
+//!   JSON codec stays the on-disk format and the differential oracle).
+//! * [`auth`] — std-only HMAC-SHA-256 mutual handshake for `--auth-key`
+//!   fleets on untrusted networks (wrong or missing key is a clean
+//!   protocol error on both sides, never a hang).
 //! * [`server`] — the worker daemon behind `repro serve`: accept a
 //!   coordinator, advertise capacity, compute requested cells on the
 //!   in-process engine, stream each one back.
@@ -52,6 +59,8 @@
 //! the hard guarantee: **the assembled suite is byte-for-byte identical
 //! to a serial run**, worker deaths included.
 
+pub mod auth;
+pub mod binary;
 pub mod client;
 pub mod frame;
 pub mod protocol;
@@ -97,6 +106,16 @@ pub struct RemoteOptions {
     /// Whether idle drivers double-issue straggler cells (default on;
     /// benign because cell results are deterministic).
     pub speculate: bool,
+    /// Negotiate the compact `bin1` frame codec with workers that
+    /// advertise it (default on; off forces JSON everywhere, for
+    /// debugging and codec-vs-codec benchmarking).
+    pub binary_wire: bool,
+    /// Cells kept outstanding per worker connection; `0` (the default)
+    /// means 2× the worker's advertised capacity.
+    pub pipeline_window: usize,
+    /// Shared secret for the HMAC handshake (`--auth-key`); `None`
+    /// leaves connections unauthenticated.
+    pub auth_key: Option<String>,
 }
 
 impl Default for RemoteOptions {
@@ -108,6 +127,9 @@ impl Default for RemoteOptions {
             connect_timeout: DEFAULT_CONNECT_TIMEOUT,
             heartbeat_deadline: DEFAULT_HEARTBEAT_DEADLINE,
             speculate: true,
+            binary_wire: true,
+            pipeline_window: 0,
+            auth_key: None,
         }
     }
 }
@@ -125,6 +147,9 @@ pub fn backend(spec: MatrixSpec, options: RemoteOptions) -> Backend {
         connect_timeout: options.connect_timeout,
         heartbeat_deadline: options.heartbeat_deadline,
         speculate: options.speculate,
+        binary_wire: options.binary_wire,
+        pipeline_window: options.pipeline_window,
+        auth_key: options.auth_key,
         launch,
     })
 }

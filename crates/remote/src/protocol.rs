@@ -3,8 +3,14 @@
 //! One coordinator connection to one worker daemon speaks, in order:
 //!
 //! ```text
-//! worker → coordinator   Hello{capacity}            once, on accept
-//! worker → coordinator   Register{capacity}         once, when the *worker* dialed
+//! (with --auth-key, first — always JSON-framed:)
+//! acceptor → dialer      AuthChallenge{nonce}       prove you hold the key
+//! dialer → acceptor      AuthResponse{nonce, mac}   my nonce + HMAC over both
+//! acceptor → dialer      AuthOk{mac}                mutual proof, then the grammar below
+//!
+//! worker → coordinator   Hello{capacity, codecs}    once, on accept
+//! worker → coordinator   Register{capacity, codecs} once, when the *worker* dialed
+//! coordinator → worker   SetCodec{codec}            optional, switches both directions
 //! coordinator → worker   RunCells{fingerprint, spec, keys}     per batch
 //! worker → coordinator   Heartbeat                  keep-alive, any time
 //! worker → coordinator   CellDone{key, report}      per finished cell
@@ -19,6 +25,20 @@
 //! crosses the wire is bit-identical to one computed locally, which is
 //! what makes the remote suite byte-for-byte equal to a serial `--save`.
 //!
+//! # Codec negotiation
+//!
+//! The greeting's `codecs` field lists the *additional* frame codecs the
+//! worker can speak beyond the implicit JSON (today: `"bin1"`, the
+//! compact binary layout in [`crate::binary`]). A coordinator that wants
+//! one answers with `SetCodec{codec}` as its first frame; every frame
+//! after it, in both directions, uses that codec (TCP ordering makes an
+//! ack unnecessary). A worker that advertised nothing — an older build,
+//! or `serve --wire json` — never receives `SetCodec` and the connection
+//! stays JSON end to end; old coordinators ignore the unknown `codecs`
+//! field the same way. Receivers always auto-detect the codec of each
+//! incoming frame (binary payloads start with a tag byte `< 0x20`, JSON
+//! ones with `{`), so negotiation only ever governs what a side *sends*.
+//!
 //! `Heartbeat` frames may appear anywhere in the worker's stream (the
 //! daemon emits one as a batch ack and periodically during long cells);
 //! receivers skip them. Unknown `type` tags are an error, not a skip:
@@ -31,15 +51,25 @@ use sdiq_core::persist::{
 };
 use sdiq_core::{MatrixSpec, RunReport};
 
+/// Name of the binary frame codec a worker may advertise in its greeting
+/// (`"bin1"` pins layout version 1 of [`crate::binary`]; a breaking
+/// layout change becomes `"bin2"` and old peers simply never select it).
+pub const CODEC_BIN1: &str = "bin1";
+
 /// One protocol message (see the module docs for the grammar).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Message {
     /// Worker → coordinator greeting: how many cells the daemon runs in
-    /// parallel (its `--jobs`). The scheduler sizes this worker's batches
-    /// to exactly this number.
+    /// parallel (its `--jobs`). The scheduler uses this to size the
+    /// worker's pipelining window.
     Hello {
         /// Advertised parallel capacity (≥ 1).
         capacity: usize,
+        /// Additional frame codecs this worker can speak (JSON is
+        /// implicit; see the module docs on negotiation). Empty for old
+        /// or `--wire json` workers — and omitted from the JSON encoding
+        /// then, so such a greeting is byte-identical to a pre-codec one.
+        codecs: Vec<String>,
     },
     /// Worker → coordinator greeting with the dial direction reversed:
     /// a NAT'd daemon (`repro serve --register`) dialed the coordinator's
@@ -48,6 +78,35 @@ pub enum Message {
     Register {
         /// Advertised parallel capacity (≥ 1), exactly as in [`Message::Hello`].
         capacity: usize,
+        /// Additional frame codecs, exactly as in [`Message::Hello`].
+        codecs: Vec<String>,
+    },
+    /// Coordinator → worker: switch every subsequent frame in both
+    /// directions to `codec` (which the worker's greeting advertised).
+    /// Sent at most once, before any [`Message::RunCells`].
+    SetCodec {
+        /// The selected codec name (e.g. [`CODEC_BIN1`]).
+        codec: String,
+    },
+    /// Acceptor → dialer, first frame when authentication is on: prove
+    /// knowledge of the shared key by HMAC'ing this nonce.
+    AuthChallenge {
+        /// Single-use challenge nonce (hex).
+        nonce: String,
+    },
+    /// Dialer → acceptor: the proof, plus the dialer's own nonce so the
+    /// acceptor can prove itself back (mutual authentication).
+    AuthResponse {
+        /// The dialer's challenge nonce for the acceptor (hex).
+        nonce: String,
+        /// `HMAC(key, "sdiq-dial:" + acceptor_nonce + ":" + dialer_nonce)` (hex).
+        mac: String,
+    },
+    /// Acceptor → dialer: the acceptor's counter-proof; after it the
+    /// ordinary grammar begins.
+    AuthOk {
+        /// `HMAC(key, "sdiq-accept:" + acceptor_nonce + ":" + dialer_nonce)` (hex).
+        mac: String,
     },
     /// Coordinator → worker: compute these cells of the matrix `spec`
     /// describes. `fingerprint` is [`sdiq_core::matrix_fingerprint`] over
@@ -91,15 +150,41 @@ impl Message {
             fields.insert(0, ("type".to_string(), Json::Str(tag.to_string())));
             Json::Obj(fields)
         };
+        // `codecs` is omitted when empty so a codec-less greeting renders
+        // byte-identically to one from a pre-negotiation build.
+        let greeting = |capacity: &usize, codecs: &Vec<String>| {
+            let mut fields = vec![("capacity".to_string(), Json::of_usize(*capacity))];
+            if !codecs.is_empty() {
+                fields.push((
+                    "codecs".to_string(),
+                    Json::Arr(codecs.iter().cloned().map(Json::Str).collect()),
+                ));
+            }
+            fields
+        };
         match self {
-            Message::Hello { capacity } => tagged(
-                "hello",
-                vec![("capacity".to_string(), Json::of_usize(*capacity))],
+            Message::Hello { capacity, codecs } => tagged("hello", greeting(capacity, codecs)),
+            Message::Register { capacity, codecs } => {
+                tagged("register", greeting(capacity, codecs))
+            }
+            Message::SetCodec { codec } => tagged(
+                "set_codec",
+                vec![("codec".to_string(), Json::Str(codec.clone()))],
             ),
-            Message::Register { capacity } => tagged(
-                "register",
-                vec![("capacity".to_string(), Json::of_usize(*capacity))],
+            Message::AuthChallenge { nonce } => tagged(
+                "auth_challenge",
+                vec![("nonce".to_string(), Json::Str(nonce.clone()))],
             ),
+            Message::AuthResponse { nonce, mac } => tagged(
+                "auth_response",
+                vec![
+                    ("nonce".to_string(), Json::Str(nonce.clone())),
+                    ("mac".to_string(), Json::Str(mac.clone())),
+                ],
+            ),
+            Message::AuthOk { mac } => {
+                tagged("auth_ok", vec![("mac".to_string(), Json::Str(mac.clone()))])
+            }
             Message::RunCells {
                 fingerprint,
                 spec,
@@ -137,12 +222,38 @@ impl Message {
     /// Parses a message out of the shared JSON model.
     pub fn from_json(json: &Json) -> Result<Message, PersistError> {
         let tag = json.get("type")?.str()?;
+        // Absent on greetings from pre-negotiation builds: default empty.
+        let codecs = |json: &Json| -> Result<Vec<String>, PersistError> {
+            match json.get("codecs") {
+                Err(_) => Ok(Vec::new()),
+                Ok(list) => list
+                    .arr()?
+                    .iter()
+                    .map(|codec| codec.str().map(str::to_string))
+                    .collect(),
+            }
+        };
         match tag {
             "hello" => Ok(Message::Hello {
                 capacity: json.get("capacity")?.usize()?,
+                codecs: codecs(json)?,
             }),
             "register" => Ok(Message::Register {
                 capacity: json.get("capacity")?.usize()?,
+                codecs: codecs(json)?,
+            }),
+            "set_codec" => Ok(Message::SetCodec {
+                codec: json.get("codec")?.str()?.to_string(),
+            }),
+            "auth_challenge" => Ok(Message::AuthChallenge {
+                nonce: json.get("nonce")?.str()?.to_string(),
+            }),
+            "auth_response" => Ok(Message::AuthResponse {
+                nonce: json.get("nonce")?.str()?.to_string(),
+                mac: json.get("mac")?.str()?.to_string(),
+            }),
+            "auth_ok" => Ok(Message::AuthOk {
+                mac: json.get("mac")?.str()?.to_string(),
             }),
             "run_cells" => Ok(Message::RunCells {
                 fingerprint: json.get("fingerprint")?.u64()?,
@@ -208,8 +319,31 @@ mod tests {
             techniques: vec!["baseline".to_string(), "noop".to_string()],
         };
         let messages = [
-            Message::Hello { capacity: 4 },
-            Message::Register { capacity: 16 },
+            Message::Hello {
+                capacity: 4,
+                codecs: vec![CODEC_BIN1.to_string()],
+            },
+            Message::Hello {
+                capacity: 4,
+                codecs: Vec::new(),
+            },
+            Message::Register {
+                capacity: 16,
+                codecs: vec![CODEC_BIN1.to_string()],
+            },
+            Message::SetCodec {
+                codec: CODEC_BIN1.to_string(),
+            },
+            Message::AuthChallenge {
+                nonce: "00ff".to_string(),
+            },
+            Message::AuthResponse {
+                nonce: "a1b2".to_string(),
+                mac: "deadbeef".to_string(),
+            },
+            Message::AuthOk {
+                mac: "beefdead".to_string(),
+            },
             Message::RunCells {
                 fingerprint: 0xdead_beef_0123_4567,
                 spec,
@@ -238,5 +372,27 @@ mod tests {
             "unknown tag"
         );
         assert!(Message::parse("{\"capacity\":1}").is_err(), "untagged");
+    }
+
+    #[test]
+    fn codecless_greetings_render_like_pre_negotiation_builds() {
+        // A worker with nothing to advertise must emit the exact bytes a
+        // pre-negotiation build did: no `codecs` field at all.
+        let hello = Message::Hello {
+            capacity: 4,
+            codecs: Vec::new(),
+        };
+        assert_eq!(hello.render(), r#"{"type":"hello","capacity":4}"#);
+        // And the advertisement parses from explicit JSON (what an old
+        // coordinator receives from a new worker — it reads `capacity`
+        // and ignores the rest).
+        let parsed = Message::parse(r#"{"type":"register","capacity":2,"codecs":["bin1"]}"#);
+        assert_eq!(
+            parsed.unwrap(),
+            Message::Register {
+                capacity: 2,
+                codecs: vec![CODEC_BIN1.to_string()],
+            }
+        );
     }
 }

@@ -44,7 +44,10 @@
 //! *which* worker computed a cell (speculative twin or original), and
 //! in what order, cannot influence a single byte of the result.
 
-use sdiq_core::{ArtifactCache, BackendError, CellSink, Matrix, RemoteSpec, RunReport, Sweep};
+use sdiq_core::{
+    ArtifactCache, BackendError, CellSink, Matrix, RemoteSpec, ResultStore, RunReport, Stored,
+    Sweep,
+};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io;
 use std::sync::{Condvar, Mutex};
@@ -134,8 +137,10 @@ struct State {
     speculate: bool,
     /// Per-cell re-queue counts.
     retries: Mutex<HashMap<String, usize>>,
-    /// Completed cells.
-    completed: Mutex<HashMap<String, RunReport>>,
+    /// Completed cells, deduplicated by content fingerprint: a losing
+    /// speculation twin's byte-identical report costs an O(1) fingerprint
+    /// compare and zero extra storage (see [`ResultStore`]).
+    completed: Mutex<ResultStore>,
     /// First unrecoverable failure message (the flag lives in
     /// [`WorkState::fatal`]).
     fatal: Mutex<Option<String>>,
@@ -155,7 +160,7 @@ impl State {
             work_changed: Condvar::new(),
             speculate,
             retries: Mutex::new(HashMap::new()),
-            completed: Mutex::new(HashMap::new()),
+            completed: Mutex::new(ResultStore::new()),
             fatal: Mutex::new(None),
             failures: Mutex::new(Vec::new()),
         }
@@ -221,25 +226,41 @@ impl State {
         }
     }
 
+    /// Non-blocking claim for the pipelining top-up: takes up to
+    /// `capacity` queued cells if any are waiting — never speculates,
+    /// never parks. Keeping the blocking/speculating path exclusively in
+    /// [`State::claim`] (entered only with an empty pipeline) is what
+    /// preserves the pre-pipelining park/speculate semantics.
+    fn try_claim(&self, capacity: usize) -> Vec<String> {
+        let mut work = self.work.lock().expect("scheduler poisoned");
+        if work.fatal || work.queue.is_empty() {
+            return Vec::new();
+        }
+        let take = capacity.max(1).min(work.queue.len());
+        let batch: Vec<String> = work.queue.drain(..take).collect();
+        for key in &batch {
+            *work.in_flight.entry(key.clone()).or_insert(0) += 1;
+        }
+        batch
+    }
+
     fn is_completed(&self, key: &str) -> bool {
         self.completed
             .lock()
             .expect("scheduler poisoned")
-            .contains_key(key)
+            .contains(key)
     }
 
     /// Records one result: first result wins; a losing twin is checked
     /// for bit-identity against the winner (determinism is the whole
-    /// basis for speculation being benign).
+    /// basis for speculation being benign). The check is the store's
+    /// O(1) fingerprint compare, not a field-by-field report diff.
     fn record(&self, key: &str, report: &RunReport) -> Recorded {
         let mut completed = self.completed.lock().expect("scheduler poisoned");
-        match completed.get(key) {
-            None => {
-                completed.insert(key.to_string(), report.clone());
-                Recorded::New
-            }
-            Some(existing) if existing == report => Recorded::DuplicateIdentical,
-            Some(_) => Recorded::DuplicateDivergent,
+        match completed.insert(key, report) {
+            Stored::New => Recorded::New,
+            Stored::DuplicateIdentical => Recorded::DuplicateIdentical,
+            Stored::DuplicateDivergent => Recorded::DuplicateDivergent,
         }
     }
 
@@ -276,7 +297,7 @@ impl State {
                 .completed
                 .lock()
                 .expect("scheduler poisoned")
-                .contains_key(&key)
+                .contains(&key)
             {
                 // A twin's result already landed; the ledger entry was
                 // released then. Nothing is owed.
@@ -381,7 +402,7 @@ pub fn run_with_sources(
     }
     let completed = state.completed.into_inner().expect("scheduler poisoned");
     let mut merged = seed.clone();
-    merged.extend(completed);
+    merged.extend(completed.into_cells());
     let missing = matrix.missing_cells(&merged);
     if missing > 0 {
         let failures = state.failures.into_inner().expect("scheduler poisoned");
@@ -402,6 +423,17 @@ pub fn run_with_sources(
 /// One worker's driver loop: dial (unless pre-connected), then
 /// claim/submit/receive until the queue is empty, the worker dies or
 /// goes silent past the heartbeat deadline, or the run turns fatal.
+///
+/// Batches are **pipelined**: instead of draining one batch to `Done`
+/// before claiming the next (one idle round-trip per batch, per worker),
+/// the driver keeps up to a *window* of cells outstanding — default
+/// twice the worker's advertised capacity — topping the queue up with
+/// non-blocking claims as results stream back. The daemon processes
+/// queued `RunCells` frames back-to-back from its socket buffer, so with
+/// a full window it never idles between batches. The *blocking* claim
+/// (the one that parks, and the only one that speculates) still happens
+/// exactly when this worker has nothing outstanding — which is what
+/// keeps the PR 5 park/speculate/termination semantics intact.
 fn drive_worker(
     source: WorkerSource,
     spec: &RemoteSpec,
@@ -430,104 +462,158 @@ fn drive_worker(
         },
     };
     let capacity = link.capacity().max(1);
+    let window = match spec.pipeline_window {
+        0 => capacity.saturating_mul(2),
+        configured => configured.max(capacity),
+    };
+    // Batches in submit order; each holds its not-yet-delivered keys.
+    // `Done` frames ack batches in the same order (the daemon serves
+    // `RunCells` sequentially), so the front batch must be empty when
+    // its `Done` arrives.
+    let mut batches: VecDeque<HashSet<String>> = VecDeque::new();
+    let mut outstanding = 0usize;
     loop {
         if state.fatal_is_set() {
             return;
         }
-        let (batch, speculative) = state.claim(capacity);
-        if batch.is_empty() {
-            // Nothing pending and nothing in flight anywhere (or the run
-            // turned fatal): release the worker (drop closes the link).
-            return;
+        if outstanding == 0 {
+            // Empty pipeline: the blocking claim — park, or speculate on
+            // stragglers, exactly as before pipelining existed.
+            let (batch, speculative) = state.claim(capacity);
+            if batch.is_empty() {
+                // Nothing pending and nothing in flight anywhere (or the
+                // run turned fatal): release the worker (drop closes the
+                // link).
+                return;
+            }
+            if speculative {
+                eprintln!(
+                    "remote: speculatively re-issuing {} straggler cell(s) to idle worker {addr}",
+                    batch.len()
+                );
+            }
+            if let Err(error) = link.submit(&batch) {
+                state.requeue(
+                    &addr,
+                    batch,
+                    retry_budget,
+                    &format!("submit failed: {error}"),
+                );
+                return;
+            }
+            outstanding += batch.len();
+            batches.push_back(batch.into_iter().collect());
         }
-        if speculative {
-            eprintln!(
-                "remote: speculatively re-issuing {} straggler cell(s) to idle worker {addr}",
-                batch.len()
-            );
+        // Top the pipeline up to the window in capacity-sized chunks
+        // (hysteresis: whole chunks only, so the per-frame spec encoding
+        // amortises over `capacity` cells instead of re-paying per cell).
+        while outstanding + capacity <= window {
+            let extra = state.try_claim(capacity);
+            if extra.is_empty() {
+                break;
+            }
+            if let Err(error) = link.submit(&extra) {
+                let mut owed: Vec<String> = batches.drain(..).flatten().collect();
+                owed.extend(extra);
+                state.requeue(
+                    &addr,
+                    owed,
+                    retry_budget,
+                    &format!("submit failed: {error}"),
+                );
+                return;
+            }
+            outstanding += extra.len();
+            batches.push_back(extra.into_iter().collect());
         }
-        if let Err(error) = link.submit(&batch) {
-            state.requeue(
-                &addr,
-                batch,
-                retry_budget,
-                &format!("submit failed: {error}"),
-            );
-            return;
-        }
-        let mut outstanding: HashSet<String> = batch.into_iter().collect();
-        loop {
-            match link.recv() {
-                Ok(WorkerEvent::Cell(key, report)) => {
-                    if !outstanding.remove(&key) {
-                        // A key this worker was not asked for in this
-                        // batch. A duplicate of an already-completed cell
-                        // is benign (verified bit-identical below) — a
-                        // speculative twin, or a worker re-sending. A
-                        // foreign key, or a duplicate of a cell *nobody*
-                        // finished, is a protocol violation: accepting it
-                        // could mask a real divergence — abort.
-                        if !expected.contains(&key) {
-                            state.set_fatal(format!(
-                                "worker {addr} delivered a foreign cell key (`{key}`) — \
-                                 worker and coordinator configurations disagree"
-                            ));
-                            return;
-                        }
-                        if !state.is_completed(&key) {
-                            state.set_fatal(format!(
-                                "worker {addr} delivered a cell it was not asked for (`{key}`)"
-                            ));
-                            return;
-                        }
-                    }
-                    match state.record(&key, &report) {
-                        Recorded::New => {
-                            if let Some(sink) = sink {
-                                sink.cell_complete(&key, &report);
-                            }
-                            state.release(&key);
-                        }
-                        Recorded::DuplicateIdentical => {
-                            // First result won the race; this copy is
-                            // redundant by design. The key already left
-                            // the in-flight ledger when the winner landed.
-                            eprintln!(
-                                "remote: duplicate result for `{key}` from {addr} \
-                                 (lost the speculation race); keeping the first"
-                            );
-                        }
-                        Recorded::DuplicateDivergent => {
-                            state.set_fatal(format!(
-                                "worker {addr} delivered a result for `{key}` that differs \
-                                 from the one already recorded — cell determinism is broken, \
-                                 no answer can be trusted"
-                            ));
-                            return;
-                        }
-                    }
-                }
-                Ok(WorkerEvent::Done) => {
-                    if !outstanding.is_empty() {
-                        state.requeue(
-                            &addr,
-                            outstanding.into_iter().collect(),
-                            retry_budget,
-                            "batch reported done with cells still owed",
-                        );
+        match link.recv() {
+            Ok(WorkerEvent::Cell(key, report)) => {
+                let owned = batches.iter_mut().any(|batch| batch.remove(&key));
+                if owned {
+                    outstanding -= 1;
+                } else {
+                    // A key this worker was not asked for. A duplicate of
+                    // an already-completed cell is benign (verified
+                    // bit-identical below) — a speculative twin, or a
+                    // worker re-sending. A foreign key, or a duplicate of
+                    // a cell *nobody* finished, is a protocol violation:
+                    // accepting it could mask a real divergence — abort.
+                    if !expected.contains(&key) {
+                        state.set_fatal(format!(
+                            "worker {addr} delivered a foreign cell key (`{key}`) — \
+                             worker and coordinator configurations disagree"
+                        ));
                         return;
                     }
-                    break; // claim the next batch
+                    if !state.is_completed(&key) {
+                        state.set_fatal(format!(
+                            "worker {addr} delivered a cell it was not asked for (`{key}`)"
+                        ));
+                        return;
+                    }
                 }
-                Err(error) => {
+                match state.record(&key, &report) {
+                    Recorded::New => {
+                        if let Some(sink) = sink {
+                            sink.cell_complete(&key, &report);
+                        }
+                        state.release(&key);
+                    }
+                    Recorded::DuplicateIdentical => {
+                        // First result won the race; this copy is
+                        // redundant by design. The key already left
+                        // the in-flight ledger when the winner landed.
+                        eprintln!(
+                            "remote: duplicate result for `{key}` from {addr} \
+                             (lost the speculation race); keeping the first"
+                        );
+                    }
+                    Recorded::DuplicateDivergent => {
+                        state.set_fatal(format!(
+                            "worker {addr} delivered a result for `{key}` that differs \
+                             from the one already recorded — cell determinism is broken, \
+                             no answer can be trusted"
+                        ));
+                        return;
+                    }
+                }
+            }
+            Ok(WorkerEvent::Done) => match batches.front() {
+                Some(front) if front.is_empty() => {
+                    batches.pop_front();
+                }
+                Some(_) => {
+                    let owed: Vec<String> = batches.drain(..).flatten().collect();
                     state.requeue(
                         &addr,
-                        outstanding.into_iter().collect(),
+                        owed,
                         retry_budget,
-                        &format!("died mid-batch: {error}"),
+                        "batch reported done with cells still owed",
                     );
                     return;
                 }
+                None => {
+                    // More Dones than submitted batches: protocol noise we
+                    // cannot account for — abandon the worker (it owes
+                    // nothing, so nothing re-queues).
+                    state
+                        .failures
+                        .lock()
+                        .expect("scheduler poisoned")
+                        .push(format!("worker {addr}: unsolicited Done frame"));
+                    eprintln!("remote: worker {addr} sent an unsolicited Done; abandoning it");
+                    return;
+                }
+            },
+            Err(error) => {
+                let owed: Vec<String> = batches.drain(..).flatten().collect();
+                state.requeue(
+                    &addr,
+                    owed,
+                    retry_budget,
+                    &format!("died mid-batch: {error}"),
+                );
+                return;
             }
         }
     }
@@ -576,8 +662,10 @@ mod tests {
         /// `recv` report a heartbeat-deadline timeout — the wire-visible
         /// signature of a hung worker under the liveness layer.
         hang_after: Option<usize>,
-        /// `Done` is owed after the last pending cell.
-        done_pending: bool,
+        /// `Done` frames owed after the last pending cell — one per
+        /// `submit`, like the real daemon (pipelining queues several
+        /// batches before the first `Done` drains).
+        done_owed: usize,
         /// Delivers this key instead of the first requested one.
         alias_first_to: Option<String>,
         /// Re-delivers the first key of each batch a second time, after
@@ -586,6 +674,9 @@ mod tests {
         /// Sleep this long at every `recv` (straggler script).
         delay: Option<Duration>,
         delivered: &'static AtomicUsize,
+        /// When set, records the high-water mark of queued-but-undelivered
+        /// cells — the wire-visible signature of pipelining.
+        high_water: Option<&'static AtomicUsize>,
     }
 
     impl WorkerLink for FakeLink {
@@ -600,7 +691,10 @@ mod tests {
                     self.pending.push_back(first.clone());
                 }
             }
-            self.done_pending = true;
+            self.done_owed += 1;
+            if let Some(high_water) = self.high_water {
+                high_water.fetch_max(self.pending.len(), Ordering::Relaxed);
+            }
             Ok(())
         }
 
@@ -640,8 +734,8 @@ mod tests {
                     self.delivered.fetch_add(1, Ordering::Relaxed);
                     Ok(WorkerEvent::Cell(key, Box::new(report)))
                 }
-                None if self.done_pending => {
-                    self.done_pending = false;
+                None if self.done_owed > 0 => {
+                    self.done_owed -= 1;
                     Ok(WorkerEvent::Done)
                 }
                 None => Err(io::Error::new(
@@ -653,6 +747,7 @@ mod tests {
     }
 
     static DELIVERED: AtomicUsize = AtomicUsize::new(0);
+    static HIGH_WATER: AtomicUsize = AtomicUsize::new(0);
 
     /// Addresses script the fake transport: `cap<N>` sets capacity,
     /// `die<N>` kills the link after N delivered cells, `hang<N>` turns
@@ -691,11 +786,12 @@ mod tests {
             pending: VecDeque::new(),
             die_after,
             hang_after,
-            done_pending: false,
+            done_owed: 0,
             alias_first_to,
             duplicate_first: addr.contains("dup"),
             delay,
             delivered: &DELIVERED,
+            high_water: addr.contains("watermark").then_some(&HIGH_WATER),
         }))
     }
 
@@ -708,6 +804,9 @@ mod tests {
             connect_timeout: Duration::from_secs(5),
             heartbeat_deadline: Duration::from_millis(200),
             speculate,
+            binary_wire: true,
+            pipeline_window: 0,
+            auth_key: None,
             launch: |_, _, _, _| unreachable!("tests call the scheduler directly"),
         }
     }
@@ -737,6 +836,24 @@ mod tests {
     fn healthy_pool_produces_the_serial_sweep() {
         let sweep = run_fake(&["a-cap1", "b-cap2"], 0).unwrap();
         assert_eq!(sweep, serial(), "remote assembly is bit-identical");
+    }
+
+    #[test]
+    fn batches_pipeline_up_to_the_window_and_stay_bit_identical() {
+        // A capacity-1 worker with the default window (2× capacity) must
+        // have a *second* cell queued behind the one it is computing —
+        // the wire-visible signature of pipelining (the pre-pipelining
+        // scheduler never queued more than one batch at a time, so the
+        // high-water mark was exactly `capacity`).
+        HIGH_WATER.store(0, Ordering::Relaxed);
+        let sweep = run_fake(&["a-cap1-watermark"], 0).unwrap();
+        assert_eq!(sweep, serial(), "pipelined run is bit-identical");
+        assert!(
+            HIGH_WATER.load(Ordering::Relaxed) >= 2,
+            "pipelining keeps ≥2 cells outstanding on a capacity-1 worker \
+             (high water was {})",
+            HIGH_WATER.load(Ordering::Relaxed)
+        );
     }
 
     #[test]

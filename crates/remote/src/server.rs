@@ -22,13 +22,14 @@
 //! reverse direction exists for worker fleets behind NAT, where only
 //! outbound connections are possible.
 
-use crate::frame;
-use crate::protocol::Message;
+use crate::auth;
+use crate::frame::{self, Codec};
+use crate::protocol::{Message, CODEC_BIN1};
 use sdiq_core::{matrix_fingerprint, ArtifactCache, CellSink, MatrixSpec, RunReport};
 use std::io::{self, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
 use std::time::Duration;
 
 /// Configuration of one worker daemon.
@@ -69,6 +70,15 @@ pub struct ServeOptions {
     /// deadline; listening daemons never apply one (an accepted
     /// coordinator that dies is survived by going back to `accept`).
     pub heartbeat_deadline: Duration,
+    /// Shared secret for the HMAC handshake (`--auth-key`). With a key
+    /// set, a listening daemon challenges every coordinator before
+    /// greeting it, and a registering daemon expects the coordinator's
+    /// challenge before sending `Register`. `None` skips the handshake.
+    pub auth_key: Option<String>,
+    /// Advertise the compact `bin1` frame codec in the greeting
+    /// (default; `--wire json` turns it off, pinning the connection to
+    /// JSON frames for debugging and codec-vs-codec benchmarking).
+    pub advertise_binary: bool,
 }
 
 /// Seconds of silence after which the daemon interleaves a `Heartbeat`
@@ -215,6 +225,14 @@ fn effective_capacity(jobs: usize) -> usize {
     }
 }
 
+/// One coordinator connection's write half: the stream plus the codec
+/// its frames use. JSON until the coordinator's `SetCodec` switches it —
+/// the lock keeps the switch atomic with respect to in-flight frames.
+struct Conn {
+    stream: TcpStream,
+    codec: Codec,
+}
+
 /// Serves one coordinator until it disconnects.
 fn handle_connection(
     stream: TcpStream,
@@ -225,11 +243,54 @@ fn handle_connection(
     greeting: Greeting,
 ) -> io::Result<()> {
     stream.set_nodelay(true)?;
-    let writer = Mutex::new(stream.try_clone()?);
+    let mut writer_stream = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
+    if let Some(key) = &options.auth_key {
+        // Bound the handshake: a peer that connects and never completes
+        // it must not wedge the daemon (which serves one coordinator at
+        // a time). Restored to the run configuration below.
+        let handshake = match options.heartbeat_deadline {
+            deadline if deadline.is_zero() => Duration::from_secs(10),
+            deadline => deadline,
+        };
+        writer_stream.set_read_timeout(Some(handshake))?;
+        match greeting {
+            // The coordinator dialed us: we challenge.
+            Greeting::Hello => auth::acceptor_handshake(&mut reader, &mut writer_stream, key)?,
+            // We dialed the coordinator: it challenges.
+            Greeting::Register => match frame::read_message(&mut reader)? {
+                Message::AuthChallenge { nonce } => {
+                    auth::dialer_handshake(&mut reader, &mut writer_stream, key, &nonce)?
+                }
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::PermissionDenied,
+                        format!(
+                            "coordinator sent {other:?} instead of AuthChallenge — is it \
+                             running without --auth-key?"
+                        ),
+                    ))
+                }
+            },
+        }
+        let deadline = options.heartbeat_deadline;
+        writer_stream.set_read_timeout(match greeting {
+            Greeting::Hello => None, // listening daemons run without one
+            Greeting::Register => (!deadline.is_zero()).then_some(deadline),
+        })?;
+    }
+    let writer = Mutex::new(Conn {
+        stream: writer_stream,
+        codec: Codec::Json,
+    });
+    let codecs = if options.advertise_binary {
+        vec![CODEC_BIN1.to_string()]
+    } else {
+        Vec::new()
+    };
     let greeting = match greeting {
-        Greeting::Hello => Message::Hello { capacity },
-        Greeting::Register => Message::Register { capacity },
+        Greeting::Hello => Message::Hello { capacity, codecs },
+        Greeting::Register => Message::Register { capacity, codecs },
     };
     write_locked(&writer, &greeting)?;
 
@@ -272,6 +333,30 @@ fn handle_connection(
                 options,
             )?,
             Message::Heartbeat => continue,
+            Message::SetCodec { codec } if codec == CODEC_BIN1 && options.advertise_binary => {
+                // From here on our frames are bin1; the coordinator's
+                // reads auto-detect, so no ack is needed and TCP
+                // ordering guarantees it sees the switch after its own
+                // request.
+                writer.lock().expect("writer poisoned").codec = Codec::Binary;
+            }
+            Message::SetCodec { codec } => {
+                write_locked(
+                    &writer,
+                    &Message::Error {
+                        message: format!("worker does not speak codec `{codec}`"),
+                    },
+                )?;
+            }
+            Message::Error { message } => {
+                // The coordinator refused us (auth mismatch, version
+                // skew): surface its reason instead of a generic frame
+                // error.
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("coordinator reported: {message}"),
+                ));
+            }
             other => {
                 // Tell the coordinator what went wrong instead of
                 // silently dropping the frame; it will abandon us.
@@ -289,7 +374,7 @@ fn handle_connection(
 /// Computes one `RunCells` batch, streaming each cell as it finishes.
 #[allow(clippy::too_many_arguments)] // daemon wiring, called from one place
 fn run_batch(
-    writer: &Mutex<TcpStream>,
+    writer: &Mutex<Conn>,
     fingerprint: u64,
     spec: &MatrixSpec,
     keys: Vec<String>,
@@ -336,32 +421,42 @@ fn run_batch(
         stall_after: options.stall_after,
         stalled: AtomicBool::new(false),
     };
-    let stop_heartbeats = AtomicBool::new(false);
+    // Teardown latency is on the per-batch hot path: with pipelined
+    // batches a capacity-1 daemon sees one `RunCells` per cell, so the
+    // heartbeat thread must stop the instant the batch finishes — a
+    // polled sleep here once cost a tick per batch, which dominated the
+    // whole suite's wall clock on small cells. Hence a condvar the
+    // finishing batch can interrupt mid-wait.
+    let stop_heartbeats = (Mutex::new(false), Condvar::new());
     let computed = std::thread::scope(|scope| {
         let heartbeats = scope.spawn(|| {
-            // Poll the stop flag frequently but send rarely: teardown must
-            // not wait out the full heartbeat interval.
-            let tick = Duration::from_millis(50);
-            let mut elapsed = Duration::ZERO;
-            while !stop_heartbeats.load(Ordering::Relaxed) {
+            let (stop, interrupt) = &stop_heartbeats;
+            let mut stopped = stop.lock().expect("heartbeat stop flag poisoned");
+            loop {
+                let (guard, wait) = interrupt
+                    .wait_timeout(stopped, HEARTBEAT_INTERVAL)
+                    .expect("heartbeat stop flag poisoned");
+                stopped = guard;
+                if *stopped {
+                    return;
+                }
                 if sink.stalled.load(Ordering::Relaxed) {
                     // A frozen machine beats no heart: the --stall-after
                     // hook must present total wire silence, or the
                     // coordinator's deadline could never trip.
                     return;
                 }
-                std::thread::sleep(tick);
-                elapsed += tick;
-                if elapsed >= HEARTBEAT_INTERVAL {
-                    elapsed = Duration::ZERO;
-                    if sink.write(&Message::Heartbeat).is_err() {
-                        return; // sink recorded the failure
-                    }
+                if wait.timed_out() && sink.write(&Message::Heartbeat).is_err() {
+                    return; // sink recorded the failure
                 }
             }
         });
         let computed = matrix.run_cells_by_key(cache, &requested, Some(&sink));
-        stop_heartbeats.store(true, Ordering::Relaxed);
+        *stop_heartbeats
+            .0
+            .lock()
+            .expect("heartbeat stop flag poisoned") = true;
+        stop_heartbeats.1.notify_all();
         heartbeats.join().expect("heartbeat thread never panics");
         computed
     });
@@ -380,9 +475,10 @@ fn run_batch(
     }
 }
 
-fn write_locked(writer: &Mutex<TcpStream>, message: &Message) -> io::Result<()> {
-    let mut stream = writer.lock().expect("writer poisoned");
-    frame::write_message(&mut *stream, message)
+fn write_locked(writer: &Mutex<Conn>, message: &Message) -> io::Result<()> {
+    let mut conn = writer.lock().expect("writer poisoned");
+    let codec = conn.codec;
+    frame::write_message_codec(&mut conn.stream, message, codec)
 }
 
 /// A [`CellSink`] that streams every finished cell to the coordinator.
@@ -392,7 +488,7 @@ fn write_locked(writer: &Mutex<TcpStream>, message: &Message) -> io::Result<()> 
 /// cells are computed but not sent — they stay in the artifact cache,
 /// warming the inevitable retry.
 struct StreamSink<'a> {
-    writer: &'a Mutex<TcpStream>,
+    writer: &'a Mutex<Conn>,
     failed: Mutex<Option<io::Error>>,
     delivered: &'a AtomicUsize,
     fail_after: Option<usize>,
@@ -515,6 +611,8 @@ mod tests {
             fail_after: None,
             stall_after: None,
             heartbeat_deadline: Duration::from_millis(200),
+            auth_key: None,
+            advertise_binary: true,
         };
         // The daemon loops forever; park it on a thread the test outlives.
         std::thread::spawn(move || {

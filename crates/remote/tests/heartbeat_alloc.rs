@@ -1,0 +1,86 @@
+//! Pins the zero-allocation heartbeat fast path promised by
+//! `sdiq_remote::frame`: once a connection is warm, writing and reading
+//! a `Heartbeat` must not touch the allocator in either codec. The
+//! liveness layer from the stall-recovery work sends these on every
+//! worker every interval for the whole run — an allocation per beat
+//! would put the allocator on the fleet's steady-state hot path.
+//!
+//! The harness swaps in a counting `#[global_allocator]` that tallies
+//! allocations per thread (thread-local, so the test is immune to
+//! whatever the test runner's other threads are doing). One warm-up
+//! round trip absorbs lazy one-time costs; after that, many round trips
+//! must leave the current thread's count untouched.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::io;
+
+use sdiq_remote::frame::{self, Codec};
+use sdiq_remote::protocol::Message;
+
+thread_local! {
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+struct CountingAllocator;
+
+// SAFETY: delegates every operation to `System`; the bookkeeping is a
+// thread-local `Cell` bump, which cannot re-enter the allocator (const
+// initialization means no lazy init, and `Cell<u64>` has no destructor
+// to register).
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        THREAD_ALLOCS.with(|count| count.set(count.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        THREAD_ALLOCS.with(|count| count.set(count.get() + 1));
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        THREAD_ALLOCS.with(|count| count.set(count.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// One heartbeat round trip through a fixed stack buffer: frame it with
+/// the writer-side codec, then read it back through the auto-detecting
+/// reader. Returns the decoded message so the compiler cannot discard
+/// the work.
+fn round_trip(codec: Codec, buffer: &mut [u8]) -> Message {
+    let mut cursor = io::Cursor::new(&mut *buffer);
+    frame::write_message_codec(&mut cursor, &Message::Heartbeat, codec).expect("write heartbeat");
+    let written = cursor.position() as usize;
+    let mut reader = &buffer[..written];
+    frame::read_message(&mut reader).expect("read heartbeat")
+}
+
+#[test]
+fn heartbeat_round_trips_without_allocating_in_either_codec() {
+    let mut buffer = [0u8; 64];
+    for codec in [Codec::Json, Codec::Binary] {
+        // Warm-up: absorb any one-time lazy initialization.
+        assert_eq!(round_trip(codec, &mut buffer), Message::Heartbeat);
+
+        let before = THREAD_ALLOCS.with(Cell::get);
+        for _ in 0..100 {
+            assert_eq!(round_trip(codec, &mut buffer), Message::Heartbeat);
+        }
+        let after = THREAD_ALLOCS.with(Cell::get);
+        assert_eq!(
+            after - before,
+            0,
+            "{codec:?} heartbeat round trip allocated {} time(s) over 100 iterations",
+            after - before
+        );
+    }
+}
