@@ -12,9 +12,12 @@
 //!       [--table1] [--table2] [--figure6] [--figure7] [--figure8]
 //!       [--figure9] [--figure10] [--figure11] [--figure12]
 //!       [--overall] [--summary] [--sweep-summary] [--all]
+//!       [--verify | --no-verify]
 //! repro serve [--listen <host:port> | --register <host:port>] [--jobs <n>]
 //!             [--fail-after <n>] [--stall-after <n>] [--heartbeat-deadline <secs>]
 //!             [--wire binary|json] [--auth-key <key>]
+//! repro lint [--scale <f64>] [--sweep <axis>=<v1,v2,...>]
+//!            [--benchmarks <b1,b2,...>] [--techniques <t1,t2,...>]
 //! ```
 //!
 //! With no selection flags, `--all` is assumed. `--scale` shrinks or grows
@@ -81,14 +84,34 @@
 //!   idle a round-trip between batches; `--auth-key <key>` requires the
 //!   HMAC handshake on every connection — a peer with a wrong or
 //!   missing key gets a clean protocol error, never a hang.
+//!
+//! Static verification (`sdiq-verify`, see EXPERIMENTS.md for the
+//! diagnostic-code table):
+//!
+//! * `--verify` / `--no-verify` override the artifact cache's default
+//!   (on in debug builds, off in release): with verification on, every
+//!   compile runs through the pass manager's inter-pass checker and
+//!   every cached artifact is statically verified once when first
+//!   built — a finding aborts the run. The two flags are mutually
+//!   exclusive; coordinators forward the choice to `--shards` workers.
+//! * `repro lint` runs the full checker suite — structural program
+//!   verification, annotation legality, the soundness envelope and the
+//!   execution-plan lint — over every artifact of the selected
+//!   (variant × benchmark × technique) space, *collecting* structured
+//!   diagnostics instead of aborting. Exit 0 = clean, 1 = findings,
+//!   2 = flag error. A purely local, read-only checker: it refuses
+//!   `--workers`/`--shards`/`--shard`.
 
+use sdiq_compiler::CompilerPass;
 use sdiq_core::{
-    experiments, persist, ArtifactCache, Backend, Experiment, MatrixSpec, SimBackend,
-    SubprocessSpec, Suite, Technique,
+    experiments, persist, ArtifactCache, Backend, CompileKey, Experiment, MatrixSpec, PlanKey,
+    PlanSource, ProgramKey, SimBackend, SubprocessSpec, Suite, Technique,
 };
-use sdiq_sim::SimConfig;
+use sdiq_isa::{Executor, Program};
+use sdiq_sim::{ExecPlan, SimConfig};
+use sdiq_verify::StandardVerifier;
 use sdiq_workloads::Benchmark;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::time::Duration;
 
 #[derive(Debug, Default)]
@@ -130,6 +153,10 @@ struct Options {
     auth_key: Option<String>,
     /// Simulator backend override (`--backend compiled|interpreted`).
     backend: Option<SimBackend>,
+    /// Per-artifact static verification override (`--verify` /
+    /// `--no-verify`); `None` keeps the cache default (on in debug
+    /// builds, off in release).
+    verify: Option<bool>,
     selections: BTreeSet<String>,
 }
 
@@ -158,50 +185,15 @@ fn parse_args() -> Options {
             }
             "--sweep" => {
                 let spec = required_value(&mut args, "--sweep");
-                let Some((axis, values)) = spec.split_once('=') else {
-                    eprintln!("error: --sweep wants <axis>=<v1,v2,...>, got `{spec}`");
-                    std::process::exit(2);
-                };
-                let values: Vec<f64> = values
-                    .split(',')
-                    .map(|v| {
-                        v.parse::<f64>().unwrap_or_else(|_| {
-                            eprintln!("error: bad sweep value `{v}` in `{spec}`");
-                            std::process::exit(2);
-                        })
-                    })
-                    .collect();
-                // Axis names and value ranges are validated by the one
-                // shared validator, `MatrixSpec::matrix` (worker daemons
-                // apply the identical rules to wire input, so the two
-                // cannot drift); main() exits 2 on its error.
-                options.sweeps.push((axis.to_string(), values));
+                options.sweeps.push(parse_sweep_spec(&spec));
             }
             "--benchmarks" => {
                 let spec = required_value(&mut args, "--benchmarks");
-                let benchmarks = spec
-                    .split(',')
-                    .map(|name| {
-                        Benchmark::from_name(name).unwrap_or_else(|| {
-                            eprintln!("error: unknown benchmark `{name}`");
-                            std::process::exit(2);
-                        })
-                    })
-                    .collect::<Vec<_>>();
-                options.benchmarks = Some(benchmarks);
+                options.benchmarks = Some(parse_benchmarks_spec(&spec));
             }
             "--techniques" => {
                 let spec = required_value(&mut args, "--techniques");
-                let techniques = spec
-                    .split(',')
-                    .map(|name| {
-                        Technique::from_name(name).unwrap_or_else(|| {
-                            eprintln!("error: unknown technique `{name}`");
-                            std::process::exit(2);
-                        })
-                    })
-                    .collect::<Vec<_>>();
-                options.techniques = Some(techniques);
+                options.techniques = Some(parse_techniques_spec(&spec));
             }
             "--save" => options.save = Some(required_value(&mut args, "--save")),
             "--load" => options.loads.push(required_value(&mut args, "--load")),
@@ -287,6 +279,14 @@ fn parse_args() -> Options {
                 }));
             }
             "--auth-key" => options.auth_key = Some(required_value(&mut args, "--auth-key")),
+            "--verify" | "--no-verify" => {
+                let on = arg == "--verify";
+                if options.verify.is_some_and(|prev| prev != on) {
+                    eprintln!("error: --verify and --no-verify are mutually exclusive");
+                    std::process::exit(2);
+                }
+                options.verify = Some(on);
+            }
             "--backend" => {
                 let value = required_value(&mut args, "--backend");
                 options.backend = Some(SimBackend::parse(&value).unwrap_or_else(|| {
@@ -304,11 +304,14 @@ fn parse_args() -> Options {
                      [--listen-workers <host:port> --expect <n>] [--retry-budget <n>] \
                      [--connect-timeout <secs>] [--heartbeat-deadline <secs>] [--no-speculate] \
                      [--wire binary|json] [--pipeline-window <n>] [--auth-key <key>] \
+                     [--verify | --no-verify] \
                      [--table1] [--table2] [--figure6..12] \
                      [--overall] [--summary] [--sweep-summary] [--all]\n\
                      repro serve [--listen <host:port> | --register <host:port>] [--jobs <n>] \
                      [--fail-after <n>] [--stall-after <n>] [--heartbeat-deadline <secs>] \
-                     [--wire binary|json] [--auth-key <key>]"
+                     [--wire binary|json] [--auth-key <key>]\n\
+                     repro lint [--scale <f>] [--sweep iq|bank|scale=<v,..>] \
+                     [--benchmarks <b,..>] [--techniques <t,..>]"
                 );
                 std::process::exit(0);
             }
@@ -353,6 +356,51 @@ fn parse_args() -> Options {
         options.selections.insert("all".to_string());
     }
     options
+}
+
+/// Parses a `--sweep <axis>=<v1,v2,...>` spec. Axis names and value
+/// ranges are validated by the one shared validator, `MatrixSpec::matrix`
+/// (worker daemons apply the identical rules to wire input, so the two
+/// cannot drift); callers exit 2 on its error.
+fn parse_sweep_spec(spec: &str) -> (String, Vec<f64>) {
+    let Some((axis, values)) = spec.split_once('=') else {
+        eprintln!("error: --sweep wants <axis>=<v1,v2,...>, got `{spec}`");
+        std::process::exit(2);
+    };
+    let values: Vec<f64> = values
+        .split(',')
+        .map(|v| {
+            v.parse::<f64>().unwrap_or_else(|_| {
+                eprintln!("error: bad sweep value `{v}` in `{spec}`");
+                std::process::exit(2);
+            })
+        })
+        .collect();
+    (axis.to_string(), values)
+}
+
+/// Parses a `--benchmarks <b1,b2,...>` spec (unknown names exit 2).
+fn parse_benchmarks_spec(spec: &str) -> Vec<Benchmark> {
+    spec.split(',')
+        .map(|name| {
+            Benchmark::from_name(name).unwrap_or_else(|| {
+                eprintln!("error: unknown benchmark `{name}`");
+                std::process::exit(2);
+            })
+        })
+        .collect()
+}
+
+/// Parses a `--techniques <t1,t2,...>` spec (unknown names exit 2).
+fn parse_techniques_spec(spec: &str) -> Vec<Technique> {
+    spec.split(',')
+        .map(|name| {
+            Technique::from_name(name).unwrap_or_else(|| {
+                eprintln!("error: unknown technique `{name}`");
+                std::process::exit(2);
+            })
+        })
+        .collect()
 }
 
 /// Parses a seconds value for the remote timeouts (`--connect-timeout`,
@@ -480,6 +528,209 @@ fn serve_main(args: impl Iterator<Item = String>) -> ! {
     std::process::exit(1);
 }
 
+/// Prints each diagnostic under its artifact context, tallying by
+/// severity. Diagnostics render as `severity[CODE] location: message`
+/// (see EXPERIMENTS.md for the code table).
+fn print_diags(
+    context: &str,
+    diags: &[sdiq_verify::Diagnostic],
+    errors: &mut usize,
+    warnings: &mut usize,
+) {
+    for d in diags {
+        match d.severity {
+            sdiq_verify::Severity::Error => *errors += 1,
+            sdiq_verify::Severity::Warning => *warnings += 1,
+        }
+        println!("{context}: {d}");
+    }
+}
+
+/// Parses the `repro lint ...` argument tail and runs the full static
+/// checker suite — structural program verification, annotation legality,
+/// the soundness envelope and the execution-plan lint — over every
+/// artifact of the selected (variant × benchmark × technique) space.
+/// Artifacts are deduplicated by their cache keys, so the work matches
+/// what an equivalent run would build. Exits 0 when no error-severity
+/// diagnostics were found, 1 otherwise, 2 on flag errors.
+fn lint_main(args: impl Iterator<Item = String>) -> ! {
+    let mut scale: Option<f64> = None;
+    let mut sweeps: Vec<(String, Vec<f64>)> = Vec::new();
+    let mut benchmarks: Option<Vec<Benchmark>> = None;
+    let mut techniques: Option<Vec<Technique>> = None;
+    let mut args = args;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let value = required_value(&mut args, "--scale");
+                scale = Some(value.parse::<f64>().unwrap_or_else(|_| {
+                    eprintln!("error: --scale needs a number, got `{value}`");
+                    std::process::exit(2);
+                }));
+            }
+            "--sweep" => {
+                let spec = required_value(&mut args, "--sweep");
+                sweeps.push(parse_sweep_spec(&spec));
+            }
+            "--benchmarks" => {
+                let spec = required_value(&mut args, "--benchmarks");
+                benchmarks = Some(parse_benchmarks_spec(&spec));
+            }
+            "--techniques" => {
+                let spec = required_value(&mut args, "--techniques");
+                techniques = Some(parse_techniques_spec(&spec));
+            }
+            "--workers" | "--shards" | "--shard" | "--listen-workers" => {
+                eprintln!(
+                    "error: `repro lint` is a local static checker; {arg} (distributed \
+                     execution) does not combine with it"
+                );
+                std::process::exit(2);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "repro lint [--scale <f>] [--sweep iq|bank|scale=<v,..>] \
+                     [--benchmarks <b,..>] [--techniques <t,..>]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown lint argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut experiment = Experiment::paper();
+    if let Some(scale) = scale {
+        experiment.scale = scale;
+    }
+    let benchmarks = benchmarks.unwrap_or_else(|| Benchmark::ALL.to_vec());
+    let techniques = techniques.unwrap_or_else(|| Technique::ALL.to_vec());
+    // The one shared sweep validator (`MatrixSpec::matrix`) builds the
+    // variant list, so lint covers exactly the configurations a run with
+    // the same flags would execute.
+    let matrix_spec = MatrixSpec {
+        scale: experiment.scale,
+        sweeps,
+        benchmarks: benchmarks.iter().map(|b| b.name().to_string()).collect(),
+        techniques: techniques.iter().map(|t| t.name().to_string()).collect(),
+    };
+    let matrix = matrix_spec.matrix(&experiment).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    let variants = matrix.config_variants();
+
+    // The cache shares built programs across variants; its own
+    // panic-on-first-finding verification hook stays off — lint collects
+    // and prints every diagnostic instead of aborting.
+    let cache = ArtifactCache::new();
+    cache.set_verify(false);
+
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    let mut programs_checked = 0usize;
+    let mut compiles_checked = 0usize;
+    let mut plans_checked = 0usize;
+    let mut seen_programs: HashSet<ProgramKey> = HashSet::new();
+    // `None` marks a compile whose pipeline verification failed — the
+    // plan stage has nothing sound to lint against for those.
+    let mut compiled: HashMap<CompileKey, Option<sdiq_compiler::CompiledProgram>> = HashMap::new();
+    let mut seen_plans: HashSet<PlanKey> = HashSet::new();
+
+    for variant in &variants {
+        for &benchmark in &benchmarks {
+            let program_key = ProgramKey::new(benchmark, variant.scale);
+            let program = cache.program(program_key);
+            if seen_programs.insert(program_key) {
+                programs_checked += 1;
+                let context = format!("{}/{}", variant.label, benchmark.name());
+                let diags = sdiq_verify::verify_program(&program);
+                print_diags(&context, &diags, &mut errors, &mut warnings);
+            }
+            for &technique in &techniques {
+                let context = format!(
+                    "{}/{}/{}",
+                    variant.label,
+                    benchmark.name(),
+                    technique.name()
+                );
+                let pass = technique
+                    .pass_config_for(variant.sim_config.widths, variant.sim_config.fu_counts);
+                let (plan_source, source_program): (PlanSource, &Program) = match pass {
+                    Some(pass) => {
+                        let compile_key = CompileKey {
+                            program: program_key,
+                            pass,
+                        };
+                        if let std::collections::hash_map::Entry::Vacant(entry) =
+                            compiled.entry(compile_key)
+                        {
+                            compiles_checked += 1;
+                            let slot = match CompilerPass::new(pass)
+                                .run_verified(&program, Box::new(StandardVerifier))
+                            {
+                                Ok(result) => {
+                                    let diags = sdiq_verify::verify_compiled(&result);
+                                    print_diags(&context, &diags, &mut errors, &mut warnings);
+                                    Some(result)
+                                }
+                                Err(err) => {
+                                    for d in &err.diagnostics {
+                                        errors += 1;
+                                        println!(
+                                            "{context}: error[{}] after pass `{}`: {}",
+                                            d.code, err.pass, d.message
+                                        );
+                                    }
+                                    None
+                                }
+                            };
+                            entry.insert(slot);
+                        }
+                        match compiled.get(&compile_key).and_then(Option::as_ref) {
+                            Some(result) => (PlanSource::Compiled(compile_key), &result.program),
+                            None => continue,
+                        }
+                    }
+                    None => (PlanSource::Program(program_key), &program),
+                };
+                let plan_key = PlanKey {
+                    source: plan_source,
+                    sim_config: variant.sim_config,
+                    max_dynamic_instructions: experiment.max_dynamic_instructions,
+                };
+                if !seen_plans.insert(plan_key) {
+                    continue;
+                }
+                plans_checked += 1;
+                match Executor::new(source_program).run(experiment.max_dynamic_instructions) {
+                    Ok(trace) => {
+                        let plan = ExecPlan::build(variant.sim_config, source_program, &trace);
+                        let diags = sdiq_verify::lint_plan(&plan, source_program, &trace);
+                        print_diags(&context, &diags, &mut errors, &mut warnings);
+                    }
+                    Err(fault) => {
+                        errors += 1;
+                        println!("{context}: error[EXEC] workload faulted: {fault:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    println!(
+        "lint: {} variant(s) x {} benchmark(s) x {} technique(s): \
+         {programs_checked} program(s), {compiles_checked} compile(s), \
+         {plans_checked} plan(s) checked - {errors} error(s), {warnings} warning(s)",
+        variants.len(),
+        benchmarks.len(),
+        techniques.len(),
+    );
+    std::process::exit(if errors > 0 { 1 } else { 0 });
+}
+
 /// The argument vector a worker subprocess needs to rebuild this run's
 /// matrix (everything that shapes the cell space; the coordinator appends
 /// the seed `--load` and the `--shard k/n --save <path>` pair itself).
@@ -516,6 +767,9 @@ fn worker_args(options: &Options, shards: usize) -> Vec<String> {
         let names: Vec<&str> = techniques.iter().map(|t| t.name()).collect();
         args.push(names.join(","));
     }
+    if let Some(on) = options.verify {
+        args.push(if on { "--verify" } else { "--no-verify" }.to_string());
+    }
     // No --load forwarding here: the engine ships the coordinator's whole
     // merged seed (loads + checkpoint) to every worker as one seed file.
     args
@@ -537,11 +791,14 @@ fn print_power_figure(title: &str, figure: &experiments::PowerFigure) {
 }
 
 fn main() {
-    // `repro serve` is a different program shape (a daemon, not a run);
-    // branch before flag parsing so serve flags don't collide.
+    // `repro serve` (a daemon) and `repro lint` (a checker) are different
+    // program shapes; branch before flag parsing so their flags don't
+    // collide with the run flags.
     let mut args = std::env::args().skip(1);
-    if args.next().as_deref() == Some("serve") {
-        serve_main(args);
+    match args.next().as_deref() {
+        Some("serve") => serve_main(args),
+        Some("lint") => lint_main(args),
+        _ => {}
     }
     let options = parse_args();
     let mut experiment = Experiment::paper();
@@ -777,6 +1034,9 @@ fn main() {
                 ),
             }
             let cache = ArtifactCache::new();
+            if let Some(on) = options.verify {
+                cache.set_verify(on);
+            }
             let sweep = matrix.run_with_sink(&cache, &seed, checkpoint_sink);
             eprintln!(
                 "engine: {} program builds, {} compiler passes for {} computed cells",

@@ -26,7 +26,9 @@
 
 use sdiq_compiler::{CompilerPass, PassConfig};
 use sdiq_core::persist::{self, Json};
-use sdiq_core::{Backend, Experiment, Matrix, MatrixSpec, SubprocessSpec, Suite, Technique};
+use sdiq_core::{
+    ArtifactCache, Backend, Experiment, Matrix, MatrixSpec, SubprocessSpec, Suite, Technique,
+};
 use sdiq_isa::Executor;
 use sdiq_sim::{
     AdaptiveConfig, ExecPlan, PlanSimulator, ResizePolicy, SimConfig, SimResult, Simulator,
@@ -66,6 +68,22 @@ const MAX_REMOTE_WALL_VS_ENGINE: f64 = 2.5;
 /// noise; with it, even the quick run still catches the 0.3 s fixed
 /// teardown stall this assertion exists to keep out.
 const REMOTE_WALL_GRACE_SECONDS: f64 = 0.05;
+
+/// Ceiling for the verified matrix row's wall clock, as a multiple of the
+/// verify-off engine's. `--verify` is off by default in release builds,
+/// and when forced on the static suite runs **once per cached artifact**
+/// (a handful of compiles and plans for the whole matrix) — so its cost
+/// must stay within the 2% the acceptance criteria allow.
+const MAX_VERIFIED_WALL_VS_ENGINE: f64 = 1.02;
+
+/// Absolute grace on top of the verified ratio ceiling, pricing the fixed
+/// once-per-artifact checks (structural + envelope verification per
+/// compile, one linear plan lint per plan key) that do not shrink with
+/// the simulated instruction count. The `--quick` smoke's engine wall is
+/// tens of milliseconds, where that fixed cost would otherwise dominate
+/// the ratio; at the committed `--scale 1.0` artifact the 2% ratio is
+/// the binding constraint.
+const VERIFIED_WALL_GRACE_SECONDS: f64 = 0.25;
 
 struct Options {
     scale: f64,
@@ -393,6 +411,32 @@ fn main() {
         "matrix"
     );
 
+    // Verified row: the same engine matrix on a fresh artifact cache with
+    // the full static verifier forced on (sdiq-verify's structural,
+    // annotation-envelope and plan-lint suites, once per artifact). The
+    // suite must stay bit-identical — verification observes artifacts, it
+    // never alters them — and the wall-clock ratio is the release-mode
+    // `--verify` overhead the acceptance criteria bound at 2%.
+    let verified_cache = ArtifactCache::new();
+    verified_cache.set_verify(true);
+    let verified_start = Instant::now();
+    let verified_suite = Matrix::new(&matrix_experiment)
+        .benchmarks(&matrix_benchmarks)
+        .techniques(&matrix_techniques)
+        .run_with(&verified_cache, &HashMap::new())
+        .into_suite();
+    let verified_wall = verified_start.elapsed().as_secs_f64();
+    assert_eq!(
+        verified_suite, engine_suite,
+        "verified matrix suite must be bit-identical to the unverified engine"
+    );
+    let verified_vs_engine = verified_wall / engine_wall.max(1e-9);
+    eprintln!(
+        "{:>14}: {cells} cells  verify-on engine {verified_wall:.3}s  \
+         ({verified_vs_engine:.2}x of verify-off wall, bit-identical)",
+        "verified"
+    );
+
     // Sharded-backend row: the same reduced matrix through the subprocess
     // coordinator (one `repro` worker per shard, partial suites merged).
     // Workers pay process startup and cannot share the in-process artifact
@@ -614,7 +658,11 @@ fn main() {
                 reported. Then a matrix row: a reduced benchmark x technique matrix \
                 under the legacy one-thread-per-benchmark runner vs the work-queue \
                 engine with the shared artifact cache (activity counters asserted \
-                bit-identical before timing is reported), and a sharded row running \
+                bit-identical before timing is reported), plus a verified row \
+                re-running the engine matrix with the sdiq-verify static suite \
+                forced on (once per artifact; suite asserted bit-identical and the \
+                wall bounded at 2% + fixed grace over the verify-off engine — the \
+                release-mode --verify overhead), and a sharded row running \
                 the same matrix through the subprocess coordinator (one repro worker \
                 per shard, merged suites asserted bit-identical to the engine's), \
                 and two remote rows running it through two localhost repro serve \
@@ -689,6 +737,19 @@ fn main() {
                     Json::Num(format!("{engine_wall:.6}")),
                 ),
                 ("speedup".to_string(), Json::Num(format!("{speedup:.3}"))),
+                (
+                    "verified".to_string(),
+                    Json::Obj(vec![
+                        (
+                            "wall_seconds".to_string(),
+                            Json::Num(format!("{verified_wall:.6}")),
+                        ),
+                        (
+                            "wall_vs_engine".to_string(),
+                            Json::Num(format!("{verified_vs_engine:.3}")),
+                        ),
+                    ]),
+                ),
                 ("sharded".to_string(), sharded_json),
                 ("remote".to_string(), remote_json),
                 ("remote_json".to_string(), remote_json_codec),
@@ -719,6 +780,17 @@ fn main() {
              below the {MIN_INTERPRETED_INSTRUCTIONS_PER_SECOND:.0}/s floor"
         );
         failed = true;
+    }
+    {
+        let ceiling = engine_wall * MAX_VERIFIED_WALL_VS_ENGINE + VERIFIED_WALL_GRACE_SECONDS;
+        if verified_wall > ceiling {
+            eprintln!(
+                "FAIL: verify-on matrix took {verified_wall:.3}s against a verify-off engine \
+                 wall of {engine_wall:.3}s — above the {MAX_VERIFIED_WALL_VS_ENGINE}x + \
+                 {VERIFIED_WALL_GRACE_SECONDS}s ceiling ({ceiling:.3}s)"
+            );
+            failed = true;
+        }
     }
     if let Some(remote_wall) = remote_binary_wall {
         let ceiling = engine_wall * MAX_REMOTE_WALL_VS_ENGINE + REMOTE_WALL_GRACE_SECONDS;

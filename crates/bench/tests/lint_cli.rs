@@ -1,0 +1,131 @@
+//! End-to-end tests of `repro lint` and the `--verify`/`--no-verify`
+//! flags: exit-code contract (0 clean, 1 findings, 2 usage error), the
+//! distributed-flag refusals, and the summary line's shape.
+
+use std::process::Command;
+
+struct Run {
+    code: i32,
+    stdout: String,
+    stderr: String,
+}
+
+fn repro(args: &[&str]) -> Run {
+    let output = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("spawn repro");
+    Run {
+        code: output.status.code().expect("repro exited without a code"),
+        stdout: String::from_utf8_lossy(&output.stdout).into_owned(),
+        stderr: String::from_utf8_lossy(&output.stderr).into_owned(),
+    }
+}
+
+#[test]
+fn lint_over_a_small_matrix_is_clean_and_exits_zero() {
+    let run = repro(&[
+        "lint",
+        "--scale",
+        "0.02",
+        "--benchmarks",
+        "gzip,mcf",
+        "--techniques",
+        "baseline,noop,abella",
+    ]);
+    assert_eq!(run.code, 0, "stderr:\n{}", run.stderr);
+    let summary = run
+        .stdout
+        .lines()
+        .find(|l| l.starts_with("lint:"))
+        .unwrap_or_else(|| panic!("no summary line in:\n{}", run.stdout));
+    assert!(summary.contains("0 error(s)"), "summary: {summary}");
+    assert!(
+        summary.contains("2 benchmark(s) x 3 technique(s)"),
+        "summary: {summary}"
+    );
+}
+
+#[test]
+fn lint_sweep_covers_every_config_variant() {
+    let run = repro(&[
+        "lint",
+        "--scale",
+        "0.02",
+        "--benchmarks",
+        "gzip",
+        "--techniques",
+        "noop",
+        "--sweep",
+        "iq=48,32",
+    ]);
+    assert_eq!(run.code, 0, "stderr:\n{}", run.stderr);
+    // Paper point + two sweep values = three compiled/planned variants.
+    assert!(
+        run.stdout.contains("3 variant(s)"),
+        "stdout:\n{}",
+        run.stdout
+    );
+}
+
+#[test]
+fn conflicting_verify_flags_exit_two() {
+    let run = repro(&["--verify", "--no-verify", "--scale", "0.02"]);
+    assert_eq!(run.code, 2, "stderr:\n{}", run.stderr);
+    assert!(
+        run.stderr.contains("mutually exclusive"),
+        "stderr:\n{}",
+        run.stderr
+    );
+    // Order must not matter.
+    let flipped = repro(&["--no-verify", "--verify", "--scale", "0.02"]);
+    assert_eq!(flipped.code, 2);
+}
+
+#[test]
+fn repeated_verify_flag_is_accepted() {
+    // Repetition is not a conflict — only contradiction is.
+    let run = repro(&[
+        "--verify",
+        "--verify",
+        "--scale",
+        "0.02",
+        "--benchmarks",
+        "gzip",
+        "--techniques",
+        "baseline",
+        "--summary",
+    ]);
+    assert_eq!(run.code, 0, "stderr:\n{}", run.stderr);
+}
+
+#[test]
+fn lint_refuses_distributed_execution_flags() {
+    for flag in [
+        &["lint", "--workers", "tcp:127.0.0.1:0"][..],
+        &["lint", "--shards", "2"][..],
+        &["lint", "--shard", "1/2"][..],
+        &["lint", "--listen-workers", "127.0.0.1:0"][..],
+    ] {
+        let run = repro(flag);
+        assert_eq!(run.code, 2, "{flag:?} must be refused");
+        assert!(
+            run.stderr.contains("does not combine"),
+            "{flag:?} stderr:\n{}",
+            run.stderr
+        );
+    }
+}
+
+#[test]
+fn lint_rejects_unknown_flags() {
+    let run = repro(&["lint", "--frobnicate"]);
+    assert_eq!(run.code, 2);
+}
+
+#[test]
+fn lint_help_exits_zero() {
+    let run = repro(&["lint", "--help"]);
+    assert_eq!(run.code, 0, "stderr:\n{}", run.stderr);
+    assert!(run.stdout.contains("lint"), "stdout:\n{}", run.stdout);
+}

@@ -27,6 +27,11 @@
 //! contention across procedure boundaries for hot procedures; this is the
 //! [`PassConfig::interprocedural_fu`] switch.
 //!
+//! The stages run as registered named passes under a real pass manager
+//! ([`manager::PassManager`]); an inter-pass verifier (implemented by
+//! `sdiq-verify`) can be attached to check structural and soundness
+//! invariants between passes ([`CompilerPass::run_verified`]).
+//!
 //! # Example
 //!
 //! ```
@@ -57,9 +62,11 @@
 pub mod annotate;
 pub mod dag_analysis;
 pub mod loop_analysis;
+pub mod manager;
 pub mod pass;
 
 pub use annotate::EmitKind;
 pub use dag_analysis::{analyse_block, BlockRequirement};
 pub use loop_analysis::{analyse_loop_body, LoopRequirement};
+pub use manager::{Pass, PassDiagnostic, PassManager, PassState, PassVerifier, VerifyError};
 pub use pass::{CompileStats, CompiledProgram, CompilerPass, PassConfig, ProcedureStats};

@@ -1,0 +1,608 @@
+//! A real pass manager: the compiler pipeline as registered named passes.
+//!
+//! [`crate::CompilerPass::run`] used to be one monolithic function; it is
+//! now a thin wrapper over this module, which runs the same stages as
+//! separately registered [`Pass`] units over a shared [`PassState`]:
+//!
+//! | order | name                 | effect on the state                    |
+//! |-------|----------------------|----------------------------------------|
+//! | 1     | `analyse-procedures` | CFG / dominators / loops / DAG regions |
+//! | 2     | `loop-windows`       | CDS windows for every natural loop     |
+//! | 3     | `dag-windows`        | pseudo-IQ windows for every DAG block  |
+//! | 4     | `call-windows`       | §4.4 call-site handling                |
+//! | 5     | `interprocedural-fu` | §5.3 cross-procedure FU contention (*) |
+//! | 6     | `emit`               | rewrite the program with the hints     |
+//!
+//! (*) registered only when [`PassConfig::interprocedural_fu`] is set.
+//!
+//! A [`PassVerifier`] can be attached to the manager; it runs between
+//! passes and fails the pipeline with the offending pass's name and
+//! structured diagnostics. `sdiq-verify` provides the real implementation;
+//! keeping the trait here (with a plain string-code diagnostic type) avoids
+//! a dependency cycle between the two crates.
+//!
+//! The decomposition is bit-identical to the old monolith: stages run in
+//! the same relative order over the same data, and the emitted program,
+//! annotations and requirements are byte-for-byte what `CompilerPass::run`
+//! always produced.
+
+use crate::annotate::{emit, Annotations};
+use crate::dag_analysis::{analyse_block, BlockRequirement};
+use crate::loop_analysis::analyse_loop_body;
+use crate::pass::{CompileStats, CompiledProgram, LoopInfo, PassConfig, ProcedureStats};
+use sdiq_ir::ProcedureAnalysis;
+use sdiq_isa::{BlockRef, Instruction, ProcId, Program};
+use std::collections::HashMap;
+use std::fmt;
+use std::time::Instant;
+
+/// Mutable state threaded through the pipeline. Passes read what earlier
+/// passes produced and append their own results.
+pub struct PassState<'p> {
+    /// The input program. Never mutated — the rewrite lands in [`output`].
+    ///
+    /// [`output`]: PassState::output
+    pub program: &'p Program,
+    /// The configuration the pipeline runs with.
+    pub config: PassConfig,
+    /// Per-procedure analyses, one entry per non-library procedure, in
+    /// program order (index-aligned with [`PassState::per_procedure`]).
+    pub analyses: Vec<(ProcId, ProcedureAnalysis)>,
+    /// Annotations accumulated so far.
+    pub annotations: Annotations,
+    /// Pseudo-issue-queue results per analysed DAG block.
+    pub block_requirements: HashMap<BlockRef, BlockRequirement>,
+    /// CDS results per analysed loop.
+    pub loop_requirements: Vec<LoopInfo>,
+    /// Non-library call sites, recorded for the inter-procedural pass.
+    pub call_sites: Vec<(BlockRef, ProcId)>,
+    /// Per-procedure statistics, filled in as passes touch each procedure.
+    pub per_procedure: Vec<ProcedureStats>,
+    /// The rewritten program; set by the `emit` pass.
+    pub output: Option<Program>,
+}
+
+impl<'p> PassState<'p> {
+    fn new(program: &'p Program, config: PassConfig) -> Self {
+        PassState {
+            program,
+            config,
+            analyses: Vec::new(),
+            annotations: Annotations::default(),
+            block_requirements: HashMap::new(),
+            loop_requirements: Vec::new(),
+            call_sites: Vec::new(),
+            per_procedure: Vec::new(),
+            output: None,
+        }
+    }
+}
+
+/// One named, registered unit of the compiler pipeline.
+pub trait Pass {
+    /// Stable pass name (shown in diagnostics and the pass listing).
+    fn name(&self) -> &'static str;
+    /// One-line description for `EXPERIMENTS.md`-style listings.
+    fn description(&self) -> &'static str;
+    /// Runs the pass over the shared state.
+    fn run(&self, state: &mut PassState<'_>);
+}
+
+/// A structured inter-pass diagnostic. The stable `code` namespace is
+/// owned by `sdiq-verify` (see the diagnostic-code table in
+/// `EXPERIMENTS.md`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassDiagnostic {
+    /// Stable machine-readable code (e.g. `ENV001`).
+    pub code: String,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for PassDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+/// Hook run between passes. Implemented by `sdiq-verify`; returning any
+/// diagnostic aborts the pipeline.
+pub trait PassVerifier {
+    /// Checks the state right after the pass named `pass` ran.
+    fn verify_after(&self, pass: &str, state: &PassState<'_>) -> Vec<PassDiagnostic>;
+}
+
+/// A failed inter-pass verification: which pass broke the invariant, and
+/// how.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Name of the pass after which verification failed.
+    pub pass: String,
+    /// The violated invariants.
+    pub diagnostics: Vec<PassDiagnostic>,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "verification failed after compiler pass `{}` ({} diagnostic(s)):",
+            self.pass,
+            self.diagnostics.len()
+        )?;
+        for d in &self.diagnostics {
+            writeln!(f, "  {d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// The pass manager: an ordered registry of passes plus an optional
+/// inter-pass verifier.
+pub struct PassManager {
+    config: PassConfig,
+    passes: Vec<Box<dyn Pass>>,
+    verifier: Option<Box<dyn PassVerifier>>,
+}
+
+impl PassManager {
+    /// An empty manager with no passes registered.
+    pub fn new(config: PassConfig) -> Self {
+        PassManager {
+            config,
+            passes: Vec::new(),
+            verifier: None,
+        }
+    }
+
+    /// The standard pipeline of Figure 5, in order (the inter-procedural
+    /// pass is registered only when the configuration asks for it).
+    pub fn standard(config: PassConfig) -> Self {
+        let mut m = PassManager::new(config);
+        m.register(Box::new(AnalyseProcedures));
+        m.register(Box::new(LoopWindows));
+        m.register(Box::new(DagWindows));
+        m.register(Box::new(CallWindows));
+        if config.interprocedural_fu {
+            m.register(Box::new(InterproceduralFu));
+        }
+        m.register(Box::new(EmitAnnotations));
+        m
+    }
+
+    /// Appends a pass to the pipeline.
+    pub fn register(&mut self, pass: Box<dyn Pass>) -> &mut Self {
+        self.passes.push(pass);
+        self
+    }
+
+    /// Attaches an inter-pass verifier (run after every pass).
+    pub fn with_verifier(mut self, verifier: Box<dyn PassVerifier>) -> Self {
+        self.verifier = Some(verifier);
+        self
+    }
+
+    /// The registered passes, in execution order.
+    pub fn passes(&self) -> impl Iterator<Item = &dyn Pass> {
+        self.passes.iter().map(|p| p.as_ref())
+    }
+
+    /// Runs the pipeline over `program`. Fails only when a verifier is
+    /// attached and an inter-pass invariant is violated.
+    pub fn run(&self, program: &Program) -> Result<CompiledProgram, VerifyError> {
+        let start = Instant::now();
+        let mut state = PassState::new(program, self.config);
+        for pass in &self.passes {
+            pass.run(&mut state);
+            if let Some(verifier) = &self.verifier {
+                let diagnostics = verifier.verify_after(pass.name(), &state);
+                if !diagnostics.is_empty() {
+                    return Err(VerifyError {
+                        pass: pass.name().to_string(),
+                        diagnostics,
+                    });
+                }
+            }
+        }
+        let annotated_program = state.output.take().unwrap_or_else(|| state.program.clone());
+        let stats = CompileStats {
+            annotated_blocks: state.annotations.block_entries.len(),
+            hint_noops_inserted: annotated_program.hint_noop_count(),
+            per_procedure: state.per_procedure,
+            total_duration: start.elapsed(),
+        };
+        Ok(CompiledProgram {
+            program: annotated_program,
+            annotations: state.annotations,
+            config: self.config,
+            stats,
+            block_requirements: state.block_requirements,
+            loop_requirements: state.loop_requirements,
+        })
+    }
+}
+
+/// Pass 1: per-procedure CFG, dominator, loop and region analysis.
+struct AnalyseProcedures;
+
+impl Pass for AnalyseProcedures {
+    fn name(&self) -> &'static str {
+        "analyse-procedures"
+    }
+    fn description(&self) -> &'static str {
+        "build CFG, dominator tree, natural loops and DAG regions per procedure"
+    }
+    fn run(&self, state: &mut PassState<'_>) {
+        for (pid, proc) in state.program.iter_procs() {
+            if proc.is_library {
+                continue;
+            }
+            let proc_start = Instant::now();
+            let analysis = ProcedureAnalysis::analyse(proc);
+            state.per_procedure.push(ProcedureStats {
+                name: proc.name.clone(),
+                blocks_analysed: 0,
+                loops_analysed: analysis.loops.loops().len(),
+                dag_regions: analysis.regions.regions().len(),
+                duration: proc_start.elapsed(),
+            });
+            state.analyses.push((pid, analysis));
+        }
+    }
+}
+
+/// Pass 2: CDS analysis of every natural loop; the window lands in the
+/// loop's pre-header(s).
+struct LoopWindows;
+
+impl Pass for LoopWindows {
+    fn name(&self) -> &'static str {
+        "loop-windows"
+    }
+    fn description(&self) -> &'static str {
+        "cyclic-dependence-set windows for natural loops (§4.3)"
+    }
+    fn run(&self, state: &mut PassState<'_>) {
+        let iq_capacity = state.config.widths.iq_capacity as u32;
+        for (proc_idx, (pid, analysis)) in state.analyses.iter().enumerate() {
+            let pid = *pid;
+            let proc = state.program.proc(pid);
+            let pass_start = Instant::now();
+            for (loop_idx, natural_loop) in analysis.loops.loops().iter().enumerate() {
+                let mut blocks: Vec<_> = analysis
+                    .loops
+                    .exclusive_blocks(loop_idx)
+                    .into_iter()
+                    .collect();
+                blocks.sort_by_key(|b| analysis.cfg.rpo_index(*b).unwrap_or(usize::MAX));
+                let body: Vec<Instruction> = blocks
+                    .iter()
+                    .flat_map(|b| proc.block(*b).instructions.iter().cloned())
+                    .collect();
+                let requirement = analyse_loop_body(&body, iq_capacity);
+                let value = requirement.entries.unwrap_or(iq_capacity).clamp(
+                    state.config.min_advertised_entries.min(iq_capacity),
+                    iq_capacity,
+                );
+                // The hint is placed in the loop's pre-header(s): every CFG
+                // predecessor of the header that lies outside the loop. It is
+                // decoded once on entry and stays in force for the whole loop,
+                // so the advertised window bounds the loop's total residency
+                // (placing it inside the loop would reset the region every
+                // iteration and defeat the limit).
+                let mut placed = false;
+                for &pred in analysis.cfg.preds(natural_loop.header) {
+                    if !natural_loop.body.contains(&pred) {
+                        state.annotations.loop_preheader_entries.insert(
+                            BlockRef {
+                                proc: pid,
+                                block: pred,
+                            },
+                            value,
+                        );
+                        placed = true;
+                    }
+                }
+                if !placed {
+                    // Fallback (header with no out-of-loop predecessor, e.g. a
+                    // procedure entry that is itself a loop header).
+                    state.annotations.block_entries.insert(
+                        BlockRef {
+                            proc: pid,
+                            block: natural_loop.header,
+                        },
+                        value,
+                    );
+                }
+                state.loop_requirements.push(LoopInfo {
+                    proc: pid,
+                    header: natural_loop.header,
+                    requirement,
+                });
+            }
+            state.per_procedure[proc_idx].duration += pass_start.elapsed();
+        }
+    }
+}
+
+/// Pass 3: pseudo-issue-queue analysis of every DAG block (§4.2), in
+/// breadth-first region order.
+struct DagWindows;
+
+impl Pass for DagWindows {
+    fn name(&self) -> &'static str {
+        "dag-windows"
+    }
+    fn description(&self) -> &'static str {
+        "pseudo-issue-queue windows for DAG blocks (§4.2)"
+    }
+    fn run(&self, state: &mut PassState<'_>) {
+        let iq_capacity = state.config.widths.iq_capacity as u32;
+        let issue_width = state.config.widths.pipeline_width;
+        for (proc_idx, (pid, analysis)) in state.analyses.iter().enumerate() {
+            let pid = *pid;
+            let proc = state.program.proc(pid);
+            let pass_start = Instant::now();
+            let mut blocks_analysed = 0usize;
+            for region in analysis.regions.regions() {
+                for &bid in &region.blocks {
+                    let block = proc.block(bid);
+                    let requirement =
+                        analyse_block(&block.instructions, issue_width, &state.config.fu_counts);
+                    let block_ref = BlockRef {
+                        proc: pid,
+                        block: bid,
+                    };
+                    let value = requirement.entries.clamp(
+                        state.config.min_advertised_entries.min(iq_capacity),
+                        iq_capacity,
+                    );
+                    state.annotations.block_entries.insert(block_ref, value);
+                    state.block_requirements.insert(block_ref, requirement);
+                    blocks_analysed += 1;
+                }
+            }
+            state.per_procedure[proc_idx].blocks_analysed = blocks_analysed;
+            state.per_procedure[proc_idx].duration += pass_start.elapsed();
+        }
+    }
+}
+
+/// Pass 4: call handling (§4.4) — library callees force the maximum size
+/// immediately before the call; other callees are recorded for the
+/// optional inter-procedural adjustment.
+struct CallWindows;
+
+impl Pass for CallWindows {
+    fn name(&self) -> &'static str {
+        "call-windows"
+    }
+    fn description(&self) -> &'static str {
+        "library-call maximum-size hints and call-site recording (§4.4)"
+    }
+    fn run(&self, state: &mut PassState<'_>) {
+        for (pid, _analysis) in &state.analyses {
+            let pid = *pid;
+            let proc = state.program.proc(pid);
+            for (bid, block) in proc.iter_blocks() {
+                if let Some(callee) = block.callee() {
+                    let block_ref = BlockRef {
+                        proc: pid,
+                        block: bid,
+                    };
+                    if state.program.proc(callee).is_library {
+                        state.annotations.max_before_call.push(block_ref);
+                    } else {
+                        state.call_sites.push((block_ref, callee));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Pass 5 (optional): functional-unit contention across procedure
+/// boundaries. Instructions of the calling region are still in flight
+/// while the callee starts executing, competing for functional units.
+/// Giving the callee's entry region and the post-call region a window that
+/// also covers the caller's in-flight instructions lets the scheduler find
+/// enough independent work, which is what removes most of the residual IPC
+/// loss in §5.3.
+struct InterproceduralFu;
+
+impl Pass for InterproceduralFu {
+    fn name(&self) -> &'static str {
+        "interprocedural-fu"
+    }
+    fn description(&self) -> &'static str {
+        "widen windows across call boundaries for FU contention (§5.3)"
+    }
+    fn run(&self, state: &mut PassState<'_>) {
+        let iq_capacity = state.config.widths.iq_capacity as u32;
+        let annotations = &mut state.annotations;
+        let mut adjustments: HashMap<BlockRef, u32> = HashMap::new();
+        let mut preheader_adjustments: HashMap<BlockRef, u32> = HashMap::new();
+        for (caller_block, callee) in &state.call_sites {
+            let caller_req = annotations
+                .block_entries
+                .get(caller_block)
+                .copied()
+                .unwrap_or(1);
+            let callee_entry = BlockRef {
+                proc: *callee,
+                block: state.program.proc(*callee).entry,
+            };
+            let callee_req = annotations
+                .block_entries
+                .get(&callee_entry)
+                .copied()
+                .unwrap_or(1);
+            // Callee entry sees the caller's leftovers.
+            let e = adjustments.entry(callee_entry).or_insert(callee_req);
+            *e = (*e).max(callee_req + caller_req).min(iq_capacity);
+            // If the callee's entry block is also the pre-header of its
+            // hot loop, widen the loop window by the same amount — the
+            // loop's instructions contend for functional units with the
+            // caller's still-in-flight region.
+            if let Some(&loop_value) = annotations.loop_preheader_entries.get(&callee_entry) {
+                let e = preheader_adjustments
+                    .entry(callee_entry)
+                    .or_insert(loop_value);
+                *e = (*e).max(loop_value + caller_req).min(iq_capacity);
+            }
+            // The post-call block sees the callee's leftovers.
+            if let Some(after) = state
+                .program
+                .proc(caller_block.proc)
+                .block(caller_block.block)
+                .fallthrough
+            {
+                let after_ref = BlockRef {
+                    proc: caller_block.proc,
+                    block: after,
+                };
+                let after_req = annotations
+                    .block_entries
+                    .get(&after_ref)
+                    .copied()
+                    .unwrap_or(1);
+                let e = adjustments.entry(after_ref).or_insert(after_req);
+                *e = (*e).max(after_req + callee_req).min(iq_capacity);
+            }
+        }
+        for (block_ref, value) in adjustments {
+            annotations.block_entries.insert(block_ref, value);
+        }
+        for (block_ref, value) in preheader_adjustments {
+            annotations.loop_preheader_entries.insert(block_ref, value);
+        }
+    }
+}
+
+/// Pass 6: rewrite the program with the accumulated annotations.
+struct EmitAnnotations;
+
+impl Pass for EmitAnnotations {
+    fn name(&self) -> &'static str {
+        "emit"
+    }
+    fn description(&self) -> &'static str {
+        "encode the windows as special NOOPs or instruction tags (§3)"
+    }
+    fn run(&self, state: &mut PassState<'_>) {
+        state.output = Some(emit(state.program, &state.annotations, state.config.emit));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CompilerPass;
+    use sdiq_isa::builder::ProgramBuilder;
+    use sdiq_isa::reg::int_reg;
+
+    fn looped_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let main = b.procedure("main");
+        {
+            let p = b.proc_mut(main);
+            let entry = p.block();
+            let body = p.block();
+            let exit = p.block();
+            p.with_block(entry, |bb| {
+                bb.li(int_reg(1), 0);
+                bb.jump(body);
+            });
+            p.with_block(body, |bb| {
+                bb.addi(int_reg(2), int_reg(1), 1);
+                bb.addi(int_reg(1), int_reg(1), 1);
+                bb.blt(int_reg(1), 20, body, exit);
+            });
+            p.with_block(exit, |bb| {
+                bb.ret();
+            });
+            p.set_entry(entry);
+        }
+        b.finish(main).unwrap()
+    }
+
+    #[test]
+    fn standard_pipeline_lists_named_passes_in_order() {
+        let m = PassManager::standard(PassConfig::noop_insertion());
+        let names: Vec<_> = m.passes().map(|p| p.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "analyse-procedures",
+                "loop-windows",
+                "dag-windows",
+                "call-windows",
+                "emit"
+            ]
+        );
+        let improved = PassManager::standard(PassConfig::improved());
+        assert!(improved.passes().any(|p| p.name() == "interprocedural-fu"));
+    }
+
+    #[test]
+    fn compiler_pass_delegates_to_the_manager() {
+        let program = looped_program();
+        for config in [
+            PassConfig::noop_insertion(),
+            PassConfig::tagging(),
+            PassConfig::improved(),
+        ] {
+            let a = CompilerPass::new(config).run(&program);
+            let b = PassManager::standard(config).run(&program).unwrap();
+            assert_eq!(a.program, b.program);
+            assert_eq!(a.annotations, b.annotations);
+            assert_eq!(a.block_requirements, b.block_requirements);
+            assert_eq!(a.loop_requirements, b.loop_requirements);
+            assert_eq!(a.stats.annotated_blocks, b.stats.annotated_blocks);
+            assert_eq!(a.stats.hint_noops_inserted, b.stats.hint_noops_inserted);
+        }
+    }
+
+    #[test]
+    fn verifier_failure_names_the_offending_pass() {
+        struct FailAfterLoops;
+        impl PassVerifier for FailAfterLoops {
+            fn verify_after(&self, pass: &str, _state: &PassState<'_>) -> Vec<PassDiagnostic> {
+                if pass == "loop-windows" {
+                    vec![PassDiagnostic {
+                        code: "TEST001".to_string(),
+                        message: "synthetic failure".to_string(),
+                    }]
+                } else {
+                    Vec::new()
+                }
+            }
+        }
+        let program = looped_program();
+        let err = PassManager::standard(PassConfig::noop_insertion())
+            .with_verifier(Box::new(FailAfterLoops))
+            .run(&program)
+            .unwrap_err();
+        assert_eq!(err.pass, "loop-windows");
+        assert_eq!(err.diagnostics[0].code, "TEST001");
+        assert!(err.to_string().contains("loop-windows"));
+    }
+
+    #[test]
+    fn clean_verifier_passes_through() {
+        struct Clean;
+        impl PassVerifier for Clean {
+            fn verify_after(&self, _pass: &str, _state: &PassState<'_>) -> Vec<PassDiagnostic> {
+                Vec::new()
+            }
+        }
+        let program = looped_program();
+        let compiled = PassManager::standard(PassConfig::tagging())
+            .with_verifier(Box::new(Clean))
+            .run(&program)
+            .unwrap();
+        assert!(compiled.program.validate().is_ok());
+    }
+}

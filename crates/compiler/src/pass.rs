@@ -1,13 +1,13 @@
 //! The whole-program compiler pass (Figure 5 of the paper).
 
-use crate::annotate::{emit, Annotations, EmitKind};
-use crate::dag_analysis::{analyse_block, BlockRequirement};
-use crate::loop_analysis::{analyse_loop_body, LoopRequirement};
-use sdiq_ir::ProcedureAnalysis;
-use sdiq_isa::{BlockId, BlockRef, FuCounts, Instruction, MachineWidths, ProcId, Program};
+use crate::annotate::{Annotations, EmitKind};
+use crate::dag_analysis::BlockRequirement;
+use crate::loop_analysis::LoopRequirement;
+use crate::manager::{PassManager, PassVerifier, VerifyError};
+use sdiq_isa::{BlockId, BlockRef, FuCounts, MachineWidths, ProcId, Program};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Configuration of the compiler pass.
 ///
@@ -174,210 +174,26 @@ impl CompilerPass {
 
     /// Runs the pass over `program`, returning the annotated program plus
     /// all intermediate analysis results.
+    ///
+    /// Delegates to the standard pipeline of [`PassManager::standard`]; with
+    /// no verifier attached the pipeline cannot fail.
     pub fn run(&self, program: &Program) -> CompiledProgram {
-        let start = Instant::now();
-        let iq_capacity = self.config.widths.iq_capacity as u32;
-        let issue_width = self.config.widths.pipeline_width;
-
-        let mut annotations = Annotations::default();
-        let mut block_requirements: HashMap<BlockRef, BlockRequirement> = HashMap::new();
-        let mut loop_requirements: Vec<LoopInfo> = Vec::new();
-        let mut per_procedure = Vec::new();
-        // Remember which annotated blocks end in a call, and to whom, for the
-        // inter-procedural adjustment below.
-        let mut call_sites: Vec<(BlockRef, ProcId)> = Vec::new();
-
-        for (pid, proc) in program.iter_procs() {
-            if proc.is_library {
-                continue;
-            }
-            let proc_start = Instant::now();
-            let analysis = ProcedureAnalysis::analyse(proc);
-
-            // Loops: analyse the exclusive body of each loop and annotate its
-            // header.
-            for (loop_idx, natural_loop) in analysis.loops.loops().iter().enumerate() {
-                let mut blocks: Vec<BlockId> = analysis
-                    .loops
-                    .exclusive_blocks(loop_idx)
-                    .into_iter()
-                    .collect();
-                blocks.sort_by_key(|b| analysis.cfg.rpo_index(*b).unwrap_or(usize::MAX));
-                let body: Vec<Instruction> = blocks
-                    .iter()
-                    .flat_map(|b| proc.block(*b).instructions.iter().cloned())
-                    .collect();
-                let requirement = analyse_loop_body(&body, iq_capacity);
-                let value = requirement.entries.unwrap_or(iq_capacity).clamp(
-                    self.config.min_advertised_entries.min(iq_capacity),
-                    iq_capacity,
-                );
-                // The hint is placed in the loop's pre-header(s): every CFG
-                // predecessor of the header that lies outside the loop. It is
-                // decoded once on entry and stays in force for the whole loop,
-                // so the advertised window bounds the loop's total residency
-                // (placing it inside the loop would reset the region every
-                // iteration and defeat the limit).
-                let mut placed = false;
-                for &pred in analysis.cfg.preds(natural_loop.header) {
-                    if !natural_loop.body.contains(&pred) {
-                        annotations.loop_preheader_entries.insert(
-                            BlockRef {
-                                proc: pid,
-                                block: pred,
-                            },
-                            value,
-                        );
-                        placed = true;
-                    }
-                }
-                if !placed {
-                    // Fallback (header with no out-of-loop predecessor, e.g. a
-                    // procedure entry that is itself a loop header).
-                    annotations.block_entries.insert(
-                        BlockRef {
-                            proc: pid,
-                            block: natural_loop.header,
-                        },
-                        value,
-                    );
-                }
-                loop_requirements.push(LoopInfo {
-                    proc: pid,
-                    header: natural_loop.header,
-                    requirement,
-                });
-            }
-
-            // DAG regions: analyse every block individually (§4.2) in
-            // breadth-first region order.
-            let mut blocks_analysed = 0usize;
-            for region in analysis.regions.regions() {
-                for &bid in &region.blocks {
-                    let block = proc.block(bid);
-                    let requirement =
-                        analyse_block(&block.instructions, issue_width, &self.config.fu_counts);
-                    let block_ref = BlockRef {
-                        proc: pid,
-                        block: bid,
-                    };
-                    let value = requirement.entries.clamp(
-                        self.config.min_advertised_entries.min(iq_capacity),
-                        iq_capacity,
-                    );
-                    annotations.block_entries.insert(block_ref, value);
-                    block_requirements.insert(block_ref, requirement);
-                    blocks_analysed += 1;
-                }
-            }
-
-            // Call handling (§4.4): library callees force the maximum size
-            // immediately before the call; other callees are recorded for the
-            // optional inter-procedural adjustment.
-            for (bid, block) in proc.iter_blocks() {
-                if let Some(callee) = block.callee() {
-                    let block_ref = BlockRef {
-                        proc: pid,
-                        block: bid,
-                    };
-                    if program.proc(callee).is_library {
-                        annotations.max_before_call.push(block_ref);
-                    } else {
-                        call_sites.push((block_ref, callee));
-                    }
-                }
-            }
-
-            per_procedure.push(ProcedureStats {
-                name: proc.name.clone(),
-                blocks_analysed,
-                loops_analysed: analysis.loops.loops().len(),
-                dag_regions: analysis.regions.regions().len(),
-                duration: proc_start.elapsed(),
-            });
+        match PassManager::standard(self.config).run(program) {
+            Ok(compiled) => compiled,
+            Err(err) => unreachable!("standard pipeline has no verifier: {err}"),
         }
+    }
 
-        // Improved technique: functional-unit contention across procedure
-        // boundaries. Instructions of the calling region are still in flight
-        // (between `head` and `new_head`) while the callee starts executing,
-        // competing for functional units. Giving the callee's entry region
-        // and the post-call region a window that also covers the caller's
-        // in-flight instructions lets the scheduler find enough independent
-        // work, which is what removes most of the residual IPC loss in §5.3.
-        if self.config.interprocedural_fu {
-            let mut adjustments: HashMap<BlockRef, u32> = HashMap::new();
-            let mut preheader_adjustments: HashMap<BlockRef, u32> = HashMap::new();
-            for (caller_block, callee) in &call_sites {
-                let caller_req = annotations
-                    .block_entries
-                    .get(caller_block)
-                    .copied()
-                    .unwrap_or(1);
-                let callee_entry = BlockRef {
-                    proc: *callee,
-                    block: program.proc(*callee).entry,
-                };
-                let callee_req = annotations
-                    .block_entries
-                    .get(&callee_entry)
-                    .copied()
-                    .unwrap_or(1);
-                // Callee entry sees the caller's leftovers.
-                let e = adjustments.entry(callee_entry).or_insert(callee_req);
-                *e = (*e).max(callee_req + caller_req).min(iq_capacity);
-                // If the callee's entry block is also the pre-header of its
-                // hot loop, widen the loop window by the same amount — the
-                // loop's instructions contend for functional units with the
-                // caller's still-in-flight region.
-                if let Some(&loop_value) = annotations.loop_preheader_entries.get(&callee_entry) {
-                    let e = preheader_adjustments
-                        .entry(callee_entry)
-                        .or_insert(loop_value);
-                    *e = (*e).max(loop_value + caller_req).min(iq_capacity);
-                }
-                // The post-call block sees the callee's leftovers.
-                if let Some(after) = program
-                    .proc(caller_block.proc)
-                    .block(caller_block.block)
-                    .fallthrough
-                {
-                    let after_ref = BlockRef {
-                        proc: caller_block.proc,
-                        block: after,
-                    };
-                    let after_req = annotations
-                        .block_entries
-                        .get(&after_ref)
-                        .copied()
-                        .unwrap_or(1);
-                    let e = adjustments.entry(after_ref).or_insert(after_req);
-                    *e = (*e).max(after_req + callee_req).min(iq_capacity);
-                }
-            }
-            for (block_ref, value) in adjustments {
-                annotations.block_entries.insert(block_ref, value);
-            }
-            for (block_ref, value) in preheader_adjustments {
-                annotations.loop_preheader_entries.insert(block_ref, value);
-            }
-        }
-
-        let annotated_program = emit(program, &annotations, self.config.emit);
-        let stats = CompileStats {
-            annotated_blocks: annotations.block_entries.len(),
-            hint_noops_inserted: annotated_program.hint_noop_count(),
-            per_procedure,
-            total_duration: start.elapsed(),
-        };
-
-        CompiledProgram {
-            program: annotated_program,
-            annotations,
-            config: self.config,
-            stats,
-            block_requirements,
-            loop_requirements,
-        }
+    /// Runs the pass with `verifier` checked between every registered pass,
+    /// failing fast on the first violated invariant.
+    pub fn run_verified(
+        &self,
+        program: &Program,
+        verifier: Box<dyn PassVerifier>,
+    ) -> Result<CompiledProgram, VerifyError> {
+        PassManager::standard(self.config)
+            .with_verifier(verifier)
+            .run(program)
     }
 }
 

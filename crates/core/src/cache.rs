@@ -38,11 +38,12 @@
 use sdiq_compiler::{CompileStats, CompilerPass, PassConfig};
 use sdiq_isa::{Executor, Program};
 use sdiq_sim::{ExecPlan, SimConfig};
+use sdiq_verify::{has_errors, lint_plan, verify_compiled, Severity, StandardVerifier};
 use sdiq_workloads::Benchmark;
 use std::collections::HashMap;
 use std::hash::Hash;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::time::Duration;
 
 /// Content address of one built benchmark program: the benchmark plus the
@@ -125,7 +126,22 @@ pub struct PlanKey {
 
 /// The shared artifact cache. One instance serves a whole sweep; creating
 /// it is free, so ad-hoc callers can also pass a fresh one per run.
-#[derive(Debug, Default)]
+///
+/// # Verification
+///
+/// When [`ArtifactCache::set_verify`] is on (the default in debug builds
+/// and under `cargo test`; release matrix runs leave it off unless
+/// `--verify` is passed), every cached artifact is statically verified
+/// **once**, at the moment it is first built: compiles run through the
+/// pass manager with the inter-pass [`StandardVerifier`] plus the full
+/// `sdiq_verify::verify_compiled` suite, and lowered plans are
+/// cross-checked against their source program and trace with
+/// `sdiq_verify::lint_plan`. A failed check is a logic error in this
+/// repository, not a user error, so it panics with the full diagnostic
+/// listing. Because verification happens inside the [`OnceLock`]
+/// initialiser, a sweep touching the same key a thousand times pays for
+/// the check exactly once.
+#[derive(Debug)]
 pub struct ArtifactCache {
     programs: Mutex<HashMap<ProgramKey, Arc<OnceLock<Arc<Program>>>>>,
     compiles: Mutex<HashMap<CompileKey, Arc<OnceLock<Arc<CompiledArtifact>>>>>,
@@ -133,25 +149,55 @@ pub struct ArtifactCache {
     program_builds: AtomicU64,
     compile_runs: AtomicU64,
     plan_builds: AtomicU64,
+    verify: AtomicBool,
+}
+
+impl Default for ArtifactCache {
+    fn default() -> Self {
+        ArtifactCache {
+            programs: Mutex::default(),
+            compiles: Mutex::default(),
+            plans: Mutex::default(),
+            program_builds: AtomicU64::new(0),
+            compile_runs: AtomicU64::new(0),
+            plan_builds: AtomicU64::new(0),
+            verify: AtomicBool::new(cfg!(debug_assertions)),
+        }
+    }
 }
 
 /// Fetches (or inserts) the once-initialisable slot for `key`. The map
-/// lock is held only for the slot lookup, never across a build.
+/// lock is held only for the slot lookup, never across a build. A
+/// poisoned map lock is recovered: the critical section is a pure
+/// `HashMap` entry lookup, which cannot leave the map inconsistent.
 fn slot<K: Eq + Hash + Copy, V>(
     map: &Mutex<HashMap<K, Arc<OnceLock<V>>>>,
     key: K,
 ) -> Arc<OnceLock<V>> {
     map.lock()
-        .expect("artifact cache map poisoned")
+        .unwrap_or_else(PoisonError::into_inner)
         .entry(key)
         .or_default()
         .clone()
 }
 
 impl ArtifactCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache. Verification defaults to on in debug builds
+    /// (and therefore under `cargo test`) and off in release builds.
     pub fn new() -> Self {
         ArtifactCache::default()
+    }
+
+    /// Turns per-artifact static verification on or off (see the type-level
+    /// docs). Takes effect for artifacts not yet built; already-cached
+    /// artifacts are not re-checked.
+    pub fn set_verify(&self, on: bool) {
+        self.verify.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether artifacts built by this cache are statically verified.
+    pub fn verify_enabled(&self) -> bool {
+        self.verify.load(Ordering::Relaxed)
     }
 
     /// The program for `key`, building it exactly once per key.
@@ -171,7 +217,32 @@ impl ArtifactCache {
         let slot = slot(&self.compiles, key);
         slot.get_or_init(|| {
             self.compile_runs.fetch_add(1, Ordering::Relaxed);
-            let compiled = CompilerPass::new(key.pass).run(&input);
+            let compiled = if self.verify_enabled() {
+                let compiled = match CompilerPass::new(key.pass)
+                    .run_verified(&input, Box::new(StandardVerifier))
+                {
+                    Ok(compiled) => compiled,
+                    Err(err) => panic!(
+                        "compile of `{}` failed inter-pass verification: {err}",
+                        key.program.benchmark.name()
+                    ),
+                };
+                let errors: Vec<String> = verify_compiled(&compiled)
+                    .into_iter()
+                    .filter(|d| d.severity == Severity::Error)
+                    .map(|d| d.to_string())
+                    .collect();
+                if !errors.is_empty() {
+                    panic!(
+                        "compiled artifact for `{}` failed verification:\n  {}",
+                        key.program.benchmark.name(),
+                        errors.join("\n  ")
+                    );
+                }
+                compiled
+            } else {
+                CompilerPass::new(key.pass).run(&input)
+            };
             let mut stats = compiled.stats;
             stats.total_duration = Duration::ZERO;
             for proc_stats in &mut stats.per_procedure {
@@ -200,10 +271,19 @@ impl ArtifactCache {
         let slot = slot(&self.plans, key);
         slot.get_or_init(|| {
             self.plan_builds.fetch_add(1, Ordering::Relaxed);
-            let trace = Executor::new(&program)
-                .run(key.max_dynamic_instructions)
-                .expect("workload executes cleanly");
-            Arc::new(ExecPlan::build(key.sim_config, &program, &trace))
+            let trace = match Executor::new(&program).run(key.max_dynamic_instructions) {
+                Ok(trace) => trace,
+                Err(fault) => panic!("workload must execute cleanly, faulted with {fault:?}"),
+            };
+            let plan = ExecPlan::build(key.sim_config, &program, &trace);
+            if self.verify_enabled() {
+                let diags = lint_plan(&plan, &program, &trace);
+                if has_errors(&diags) {
+                    let listing: Vec<String> = diags.iter().map(ToString::to_string).collect();
+                    panic!("execution plan failed lint:\n  {}", listing.join("\n  "));
+                }
+            }
+            Arc::new(plan)
         })
         .clone()
     }

@@ -181,7 +181,10 @@ impl Sweep {
             "into_suite on a {}-point sweep; pick a variant instead",
             self.points.len()
         );
-        self.points.pop().expect("one point").1
+        match self.points.pop() {
+            Some((_, suite)) => suite,
+            None => unreachable!("asserted exactly one point above"),
+        }
     }
 }
 
@@ -447,6 +450,14 @@ impl<'a> Matrix<'a> {
         }
     }
 
+    /// The configuration-axis points this matrix sweeps (`base` alone if
+    /// no axis was declared) — the same list the cell space is built
+    /// from, so external checkers (`repro lint`) cover exactly the
+    /// variants a run would execute.
+    pub fn config_variants(&self) -> Vec<ConfigVariant> {
+        self.effective_variants()
+    }
+
     /// The effective variant list (`base` alone if no axis was declared).
     fn effective_variants(&self) -> Vec<ConfigVariant> {
         if self.variants.is_empty() {
@@ -632,9 +643,9 @@ impl<'a> Matrix<'a> {
                     if let Some(sink) = sink {
                         sink.cell_complete(key, &report);
                     }
-                    results[index]
-                        .set(report)
-                        .expect("each cell is claimed by exactly one worker");
+                    results[index].set(report).unwrap_or_else(|_| {
+                        unreachable!("each cell is claimed by exactly one worker")
+                    });
                 });
             }
         });
@@ -645,7 +656,7 @@ impl<'a> Matrix<'a> {
                 (
                     key.clone(),
                     slot.into_inner()
-                        .expect("worker pool filled every requested cell"),
+                        .unwrap_or_else(|| unreachable!("worker pool filled every requested cell")),
                 )
             })
             .collect())
@@ -715,9 +726,9 @@ impl<'a> Matrix<'a> {
                             report
                         }
                     };
-                    results[index]
-                        .set(report)
-                        .expect("each cell is claimed by exactly one worker");
+                    results[index].set(report).unwrap_or_else(|_| {
+                        unreachable!("each cell is claimed by exactly one worker")
+                    });
                 });
             }
         });
@@ -728,7 +739,7 @@ impl<'a> Matrix<'a> {
         for (cell, slot) in cells.iter().zip(results) {
             let report = slot
                 .into_inner()
-                .expect("worker pool filled every cell before exiting");
+                .unwrap_or_else(|| unreachable!("worker pool filled every cell before exiting"));
             suites[cell.variant].insert(cell.benchmark, report);
         }
         Sweep {

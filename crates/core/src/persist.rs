@@ -395,7 +395,9 @@ impl<'a> Parser<'a> {
                     // boundaries are valid).
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| self.error("invalid UTF-8"))?;
-                    let c = rest.chars().next().expect("non-empty");
+                    let Some(c) = rest.chars().next() else {
+                        return Err(self.error("unterminated string"));
+                    };
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -893,7 +895,13 @@ impl CheckpointWriter {
     pub fn append(&self, key: &str, report: &RunReport) -> std::io::Result<()> {
         let mut line = checkpoint_line(key, report);
         line.push('\n');
-        let mut file = self.file.lock().expect("checkpoint writer poisoned");
+        // A poisoned lock means another append panicked mid-write; the
+        // checkpoint format is line-oriented and the loader skips torn
+        // trailing lines, so recovering and appending is safe.
+        let mut file = self
+            .file
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         file.write_all(line.as_bytes())?;
         file.sync_data()?;
         self.synced_appends

@@ -212,9 +212,10 @@ impl Experiment {
         hint_noops_inserted: usize,
     ) -> RunReport {
         // 1. Functional execution → committed trace.
-        let trace = Executor::new(program_to_run)
-            .run(self.max_dynamic_instructions)
-            .expect("workload executes cleanly");
+        let trace = match Executor::new(program_to_run).run(self.max_dynamic_instructions) {
+            Ok(trace) => trace,
+            Err(fault) => panic!("workload must execute cleanly, faulted with {fault:?}"),
+        };
 
         // 2. Timing simulation (both backends are bit-identical; a one-shot
         //    run builds its plan inline, the engine path caches plans in
@@ -231,8 +232,11 @@ impl Experiment {
                 technique.resize_policy(),
             )
             .run(),
-        }
-        .expect("simulation completes");
+        };
+        let result = match result {
+            Ok(result) => result,
+            Err(err) => panic!("simulation must complete over a committed trace: {err:?}"),
+        };
 
         // 3. Power model.
         let power = PowerBreakdown::from_stats(
@@ -266,9 +270,10 @@ impl Experiment {
         compile: Option<CompileStats>,
         hint_noops_inserted: usize,
     ) -> RunReport {
-        let result = PlanSimulator::new(plan, technique.resize_policy())
-            .run()
-            .expect("simulation completes");
+        let result = match PlanSimulator::new(plan, technique.resize_policy()).run() {
+            Ok(result) => result,
+            Err(err) => panic!("simulation must complete over a committed trace: {err:?}"),
+        };
         let power = PowerBreakdown::from_stats(
             &result.stats,
             &self.energy_model,
@@ -310,8 +315,10 @@ impl Experiment {
                 let program = b.build_scaled(self.scale);
                 let baseline = start.elapsed();
                 let pass_start = std::time::Instant::now();
-                let _ = CompilerPass::new(Technique::Noop.pass_config().expect("noop has a pass"))
-                    .run(&program);
+                let pass_config = Technique::Noop
+                    .pass_config()
+                    .unwrap_or_else(|| unreachable!("the NOOP technique always has a pass"));
+                let _ = CompilerPass::new(pass_config).run(&program);
                 let limited = baseline + pass_start.elapsed();
                 (b, baseline, limited)
             })

@@ -12,10 +12,10 @@
 //! that flow from one iteration to the next (the raw material of the cyclic
 //! dependence sets of §4.3).
 
+use crate::dataflow::sequence_def_chains;
 use crate::graph::{strongly_connected_components, WeightedEdge};
-use sdiq_isa::{ArchReg, Instruction};
+use sdiq_isa::Instruction;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Extra cycles the compiler assumes for a load on top of address
 /// generation: the paper's analysis "assume[s] that all accesses to memory
@@ -98,9 +98,10 @@ impl Ddg {
         let mut edges: Vec<DdgEdge> = Vec::new();
         let node_latency: Vec<u32> = instructions.iter().map(latency).collect();
 
-        // Register RAW dependences within the sequence.
-        let mut last_def: HashMap<ArchReg, usize> = HashMap::new();
-        // Conservative memory ordering.
+        // Register def-use chains come from the shared dataflow machinery
+        // (hint NOOPs are already transparent there); memory ordering is
+        // DDG-specific and tracked inline.
+        let chains = sequence_def_chains(instructions);
         let mut last_store: Option<usize> = None;
         let mut loads_since_store: Vec<usize> = Vec::new();
 
@@ -108,8 +109,9 @@ impl Ddg {
             if inst.is_hint_noop() {
                 continue;
             }
-            for src in inst.sources() {
-                if let Some(&def) = last_def.get(&src) {
+            // Register RAW dependences within the sequence.
+            for &(_, def) in &chains.sources[idx] {
+                if let Some(def) = def {
                     edges.push(DdgEdge {
                         from: def,
                         to: idx,
@@ -152,33 +154,17 @@ impl Ddg {
                     last_store = Some(idx);
                 }
             }
-            if let Some(dest) = inst.dest {
-                last_def.insert(dest, idx);
-            }
         }
 
-        // Loop-carried register dependences: a use whose register has no
-        // earlier definition in the body reads the value produced by the last
-        // definition of that register in the *previous* iteration.
+        // Loop-carried register dependences: a source the chains mark as
+        // upward exposed (no earlier definition in the body) reads the value
+        // produced by the final definition of that register in the
+        // *previous* iteration.
         if loop_carried {
-            // Final definition index of each register over the whole body.
-            let mut final_def: HashMap<ArchReg, usize> = HashMap::new();
-            for (idx, inst) in instructions.iter().enumerate() {
-                if inst.is_hint_noop() {
-                    continue;
-                }
-                if let Some(dest) = inst.dest {
-                    final_def.insert(dest, idx);
-                }
-            }
-            let mut defined_so_far: HashMap<ArchReg, usize> = HashMap::new();
-            for (idx, inst) in instructions.iter().enumerate() {
-                if inst.is_hint_noop() {
-                    continue;
-                }
-                for src in inst.sources() {
-                    if !defined_so_far.contains_key(&src) {
-                        if let Some(&def) = final_def.get(&src) {
+            for (idx, sources) in chains.sources.iter().enumerate() {
+                for &(src, def_in_body) in sources {
+                    if def_in_body.is_none() {
+                        if let Some(&def) = chains.final_def.get(&src) {
                             edges.push(DdgEdge {
                                 from: def,
                                 to: idx,
@@ -187,9 +173,6 @@ impl Ddg {
                             });
                         }
                     }
-                }
-                if let Some(dest) = inst.dest {
-                    defined_so_far.insert(dest, idx);
                 }
             }
         }

@@ -17,7 +17,11 @@
 //!   starting at the procedure entry or at the block following a call,
 //! * [`ddg::Ddg`] — latency-labelled data dependence graphs for straight-line
 //!   code and for loop bodies (including loop-carried edges), plus the graph
-//!   utilities (SCCs, longest paths) the loop analysis of §4.3 relies on.
+//!   utilities (SCCs, longest paths) the loop analysis of §4.3 relies on,
+//! * [`dataflow`] — a generic iterative (worklist) dataflow framework over
+//!   the CFG, with liveness, reaching-definitions, definite-assignment and
+//!   upward-exposed-operand analyses as reusable instances. The DDG's
+//!   def-use chains are built on the same machinery.
 //!
 //! # Example
 //!
@@ -51,6 +55,7 @@
 //! ```
 
 pub mod cfg;
+pub mod dataflow;
 pub mod ddg;
 pub mod dominators;
 pub mod graph;
@@ -58,6 +63,10 @@ pub mod loops;
 pub mod regions;
 
 pub use cfg::Cfg;
+pub use dataflow::{
+    BlockLocals, DataflowAnalysis, DataflowSolution, DefiniteAssignment, Direction, Liveness,
+    ReachingDefs, RegSet,
+};
 pub use ddg::{Ddg, DdgEdge, DdgEdgeKind};
 pub use dominators::Dominators;
 pub use loops::{LoopNest, NaturalLoop};

@@ -44,13 +44,14 @@
 //! *which* worker computed a cell (speculative twin or original), and
 //! in what order, cannot influence a single byte of the result.
 
+use crate::lock_or_recover;
 use sdiq_core::{
     ArtifactCache, BackendError, CellSink, Matrix, RemoteSpec, ResultStore, RunReport, Stored,
     Sweep,
 };
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, PoisonError};
 
 /// A connected worker, as one driver thread sees it.
 pub trait WorkerLink: Send {
@@ -167,15 +168,12 @@ impl State {
     }
 
     fn fatal_is_set(&self) -> bool {
-        self.work.lock().expect("scheduler poisoned").fatal
+        lock_or_recover(&self.work).fatal
     }
 
     fn set_fatal(&self, message: String) {
-        self.fatal
-            .lock()
-            .expect("scheduler poisoned")
-            .get_or_insert(message);
-        let mut work = self.work.lock().expect("scheduler poisoned");
+        lock_or_recover(&self.fatal).get_or_insert(message);
+        let mut work = lock_or_recover(&self.work);
         work.fatal = true;
         // Parked claimers must wake to observe the abort; signalling
         // under the work lock closes the check-then-wait window.
@@ -191,7 +189,7 @@ impl State {
     /// batch only when the run is over for this driver: nothing pending,
     /// nothing in flight anywhere — or the run turned fatal.
     fn claim(&self, capacity: usize) -> (Vec<String>, bool) {
-        let mut work = self.work.lock().expect("scheduler poisoned");
+        let mut work = lock_or_recover(&self.work);
         loop {
             if work.fatal {
                 return (Vec::new(), false);
@@ -217,12 +215,18 @@ impl State {
                     .collect();
                 if !stragglers.is_empty() {
                     for key in &stragglers {
-                        *work.in_flight.get_mut(key).expect("just listed") += 1;
+                        match work.in_flight.get_mut(key) {
+                            Some(copies) => *copies += 1,
+                            None => unreachable!("straggler `{key}` was just listed in flight"),
+                        }
                     }
                     return (stragglers, true);
                 }
             }
-            work = self.work_changed.wait(work).expect("scheduler poisoned");
+            work = self
+                .work_changed
+                .wait(work)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
@@ -232,7 +236,7 @@ impl State {
     /// [`State::claim`] (entered only with an empty pipeline) is what
     /// preserves the pre-pipelining park/speculate semantics.
     fn try_claim(&self, capacity: usize) -> Vec<String> {
-        let mut work = self.work.lock().expect("scheduler poisoned");
+        let mut work = lock_or_recover(&self.work);
         if work.fatal || work.queue.is_empty() {
             return Vec::new();
         }
@@ -245,10 +249,7 @@ impl State {
     }
 
     fn is_completed(&self, key: &str) -> bool {
-        self.completed
-            .lock()
-            .expect("scheduler poisoned")
-            .contains(key)
+        lock_or_recover(&self.completed).contains(key)
     }
 
     /// Records one result: first result wins; a losing twin is checked
@@ -256,7 +257,7 @@ impl State {
     /// basis for speculation being benign). The check is the store's
     /// O(1) fingerprint compare, not a field-by-field report diff.
     fn record(&self, key: &str, report: &RunReport) -> Recorded {
-        let mut completed = self.completed.lock().expect("scheduler poisoned");
+        let mut completed = lock_or_recover(&self.completed);
         match completed.insert(key, report) {
             Stored::New => Recorded::New,
             Stored::DuplicateIdentical => Recorded::DuplicateIdentical,
@@ -268,7 +269,7 @@ impl State {
     /// a stale twin still computing it no longer owes anything), waking
     /// parked claimers if the run just resolved.
     fn release(&self, key: &str) {
-        let mut work = self.work.lock().expect("scheduler poisoned");
+        let mut work = lock_or_recover(&self.work);
         work.in_flight.remove(key);
         if work.in_flight.is_empty() {
             // The last in-flight cell resolved: parked claimers can now
@@ -284,21 +285,13 @@ impl State {
     /// twin already completed (or still holds a live copy of) are
     /// released without a charge — the death cost nothing.
     fn requeue(&self, addr: &str, owed: Vec<String>, retry_budget: usize, why: &str) {
-        self.failures
-            .lock()
-            .expect("scheduler poisoned")
-            .push(format!("worker {addr}: {why}"));
-        let mut retries = self.retries.lock().expect("scheduler poisoned");
-        let mut work = self.work.lock().expect("scheduler poisoned");
+        lock_or_recover(&self.failures).push(format!("worker {addr}: {why}"));
+        let mut retries = lock_or_recover(&self.retries);
+        let mut work = lock_or_recover(&self.work);
         let mut requeued = 0usize;
         let mut covered = 0usize;
         for key in owed {
-            if self
-                .completed
-                .lock()
-                .expect("scheduler poisoned")
-                .contains(&key)
-            {
+            if lock_or_recover(&self.completed).contains(&key) {
                 // A twin's result already landed; the ledger entry was
                 // released then. Nothing is owed.
                 covered += 1;
@@ -397,15 +390,25 @@ pub fn run_with_sources(
         }
     });
 
-    if let Some(fatal) = state.fatal.into_inner().expect("scheduler poisoned") {
+    if let Some(fatal) = state
+        .fatal
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner)
+    {
         return Err(BackendError::new(fatal));
     }
-    let completed = state.completed.into_inner().expect("scheduler poisoned");
+    let completed = state
+        .completed
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner);
     let mut merged = seed.clone();
     merged.extend(completed.into_cells());
     let missing = matrix.missing_cells(&merged);
     if missing > 0 {
-        let failures = state.failures.into_inner().expect("scheduler poisoned");
+        let failures = state
+            .failures
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner);
         let detail = if failures.is_empty() {
             "no worker reported an error".to_string()
         } else {
@@ -451,10 +454,7 @@ fn drive_worker(
             Err(error) => {
                 // Nothing was claimed yet, so nothing re-queues; the worker
                 // simply never joins the pool.
-                state
-                    .failures
-                    .lock()
-                    .expect("scheduler poisoned")
+                lock_or_recover(&state.failures)
                     .push(format!("worker {addr}: dial failed: {error}"));
                 eprintln!("remote: worker {addr}: dial failed: {error}");
                 return;
@@ -596,10 +596,7 @@ fn drive_worker(
                     // More Dones than submitted batches: protocol noise we
                     // cannot account for — abandon the worker (it owes
                     // nothing, so nothing re-queues).
-                    state
-                        .failures
-                        .lock()
-                        .expect("scheduler poisoned")
+                    lock_or_recover(&state.failures)
                         .push(format!("worker {addr}: unsolicited Done frame"));
                     eprintln!("remote: worker {addr} sent an unsolicited Done; abandoning it");
                     return;

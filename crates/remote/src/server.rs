@@ -24,12 +24,13 @@
 
 use crate::auth;
 use crate::frame::{self, Codec};
+use crate::lock_or_recover;
 use crate::protocol::{Message, CODEC_BIN1};
 use sdiq_core::{matrix_fingerprint, ArtifactCache, CellSink, MatrixSpec, RunReport};
 use std::io::{self, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, PoisonError};
 use std::time::Duration;
 
 /// Configuration of one worker daemon.
@@ -338,7 +339,7 @@ fn handle_connection(
                 // reads auto-detect, so no ack is needed and TCP
                 // ordering guarantees it sees the switch after its own
                 // request.
-                writer.lock().expect("writer poisoned").codec = Codec::Binary;
+                lock_or_recover(&writer).codec = Codec::Binary;
             }
             Message::SetCodec { codec } => {
                 write_locked(
@@ -431,11 +432,11 @@ fn run_batch(
     let computed = std::thread::scope(|scope| {
         let heartbeats = scope.spawn(|| {
             let (stop, interrupt) = &stop_heartbeats;
-            let mut stopped = stop.lock().expect("heartbeat stop flag poisoned");
+            let mut stopped = lock_or_recover(stop);
             loop {
                 let (guard, wait) = interrupt
                     .wait_timeout(stopped, HEARTBEAT_INTERVAL)
-                    .expect("heartbeat stop flag poisoned");
+                    .unwrap_or_else(PoisonError::into_inner);
                 stopped = guard;
                 if *stopped {
                     return;
@@ -452,16 +453,19 @@ fn run_batch(
             }
         });
         let computed = matrix.run_cells_by_key(cache, &requested, Some(&sink));
-        *stop_heartbeats
-            .0
-            .lock()
-            .expect("heartbeat stop flag poisoned") = true;
+        *lock_or_recover(&stop_heartbeats.0) = true;
         stop_heartbeats.1.notify_all();
-        heartbeats.join().expect("heartbeat thread never panics");
+        if heartbeats.join().is_err() {
+            unreachable!("the heartbeat thread has no panic path of its own");
+        }
         computed
     });
 
-    if let Some(error) = sink.failed.into_inner().expect("sink poisoned") {
+    if let Some(error) = sink
+        .failed
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner)
+    {
         return Err(error); // coordinator vanished mid-stream
     }
     match computed {
@@ -476,7 +480,7 @@ fn run_batch(
 }
 
 fn write_locked(writer: &Mutex<Conn>, message: &Message) -> io::Result<()> {
-    let mut conn = writer.lock().expect("writer poisoned");
+    let mut conn = lock_or_recover(writer);
     let codec = conn.codec;
     frame::write_message_codec(&mut conn.stream, message, codec)
 }
@@ -501,12 +505,12 @@ struct StreamSink<'a> {
 
 impl StreamSink<'_> {
     fn write(&self, message: &Message) -> io::Result<()> {
-        if let Some(error) = &*self.failed.lock().expect("sink poisoned") {
+        if let Some(error) = &*lock_or_recover(&self.failed) {
             return Err(io::Error::new(error.kind(), error.to_string()));
         }
         let result = write_locked(self.writer, message);
         if let Err(error) = &result {
-            let mut failed = self.failed.lock().expect("sink poisoned");
+            let mut failed = lock_or_recover(&self.failed);
             failed.get_or_insert(io::Error::new(error.kind(), error.to_string()));
         }
         result

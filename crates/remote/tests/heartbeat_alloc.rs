@@ -11,6 +11,10 @@
 //! round trip absorbs lazy one-time costs; after that, many round trips
 //! must leave the current thread's count untouched.
 
+// Integration tests are exempt from the workspace unwrap/expect denial
+// (the crate-root cfg_attr does not reach separately compiled test crates).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 use std::io;

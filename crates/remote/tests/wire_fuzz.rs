@@ -7,6 +7,10 @@
 //! fixed message set; these properties drive the same contract with
 //! randomly generated messages, random corruption, and raw byte soup.
 
+// Integration tests are exempt from the workspace unwrap/expect denial
+// (the crate-root cfg_attr does not reach separately compiled test crates).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 use sdiq_remote::binary::{decode_message, encode_message};
 use sdiq_remote::protocol::Message;

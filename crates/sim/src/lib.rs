@@ -70,6 +70,6 @@ pub mod stats;
 
 pub use config::{BranchPredictorConfig, CacheConfig, IssueQueueConfig, RegFileConfig, SimConfig};
 pub use pipeline::{SimError, SimResult, Simulator};
-pub use plan::{ExecPlan, PlanSimulator};
+pub use plan::{ExecPlan, InstRecord, PlanSimulator};
 pub use resize::{AdaptiveConfig, AdaptiveController, ResizePolicy};
 pub use stats::ActivityStats;

@@ -46,8 +46,9 @@ use crate::resize::{AdaptiveController, AdaptiveObservation, ResizePolicy};
 use crate::stats::ActivityStats;
 use sdiq_isa::{ArchReg, FuClass, Program, RegClass, Trace};
 
-/// Per-instruction static flags (bit positions in [`ExecPlan::flags`]).
-mod flag {
+/// Per-instruction static flags (bit positions in [`InstRecord::flags`]).
+/// Public so `sdiq-verify`'s plan lint can decode records.
+pub mod flag {
     /// The instruction is a special NOOP, stripped at the final decode
     /// stage.
     pub const IS_HINT: u16 = 1 << 0;
@@ -95,22 +96,24 @@ pub struct ExecPlan {
 }
 
 /// One instruction's fully decoded static side, packed to 12 bytes so the
-/// hot stages stream one cache-friendly array.
-#[derive(Debug, Clone, Copy)]
-struct InstRecord {
+/// hot stages stream one cache-friendly array. Fields are public (read-only
+/// in practice — the plan hands out `&[InstRecord]`) so `sdiq-verify`'s
+/// plan lint can round-trip every record against its source instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstRecord {
     /// Static flags (see [`flag`]).
-    flags: u16,
+    pub flags: u16,
     /// Dense destination architectural register ([`NO_REG`] = none).
-    dest: u16,
+    pub dest: u16,
     /// Dense source architectural registers ([`NO_REG`] = absent).
-    srcs: [u16; 2],
+    pub srcs: [u16; 2],
     /// Functional-unit class.
-    fu: FuClass,
+    pub fu: FuClass,
     /// Fixed execution latency (`opcode.latency().max(1)`); loads/stores
     /// take theirs from the cache hierarchy.
-    latency: u8,
+    pub latency: u8,
     /// `iq_hint` value (meaningful when [`flag::HAS_HINT`]).
-    hint: u8,
+    pub hint: u8,
 }
 
 impl ExecPlan {
@@ -290,18 +293,47 @@ impl ExecPlan {
     pub fn workload(&self) -> &str {
         &self.workload
     }
+
+    /// The packed per-instruction records, in trace order.
+    pub fn records(&self) -> &[InstRecord] {
+        &self.insts
+    }
+
+    /// The per-instruction memory addresses (the simulator's default
+    /// already applied for non-memory opcodes), in trace order.
+    pub fn mem_addrs(&self) -> &[u64] {
+        &self.mem_addr
+    }
+
+    /// Fetch addresses of the L1i-missing accesses, in program order.
+    pub fn imiss_addrs(&self) -> &[u64] {
+        &self.imiss_addrs
+    }
+
+    /// The statically pre-totalled activity counters.
+    pub fn baked_stats(&self) -> &ActivityStats {
+        &self.baked
+    }
+
+    /// Mutable access to the packed records, for seeded-defect tests that
+    /// deliberately corrupt a plan. Not part of the stable API.
+    #[doc(hidden)]
+    pub fn records_mut(&mut self) -> &mut [InstRecord] {
+        &mut self.insts
+    }
 }
 
 /// "No register" sentinel for the dense register encoding.
-const NO_REG: u16 = u16::MAX;
+pub const NO_REG: u16 = u16::MAX;
 
 /// Dense encoding of a register: `index << 1 | class` (Int = 0, Fp = 1).
 /// The same scheme covers architectural registers (in the plan) and
 /// physical registers (in [`InFlight`] and the consumer index) — both fit
 /// one `u16`, and the class is recoverable from bit 0 without touching a
-/// [`PhysReg`] / [`ArchReg`] struct.
+/// [`PhysReg`] / [`ArchReg`] struct. Public so the plan lint recomputes
+/// the expected encoding independently.
 #[inline]
-fn dense_arch(arch: ArchReg) -> u16 {
+pub fn dense_arch(arch: ArchReg) -> u16 {
     let class_bit = match arch.class() {
         RegClass::Int => 0,
         RegClass::Fp => 1,

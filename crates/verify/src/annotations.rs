@@ -1,0 +1,218 @@
+//! Annotation legality and the advertised-window soundness envelope.
+//!
+//! Legality (`ANN*`): every advertised window lies in `[floor, capacity]`,
+//! and the Tagging/NoopInsertion precedence rule — the loop pre-header's
+//! value is the *last* hint decoded in its block, so it is the one in force
+//! when the loop is entered — holds as a machine-checkable invariant.
+//! (`ANN002`, hint placement reachable by decode, is checked structurally
+//! in [`crate::structural`] since it is a per-block property.)
+//!
+//! Soundness (`ENV*`): the paper's claim is that every advertised window is
+//! a monotone over-approximation of the region's issue-queue demand — large
+//! enough that issuing under it can never lengthen the critical path (the
+//! Graham-anomaly envelope of §4). Rather than trusting the compiler pass,
+//! the checker *recomputes* the demand of every DAG block and loop from the
+//! annotated program (hint NOOPs are transparent to both analyses and tags
+//! carry no dataflow) and requires `advertised ≥ min(demand, capacity)`.
+//! Adjustments such as the inter-procedural widening only ever raise
+//! windows, so the inequality must survive every pass.
+
+use crate::diag::{codes, Diagnostic};
+use sdiq_compiler::annotate::Annotations;
+use sdiq_compiler::{analyse_block, analyse_loop_body, CompiledProgram, PassConfig};
+use sdiq_ir::ProcedureAnalysis;
+use sdiq_isa::{BlockRef, Instruction, ProcId, Program};
+use std::collections::HashMap;
+
+/// Mirrors the annotation encoder (`annotate::encode_entries`).
+fn encode_entries(entries: u32) -> u8 {
+    entries.clamp(1, 255) as u8
+}
+
+fn block_loc(program: &Program, block_ref: &BlockRef) -> String {
+    format!(
+        "proc `{}` block b{}",
+        program.proc(block_ref.proc).name,
+        block_ref.block.0
+    )
+}
+
+/// `ANN001`: every advertised window lies in `[floor, capacity]`.
+pub fn check_window_ranges(
+    program: &Program,
+    annotations: &Annotations,
+    config: &PassConfig,
+) -> Vec<Diagnostic> {
+    let cap = config.widths.iq_capacity as u32;
+    let floor = config.min_advertised_entries.min(cap);
+    let mut diags = Vec::new();
+    let maps = [
+        ("block window", &annotations.block_entries),
+        (
+            "loop pre-header window",
+            &annotations.loop_preheader_entries,
+        ),
+    ];
+    for (what, map) in maps {
+        for (block_ref, &value) in map {
+            if value < floor || value > cap {
+                diags.push(Diagnostic::error(
+                    codes::ANN001,
+                    block_loc(program, block_ref),
+                    format!("{what} advertises {value} entries, outside [{floor}, {cap}]"),
+                ));
+            }
+        }
+    }
+    diags
+}
+
+/// `ANN003`: in every block carrying a loop pre-header window, that value
+/// must be the last hint decoded (blocks ending in a library call are
+/// exempt — the §4.4 maximum-size hint legitimately takes precedence
+/// there).
+pub fn check_loop_precedence(program: &Program, annotations: &Annotations) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for (block_ref, &value) in &annotations.loop_preheader_entries {
+        if annotations.max_before_call.contains(block_ref) {
+            continue;
+        }
+        let block = program.proc(block_ref.proc).block(block_ref.block);
+        let expected = encode_entries(value);
+        match block.instructions.iter().rev().find_map(|i| i.iq_hint) {
+            Some(last) if last == expected => {}
+            Some(last) => diags.push(Diagnostic::error(
+                codes::ANN003,
+                block_loc(program, block_ref),
+                format!(
+                    "loop pre-header window {expected} is not decoded last (last hint is {last}): the loop would run under the wrong window"
+                ),
+            )),
+            None => diags.push(Diagnostic::error(
+                codes::ANN003,
+                block_loc(program, block_ref),
+                format!("loop pre-header window {expected} was never emitted in this block"),
+            )),
+        }
+    }
+    diags
+}
+
+/// Annotation legality over a compile result (`ANN001` + `ANN003`).
+pub fn verify_annotations(compiled: &CompiledProgram) -> Vec<Diagnostic> {
+    let mut diags = check_window_ranges(&compiled.program, &compiled.annotations, &compiled.config);
+    diags.extend(check_loop_precedence(
+        &compiled.program,
+        &compiled.annotations,
+    ));
+    diags
+}
+
+/// The soundness envelope (`ENV001` + `ENV002`): recompute every region's
+/// demand from the annotated program and require the advertised window to
+/// cover it.
+pub fn verify_envelope(compiled: &CompiledProgram) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let cap = compiled.config.widths.iq_capacity as u32;
+    let width = compiled.config.widths.pipeline_width;
+    let program = &compiled.program;
+
+    // ENV001: DAG blocks. `analyse_block` filters hint NOOPs, so running it
+    // over the annotated block recomputes exactly the original demand.
+    for block_ref in compiled.block_requirements.keys() {
+        let block = program.proc(block_ref.proc).block(block_ref.block);
+        let recomputed = analyse_block(&block.instructions, width, &compiled.config.fu_counts);
+        let required = recomputed.entries.min(cap);
+        match compiled.annotations.block_entries.get(block_ref) {
+            Some(&advertised) if advertised >= required => {}
+            Some(&advertised) => diags.push(Diagnostic::error(
+                codes::ENV001,
+                block_loc(program, block_ref),
+                format!(
+                    "advertised window {advertised} is below the recomputed demand {required}: the over-approximation envelope is violated"
+                ),
+            )),
+            None => diags.push(Diagnostic::error(
+                codes::ENV001,
+                block_loc(program, block_ref),
+                "analysed DAG block has no advertised window",
+            )),
+        }
+    }
+
+    // ENV002: loops. Re-analyse each procedure once (the emitted hints do
+    // not add blocks or edges, so the loop forest is unchanged).
+    let mut analyses: HashMap<ProcId, ProcedureAnalysis> = HashMap::new();
+    for info in &compiled.loop_requirements {
+        let proc = program.proc(info.proc);
+        let analysis = analyses
+            .entry(info.proc)
+            .or_insert_with(|| ProcedureAnalysis::analyse(proc));
+        let header_ref = BlockRef {
+            proc: info.proc,
+            block: info.header,
+        };
+        let Some(loop_idx) = analysis
+            .loops
+            .loops()
+            .iter()
+            .position(|l| l.header == info.header)
+        else {
+            diags.push(Diagnostic::error(
+                codes::ENV002,
+                block_loc(program, &header_ref),
+                "analysed loop no longer exists in the annotated program",
+            ));
+            continue;
+        };
+        let mut blocks: Vec<_> = analysis
+            .loops
+            .exclusive_blocks(loop_idx)
+            .into_iter()
+            .collect();
+        blocks.sort_by_key(|b| analysis.cfg.rpo_index(*b).unwrap_or(usize::MAX));
+        let body: Vec<Instruction> = blocks
+            .iter()
+            .flat_map(|b| proc.block(*b).instructions.iter().cloned())
+            .collect();
+        let recomputed = analyse_loop_body(&body, cap);
+        let required = recomputed.entries.unwrap_or(cap).min(cap);
+
+        // Every advertised window that can be in force when the loop is
+        // entered must cover the demand: all out-of-loop pre-headers, or
+        // the header-block fallback.
+        let natural_loop = &analysis.loops.loops()[loop_idx];
+        let mut advertised: Vec<u32> = Vec::new();
+        for &pred in analysis.cfg.preds(info.header) {
+            if !natural_loop.body.contains(&pred) {
+                if let Some(&v) = compiled.annotations.loop_preheader_entries.get(&BlockRef {
+                    proc: info.proc,
+                    block: pred,
+                }) {
+                    advertised.push(v);
+                }
+            }
+        }
+        if advertised.is_empty() {
+            if let Some(&v) = compiled.annotations.block_entries.get(&header_ref) {
+                advertised.push(v);
+            }
+        }
+        match advertised.iter().copied().min() {
+            Some(min_advertised) if min_advertised >= required => {}
+            Some(min_advertised) => diags.push(Diagnostic::error(
+                codes::ENV002,
+                block_loc(program, &header_ref),
+                format!(
+                    "loop window {min_advertised} is below the recomputed demand {required}: the over-approximation envelope is violated"
+                ),
+            )),
+            None => diags.push(Diagnostic::error(
+                codes::ENV002,
+                block_loc(program, &header_ref),
+                "loop has no advertised window in any pre-header",
+            )),
+        }
+    }
+    diags
+}

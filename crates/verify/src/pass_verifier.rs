@@ -1,0 +1,55 @@
+//! The [`PassVerifier`] implementation wired between compiler passes.
+//!
+//! [`StandardVerifier`] dispatches on the pass name registered in
+//! [`sdiq_compiler::PassManager::standard`]:
+//!
+//! * after `analyse-procedures` — full structural verification of the
+//!   input program,
+//! * after each window-producing pass — advertised-window range legality
+//!   over the annotations accumulated so far,
+//! * after `emit` — structural verification of the *output* program plus
+//!   the loop-precedence rule over the emitted hints.
+//!
+//! Only error-severity findings abort the pipeline; warnings (`REG001`)
+//! are advisory and never fail a compile.
+//!
+//! The envelope (`ENV*`) and plan (`PLAN*`) checks need the finished
+//! [`CompiledProgram`] / `ExecPlan` and therefore run after the pipeline —
+//! see [`crate::verify_compiled`] and [`crate::lint_plan`].
+
+use crate::annotations::{check_loop_precedence, check_window_ranges};
+use crate::diag::{Diagnostic, Severity};
+use crate::structural::verify_program;
+use sdiq_compiler::{PassDiagnostic, PassState, PassVerifier};
+
+/// The standard inter-pass verifier. Stateless; one instance can serve any
+/// number of compiles.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StandardVerifier;
+
+impl PassVerifier for StandardVerifier {
+    fn verify_after(&self, pass: &str, state: &PassState<'_>) -> Vec<PassDiagnostic> {
+        let mut diags: Vec<Diagnostic> = Vec::new();
+        match pass {
+            "analyse-procedures" => diags.extend(verify_program(state.program)),
+            "loop-windows" | "dag-windows" | "call-windows" | "interprocedural-fu" => diags.extend(
+                check_window_ranges(state.program, &state.annotations, &state.config),
+            ),
+            "emit" => {
+                if let Some(output) = &state.output {
+                    diags.extend(verify_program(output));
+                    diags.extend(check_loop_precedence(output, &state.annotations));
+                }
+            }
+            _ => {}
+        }
+        diags
+            .into_iter()
+            .filter(|d| d.severity == Severity::Error)
+            .map(|d| PassDiagnostic {
+                code: d.code.to_string(),
+                message: format!("{}: {}", d.location, d.message),
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,301 @@
+//! Layer 1: structural verification of a [`Program`].
+//!
+//! Checks, per procedure:
+//!
+//! * reference well-formedness — every branch target, fall-through, call
+//!   target and entry points at an existing block/procedure (`CFG001`),
+//! * block shape — control transfers only at block ends (`CFG002`), every
+//!   block either returns or has a successor (`CFG003`),
+//! * CFG consistency — the built [`Cfg`]'s successor/predecessor lists are
+//!   symmetric and agree with the blocks' terminators (`CFG004`),
+//! * dominator-tree consistency — [`Dominators`] is cross-checked against
+//!   an independent, reachability-based recomputation: `a` dominates `b`
+//!   iff `b` becomes unreachable when paths may not pass through `a`
+//!   (`DOM001`),
+//! * loop-forest consistency — every natural loop has a back edge and its
+//!   header dominates the whole body (`LOOP001`),
+//! * instruction encoding — per-instruction operand-shape validation
+//!   (`ISA001`) and hint-value range (`ISA002`),
+//! * def-before-use — registers read on some path before any definition
+//!   are reported as warnings (`REG001`); the executor zero-initialises
+//!   the register file and procedures legitimately read incoming argument
+//!   registers, so this is advisory, not an error.
+
+use crate::diag::{codes, Diagnostic};
+use sdiq_ir::{Cfg, DefiniteAssignment, Dominators, LoopNest};
+use sdiq_isa::{BlockId, Procedure, Program};
+use std::collections::HashSet;
+
+/// Runs every structural check over `program`.
+pub fn verify_program(program: &Program) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    if program.entry.0 >= program.procedures.len() {
+        diags.push(Diagnostic::error(
+            codes::CFG001,
+            format!("program `{}`", program.name),
+            format!(
+                "entry procedure #{} does not exist ({} procedures)",
+                program.entry.0,
+                program.procedures.len()
+            ),
+        ));
+        return diags;
+    }
+    for (pid, proc) in program.iter_procs() {
+        let _ = pid;
+        verify_procedure(program, proc, &mut diags);
+    }
+    diags
+}
+
+fn loc(proc: &Procedure, block: BlockId) -> String {
+    format!("proc `{}` block b{}", proc.name, block.0)
+}
+
+fn verify_procedure(program: &Program, proc: &Procedure, diags: &mut Vec<Diagnostic>) {
+    let num_blocks = proc.blocks.len();
+    if proc.entry.0 >= num_blocks {
+        diags.push(Diagnostic::error(
+            codes::CFG001,
+            format!("proc `{}`", proc.name),
+            format!(
+                "entry block b{} does not exist ({num_blocks} blocks)",
+                proc.entry.0
+            ),
+        ));
+        return;
+    }
+
+    let mut dangling = false;
+    for (bid, block) in proc.iter_blocks() {
+        // References out of the block / procedure space.
+        if let Some(ft) = block.fallthrough {
+            if ft.0 >= num_blocks {
+                dangling = true;
+                diags.push(Diagnostic::error(
+                    codes::CFG001,
+                    loc(proc, bid),
+                    format!("fall-through edge to non-existent block b{}", ft.0),
+                ));
+            }
+        }
+        let mut first_control: Option<usize> = None;
+        for (idx, inst) in block.instructions.iter().enumerate() {
+            if let Err(problem) = inst.validate() {
+                diags.push(Diagnostic::error(
+                    codes::ISA001,
+                    format!("{} inst {idx}", loc(proc, bid)),
+                    problem,
+                ));
+            }
+            if inst.iq_hint == Some(0) {
+                diags.push(Diagnostic::error(
+                    codes::ISA002,
+                    format!("{} inst {idx}", loc(proc, bid)),
+                    "resize hint advertises 0 issue-queue entries (encoder range is 1..=255)",
+                ));
+            }
+            if let Some(target) = inst.branch_target {
+                if target.0 >= num_blocks {
+                    dangling = true;
+                    diags.push(Diagnostic::error(
+                        codes::CFG001,
+                        format!("{} inst {idx}", loc(proc, bid)),
+                        format!("branch to non-existent block b{}", target.0),
+                    ));
+                }
+            }
+            if let Some(callee) = inst.call_target {
+                if callee.0 >= program.procedures.len() {
+                    dangling = true;
+                    diags.push(Diagnostic::error(
+                        codes::CFG001,
+                        format!("{} inst {idx}", loc(proc, bid)),
+                        format!("call to non-existent procedure #{}", callee.0),
+                    ));
+                }
+            }
+            match first_control {
+                None => {
+                    if inst.opcode.is_control() {
+                        first_control = Some(idx);
+                    }
+                }
+                Some(c) => {
+                    if inst.is_hint_noop() {
+                        diags.push(Diagnostic::error(
+                            codes::ANN002,
+                            format!("{} inst {idx}", loc(proc, bid)),
+                            format!(
+                                "hint NOOP after the control transfer at inst {c}: decode never reaches it"
+                            ),
+                        ));
+                    } else {
+                        diags.push(Diagnostic::error(
+                            codes::CFG002,
+                            format!("{} inst {idx}", loc(proc, bid)),
+                            format!("instruction after the control transfer at inst {c}"),
+                        ));
+                    }
+                }
+            }
+        }
+        if block.successors().iter().all(|s| s.0 < num_blocks)
+            && block.successors().is_empty()
+            && !block.is_exit()
+        {
+            diags.push(Diagnostic::error(
+                codes::CFG003,
+                loc(proc, bid),
+                "block neither returns nor has a successor: control falls off the procedure",
+            ));
+        }
+    }
+    if dangling {
+        // The CFG builder indexes blocks by the edges checked above; with a
+        // dangling reference the graph-level checks would just panic.
+        return;
+    }
+
+    let cfg = Cfg::build(proc);
+    verify_cfg_consistency(proc, &cfg, diags);
+    let dominators = Dominators::compute(&cfg);
+    verify_dominators(proc, &cfg, &dominators, diags);
+    let loops = LoopNest::find(&cfg, &dominators);
+    verify_loops(proc, &cfg, &dominators, &loops, diags);
+
+    let assignment = DefiniteAssignment::compute(proc, &cfg);
+    for (bid, idx, reg) in assignment.possibly_undefined_uses(proc, &cfg) {
+        diags.push(Diagnostic::warning(
+            codes::REG001,
+            format!("{} inst {idx}", loc(proc, bid)),
+            format!("{reg:?} may be read before any definition in this procedure"),
+        ));
+    }
+}
+
+/// `CFG004`: the built CFG must be edge-symmetric and agree with the
+/// blocks' terminators.
+fn verify_cfg_consistency(proc: &Procedure, cfg: &Cfg, diags: &mut Vec<Diagnostic>) {
+    for (bid, block) in proc.iter_blocks() {
+        let from_blocks: HashSet<BlockId> = block.successors().into_iter().collect();
+        let from_cfg: HashSet<BlockId> = cfg.succs(bid).iter().copied().collect();
+        if from_blocks != from_cfg {
+            diags.push(Diagnostic::error(
+                codes::CFG004,
+                loc(proc, bid),
+                format!(
+                    "CFG successors {:?} disagree with the terminator's successors {:?}",
+                    sorted(&from_cfg),
+                    sorted(&from_blocks)
+                ),
+            ));
+        }
+        for &s in cfg.succs(bid) {
+            if !cfg.preds(s).contains(&bid) {
+                diags.push(Diagnostic::error(
+                    codes::CFG004,
+                    loc(proc, bid),
+                    format!("edge to b{} has no matching predecessor entry", s.0),
+                ));
+            }
+        }
+        for &p in cfg.preds(bid) {
+            if !cfg.succs(p).contains(&bid) {
+                diags.push(Diagnostic::error(
+                    codes::CFG004,
+                    loc(proc, bid),
+                    format!("predecessor b{} has no matching successor entry", p.0),
+                ));
+            }
+        }
+    }
+}
+
+fn sorted(set: &HashSet<BlockId>) -> Vec<usize> {
+    let mut v: Vec<usize> = set.iter().map(|b| b.0).collect();
+    v.sort_unstable();
+    v
+}
+
+/// `DOM001`: cross-check the dominator tree against a genuinely independent
+/// recomputation. `a` dominates `b` exactly when removing `a` from the
+/// graph makes `b` unreachable from the entry — a property of plain
+/// reachability, sharing no code with the iterative dominator algorithm.
+fn verify_dominators(
+    proc: &Procedure,
+    cfg: &Cfg,
+    dominators: &Dominators,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let entry = cfg.entry();
+    let reachable: Vec<BlockId> = proc
+        .iter_blocks()
+        .map(|(bid, _)| bid)
+        .filter(|&b| cfg.is_reachable(b))
+        .collect();
+    for &a in &reachable {
+        let barrier: HashSet<BlockId> = std::iter::once(a).collect();
+        let survives = cfg.reachable_avoiding(entry, &barrier);
+        for &b in &reachable {
+            if a == b {
+                continue;
+            }
+            let brute = a == entry || !survives.contains(&b);
+            let reported = dominators.dominates(a, b);
+            if brute != reported {
+                diags.push(Diagnostic::error(
+                    codes::DOM001,
+                    loc(proc, b),
+                    format!(
+                        "dominator tree says b{} {} b{}, reachability says the opposite",
+                        a.0,
+                        if reported {
+                            "dominates"
+                        } else {
+                            "does not dominate"
+                        },
+                        b.0
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// `LOOP001`: every natural loop must have a back edge into its header and
+/// the header must dominate the whole body.
+fn verify_loops(
+    proc: &Procedure,
+    cfg: &Cfg,
+    dominators: &Dominators,
+    loops: &LoopNest,
+    diags: &mut Vec<Diagnostic>,
+) {
+    for natural_loop in loops.loops() {
+        let header = natural_loop.header;
+        let has_back_edge = natural_loop
+            .body
+            .iter()
+            .any(|&n| cfg.succs(n).contains(&header));
+        if !has_back_edge {
+            diags.push(Diagnostic::error(
+                codes::LOOP001,
+                loc(proc, header),
+                "loop has no back edge into its header",
+            ));
+        }
+        for &b in &natural_loop.body {
+            if !dominators.dominates(header, b) {
+                diags.push(Diagnostic::error(
+                    codes::LOOP001,
+                    loc(proc, b),
+                    format!(
+                        "loop header b{} does not dominate body block b{}",
+                        header.0, b.0
+                    ),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Property: every workload the generators can produce, at every scale,
+//! verifies clean through every registered compiler pass — and the
+//! finished artifacts (compiled program, execution plan) pass the full
+//! static suite with zero error-severity findings.
+//!
+//! This is the acceptance half of the verifier contract; the mutation
+//! corpus next door is the rejection half.
+
+use proptest::prelude::*;
+use sdiq_compiler::{CompilerPass, PassConfig};
+use sdiq_isa::Executor;
+use sdiq_sim::{ExecPlan, SimConfig};
+use sdiq_verify::{lint_plan, verify_compiled, verify_program, Severity, StandardVerifier};
+use sdiq_workloads::Benchmark;
+
+/// The three shipped pass configurations (NOOP insertion, tagging, and
+/// tagging with the inter-procedural FU widening).
+fn configs() -> [PassConfig; 3] {
+    [
+        PassConfig::noop_insertion(),
+        PassConfig::tagging(),
+        PassConfig::improved(),
+    ]
+}
+
+fn error_codes(diags: &[sdiq_verify::Diagnostic]) -> Vec<String> {
+    diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .map(|d| format!("{d}"))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_generated_workload_verifies_clean(
+        bench_idx in 0usize..Benchmark::ALL.len(),
+        scale in 0.01f64..0.2f64,
+    ) {
+        let benchmark = Benchmark::ALL[bench_idx];
+        let program = benchmark.build_scaled(scale);
+
+        // The source program is structurally sound (warnings allowed:
+        // REG001 is advisory by design).
+        let errors = error_codes(&verify_program(&program));
+        prop_assert!(
+            errors.is_empty(),
+            "{benchmark:?}@{scale:.3}: source program failed verification: {errors:?}"
+        );
+
+        for config in configs() {
+            // The inter-pass verifier must stay silent through the whole
+            // registered pipeline...
+            let compiled = match CompilerPass::new(config)
+                .run_verified(&program, Box::new(StandardVerifier))
+            {
+                Ok(compiled) => compiled,
+                Err(err) => {
+                    prop_assert!(
+                        false,
+                        "{benchmark:?}@{scale:.3}: inter-pass verification failed: {err}"
+                    );
+                    unreachable!()
+                }
+            };
+            // ...and the finished artifact must pass the full suite,
+            // including the Graham-anomaly envelope.
+            let errors = error_codes(&verify_compiled(&compiled));
+            prop_assert!(
+                errors.is_empty(),
+                "{benchmark:?}@{scale:.3}: compiled artifact failed verification: {errors:?}"
+            );
+        }
+    }
+}
+
+proptest! {
+    // Plan linting executes the workload, so fewer, smaller cases.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn every_generated_plan_lints_clean(
+        bench_idx in 0usize..Benchmark::ALL.len(),
+        scale in 0.01f64..0.06f64,
+    ) {
+        let benchmark = Benchmark::ALL[bench_idx];
+        let source = benchmark.build_scaled(scale);
+        for config in configs() {
+            let compiled = CompilerPass::new(config).run(&source);
+            let program = compiled.program;
+            let trace = match Executor::new(&program).run(20_000) {
+                Ok(trace) => trace,
+                Err(fault) => {
+                    prop_assert!(
+                        false,
+                        "{benchmark:?}@{scale:.3}: workload faulted: {fault:?}"
+                    );
+                    unreachable!()
+                }
+            };
+            let plan = ExecPlan::build(SimConfig::hpca2005(), &program, &trace);
+            let errors = error_codes(&lint_plan(&plan, &program, &trace));
+            prop_assert!(
+                errors.is_empty(),
+                "{benchmark:?}@{scale:.3}: plan failed lint: {errors:?}"
+            );
+        }
+    }
+}
