@@ -9,6 +9,7 @@
 //!       [--listen-workers <host:port> --expect <n>] [--retry-budget <n>]
 //!       [--connect-timeout <secs>] [--heartbeat-deadline <secs>] [--no-speculate]
 //!       [--wire binary|json] [--pipeline-window <n>] [--auth-key <key>]
+//!       [--trace <path>] [--progress] [--stats]
 //!       [--table1] [--table2] [--figure6] [--figure7] [--figure8]
 //!       [--figure9] [--figure10] [--figure11] [--figure12]
 //!       [--overall] [--summary] [--sweep-summary] [--all]
@@ -85,6 +86,23 @@
 //!   HMAC handshake on every connection — a peer with a wrong or
 //!   missing key gets a clean protocol error, never a hang.
 //!
+//! Observability (`sdiq-obs`, see the EXPERIMENTS.md span-and-metric
+//! taxonomy) — strictly out-of-band: none of these flags ever change a
+//! computed number or a persisted byte, only what gets reported:
+//!
+//! * `--trace <path>` records structured spans (cell runs, cache
+//!   builds/compiles, checkpoint appends, scheduler verdicts) and writes
+//!   a Chrome trace-event JSON on exit — load it in Perfetto or
+//!   `chrome://tracing`. In remote mode the workers' spans are shipped
+//!   back and merged, one `pid` lane per worker.
+//! * `--progress` streams a rate-limited `progress:` line to **stderr**
+//!   (cells done/total, throughput, ETA; in remote mode also per-worker
+//!   rates from the heartbeat metrics).
+//! * `--stats` prints the process metrics registry after the figures.
+//! * Both `--trace` and `--progress` are coordinator-side flags:
+//!   `repro serve` refuses them (exit 2) — daemons are observed *by*
+//!   their coordinator, which negotiates the `obs1` capability.
+//!
 //! Static verification (`sdiq-verify`, see EXPERIMENTS.md for the
 //! diagnostic-code table):
 //!
@@ -157,6 +175,11 @@ struct Options {
     /// `--no-verify`); `None` keeps the cache default (on in debug
     /// builds, off in release).
     verify: Option<bool>,
+    /// Chrome trace-event JSON output path (`--trace`); also turns span
+    /// recording on for the whole run.
+    trace: Option<String>,
+    /// Stream a rate-limited progress line to stderr (`--progress`).
+    progress: bool,
     selections: BTreeSet<String>,
 }
 
@@ -279,6 +302,8 @@ fn parse_args() -> Options {
                 }));
             }
             "--auth-key" => options.auth_key = Some(required_value(&mut args, "--auth-key")),
+            "--trace" => options.trace = Some(required_value(&mut args, "--trace")),
+            "--progress" => options.progress = true,
             "--verify" | "--no-verify" => {
                 let on = arg == "--verify";
                 if options.verify.is_some_and(|prev| prev != on) {
@@ -304,6 +329,7 @@ fn parse_args() -> Options {
                      [--listen-workers <host:port> --expect <n>] [--retry-budget <n>] \
                      [--connect-timeout <secs>] [--heartbeat-deadline <secs>] [--no-speculate] \
                      [--wire binary|json] [--pipeline-window <n>] [--auth-key <key>] \
+                     [--trace <path>] [--progress] [--stats] \
                      [--verify | --no-verify] \
                      [--table1] [--table2] [--figure6..12] \
                      [--overall] [--summary] [--sweep-summary] [--all]\n\
@@ -502,6 +528,13 @@ fn serve_main(args: impl Iterator<Item = String>) -> ! {
                 options.advertise_binary = parse_wire(&value);
             }
             "--auth-key" => options.auth_key = Some(required_value(&mut args, "--auth-key")),
+            "--trace" | "--progress" => {
+                eprintln!(
+                    "error: {arg} is a coordinator flag; a `repro serve` daemon is observed \
+                     by its coordinator (run the coordinator with {arg})"
+                );
+                std::process::exit(2);
+            }
             "--help" | "-h" => {
                 println!(
                     "repro serve [--listen <host:port> | --register <host:port>] [--jobs <n>] \
@@ -779,6 +812,38 @@ fn wants(options: &Options, what: &str) -> bool {
     options.selections.contains("all") || options.selections.contains(what)
 }
 
+/// The `--progress` cell sink: forwards every completed cell to the
+/// wrapped sink (the checkpoint writer, when one is open), then prints
+/// the rate-limited progress line — to **stderr**, so piped stdout
+/// (figures, saves) stays clean. In remote mode each line also carries
+/// the per-worker rates the fleet registry aggregated from heartbeat
+/// metrics.
+struct ProgressSink<'a> {
+    inner: Option<&'a dyn sdiq_core::CellSink>,
+    progress: sdiq_obs::Progress,
+    fleet: bool,
+}
+
+impl sdiq_core::CellSink for ProgressSink<'_> {
+    fn cell_complete(&self, key: &str, report: &sdiq_core::RunReport) {
+        if let Some(inner) = self.inner {
+            inner.cell_complete(key, report);
+        }
+        if let Some(mut line) = self.progress.record() {
+            if self.fleet {
+                for (addr, delta) in sdiq_remote::fleet::snapshot() {
+                    line.push_str(&format!(
+                        " | {addr}: {} done, {:.0} inst/s",
+                        delta.cells_done,
+                        delta.instructions_per_second()
+                    ));
+                }
+            }
+            eprintln!("{line}");
+        }
+    }
+}
+
 fn print_power_figure(title: &str, figure: &experiments::PowerFigure) {
     println!("{title} — dynamic power savings (%)");
     for series in &figure.dynamic {
@@ -801,6 +866,11 @@ fn main() {
         _ => {}
     }
     let options = parse_args();
+    if options.trace.is_some() {
+        // Recording starts before any artifact is built so the trace
+        // covers cache builds, compiles and plan lowering too.
+        sdiq_obs::set_tracing(true);
+    }
     let mut experiment = Experiment::paper();
     if let Some(scale) = options.scale {
         experiment.scale = scale;
@@ -878,6 +948,7 @@ fn main() {
         "overall",
         "summary",
         "sweep-summary",
+        "stats",
         "all",
     ]
     .iter()
@@ -926,6 +997,18 @@ fn main() {
         });
         let checkpoint_sink = checkpoint.as_ref().map(|w| w as &dyn sdiq_core::CellSink);
 
+        // `--progress` wraps whatever sink is already there; the engine
+        // sees one sink either way, so persistence is untouched.
+        let progress_sink = options.progress.then(|| ProgressSink {
+            inner: checkpoint_sink,
+            progress: sdiq_obs::Progress::new(matrix.missing_cells(&seed)),
+            fleet: options.workers.is_some() || options.listen_workers.is_some(),
+        });
+        let cell_sink: Option<&dyn sdiq_core::CellSink> = match &progress_sink {
+            Some(sink) => Some(sink),
+            None => checkpoint_sink,
+        };
+
         let sweep = if options.workers.is_some() || options.listen_workers.is_some() {
             // Remote coordinator mode: distribute the missing cells over
             // `repro serve` daemons — dialed (`--workers`) and/or
@@ -961,6 +1044,16 @@ fn main() {
                 binary_wire: options.binary_wire.unwrap_or(defaults.binary_wire),
                 pipeline_window: options.pipeline_window.unwrap_or(defaults.pipeline_window),
                 auth_key: options.auth_key.clone(),
+                // Metrics ride the heartbeats whenever anything displays
+                // them (--progress per-worker rates, --stats, or a trace
+                // whose summary wants per-worker totals); span shipping
+                // only when a trace will actually be written.
+                observe: sdiq_core::ObserveSpec {
+                    metrics: options.progress
+                        || options.trace.is_some()
+                        || options.selections.contains("stats"),
+                    trace: options.trace.is_some(),
+                },
             };
             let backend = sdiq_remote::backend(matrix_spec.clone(), remote_options);
             eprintln!(
@@ -970,7 +1063,7 @@ fn main() {
                 pool_size
             );
             let sweep = matrix
-                .run_on(&backend, &seed, checkpoint_sink)
+                .run_on(&backend, &seed, cell_sink)
                 .unwrap_or_else(|e| {
                     eprintln!("error: {e}");
                     std::process::exit(1);
@@ -999,7 +1092,7 @@ fn main() {
                 scratch_dir.display()
             );
             let sweep = matrix
-                .run_on(&backend, &seed, checkpoint_sink)
+                .run_on(&backend, &seed, cell_sink)
                 .unwrap_or_else(|e| {
                     eprintln!("error: {e}");
                     std::process::exit(1);
@@ -1037,7 +1130,7 @@ fn main() {
             if let Some(on) = options.verify {
                 cache.set_verify(on);
             }
-            let sweep = matrix.run_with_sink(&cache, &seed, checkpoint_sink);
+            let sweep = matrix.run_with_sink(&cache, &seed, cell_sink);
             eprintln!(
                 "engine: {} program builds, {} compiler passes for {} computed cells",
                 cache.program_builds(),
@@ -1065,6 +1158,19 @@ fn main() {
     } else {
         None
     };
+
+    // The trace is written after --save so a crash while exporting can
+    // never cost computed cells; the export itself touches no suite
+    // state (out-of-band by construction).
+    if let Some(path) = &options.trace {
+        sdiq_obs::set_tracing(false);
+        let events = sdiq_obs::drain();
+        sdiq_core::trace::write_chrome_trace(path, &events).unwrap_or_else(|e| {
+            eprintln!("error: writing trace {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("wrote {} trace event(s) to {path}", events.len());
+    }
 
     // A --shard run is a worker: its suite is partial, so figures would be
     // misleading — the cells were delivered via --save/--checkpoint.
@@ -1176,5 +1282,39 @@ fn main() {
             print!("{}", experiments::render_sweep_sensitivity(&rows));
             println!();
         }
+    }
+
+    // `--stats` is deliberately *not* part of `--all`: the metrics
+    // snapshot is run-shaped (timings, cache traffic), so folding it
+    // into the default figure set would make --all output unstable.
+    if options.selections.contains("stats") {
+        println!("== Metrics snapshot (sdiq-obs registry) ==");
+        for sample in sdiq_obs::metrics().snapshot() {
+            match &sample.value {
+                sdiq_obs::SampleValue::Counter(v) | sdiq_obs::SampleValue::Gauge(v) => {
+                    println!("  {:22} {v:>14} {}", sample.name, sample.unit);
+                }
+                sdiq_obs::SampleValue::Histogram(h) => {
+                    println!(
+                        "  {:22} {:>14} {} over {} observation(s), mean {:.0}",
+                        sample.name,
+                        h.sum,
+                        sample.unit,
+                        h.count,
+                        h.mean()
+                    );
+                }
+            }
+        }
+        let metrics = sdiq_obs::metrics();
+        let (hits, misses) = (metrics.cache_hits(), metrics.cache_misses());
+        if hits + misses > 0 {
+            println!(
+                "  {:22} {:>13.1}% ({hits} hit(s), {misses} miss(es))",
+                "cache_hit_rate",
+                hits as f64 * 100.0 / (hits + misses) as f64
+            );
+        }
+        println!();
     }
 }

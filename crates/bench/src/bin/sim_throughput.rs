@@ -85,6 +85,23 @@ const MAX_VERIFIED_WALL_VS_ENGINE: f64 = 1.02;
 /// the binding constraint.
 const VERIFIED_WALL_GRACE_SECONDS: f64 = 0.25;
 
+/// Ceiling for the traced matrix row's wall clock, as a multiple of the
+/// tracing-off engine's. `sdiq-obs` spans are a thread-local push onto a
+/// pre-allocated buffer and metrics are relaxed atomics, so with tracing
+/// forced on the engine matrix must stay within 3% of the untraced wall —
+/// any more means instrumentation leaked onto a hot path (per-cycle spans,
+/// a lock on the record path) rather than the per-cell seams it is meant
+/// to ride.
+const MAX_TRACED_WALL_VS_ENGINE: f64 = 1.03;
+
+/// Absolute grace on top of the traced ratio ceiling, pricing the fixed
+/// per-run costs (first-touch buffer allocation per pool thread, the
+/// final drain) that do not shrink with the workload. The `--quick`
+/// smoke's engine wall is tens of milliseconds, where millisecond noise
+/// would otherwise dominate the ratio; at the committed `--scale 1.0`
+/// artifact the 3% ratio is the binding constraint.
+const TRACED_WALL_GRACE_SECONDS: f64 = 0.1;
+
 struct Options {
     scale: f64,
     repeats: usize,
@@ -437,6 +454,39 @@ fn main() {
         "verified"
     );
 
+    // Traced row: the engine matrix once more on a fresh artifact cache
+    // with `sdiq-obs` tracing forced on — every per-cell span, cache
+    // hit/miss instant and checkpoint marker recorded, then drained and
+    // discarded. The suite must stay bit-identical (observability is
+    // strictly out-of-band; a traced run's persisted bytes never differ
+    // from an untraced one's) and the wall-clock ratio is the tracing-on
+    // overhead the acceptance criteria bound at 3% + fixed grace.
+    let traced_cache = ArtifactCache::new();
+    sdiq_obs::set_tracing(true);
+    let traced_start = Instant::now();
+    let traced_suite = Matrix::new(&matrix_experiment)
+        .benchmarks(&matrix_benchmarks)
+        .techniques(&matrix_techniques)
+        .run_with(&traced_cache, &HashMap::new())
+        .into_suite();
+    let traced_wall = traced_start.elapsed().as_secs_f64();
+    sdiq_obs::set_tracing(false);
+    let traced_events = sdiq_obs::drain().len();
+    assert_eq!(
+        traced_suite, engine_suite,
+        "traced matrix suite must be bit-identical to the untraced engine"
+    );
+    assert!(
+        traced_events > 0,
+        "tracing was on for the whole matrix yet drained no events"
+    );
+    let traced_vs_engine = traced_wall / engine_wall.max(1e-9);
+    eprintln!(
+        "{:>14}: {cells} cells  tracing-on engine {traced_wall:.3}s  \
+         ({traced_vs_engine:.2}x of tracing-off wall, {traced_events} events, bit-identical)",
+        "traced"
+    );
+
     // Sharded-backend row: the same reduced matrix through the subprocess
     // coordinator (one `repro` worker per shard, partial suites merged).
     // Workers pay process startup and cannot share the in-process artifact
@@ -662,7 +712,11 @@ fn main() {
                 re-running the engine matrix with the sdiq-verify static suite \
                 forced on (once per artifact; suite asserted bit-identical and the \
                 wall bounded at 2% + fixed grace over the verify-off engine — the \
-                release-mode --verify overhead), and a sharded row running \
+                release-mode --verify overhead), and a traced row re-running it \
+                once more with sdiq-obs tracing forced on (events drained and \
+                discarded; suite asserted bit-identical — observability is \
+                out-of-band — and the wall bounded at 3% + fixed grace over the \
+                tracing-off engine), and a sharded row running \
                 the same matrix through the subprocess coordinator (one repro worker \
                 per shard, merged suites asserted bit-identical to the engine's), \
                 and two remote rows running it through two localhost repro serve \
@@ -750,6 +804,20 @@ fn main() {
                         ),
                     ]),
                 ),
+                (
+                    "traced".to_string(),
+                    Json::Obj(vec![
+                        (
+                            "wall_seconds".to_string(),
+                            Json::Num(format!("{traced_wall:.6}")),
+                        ),
+                        (
+                            "wall_vs_engine".to_string(),
+                            Json::Num(format!("{traced_vs_engine:.3}")),
+                        ),
+                        ("trace_events".to_string(), Json::of_usize(traced_events)),
+                    ]),
+                ),
                 ("sharded".to_string(), sharded_json),
                 ("remote".to_string(), remote_json),
                 ("remote_json".to_string(), remote_json_codec),
@@ -788,6 +856,17 @@ fn main() {
                 "FAIL: verify-on matrix took {verified_wall:.3}s against a verify-off engine \
                  wall of {engine_wall:.3}s — above the {MAX_VERIFIED_WALL_VS_ENGINE}x + \
                  {VERIFIED_WALL_GRACE_SECONDS}s ceiling ({ceiling:.3}s)"
+            );
+            failed = true;
+        }
+    }
+    {
+        let ceiling = engine_wall * MAX_TRACED_WALL_VS_ENGINE + TRACED_WALL_GRACE_SECONDS;
+        if traced_wall > ceiling {
+            eprintln!(
+                "FAIL: tracing-on matrix took {traced_wall:.3}s against a tracing-off engine \
+                 wall of {engine_wall:.3}s — above the {MAX_TRACED_WALL_VS_ENGINE}x + \
+                 {TRACED_WALL_GRACE_SECONDS}s ceiling ({ceiling:.3}s)"
             );
             failed = true;
         }

@@ -203,7 +203,13 @@ impl ArtifactCache {
     /// The program for `key`, building it exactly once per key.
     pub fn program(&self, key: ProgramKey) -> Arc<Program> {
         let slot = slot(&self.programs, key);
+        if slot.get().is_some() {
+            sdiq_obs::metrics().cache_program_hits.inc();
+        }
         slot.get_or_init(|| {
+            let metrics = sdiq_obs::metrics();
+            metrics.cache_program_misses.inc();
+            let _span = sdiq_obs::span("build-program", "cache");
             self.program_builds.fetch_add(1, Ordering::Relaxed);
             key.benchmark.build_scaled_shared(key.scale())
         })
@@ -215,7 +221,13 @@ impl ArtifactCache {
     pub fn compiled(&self, key: CompileKey) -> Arc<CompiledArtifact> {
         let input = self.program(key.program);
         let slot = slot(&self.compiles, key);
+        if slot.get().is_some() {
+            sdiq_obs::metrics().cache_compile_hits.inc();
+        }
         slot.get_or_init(|| {
+            let metrics = sdiq_obs::metrics();
+            metrics.cache_compile_misses.inc();
+            let _span = sdiq_obs::span("compile", "cache");
             self.compile_runs.fetch_add(1, Ordering::Relaxed);
             let compiled = if self.verify_enabled() {
                 let compiled = match CompilerPass::new(key.pass)
@@ -269,7 +281,13 @@ impl ArtifactCache {
             PlanSource::Compiled(compile) => self.compiled(compile).program.clone(),
         };
         let slot = slot(&self.plans, key);
+        if slot.get().is_some() {
+            sdiq_obs::metrics().cache_plan_hits.inc();
+        }
         slot.get_or_init(|| {
+            let metrics = sdiq_obs::metrics();
+            metrics.cache_plan_misses.inc();
+            let _span = sdiq_obs::span("lower-plan", "cache");
             self.plan_builds.fetch_add(1, Ordering::Relaxed);
             let trace = match Executor::new(&program).run(key.max_dynamic_instructions) {
                 Ok(trace) => trace,

@@ -627,25 +627,33 @@ impl<'a> Matrix<'a> {
         let jobs = self.effective_jobs(todo.len());
         std::thread::scope(|scope| {
             for _ in 0..jobs {
-                scope.spawn(|| loop {
-                    let index = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some((key, cell)) = todo.get(index).map(|entry| (&entry.0, &entry.1))
-                    else {
-                        break;
-                    };
-                    let report = run_cell(
-                        self.experiment,
-                        cache,
-                        &variants[cell.variant],
-                        cell.benchmark,
-                        cell.technique,
-                    );
-                    if let Some(sink) = sink {
-                        sink.cell_complete(key, &report);
+                scope.spawn(|| {
+                    loop {
+                        let index = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some((key, cell)) = todo.get(index).map(|entry| (&entry.0, &entry.1))
+                        else {
+                            break;
+                        };
+                        let report = observed_cell(
+                            self.experiment,
+                            cache,
+                            &variants[cell.variant],
+                            key,
+                            cell.benchmark,
+                            cell.technique,
+                        );
+                        if let Some(sink) = sink {
+                            let _span = sdiq_obs::span("persist-cell", "persist");
+                            sink.cell_complete(key, &report);
+                        }
+                        results[index].set(report).unwrap_or_else(|_| {
+                            unreachable!("each cell is claimed by exactly one worker")
+                        });
                     }
-                    results[index].set(report).unwrap_or_else(|_| {
-                        unreachable!("each cell is claimed by exactly one worker")
-                    });
+                    // Last act, not left to TLS teardown: the scope owner
+                    // unblocks the moment this closure returns and may
+                    // drain immediately.
+                    sdiq_obs::flush();
                 });
             }
         });
@@ -694,41 +702,49 @@ impl<'a> Matrix<'a> {
         let jobs = self.effective_jobs(cells.len());
         std::thread::scope(|scope| {
             for _ in 0..jobs {
-                scope.spawn(|| loop {
-                    let index = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(cell) = cells.get(index) else {
-                        break;
-                    };
-                    let variant = &variants[cell.variant];
-                    let key = cell_key(self.experiment, variant, cell.benchmark, cell.technique);
-                    // A seeded report must actually describe this cell —
-                    // `Suite::insert` slots by the report's own technique,
-                    // so a corrupted save file could otherwise mis-file a
-                    // cell and silently leave another empty. Mismatched
-                    // seeds are treated as missing and recomputed
-                    // (`missing_cells` applies the same predicate).
-                    let seeded = seed
-                        .get(&key)
-                        .filter(|report| seed_matches(report, cell.benchmark, cell.technique));
-                    let report = match seeded {
-                        Some(seeded) => seeded.clone(),
-                        None => {
-                            let report = run_cell(
-                                self.experiment,
-                                cache,
-                                variant,
-                                cell.benchmark,
-                                cell.technique,
-                            );
-                            if let Some(sink) = sink {
-                                sink.cell_complete(&key, &report);
+                scope.spawn(|| {
+                    loop {
+                        let index = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(cell) = cells.get(index) else {
+                            break;
+                        };
+                        let variant = &variants[cell.variant];
+                        let key =
+                            cell_key(self.experiment, variant, cell.benchmark, cell.technique);
+                        // A seeded report must actually describe this cell —
+                        // `Suite::insert` slots by the report's own technique,
+                        // so a corrupted save file could otherwise mis-file a
+                        // cell and silently leave another empty. Mismatched
+                        // seeds are treated as missing and recomputed
+                        // (`missing_cells` applies the same predicate).
+                        let seeded = seed
+                            .get(&key)
+                            .filter(|report| seed_matches(report, cell.benchmark, cell.technique));
+                        let report = match seeded {
+                            Some(seeded) => seeded.clone(),
+                            None => {
+                                let report = observed_cell(
+                                    self.experiment,
+                                    cache,
+                                    variant,
+                                    &key,
+                                    cell.benchmark,
+                                    cell.technique,
+                                );
+                                if let Some(sink) = sink {
+                                    let _span = sdiq_obs::span("persist-cell", "persist");
+                                    sink.cell_complete(&key, &report);
+                                }
+                                report
                             }
-                            report
-                        }
-                    };
-                    results[index].set(report).unwrap_or_else(|_| {
-                        unreachable!("each cell is claimed by exactly one worker")
-                    });
+                        };
+                        results[index].set(report).unwrap_or_else(|_| {
+                            unreachable!("each cell is claimed by exactly one worker")
+                        });
+                    }
+                    // See run_cells_by_key: flush before the scope owner
+                    // can observe this thread as finished.
+                    sdiq_obs::flush();
                 });
             }
         });
@@ -1090,8 +1106,27 @@ pub struct RemoteSpec {
     /// any protocol frame; when unset, connections are unauthenticated
     /// (trusted networks only). Both sides must agree.
     pub auth_key: Option<String>,
+    /// What observability the coordinator asks of the fleet (metrics
+    /// piggybacked on heartbeats, span recording shipped back before
+    /// `Done`). Strictly out-of-band: results are bit-identical whatever
+    /// this says, and workers that predate the `obs1` capability simply
+    /// never see the request.
+    pub observe: ObserveSpec,
     /// The scheduler implementation (see [`RemoteLaunch`]).
     pub launch: RemoteLaunch,
+}
+
+/// What a run observes about itself (see `sdiq-obs`): live fleet metrics,
+/// span tracing, or neither. Never affects results — only what gets
+/// reported on stderr and what `--trace` writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ObserveSpec {
+    /// Workers report a compact metrics delta with every heartbeat and
+    /// the coordinator aggregates per-worker rates.
+    pub metrics: bool,
+    /// Workers record spans and ship them back before `Done`, for the
+    /// coordinator's Chrome-trace export.
+    pub trace: bool,
 }
 
 /// Rendezvous configuration for worker self-registration: instead of the
@@ -1178,6 +1213,35 @@ pub fn shard_of(key: &str, count: usize) -> usize {
     let mut hasher = Fnv1a::default();
     hasher.write(key.as_bytes());
     (hasher.finish() % count as u64) as usize
+}
+
+/// [`run_cell`] wrapped in the observability instrumentation shared by
+/// both engine loops: the in-flight gauge, a traced `cell` span carrying
+/// the cell key, and the per-cell counters/histogram (`sdiq-obs` metrics
+/// are always on; the span is a no-op unless tracing was enabled).
+/// Strictly out-of-band — the report is returned untouched, so results
+/// are bit-identical with observability on or off.
+fn observed_cell(
+    experiment: &Experiment,
+    cache: &ArtifactCache,
+    variant: &ConfigVariant,
+    key: &str,
+    benchmark: Benchmark,
+    technique: Technique,
+) -> RunReport {
+    let metrics = sdiq_obs::metrics();
+    metrics.cells_in_flight.add(1);
+    let started = std::time::Instant::now();
+    let span = sdiq_obs::span("cell", "cell").map(|s| s.arg("key", key));
+    let report = run_cell(experiment, cache, variant, benchmark, technique);
+    drop(span);
+    metrics.cells_in_flight.sub(1);
+    metrics.cells_done.inc();
+    metrics.sim_instructions.add(report.stats.committed);
+    metrics
+        .cell_wall_nanos
+        .observe(started.elapsed().as_nanos() as u64);
+    report
 }
 
 /// Runs one cell through the artifact cache: software techniques reuse the

@@ -55,6 +55,7 @@ pub mod persist;
 pub mod persist_bin;
 pub mod runner;
 pub mod technique;
+pub mod trace;
 
 pub use cache::{
     ArtifactCache, CompileKey, CompiledArtifact, PlanKey, PlanSource, ProgramKey, ResultStore,
@@ -62,7 +63,7 @@ pub use cache::{
 };
 pub use engine::{
     cell_key, matrix_fingerprint, shard_of, Backend, BackendError, CellSink, ConfigVariant, Matrix,
-    MatrixSpec, Registration, RemoteLaunch, RemoteSpec, SubprocessSpec, Sweep,
+    MatrixSpec, ObserveSpec, Registration, RemoteLaunch, RemoteSpec, SubprocessSpec, Sweep,
 };
 pub use experiments::{
     figure10, figure11, figure12, figure6, figure7, figure8, figure9, overall_processor_savings,

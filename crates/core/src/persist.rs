@@ -893,6 +893,8 @@ impl CheckpointWriter {
     /// neither a kill nor a machine crash right after this call returns can
     /// lose the cell.
     pub fn append(&self, key: &str, report: &RunReport) -> std::io::Result<()> {
+        let _span = sdiq_obs::span("checkpoint-append", "persist");
+        sdiq_obs::metrics().checkpoint_appends.inc();
         let mut line = checkpoint_line(key, report);
         line.push('\n');
         // A poisoned lock means another append panicked mid-write; the

@@ -1,0 +1,139 @@
+//! Property tests for the Chrome trace exporter.
+//!
+//! The exporter's output contract: whatever mix of spans and instants is
+//! drained (or injected from remote workers — including overlapping
+//! foreign spans the in-process RAII recorder could never produce), the
+//! rendered document must (a) parse with the workspace's own JSON parser
+//! and (b) contain a balanced, properly nested `B`/`E` sequence per
+//! `(pid, tid)` lane. Perfetto tolerates less than that; we don't.
+
+// Integration tests are exempt from the workspace unwrap/expect denial
+// (the crate-root cfg_attr does not reach separately compiled test crates).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use proptest::prelude::*;
+use sdiq_core::persist::{self, Json};
+use sdiq_core::trace::render_chrome_trace;
+use sdiq_obs::TraceEvent;
+use std::collections::BTreeMap;
+
+/// Small lanes and tightly packed timestamps so spans genuinely collide:
+/// same-tick starts, containment, and (for injected events) partial
+/// overlaps that force the exporter's clamping path.
+fn arb_event() -> impl Strategy<Value = TraceEvent> {
+    (
+        (0u64..3, 0u64..3, 0u64..64),
+        prop_oneof![(0u8..1u8).prop_map(|_| None), (0u64..48).prop_map(Some),],
+        prop::collection::vec(
+            (
+                (97u8..123u8).prop_map(|c| (c as char).to_string()),
+                (97u8..123u8).prop_map(|c| (c as char).to_string()),
+            ),
+            0..2,
+        ),
+    )
+        .prop_map(|((pid, tid, start_nanos), dur_nanos, args)| TraceEvent {
+            name: "ev".to_string(),
+            cat: "prop".to_string(),
+            pid,
+            tid,
+            start_nanos,
+            dur_nanos,
+            args,
+        })
+}
+
+/// `(pid, tid, ph)` of every record in the parsed document, in order.
+fn phases(doc: &Json) -> Vec<(u64, u64, String)> {
+    doc.get("traceEvents")
+        .unwrap()
+        .arr()
+        .unwrap()
+        .iter()
+        .map(|e| {
+            (
+                e.get("pid").unwrap().u64().unwrap(),
+                e.get("tid").unwrap().u64().unwrap(),
+                e.get("ph").unwrap().str().unwrap().to_string(),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn exporter_output_reparses_with_the_workspace_parser(
+        events in prop::collection::vec(arb_event(), 0..24),
+    ) {
+        let text = render_chrome_trace(&events);
+        let doc = persist::parse(text.trim_end());
+        prop_assert!(doc.is_ok(), "exporter output failed to parse: {:?}", doc.err());
+        let doc = doc.unwrap();
+        let records = doc.get("traceEvents").unwrap().arr().unwrap();
+        // One span → one B + one E; one instant → one i; plus one
+        // process_name metadata record per distinct pid.
+        let spans = events.iter().filter(|e| e.dur_nanos.is_some()).count();
+        let instants = events.len() - spans;
+        let pids: std::collections::BTreeSet<u64> = events.iter().map(|e| e.pid).collect();
+        prop_assert_eq!(records.len(), spans * 2 + instants + pids.len());
+    }
+
+    #[test]
+    fn span_pairs_balance_and_nest_per_lane(
+        events in prop::collection::vec(arb_event(), 0..24),
+    ) {
+        let text = render_chrome_trace(&events);
+        let doc = persist::parse(text.trim_end()).unwrap();
+        let mut depth: BTreeMap<(u64, u64), i64> = BTreeMap::new();
+        for (pid, tid, ph) in phases(&doc) {
+            let d = depth.entry((pid, tid)).or_insert(0);
+            match ph.as_str() {
+                "B" => *d += 1,
+                "E" => {
+                    *d -= 1;
+                    prop_assert!(*d >= 0, "E without a matching B in lane {}/{}", pid, tid);
+                }
+                "i" | "M" => {}
+                other => return Err(format!("unexpected phase {other}")),
+            }
+        }
+        for ((pid, tid), d) in depth {
+            prop_assert!(d == 0, "lane {}/{} left spans open", pid, tid);
+        }
+    }
+
+    #[test]
+    fn end_timestamps_never_precede_their_begin(
+        events in prop::collection::vec(arb_event(), 0..24),
+    ) {
+        // Within a lane, walk the B/E structure with a stack of begin
+        // timestamps: every E must close at or after its B (clamping may
+        // shorten foreign spans, never invert them), and the B sequence
+        // itself must be monotonically non-decreasing.
+        let text = render_chrome_trace(&events);
+        let doc = persist::parse(text.trim_end()).unwrap();
+        let mut stacks: BTreeMap<(u64, u64), Vec<f64>> = BTreeMap::new();
+        let mut last_begin: BTreeMap<(u64, u64), f64> = BTreeMap::new();
+        for record in doc.get("traceEvents").unwrap().arr().unwrap() {
+            let pid = record.get("pid").unwrap().u64().unwrap();
+            let tid = record.get("tid").unwrap().u64().unwrap();
+            let ph = record.get("ph").unwrap().str().unwrap();
+            let ts = record.get("ts").unwrap().f64().unwrap();
+            match ph {
+                "B" => {
+                    let prev = last_begin.entry((pid, tid)).or_insert(f64::NEG_INFINITY);
+                    prop_assert!(ts >= *prev, "B timestamps went backwards in a lane");
+                    *prev = ts;
+                    stacks.entry((pid, tid)).or_default().push(ts);
+                }
+                "E" => {
+                    let begin = stacks.get_mut(&(pid, tid)).and_then(Vec::pop).unwrap();
+                    prop_assert!(ts >= begin, "span closed before it opened");
+                }
+                _ => {}
+            }
+        }
+    }
+}

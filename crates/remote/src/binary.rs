@@ -26,8 +26,9 @@ use crate::protocol::Message;
 use sdiq_core::persist::PersistError;
 use sdiq_core::persist_bin::{
     decode_matrix_spec, decode_report, encode_matrix_spec, encode_report, put_str, put_u64_fixed,
-    put_usize, ByteReader,
+    put_usize, put_varint, ByteReader,
 };
+use sdiq_obs::{MetricsDelta, TraceEvent};
 
 /// `Hello{capacity, codecs}`.
 pub const TAG_HELLO: u8 = 0x01;
@@ -52,6 +53,16 @@ pub const TAG_AUTH_CHALLENGE: u8 = 0x09;
 pub const TAG_AUTH_RESPONSE: u8 = 0x0a;
 /// `AuthOk{mac}`.
 pub const TAG_AUTH_OK: u8 = 0x0b;
+/// `RunCells` with at least one observability flag set: a flags byte
+/// (bit 0 = observe, bit 1 = trace) then the [`TAG_RUN_CELLS`] fields.
+/// A batch with both flags off still encodes as plain [`TAG_RUN_CELLS`],
+/// so pre-observability byte streams are reproduced exactly and old
+/// peers — which are never sent the flags — never see this tag.
+pub const TAG_RUN_CELLS_OBS: u8 = 0x0c;
+/// `HeartbeatMetrics{metrics}`: the six cumulative counters as varints.
+pub const TAG_HEARTBEAT_METRICS: u8 = 0x0d;
+/// `TraceEvents{events}`.
+pub const TAG_TRACE_EVENTS: u8 = 0x0e;
 
 /// First payload byte below this is a `bin1` tag; at or above it, the
 /// payload is JSON text (JSON documents start at `{` = 0x7b, or at worst
@@ -82,8 +93,16 @@ pub fn encode_message(message: &Message) -> Vec<u8> {
             fingerprint,
             spec,
             keys,
+            observe,
+            trace,
         } => {
-            out.push(TAG_RUN_CELLS);
+            // Flags off → the pre-observability layout, byte for byte.
+            if *observe || *trace {
+                out.push(TAG_RUN_CELLS_OBS);
+                out.push(u8::from(*observe) | (u8::from(*trace) << 1));
+            } else {
+                out.push(TAG_RUN_CELLS);
+            }
             put_u64_fixed(&mut out, *fingerprint);
             encode_matrix_spec(&mut out, spec);
             put_usize(&mut out, keys.len());
@@ -122,8 +141,73 @@ pub fn encode_message(message: &Message) -> Vec<u8> {
             out.push(TAG_AUTH_OK);
             put_str(&mut out, mac);
         }
+        Message::HeartbeatMetrics { metrics } => {
+            out.push(TAG_HEARTBEAT_METRICS);
+            put_varint(&mut out, metrics.cells_done);
+            put_varint(&mut out, metrics.cells_in_flight);
+            put_varint(&mut out, metrics.sim_instructions);
+            put_varint(&mut out, metrics.cache_hits);
+            put_varint(&mut out, metrics.cache_misses);
+            put_varint(&mut out, metrics.wall_nanos);
+        }
+        Message::TraceEvents { events } => {
+            out.push(TAG_TRACE_EVENTS);
+            put_usize(&mut out, events.len());
+            for event in events {
+                put_str(&mut out, &event.name);
+                put_str(&mut out, &event.cat);
+                put_varint(&mut out, event.pid);
+                put_varint(&mut out, event.tid);
+                put_varint(&mut out, event.start_nanos);
+                match event.dur_nanos {
+                    None => out.push(0),
+                    Some(dur) => {
+                        out.push(1);
+                        put_varint(&mut out, dur);
+                    }
+                }
+                put_usize(&mut out, event.args.len());
+                for (key, value) in &event.args {
+                    put_str(&mut out, key);
+                    put_str(&mut out, value);
+                }
+            }
+        }
     }
     out
+}
+
+fn decode_trace_event(reader: &mut ByteReader<'_>) -> Result<TraceEvent, PersistError> {
+    let name = reader.str()?.to_string();
+    let cat = reader.str()?.to_string();
+    let pid = reader.varint()?;
+    let tid = reader.varint()?;
+    let start_nanos = reader.varint()?;
+    let dur_nanos = match reader.u8()? {
+        0 => None,
+        1 => Some(reader.varint()?),
+        other => {
+            return Err(PersistError::new(format!(
+                "trace event duration marker must be 0 or 1, got {other}"
+            )))
+        }
+    };
+    let arg_count = reader.seq_len(2)?;
+    let mut args = Vec::with_capacity(arg_count);
+    for _ in 0..arg_count {
+        let key = reader.str()?.to_string();
+        let value = reader.str()?.to_string();
+        args.push((key, value));
+    }
+    Ok(TraceEvent {
+        name,
+        cat,
+        pid,
+        tid,
+        start_nanos,
+        dur_nanos,
+        args,
+    })
 }
 
 fn decode_codecs(reader: &mut ByteReader<'_>) -> Result<Vec<String>, PersistError> {
@@ -149,7 +233,18 @@ pub fn decode_message(payload: &[u8]) -> Result<Message, PersistError> {
             capacity: reader.usize()?,
             codecs: decode_codecs(&mut reader)?,
         },
-        TAG_RUN_CELLS => {
+        TAG_RUN_CELLS | TAG_RUN_CELLS_OBS => {
+            let (observe, trace) = if tag == TAG_RUN_CELLS_OBS {
+                let flags = reader.u8()?;
+                if flags >= 4 {
+                    return Err(PersistError::new(format!(
+                        "unknown RunCells observability flags {flags:#04x}"
+                    )));
+                }
+                (flags & 1 != 0, flags & 2 != 0)
+            } else {
+                (false, false)
+            };
             let fingerprint = reader.u64_fixed()?;
             let spec = decode_matrix_spec(&mut reader)?;
             let count = reader.seq_len(1)?;
@@ -161,6 +256,8 @@ pub fn decode_message(payload: &[u8]) -> Result<Message, PersistError> {
                 fingerprint,
                 spec,
                 keys,
+                observe,
+                trace,
             }
         }
         TAG_CELL_DONE => Message::CellDone {
@@ -187,6 +284,26 @@ pub fn decode_message(payload: &[u8]) -> Result<Message, PersistError> {
         TAG_AUTH_OK => Message::AuthOk {
             mac: reader.str()?.to_string(),
         },
+        TAG_HEARTBEAT_METRICS => Message::HeartbeatMetrics {
+            metrics: MetricsDelta {
+                cells_done: reader.varint()?,
+                cells_in_flight: reader.varint()?,
+                sim_instructions: reader.varint()?,
+                cache_hits: reader.varint()?,
+                cache_misses: reader.varint()?,
+                wall_nanos: reader.varint()?,
+            },
+        },
+        TAG_TRACE_EVENTS => {
+            // Minimum event: two empty strings, three zero varints, the
+            // duration marker and a zero arg count — 7 bytes.
+            let count = reader.seq_len(7)?;
+            let mut events = Vec::with_capacity(count);
+            for _ in 0..count {
+                events.push(decode_trace_event(&mut reader)?);
+            }
+            Message::TraceEvents { events }
+        }
         other => {
             return Err(PersistError::new(format!(
                 "unknown binary message tag {other:#04x}"
@@ -227,9 +344,51 @@ mod tests {
             },
             Message::RunCells {
                 fingerprint: 0xdead_beef_0123_4567,
-                spec,
+                spec: spec.clone(),
                 keys: vec!["a|b|c|00".to_string(), "d|e|f|01".to_string()],
+                observe: false,
+                trace: false,
             },
+            Message::RunCells {
+                fingerprint: 0xdead_beef_0123_4567,
+                spec,
+                keys: vec!["a|b|c|00".to_string()],
+                observe: true,
+                trace: true,
+            },
+            Message::HeartbeatMetrics {
+                metrics: MetricsDelta {
+                    cells_done: 12,
+                    cells_in_flight: 2,
+                    sim_instructions: 123_456_789,
+                    cache_hits: 30,
+                    cache_misses: 6,
+                    wall_nanos: 9_876_543_210,
+                },
+            },
+            Message::TraceEvents {
+                events: vec![
+                    TraceEvent {
+                        name: "cell".to_string(),
+                        cat: "cell".to_string(),
+                        pid: 0,
+                        tid: 3,
+                        start_nanos: 1_000,
+                        dur_nanos: Some(5_000),
+                        args: vec![("key".to_string(), "gzip|noop|base".to_string())],
+                    },
+                    TraceEvent {
+                        name: "mark".to_string(),
+                        cat: "sched".to_string(),
+                        pid: 2,
+                        tid: 1,
+                        start_nanos: 42,
+                        dur_nanos: None,
+                        args: Vec::new(),
+                    },
+                ],
+            },
+            Message::TraceEvents { events: Vec::new() },
             Message::CellDone {
                 key: "gzip|noop|base|0123456789abcdef".to_string(),
                 report: Box::new(report),
@@ -295,6 +454,31 @@ mod tests {
             binary * 3 < json,
             "bin1 CellDone is {binary} bytes vs {json} JSON — expected ≥3× smaller"
         );
+    }
+
+    #[test]
+    fn plain_batches_keep_the_pre_observability_tag() {
+        let mut plain = None;
+        let mut flagged = None;
+        for message in sample_messages() {
+            if let Message::RunCells { observe, trace, .. } = &message {
+                let payload = encode_message(&message);
+                if *observe || *trace {
+                    flagged = Some(payload);
+                } else {
+                    plain = Some(payload);
+                }
+            }
+        }
+        let plain = plain.unwrap();
+        let flagged = flagged.unwrap();
+        assert_eq!(plain[0], TAG_RUN_CELLS, "flags off keep the old layout");
+        assert_eq!(flagged[0], TAG_RUN_CELLS_OBS);
+        // Unknown flag bits must error, not decode to something silently
+        // different from what the sender meant.
+        let mut hostile = flagged;
+        hostile[1] = 0x04;
+        assert!(decode_message(&hostile).is_err(), "unknown flag bits");
     }
 
     #[test]

@@ -20,8 +20,9 @@
 //! parse. Reads auto-detect per frame, so the switch needs no ack.
 
 use crate::auth;
+use crate::fleet;
 use crate::frame::{self, Codec};
-use crate::protocol::{Message, CODEC_BIN1};
+use crate::protocol::{Message, CAP_OBS1, CODEC_BIN1};
 use crate::scheduler::{WorkerEvent, WorkerLink};
 use sdiq_core::{Registration, RemoteSpec};
 use std::io::{self, BufReader};
@@ -37,6 +38,25 @@ struct TcpWorkerLink {
     fingerprint: u64,
     /// Negotiated codec for frames *we* send (reads auto-detect).
     codec: Codec,
+    /// The address this link reports fleet metrics and traces under.
+    addr: String,
+    /// Ask for metrics heartbeats / span shipping on every batch. Only
+    /// set when the run wants it *and* this worker advertised
+    /// [`CAP_OBS1`] — an old daemon is never sent the request.
+    observe: bool,
+    /// Ask for span recording on every batch (same gating as `observe`).
+    trace: bool,
+}
+
+/// The observability flags for one worker link: what the run asked for
+/// ([`RemoteSpec::observe`]), masked by whether this worker's greeting
+/// advertised the [`CAP_OBS1`] capability.
+fn observe_flags(remote: &RemoteSpec, codecs: &[String]) -> (bool, bool) {
+    let capable = codecs.iter().any(|codec| codec == CAP_OBS1);
+    (
+        capable && remote.observe.metrics,
+        capable && remote.observe.trace,
+    )
 }
 
 /// Connects to `addr` within `remote.connect_timeout` (a blackholed
@@ -144,6 +164,7 @@ pub fn dial(addr: &str, remote: &RemoteSpec, fingerprint: u64) -> io::Result<Box
     match first {
         Message::Hello { capacity, codecs } => {
             let codec = negotiate(&mut writer, remote, &codecs)?;
+            let (observe, trace) = observe_flags(remote, &codecs);
             Ok(Box::new(TcpWorkerLink {
                 reader,
                 writer,
@@ -151,6 +172,9 @@ pub fn dial(addr: &str, remote: &RemoteSpec, fingerprint: u64) -> io::Result<Box
                 remote: remote.clone(),
                 fingerprint,
                 codec,
+                addr: addr.to_string(),
+                observe,
+                trace,
             }))
         }
         other => Err(io::Error::new(
@@ -232,8 +256,9 @@ pub fn accept_registrations(
                     links.len() + 1,
                     registration.expect
                 );
+                let (observe, trace) = observe_flags(remote, &codecs);
                 links.push((
-                    peer,
+                    peer.clone(),
                     Box::new(TcpWorkerLink {
                         reader,
                         writer,
@@ -241,6 +266,9 @@ pub fn accept_registrations(
                         remote: remote.clone(),
                         fingerprint,
                         codec,
+                        addr: peer,
+                        observe,
+                        trace,
                     }),
                 ));
             }
@@ -284,6 +312,8 @@ impl WorkerLink for TcpWorkerLink {
                 fingerprint: self.fingerprint,
                 spec: self.remote.spec.clone(),
                 keys: keys.to_vec(),
+                observe: self.observe,
+                trace: self.trace,
             },
             self.codec,
         )
@@ -297,6 +327,19 @@ impl WorkerLink for TcpWorkerLink {
                 Message::CellDone { key, report } => return Ok(WorkerEvent::Cell(key, report)),
                 Message::Done { .. } => return Ok(WorkerEvent::Done),
                 Message::Heartbeat => continue, // keep-alive: the read itself reset the deadline
+                Message::HeartbeatMetrics { metrics } => {
+                    // A keep-alive like any other (the read reset the
+                    // deadline), plus the worker's latest totals for the
+                    // fleet view.
+                    fleet::record(&self.addr, metrics);
+                    continue;
+                }
+                Message::TraceEvents { events } => {
+                    // The worker's spans for this batch, re-laned onto
+                    // its fleet pid and merged for the trace export.
+                    fleet::inject_trace(&self.addr, events);
+                    continue;
+                }
                 Message::Error { message } => {
                     // The worker refused or failed the batch; surfacing it
                     // as an I/O error makes the scheduler re-queue this
@@ -339,6 +382,7 @@ mod tests {
             binary_wire: true,
             pipeline_window: 0,
             auth_key: None,
+            observe: sdiq_core::ObserveSpec::default(),
             launch: |_, _, _, _| unreachable!("client tests never launch"),
         }
     }

@@ -66,6 +66,7 @@
 pub mod auth;
 pub mod binary;
 pub mod client;
+pub mod fleet;
 pub mod frame;
 pub mod protocol;
 pub mod scheduler;
@@ -82,7 +83,7 @@ pub(crate) fn lock_or_recover<T>(mutex: &std::sync::Mutex<T>) -> std::sync::Mute
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
-use sdiq_core::{Backend, MatrixSpec, Registration, RemoteSpec};
+use sdiq_core::{Backend, MatrixSpec, ObserveSpec, Registration, RemoteSpec};
 use std::time::Duration;
 
 /// Default number of times one cell may be re-queued after worker
@@ -130,6 +131,10 @@ pub struct RemoteOptions {
     /// Shared secret for the HMAC handshake (`--auth-key`); `None`
     /// leaves connections unauthenticated.
     pub auth_key: Option<String>,
+    /// Fleet observability: metrics piggybacked on heartbeats and/or
+    /// span tracing shipped back per batch (default: neither). Strictly
+    /// out-of-band — never affects the assembled suite.
+    pub observe: ObserveSpec,
 }
 
 impl Default for RemoteOptions {
@@ -144,6 +149,7 @@ impl Default for RemoteOptions {
             binary_wire: true,
             pipeline_window: 0,
             auth_key: None,
+            observe: ObserveSpec::default(),
         }
     }
 }
@@ -164,6 +170,7 @@ pub fn backend(spec: MatrixSpec, options: RemoteOptions) -> Backend {
         binary_wire: options.binary_wire,
         pipeline_window: options.pipeline_window,
         auth_key: options.auth_key,
+        observe: options.observe,
         launch,
     })
 }
@@ -178,6 +185,9 @@ fn launch(
     seed: &std::collections::HashMap<String, sdiq_core::RunReport>,
     sink: Option<&dyn sdiq_core::CellSink>,
 ) -> Result<sdiq_core::Sweep, sdiq_core::BackendError> {
+    // A fresh fleet view per run: worker ids (= trace pid lanes) and
+    // reported totals are scoped to one launch.
+    fleet::reset();
     let mut sources: Vec<WorkerSource> = spec
         .workers
         .iter()

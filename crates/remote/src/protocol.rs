@@ -50,11 +50,112 @@ use sdiq_core::persist::{
     PersistError,
 };
 use sdiq_core::{MatrixSpec, RunReport};
+use sdiq_obs::{MetricsDelta, TraceEvent};
 
 /// Name of the binary frame codec a worker may advertise in its greeting
 /// (`"bin1"` pins layout version 1 of [`crate::binary`]; a breaking
 /// layout change becomes `"bin2"` and old peers simply never select it).
 pub const CODEC_BIN1: &str = "bin1";
+
+/// Capability token a worker appends to its greeting's `codecs` list when
+/// it understands the observability extension: `RunCells` observe/trace
+/// flags, [`Message::HeartbeatMetrics`] and [`Message::TraceEvents`].
+/// Riding the `codecs` field keeps old peers safe for free — a coordinator
+/// that predates it selects codecs with an equality scan and ignores
+/// unknown entries, and a worker that never advertises it is never sent
+/// any observability frame.
+pub const CAP_OBS1: &str = "obs1";
+
+/// [`MetricsDelta`] ↔ JSON: an object of the six cumulative counters.
+fn metrics_delta_to_json(delta: &MetricsDelta) -> Json {
+    Json::Obj(vec![
+        ("cells_done".to_string(), Json::of_u64(delta.cells_done)),
+        (
+            "cells_in_flight".to_string(),
+            Json::of_u64(delta.cells_in_flight),
+        ),
+        (
+            "sim_instructions".to_string(),
+            Json::of_u64(delta.sim_instructions),
+        ),
+        ("cache_hits".to_string(), Json::of_u64(delta.cache_hits)),
+        ("cache_misses".to_string(), Json::of_u64(delta.cache_misses)),
+        ("wall_nanos".to_string(), Json::of_u64(delta.wall_nanos)),
+    ])
+}
+
+fn metrics_delta_from_json(json: &Json) -> Result<MetricsDelta, PersistError> {
+    Ok(MetricsDelta {
+        cells_done: json.get("cells_done")?.u64()?,
+        cells_in_flight: json.get("cells_in_flight")?.u64()?,
+        sim_instructions: json.get("sim_instructions")?.u64()?,
+        cache_hits: json.get("cache_hits")?.u64()?,
+        cache_misses: json.get("cache_misses")?.u64()?,
+        wall_nanos: json.get("wall_nanos")?.u64()?,
+    })
+}
+
+/// [`TraceEvent`] ↔ JSON. `dur_nanos` is omitted for instants and `args`
+/// when empty; args travel as `[key, value]` pairs (not an object) so the
+/// encoding round-trips regardless of key content or duplication.
+fn trace_event_to_json(event: &TraceEvent) -> Json {
+    let mut fields = vec![
+        ("name".to_string(), Json::Str(event.name.clone())),
+        ("cat".to_string(), Json::Str(event.cat.clone())),
+        ("pid".to_string(), Json::of_u64(event.pid)),
+        ("tid".to_string(), Json::of_u64(event.tid)),
+        ("start_nanos".to_string(), Json::of_u64(event.start_nanos)),
+    ];
+    if let Some(dur) = event.dur_nanos {
+        fields.push(("dur_nanos".to_string(), Json::of_u64(dur)));
+    }
+    if !event.args.is_empty() {
+        fields.push((
+            "args".to_string(),
+            Json::Arr(
+                event
+                    .args
+                    .iter()
+                    .map(|(k, v)| Json::Arr(vec![Json::Str(k.clone()), Json::Str(v.clone())]))
+                    .collect(),
+            ),
+        ));
+    }
+    Json::Obj(fields)
+}
+
+fn trace_event_from_json(json: &Json) -> Result<TraceEvent, PersistError> {
+    let dur_nanos = match json.get("dur_nanos") {
+        Err(_) => None,
+        Ok(dur) => Some(dur.u64()?),
+    };
+    let args = match json.get("args") {
+        Err(_) => Vec::new(),
+        Ok(list) => list
+            .arr()?
+            .iter()
+            .map(|pair| {
+                let pair = pair.arr()?;
+                match pair {
+                    [k, v] => Ok((k.str()?.to_string(), v.str()?.to_string())),
+                    other => Err(PersistError::new(format!(
+                        "trace arg must be a [key, value] pair, got {} items",
+                        other.len()
+                    ))),
+                }
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+    };
+    Ok(TraceEvent {
+        name: json.get("name")?.str()?.to_string(),
+        cat: json.get("cat")?.str()?.to_string(),
+        pid: json.get("pid")?.u64()?,
+        tid: json.get("tid")?.u64()?,
+        start_nanos: json.get("start_nanos")?.u64()?,
+        dur_nanos,
+        args,
+    })
+}
 
 /// One protocol message (see the module docs for the grammar).
 #[derive(Debug, Clone, PartialEq)]
@@ -119,6 +220,15 @@ pub enum Message {
         spec: MatrixSpec,
         /// The cell keys to compute (a subset of the matrix's key space).
         keys: Vec<String>,
+        /// Report metrics deltas on heartbeats ([`Message::HeartbeatMetrics`]).
+        /// Only ever `true` toward a worker that advertised [`CAP_OBS1`];
+        /// the JSON encoding omits the field when `false`, so a plain
+        /// batch renders byte-identically to a pre-observability one.
+        observe: bool,
+        /// Record spans while computing and ship them back as
+        /// [`Message::TraceEvents`] before `Done`. Same compatibility
+        /// rules as `observe`.
+        trace: bool,
     },
     /// Worker → coordinator: one finished cell, streamed the moment it
     /// exists (the coordinator feeds it straight into its `CellSink`).
@@ -130,6 +240,27 @@ pub enum Message {
     },
     /// Keep-alive; receivers skip it.
     Heartbeat,
+    /// Keep-alive carrying the worker's cumulative metrics totals
+    /// ([`MetricsDelta`] — cells done, in flight, instructions simulated,
+    /// cache hits/misses, wall time). Sent instead of plain [`Message::Heartbeat`]
+    /// by the periodic keep-alive thread when the batch asked for
+    /// `observe`; receivers that track liveness treat it exactly like a
+    /// heartbeat, and the coordinator additionally folds the totals into
+    /// its per-worker fleet view. Never sent to a peer that did not
+    /// advertise [`CAP_OBS1`].
+    HeartbeatMetrics {
+        /// Cumulative counters since the worker daemon started.
+        metrics: MetricsDelta,
+    },
+    /// Worker → coordinator: the spans recorded while computing the
+    /// current batch, shipped once, right before [`Message::Done`], when
+    /// the batch asked for `trace`. The coordinator re-lanes the events'
+    /// `pid` to the worker's fleet index and merges them into its own
+    /// trace buffer for the Chrome-trace export.
+    TraceEvents {
+        /// The recorded events, in the worker's drain order.
+        events: Vec<TraceEvent>,
+    },
     /// Worker → coordinator: the current batch is fully delivered.
     Done {
         /// Number of cells the worker computed for this batch.
@@ -189,17 +320,28 @@ impl Message {
                 fingerprint,
                 spec,
                 keys,
-            } => tagged(
-                "run_cells",
-                vec![
+                observe,
+                trace,
+            } => {
+                let mut fields = vec![
                     ("fingerprint".to_string(), Json::of_u64(*fingerprint)),
                     ("spec".to_string(), matrix_spec_to_json(spec)),
                     (
                         "keys".to_string(),
                         Json::Arr(keys.iter().cloned().map(Json::Str).collect()),
                     ),
-                ],
-            ),
+                ];
+                // Omitted when false: a plain batch renders byte-identically
+                // to a pre-observability build's, and old workers never see
+                // fields they would not understand anyway.
+                if *observe {
+                    fields.push(("observe".to_string(), Json::Bool(true)));
+                }
+                if *trace {
+                    fields.push(("trace".to_string(), Json::Bool(true)));
+                }
+                tagged("run_cells", fields)
+            }
             Message::CellDone { key, report } => tagged(
                 "cell_done",
                 vec![
@@ -208,6 +350,17 @@ impl Message {
                 ],
             ),
             Message::Heartbeat => tagged("heartbeat", Vec::new()),
+            Message::HeartbeatMetrics { metrics } => tagged(
+                "heartbeat_metrics",
+                vec![("metrics".to_string(), metrics_delta_to_json(metrics))],
+            ),
+            Message::TraceEvents { events } => tagged(
+                "trace_events",
+                vec![(
+                    "events".to_string(),
+                    Json::Arr(events.iter().map(trace_event_to_json).collect()),
+                )],
+            ),
             Message::Done { computed } => tagged(
                 "done",
                 vec![("computed".to_string(), Json::of_usize(*computed))],
@@ -255,21 +408,47 @@ impl Message {
             "auth_ok" => Ok(Message::AuthOk {
                 mac: json.get("mac")?.str()?.to_string(),
             }),
-            "run_cells" => Ok(Message::RunCells {
-                fingerprint: json.get("fingerprint")?.u64()?,
-                spec: matrix_spec_from_json(json.get("spec")?)?,
-                keys: json
-                    .get("keys")?
-                    .arr()?
-                    .iter()
-                    .map(|key| key.str().map(str::to_string))
-                    .collect::<Result<Vec<_>, _>>()?,
-            }),
+            "run_cells" => {
+                // Absent on batches from pre-observability coordinators:
+                // default off.
+                let flag = |key: &str| -> Result<bool, PersistError> {
+                    match json.get(key) {
+                        Err(_) => Ok(false),
+                        Ok(Json::Bool(b)) => Ok(*b),
+                        Ok(other) => Err(PersistError::new(format!(
+                            "expected bool `{key}`, got {other:?}"
+                        ))),
+                    }
+                };
+                Ok(Message::RunCells {
+                    fingerprint: json.get("fingerprint")?.u64()?,
+                    spec: matrix_spec_from_json(json.get("spec")?)?,
+                    keys: json
+                        .get("keys")?
+                        .arr()?
+                        .iter()
+                        .map(|key| key.str().map(str::to_string))
+                        .collect::<Result<Vec<_>, _>>()?,
+                    observe: flag("observe")?,
+                    trace: flag("trace")?,
+                })
+            }
             "cell_done" => Ok(Message::CellDone {
                 key: json.get("key")?.str()?.to_string(),
                 report: Box::new(report_from_json(json.get("report")?)?),
             }),
             "heartbeat" => Ok(Message::Heartbeat),
+            "heartbeat_metrics" => Ok(Message::HeartbeatMetrics {
+                metrics: metrics_delta_from_json(json.get("metrics")?)?,
+            }),
+            "trace_events" => Ok(Message::TraceEvents {
+                events: json
+                    .get("events")?
+                    .arr()?
+                    .iter()
+                    .map(trace_event_from_json)
+                    .collect::<Result<Vec<_>, _>>()?,
+            }),
             "done" => Ok(Message::Done {
                 computed: json.get("computed")?.usize()?,
             }),
@@ -346,9 +525,51 @@ mod tests {
             },
             Message::RunCells {
                 fingerprint: 0xdead_beef_0123_4567,
-                spec,
+                spec: spec.clone(),
                 keys: vec!["a|b|c|00".to_string(), "d|e|f|01".to_string()],
+                observe: false,
+                trace: false,
             },
+            Message::RunCells {
+                fingerprint: 7,
+                spec,
+                keys: vec!["a|b|c|00".to_string()],
+                observe: true,
+                trace: true,
+            },
+            Message::HeartbeatMetrics {
+                metrics: sdiq_obs::MetricsDelta {
+                    cells_done: 12,
+                    cells_in_flight: 2,
+                    sim_instructions: 123_456_789,
+                    cache_hits: 30,
+                    cache_misses: 6,
+                    wall_nanos: 9_876_543_210,
+                },
+            },
+            Message::TraceEvents {
+                events: vec![
+                    sdiq_obs::TraceEvent {
+                        name: "cell".to_string(),
+                        cat: "cell".to_string(),
+                        pid: 0,
+                        tid: 3,
+                        start_nanos: 1_000,
+                        dur_nanos: Some(5_000),
+                        args: vec![("key".to_string(), "gzip|noop|base".to_string())],
+                    },
+                    sdiq_obs::TraceEvent {
+                        name: "mark".to_string(),
+                        cat: "sched".to_string(),
+                        pid: 2,
+                        tid: 1,
+                        start_nanos: 42,
+                        dur_nanos: None,
+                        args: Vec::new(),
+                    },
+                ],
+            },
+            Message::TraceEvents { events: Vec::new() },
             Message::CellDone {
                 key: "gzip|noop|base|0123456789abcdef".to_string(),
                 report: Box::new(report),
@@ -372,6 +593,30 @@ mod tests {
             "unknown tag"
         );
         assert!(Message::parse("{\"capacity\":1}").is_err(), "untagged");
+    }
+
+    #[test]
+    fn plain_batches_render_like_pre_observability_builds() {
+        let message = Message::RunCells {
+            fingerprint: 1,
+            spec: MatrixSpec {
+                scale: 1.0,
+                sweeps: Vec::new(),
+                benchmarks: vec!["gzip".to_string()],
+                techniques: vec!["baseline".to_string()],
+            },
+            keys: vec!["k".to_string()],
+            observe: false,
+            trace: false,
+        };
+        let text = message.render();
+        assert!(
+            !text.contains("observe") && !text.contains("trace"),
+            "flags off must leave the frame byte-identical to an old build's: {text}"
+        );
+        // And a frame from an old coordinator (no flag fields) parses
+        // with the flags defaulted off.
+        assert_eq!(Message::parse(&text).unwrap(), message);
     }
 
     #[test]

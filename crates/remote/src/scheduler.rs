@@ -52,6 +52,35 @@ use sdiq_core::{
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io;
 use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::SystemTime;
+
+/// One scheduler liveness verdict, recorded as it happens: a worker
+/// presumed hung past the heartbeat deadline, cells re-queued after a
+/// death, a speculative re-issue, a speculation race resolving. The
+/// coordinator prints the collected events as a summary at the end of
+/// the run (the moment-of-occurrence `eprintln!`s stay — scripts grep
+/// them — but they scroll away; the summary is the record).
+#[derive(Debug, Clone)]
+pub struct LivenessEvent {
+    /// Wall-clock time of the verdict (spans machines, unlike the
+    /// monotonic trace clock).
+    pub wall: SystemTime,
+    /// The worker address the verdict is about.
+    pub worker: String,
+    /// Verdict kind: `presumed-hung`, `re-queue`, `speculate`,
+    /// `speculation-race`, `dial-failed`.
+    pub kind: &'static str,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+/// `wall` as `unix-seconds.millis` for the summary lines.
+fn wall_stamp(wall: SystemTime) -> String {
+    match wall.duration_since(std::time::UNIX_EPOCH) {
+        Ok(since) => format!("{}.{:03}", since.as_secs(), since.subsec_millis()),
+        Err(_) => "0.000".to_string(),
+    }
+}
 
 /// A connected worker, as one driver thread sees it.
 pub trait WorkerLink: Send {
@@ -148,6 +177,8 @@ struct State {
     /// Human-readable record of every worker failure (for the
     /// drained-pool error).
     failures: Mutex<Vec<String>>,
+    /// Liveness verdicts in occurrence order (see [`LivenessEvent`]).
+    liveness: Mutex<Vec<LivenessEvent>>,
 }
 
 impl State {
@@ -164,7 +195,20 @@ impl State {
             completed: Mutex::new(ResultStore::new()),
             fatal: Mutex::new(None),
             failures: Mutex::new(Vec::new()),
+            liveness: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Records one liveness verdict, mirrored into the trace (an instant
+    /// event on the coordinator's lane — a no-op unless tracing is on).
+    fn note(&self, worker: &str, kind: &'static str, detail: String) {
+        sdiq_obs::instant(kind, "sched", &[("worker", worker), ("detail", &detail)]);
+        lock_or_recover(&self.liveness).push(LivenessEvent {
+            wall: SystemTime::now(),
+            worker: worker.to_string(),
+            kind,
+            detail,
+        });
     }
 
     fn fatal_is_set(&self) -> bool {
@@ -334,6 +378,12 @@ impl State {
                 String::new()
             }
         );
+        sdiq_obs::metrics().requeues.add(requeued as u64);
+        self.note(
+            addr,
+            "re-queue",
+            format!("{requeued} cell(s) re-queued, {covered} covered elsewhere: {why}"),
+        );
         self.work_changed.notify_all();
     }
 }
@@ -386,9 +436,44 @@ pub fn run_with_sources(
             let expected = &expected;
             scope.spawn(move || {
                 drive_worker(source, spec, fingerprint, state, expected, sink, dialer);
+                // Deliver this driver's spans/instants before the scope
+                // owner can observe the thread as finished — the TLS
+                // teardown flush races the coordinator's drain.
+                sdiq_obs::flush();
             });
         }
     });
+
+    // The coordinator's closing summaries: liveness verdicts (printed
+    // even on a failed run — that is when they matter most) and, when
+    // the run observed the fleet, each worker's final reported totals.
+    {
+        let liveness = lock_or_recover(&state.liveness);
+        if !liveness.is_empty() {
+            eprintln!("remote: liveness summary ({} event(s)):", liveness.len());
+            for event in liveness.iter() {
+                eprintln!(
+                    "remote:   [{}] {} worker {}: {}",
+                    wall_stamp(event.wall),
+                    event.kind,
+                    event.worker,
+                    event.detail
+                );
+            }
+        }
+    }
+    if spec.observe.metrics {
+        for (addr, delta) in crate::fleet::snapshot() {
+            eprintln!(
+                "remote: worker {addr}: {} cell(s) done, {} in flight, \
+                 cache hit rate {:.1}%, {:.0} sim-inst/s",
+                delta.cells_done,
+                delta.cells_in_flight,
+                delta.cache_hit_rate() * 100.0,
+                delta.instructions_per_second()
+            );
+        }
+    }
 
     if let Some(fatal) = state
         .fatal
@@ -457,6 +542,7 @@ fn drive_worker(
                 lock_or_recover(&state.failures)
                     .push(format!("worker {addr}: dial failed: {error}"));
                 eprintln!("remote: worker {addr}: dial failed: {error}");
+                state.note(&addr, "dial-failed", error.to_string());
                 return;
             }
         },
@@ -491,8 +577,23 @@ fn drive_worker(
                     "remote: speculatively re-issuing {} straggler cell(s) to idle worker {addr}",
                     batch.len()
                 );
+                sdiq_obs::metrics()
+                    .speculation_issued
+                    .add(batch.len() as u64);
+                state.note(
+                    &addr,
+                    "speculate",
+                    format!("re-issued {} straggler cell(s)", batch.len()),
+                );
             }
-            if let Err(error) = link.submit(&batch) {
+            let submitted = {
+                let _span = sdiq_obs::span("issue-batch", "sched").map(|s| {
+                    s.arg("worker", &addr)
+                        .arg("cells", &batch.len().to_string())
+                });
+                link.submit(&batch)
+            };
+            if let Err(error) = submitted {
                 state.requeue(
                     &addr,
                     batch,
@@ -501,6 +602,7 @@ fn drive_worker(
                 );
                 return;
             }
+            sdiq_obs::metrics().batches_issued.inc();
             outstanding += batch.len();
             batches.push_back(batch.into_iter().collect());
         }
@@ -512,7 +614,14 @@ fn drive_worker(
             if extra.is_empty() {
                 break;
             }
-            if let Err(error) = link.submit(&extra) {
+            let submitted = {
+                let _span = sdiq_obs::span("issue-batch", "sched").map(|s| {
+                    s.arg("worker", &addr)
+                        .arg("cells", &extra.len().to_string())
+                });
+                link.submit(&extra)
+            };
+            if let Err(error) = submitted {
                 let mut owed: Vec<String> = batches.drain(..).flatten().collect();
                 owed.extend(extra);
                 state.requeue(
@@ -523,6 +632,7 @@ fn drive_worker(
                 );
                 return;
             }
+            sdiq_obs::metrics().batches_issued.inc();
             outstanding += extra.len();
             batches.push_back(extra.into_iter().collect());
         }
@@ -567,6 +677,12 @@ fn drive_worker(
                             "remote: duplicate result for `{key}` from {addr} \
                              (lost the speculation race); keeping the first"
                         );
+                        sdiq_obs::metrics().speculation_duplicates.inc();
+                        state.note(
+                            &addr,
+                            "speculation-race",
+                            format!("duplicate result for `{key}` lost the race"),
+                        );
                     }
                     Recorded::DuplicateDivergent => {
                         state.set_fatal(format!(
@@ -603,6 +719,13 @@ fn drive_worker(
                 }
             },
             Err(error) => {
+                // A timed-out read is the heartbeat deadline tripping:
+                // record the verdict before the re-queue that follows
+                // from it.
+                if error.kind() == io::ErrorKind::TimedOut {
+                    sdiq_obs::metrics().deadline_verdicts.inc();
+                    state.note(&addr, "presumed-hung", error.to_string());
+                }
                 let owed: Vec<String> = batches.drain(..).flatten().collect();
                 state.requeue(
                     &addr,
@@ -804,6 +927,7 @@ mod tests {
             binary_wire: true,
             pipeline_window: 0,
             auth_key: None,
+            observe: sdiq_core::ObserveSpec::default(),
             launch: |_, _, _, _| unreachable!("tests call the scheduler directly"),
         }
     }

@@ -25,7 +25,7 @@
 use crate::auth;
 use crate::frame::{self, Codec};
 use crate::lock_or_recover;
-use crate::protocol::{Message, CODEC_BIN1};
+use crate::protocol::{Message, CAP_OBS1, CODEC_BIN1};
 use sdiq_core::{matrix_fingerprint, ArtifactCache, CellSink, MatrixSpec, RunReport};
 use std::io::{self, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
@@ -284,11 +284,16 @@ fn handle_connection(
         stream: writer_stream,
         codec: Codec::Json,
     });
-    let codecs = if options.advertise_binary {
+    let mut codecs = if options.advertise_binary {
         vec![CODEC_BIN1.to_string()]
     } else {
         Vec::new()
     };
+    // Not a codec but a capability: this daemon understands the
+    // observability extension (RunCells flags, HeartbeatMetrics,
+    // TraceEvents). Riding the codecs list keeps old coordinators safe —
+    // they select codecs by equality and ignore unknown entries.
+    codecs.push(CAP_OBS1.to_string());
     let greeting = match greeting {
         Greeting::Hello => Message::Hello { capacity, codecs },
         Greeting::Register => Message::Register { capacity, codecs },
@@ -323,6 +328,8 @@ fn handle_connection(
                 fingerprint,
                 spec,
                 keys,
+                observe,
+                trace,
             } => run_batch(
                 &writer,
                 fingerprint,
@@ -332,6 +339,7 @@ fn handle_connection(
                 cache,
                 delivered,
                 options,
+                BatchObserve { observe, trace },
             )?,
             Message::Heartbeat => continue,
             Message::SetCodec { codec } if codec == CODEC_BIN1 && options.advertise_binary => {
@@ -372,6 +380,16 @@ fn handle_connection(
     }
 }
 
+/// What the coordinator asked this batch to observe about itself (the
+/// `RunCells` flags; both false from pre-observability coordinators).
+#[derive(Clone, Copy)]
+struct BatchObserve {
+    /// Piggyback cumulative metrics on the periodic heartbeats.
+    observe: bool,
+    /// Record spans and ship them back before `Done`.
+    trace: bool,
+}
+
 /// Computes one `RunCells` batch, streaming each cell as it finishes.
 #[allow(clippy::too_many_arguments)] // daemon wiring, called from one place
 fn run_batch(
@@ -383,6 +401,7 @@ fn run_batch(
     cache: &ArtifactCache,
     delivered: &AtomicUsize,
     options: &ServeOptions,
+    batch_observe: BatchObserve,
 ) -> io::Result<()> {
     // The spec is wire input: resolve it fully (names, sweep ranges) and
     // refuse with a frame — never a panic — on anything off.
@@ -429,6 +448,12 @@ fn run_batch(
     // whole suite's wall clock on small cells. Hence a condvar the
     // finishing batch can interrupt mid-wait.
     let stop_heartbeats = (Mutex::new(false), Condvar::new());
+    // Span recording is daemon-global, which is exactly the scope it
+    // should have here: the daemon serves one coordinator (one batch) at
+    // a time, and the drain below both ships and clears the buffer.
+    if batch_observe.trace {
+        sdiq_obs::set_tracing(true);
+    }
     let computed = std::thread::scope(|scope| {
         let heartbeats = scope.spawn(|| {
             let (stop, interrupt) = &stop_heartbeats;
@@ -447,12 +472,25 @@ fn run_batch(
                     // coordinator's deadline could never trip.
                     return;
                 }
-                if wait.timed_out() && sink.write(&Message::Heartbeat).is_err() {
+                // An observed batch's keep-alives carry the daemon's
+                // cumulative totals; receivers treat them as heartbeats
+                // either way, so liveness is unaffected.
+                let beat = if batch_observe.observe {
+                    Message::HeartbeatMetrics {
+                        metrics: sdiq_obs::MetricsDelta::capture(),
+                    }
+                } else {
+                    Message::Heartbeat
+                };
+                if wait.timed_out() && sink.write(&beat).is_err() {
                     return; // sink recorded the failure
                 }
             }
         });
-        let computed = matrix.run_cells_by_key(cache, &requested, Some(&sink));
+        let computed = {
+            let _span = sdiq_obs::span("run-batch", "server");
+            matrix.run_cells_by_key(cache, &requested, Some(&sink))
+        };
         *lock_or_recover(&stop_heartbeats.0) = true;
         stop_heartbeats.1.notify_all();
         if heartbeats.join().is_err() {
@@ -460,6 +498,14 @@ fn run_batch(
         }
         computed
     });
+    // Drain even on a failed batch: the buffer must not leak this
+    // batch's spans into the next coordinator's trace.
+    let trace_events = if batch_observe.trace {
+        sdiq_obs::set_tracing(false);
+        sdiq_obs::drain()
+    } else {
+        Vec::new()
+    };
 
     if let Some(error) = sink
         .failed
@@ -467,6 +513,27 @@ fn run_batch(
         .unwrap_or_else(PoisonError::into_inner)
     {
         return Err(error); // coordinator vanished mid-stream
+    }
+    if !trace_events.is_empty() {
+        // Ship the batch's spans right before Done, so the coordinator
+        // has them the moment it decides the batch is complete.
+        write_locked(
+            writer,
+            &Message::TraceEvents {
+                events: trace_events,
+            },
+        )?;
+    }
+    if batch_observe.observe {
+        // A final cumulative snapshot per batch: the periodic heartbeat
+        // only fires once a second, so a fast batch would otherwise end
+        // with the coordinator never having seen this worker's totals.
+        write_locked(
+            writer,
+            &Message::HeartbeatMetrics {
+                metrics: sdiq_obs::MetricsDelta::capture(),
+            },
+        )?;
     }
     match computed {
         Ok(map) => write_locked(

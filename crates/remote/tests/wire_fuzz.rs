@@ -12,6 +12,7 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use proptest::prelude::*;
+use sdiq_obs::{MetricsDelta, TraceEvent};
 use sdiq_remote::binary::{decode_message, encode_message};
 use sdiq_remote::protocol::Message;
 
@@ -24,6 +25,55 @@ fn arb_string() -> impl Strategy<Value = String> {
 
 fn arb_strings() -> impl Strategy<Value = Vec<String>> {
     prop::collection::vec(arb_string(), 0..4)
+}
+
+/// Full-range `u64` (the range strategy excludes its end, which is fine —
+/// the codec has no special case at `u64::MAX`): the varint path and the
+/// JSON number path must both carry any value a worker's counters reach.
+fn arb_u64() -> impl Strategy<Value = u64> {
+    0u64..u64::MAX
+}
+
+fn arb_metrics_delta() -> impl Strategy<Value = MetricsDelta> {
+    (
+        (arb_u64(), arb_u64(), arb_u64()),
+        (arb_u64(), arb_u64(), arb_u64()),
+    )
+        .prop_map(
+            |(
+                (cells_done, cells_in_flight, sim_instructions),
+                (cache_hits, cache_misses, wall_nanos),
+            )| {
+                MetricsDelta {
+                    cells_done,
+                    cells_in_flight,
+                    sim_instructions,
+                    cache_hits,
+                    cache_misses,
+                    wall_nanos,
+                }
+            },
+        )
+}
+
+fn arb_trace_event() -> impl Strategy<Value = TraceEvent> {
+    (
+        (arb_string(), arb_string()),
+        (arb_u64(), arb_u64(), arb_u64()),
+        prop_oneof![(0u8..1u8).prop_map(|_| None), arb_u64().prop_map(Some),],
+        prop::collection::vec((arb_string(), arb_string()), 0..3),
+    )
+        .prop_map(
+            |((name, cat), (pid, tid, start_nanos), dur_nanos, args)| TraceEvent {
+                name,
+                cat,
+                pid,
+                tid,
+                start_nanos,
+                dur_nanos,
+                args,
+            },
+        )
 }
 
 /// Control-plane messages over generated field values. (`RunCells` and
@@ -43,6 +93,9 @@ fn arb_message() -> impl Strategy<Value = Message> {
         arb_string().prop_map(|nonce| Message::AuthChallenge { nonce }),
         (arb_string(), arb_string()).prop_map(|(nonce, mac)| Message::AuthResponse { nonce, mac }),
         arb_string().prop_map(|mac| Message::AuthOk { mac }),
+        arb_metrics_delta().prop_map(|metrics| Message::HeartbeatMetrics { metrics }),
+        prop::collection::vec(arb_trace_event(), 0..4)
+            .prop_map(|events| Message::TraceEvents { events }),
     ]
 }
 
@@ -135,5 +188,29 @@ proptest! {
         }
         payload.push(value as u8);
         prop_assert!(decode_message(&payload).is_err());
+    }
+
+    #[test]
+    fn heartbeat_metrics_round_trip_both_codecs(metrics in arb_metrics_delta()) {
+        // The obs piggyback must survive whichever codec the connection
+        // negotiated — bin1 varints and the JSON number path alike.
+        let message = Message::HeartbeatMetrics { metrics };
+        prop_assert_eq!(decode_message(&encode_message(&message)).unwrap(), message.clone());
+        let mut rendered = String::new();
+        message.to_json().render(&mut rendered);
+        let parsed = sdiq_core::persist::parse(&rendered).unwrap();
+        prop_assert_eq!(Message::from_json(&parsed).unwrap(), message);
+    }
+
+    #[test]
+    fn trace_events_round_trip_both_codecs(
+        events in prop::collection::vec(arb_trace_event(), 0..4),
+    ) {
+        let message = Message::TraceEvents { events };
+        prop_assert_eq!(decode_message(&encode_message(&message)).unwrap(), message.clone());
+        let mut rendered = String::new();
+        message.to_json().render(&mut rendered);
+        let parsed = sdiq_core::persist::parse(&rendered).unwrap();
+        prop_assert_eq!(Message::from_json(&parsed).unwrap(), message);
     }
 }
