@@ -417,12 +417,16 @@ fn parse_benchmarks_spec(spec: &str) -> Vec<Benchmark> {
         .collect()
 }
 
-/// Parses a `--techniques <t1,t2,...>` spec (unknown names exit 2).
+/// Parses a `--techniques <t1,t2,...>` spec (unknown names exit 2, with
+/// the registered names listed so the valid spellings are discoverable).
 fn parse_techniques_spec(spec: &str) -> Vec<Technique> {
     spec.split(',')
         .map(|name| {
             Technique::from_name(name).unwrap_or_else(|| {
-                eprintln!("error: unknown technique `{name}`");
+                eprintln!(
+                    "error: unknown technique `{name}` (registered: {})",
+                    sdiq_core::TechniqueRegistry::names().join(", ")
+                );
                 std::process::exit(2);
             })
         })
@@ -639,7 +643,7 @@ fn lint_main(args: impl Iterator<Item = String>) -> ! {
         experiment.scale = scale;
     }
     let benchmarks = benchmarks.unwrap_or_else(|| Benchmark::ALL.to_vec());
-    let techniques = techniques.unwrap_or_else(|| Technique::ALL.to_vec());
+    let techniques = techniques.unwrap_or_else(Technique::all);
     // The one shared sweep validator (`MatrixSpec::matrix`) builds the
     // variant list, so lint covers exactly the configurations a run with
     // the same flags would execute.
@@ -883,10 +887,7 @@ fn main() {
         .benchmarks
         .clone()
         .unwrap_or_else(|| Benchmark::ALL.to_vec());
-    let techniques = options
-        .techniques
-        .clone()
-        .unwrap_or_else(|| Technique::ALL.to_vec());
+    let techniques = options.techniques.clone().unwrap_or_else(Technique::all);
     // Both the local matrix and (in remote mode) the spec shipped to
     // worker daemons derive from this one description, so the two sides
     // cannot disagree about what the matrix is. `MatrixSpec::matrix` is
@@ -1244,7 +1245,7 @@ fn main() {
                 "  {:10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
                 "technique", "IPC loss", "IQ occ-", "IQ dyn", "IQ stat", "RF dyn", "RF stat"
             );
-            for technique in Technique::EVALUATED {
+            for technique in Technique::evaluated() {
                 let s = experiments::summarise(suite, technique);
                 println!(
                     "  {:10} {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}%",

@@ -388,7 +388,10 @@ fn main() {
         Benchmark::Vortex,
         Benchmark::Gcc,
     ];
-    let matrix_techniques = [Technique::Baseline, Technique::Noop, Technique::Abella];
+    // Every registered technique — the six paper techniques plus the
+    // registry-landed way-memo and lowen-isa — so the matrix row tracks
+    // the cost of the full default technique axis.
+    let matrix_techniques = Technique::all();
     let matrix_experiment = Experiment {
         scale: options.scale,
         ..Experiment::paper()

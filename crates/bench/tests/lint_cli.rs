@@ -118,6 +118,41 @@ fn lint_refuses_distributed_execution_flags() {
 }
 
 #[test]
+fn unknown_technique_lists_the_registry_and_exits_two() {
+    // Both the run and lint paths share the parser, so check both.
+    for args in [
+        &["--scale", "0.02", "--techniques", "bogus"][..],
+        &["lint", "--scale", "0.02", "--techniques", "bogus"][..],
+    ] {
+        let run = repro(args);
+        assert_eq!(run.code, 2, "{args:?} must exit 2");
+        assert!(
+            run.stderr.contains("unknown technique `bogus`"),
+            "{args:?} stderr:\n{}",
+            run.stderr
+        );
+        // The error enumerates every registered wire name, so a typo's fix
+        // is on screen — including the registry-landed techniques.
+        for name in [
+            "baseline",
+            "nonEmpty",
+            "noop",
+            "extension",
+            "improved",
+            "abella",
+            "way-memo",
+            "lowen-isa",
+        ] {
+            assert!(
+                run.stderr.contains(name),
+                "{args:?} stderr must list `{name}`:\n{}",
+                run.stderr
+            );
+        }
+    }
+}
+
+#[test]
 fn lint_rejects_unknown_flags() {
     let run = repro(&["lint", "--frobnicate"]);
     assert_eq!(run.code, 2);

@@ -13,7 +13,7 @@
 
 use sdiq_isa::{BlockRef, Instruction, Program};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// How the issue-queue size information is carried to the processor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -38,6 +38,11 @@ pub struct Annotations {
     /// Blocks whose terminating call targets a library routine: the queue is
     /// opened to its maximum size immediately before the call (§4.4).
     pub max_before_call: Vec<BlockRef>,
+    /// Blocks whose instructions are re-encoded with the profiled
+    /// low-energy format (the `lowen-isa` technique). Empty unless the
+    /// low-energy pass ran. A `BTreeSet` so emission order is
+    /// deterministic.
+    pub low_energy_blocks: BTreeSet<BlockRef>,
 }
 
 impl Annotations {
@@ -177,6 +182,16 @@ pub fn emit(program: &Program, annotations: &Annotations, emit: EmitKind) -> Pro
         }
     }
 
+    // Low-energy re-encoding is applied last so instructions inserted by the
+    // hint mechanisms above are covered too (hint NOOPs never commit, so the
+    // marker is inert on them either way).
+    for block_ref in &annotations.low_energy_blocks {
+        let block = out.proc_mut(block_ref.proc).block_mut(block_ref.block);
+        for inst in &mut block.instructions {
+            inst.low_energy = true;
+        }
+    }
+
     out
 }
 
@@ -242,6 +257,7 @@ mod tests {
                 proc: main,
                 block: BlockId(0),
             }],
+            ..Annotations::default()
         }
     }
 
@@ -341,7 +357,7 @@ mod tests {
             Annotations {
                 block_entries,
                 loop_preheader_entries,
-                max_before_call: Vec::new(),
+                ..Annotations::default()
             },
         )
     }
@@ -409,7 +425,7 @@ mod tests {
         let ann = Annotations {
             block_entries,
             loop_preheader_entries,
-            max_before_call: Vec::new(),
+            ..Annotations::default()
         };
 
         let out = emit(&program, &ann, EmitKind::Tagging);
@@ -464,8 +480,7 @@ mod tests {
         );
         let ann = Annotations {
             block_entries,
-            loop_preheader_entries: HashMap::new(),
-            max_before_call: Vec::new(),
+            ..Annotations::default()
         };
         let out = emit(&program, &ann, EmitKind::NoopInsertion);
         let hints: Vec<u8> = out

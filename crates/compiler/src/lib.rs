@@ -62,11 +62,13 @@
 pub mod annotate;
 pub mod dag_analysis;
 pub mod loop_analysis;
+pub mod low_energy;
 pub mod manager;
 pub mod pass;
 
 pub use annotate::EmitKind;
 pub use dag_analysis::{analyse_block, BlockRequirement};
 pub use loop_analysis::{analyse_loop_body, LoopRequirement};
+pub use low_energy::LowEnergyEncode;
 pub use manager::{Pass, PassDiagnostic, PassManager, PassState, PassVerifier, VerifyError};
 pub use pass::{CompileStats, CompiledProgram, CompilerPass, PassConfig, ProcedureStats};

@@ -1,0 +1,134 @@
+//! The profiled low-energy encoding pass (the `lowen-isa` technique).
+//!
+//! Sleeba et al. (see PAPERS.md) re-encode the instructions a profile says
+//! dominate execution time in a reduced-toggle "low-energy" format: the
+//! encoding is architecturally transparent — same semantics, same latency —
+//! but costs less fetch/decode energy. In the static setting of this
+//! reproduction the profile proxy is loop membership: every block inside a
+//! natural loop is where the dynamic instruction stream concentrates, so
+//! those blocks are selected for re-encoding.
+//!
+//! The pass is a pure marker producer: it records the selected blocks in
+//! [`Annotations::low_energy_blocks`] and the emit pass applies the marker
+//! to the output program. Timing is never affected — the simulator only
+//! counts committed low-energy instructions
+//! (`ActivityStats::committed_low_energy`), and the energy accounting in
+//! `sdiq_power` turns that count into savings at reporting time.
+
+use crate::manager::{Pass, PassState};
+use sdiq_isa::BlockRef;
+
+/// The registered low-energy re-encoding pass. Runs after the window
+/// analyses (it reuses their per-procedure loop forests) and before `emit`.
+pub struct LowEnergyEncode;
+
+/// The registry name of the pass (what [`Pass::name`] returns and what the
+/// inter-pass verifier dispatches on).
+pub const PASS_NAME: &str = "low-energy-encode";
+
+impl Pass for LowEnergyEncode {
+    fn name(&self) -> &'static str {
+        PASS_NAME
+    }
+
+    fn description(&self) -> &'static str {
+        "select loop blocks for the profiled low-energy instruction encoding"
+    }
+
+    fn run(&self, state: &mut PassState<'_>) {
+        for (pid, analysis) in &state.analyses {
+            for block in analysis.loops.all_loop_blocks() {
+                state
+                    .annotations
+                    .low_energy_blocks
+                    .insert(BlockRef { proc: *pid, block });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::pass::{CompilerPass, PassConfig};
+    use sdiq_isa::builder::ProgramBuilder;
+    use sdiq_isa::reg::int_reg;
+    use sdiq_isa::Program;
+
+    fn looped_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let main = b.procedure("main");
+        {
+            let p = b.proc_mut(main);
+            let entry = p.block();
+            let body = p.block();
+            let exit = p.block();
+            p.with_block(entry, |bb| {
+                bb.li(int_reg(1), 0);
+                bb.jump(body);
+            });
+            p.with_block(body, |bb| {
+                bb.addi(int_reg(1), int_reg(1), 1);
+                bb.blt(int_reg(1), 10, body, exit);
+            });
+            p.with_block(exit, |bb| {
+                bb.ret();
+            });
+            p.set_entry(entry);
+        }
+        b.finish(main).unwrap()
+    }
+
+    #[test]
+    fn marks_exactly_the_loop_blocks() {
+        let program = looped_program();
+        let compiled = CompilerPass::new(PassConfig::low_energy_encoding()).run(&program);
+        assert_eq!(compiled.annotations.low_energy_blocks.len(), 1);
+        let main = program.proc_by_name("main").unwrap();
+        for inst in &compiled
+            .program
+            .proc(main)
+            .block(sdiq_isa::BlockId(1))
+            .instructions
+        {
+            assert!(inst.low_energy, "loop-body instruction not re-encoded");
+        }
+        for inst in &compiled
+            .program
+            .proc(main)
+            .block(sdiq_isa::BlockId(0))
+            .instructions
+        {
+            assert!(!inst.low_energy, "non-loop instruction re-encoded");
+        }
+    }
+
+    #[test]
+    fn pass_is_off_unless_configured() {
+        let program = looped_program();
+        let compiled = CompilerPass::new(PassConfig::tagging()).run(&program);
+        assert!(compiled.annotations.low_energy_blocks.is_empty());
+        assert!(compiled
+            .program
+            .iter_locs()
+            .all(|l| !compiled.program.instruction(l).low_energy));
+    }
+
+    #[test]
+    fn low_energy_rewrite_never_changes_instruction_semantics() {
+        let program = looped_program();
+        let plain = CompilerPass::new(PassConfig::tagging()).run(&program);
+        let lowen = CompilerPass::new(PassConfig::low_energy_encoding()).run(&program);
+        assert_eq!(
+            plain.program.static_instruction_count(),
+            lowen.program.static_instruction_count()
+        );
+        for (a, b) in plain.program.iter_locs().zip(lowen.program.iter_locs()) {
+            let pa = plain.program.instruction(a);
+            let pb = lowen.program.instruction(b);
+            assert_eq!(pa.opcode, pb.opcode);
+            assert_eq!(pa.dest, pb.dest);
+            assert_eq!(pa.srcs, pb.srcs);
+            assert_eq!(pa.iq_hint, pb.iq_hint);
+        }
+    }
+}

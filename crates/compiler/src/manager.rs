@@ -168,6 +168,9 @@ impl PassManager {
         if config.interprocedural_fu {
             m.register(Box::new(InterproceduralFu));
         }
+        if config.low_energy {
+            m.register(Box::new(crate::low_energy::LowEnergyEncode));
+        }
         m.register(Box::new(EmitAnnotations));
         m
     }
@@ -544,6 +547,19 @@ mod tests {
         );
         let improved = PassManager::standard(PassConfig::improved());
         assert!(improved.passes().any(|p| p.name() == "interprocedural-fu"));
+        let lowen = PassManager::standard(PassConfig::low_energy_encoding());
+        let lowen_names: Vec<_> = lowen.passes().map(|p| p.name()).collect();
+        assert_eq!(
+            lowen_names,
+            vec![
+                "analyse-procedures",
+                "loop-windows",
+                "dag-windows",
+                "call-windows",
+                "low-energy-encode",
+                "emit"
+            ]
+        );
     }
 
     #[test]

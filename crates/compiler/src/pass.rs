@@ -25,6 +25,11 @@ pub struct PassConfig {
     /// Model functional-unit contention across procedure boundaries (the
     /// *Improved* technique of §5.3).
     pub interprocedural_fu: bool,
+    /// Run the profiled low-energy encoding pass (`lowen-isa`): blocks
+    /// inside natural loops — where the profile says execution time is
+    /// spent — are re-encoded with the low-energy instruction format. A
+    /// pure energy-accounting rewrite; it never changes timing.
+    pub low_energy: bool,
     /// Floor applied to every advertised window.
     ///
     /// The analysis of §4.2 can report requirements smaller than the
@@ -56,6 +61,7 @@ impl PassConfig {
             fu_counts: FuCounts::hpca2005(),
             emit: EmitKind::NoopInsertion,
             interprocedural_fu: false,
+            low_energy: false,
             min_advertised_entries: PassConfig::advertised_floor(widths),
         }
     }
@@ -88,6 +94,18 @@ impl PassConfig {
         PassConfig {
             emit: EmitKind::Tagging,
             interprocedural_fu: true,
+            ..PassConfig::noop_insertion()
+        }
+    }
+
+    /// The `lowen-isa` technique: the profiled low-energy instruction
+    /// encoding of Sleeba et al. Tags carry the (unused, policy-inert)
+    /// window information; the distinguishing work is the
+    /// [`low_energy`](PassConfig::low_energy) re-encoding pass.
+    pub fn low_energy_encoding() -> Self {
+        PassConfig {
+            emit: EmitKind::Tagging,
+            low_energy: true,
             ..PassConfig::noop_insertion()
         }
     }

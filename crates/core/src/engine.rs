@@ -244,7 +244,12 @@ impl MatrixSpec {
             .techniques
             .iter()
             .map(|name| {
-                Technique::from_name(name).ok_or_else(|| format!("unknown technique `{name}`"))
+                Technique::from_name(name).ok_or_else(|| {
+                    format!(
+                        "unknown technique `{name}` (registered: {})",
+                        crate::TechniqueRegistry::names().join(", ")
+                    )
+                })
             })
             .collect::<Result<Vec<_>, String>>()?;
         let mut matrix = Matrix::new(experiment)
@@ -358,7 +363,7 @@ impl<'a> Matrix<'a> {
         Matrix {
             experiment,
             benchmarks: Benchmark::ALL.to_vec(),
-            techniques: Technique::ALL.to_vec(),
+            techniques: Technique::all(),
             variants: Vec::new(),
             jobs: 0,
             shard: None,

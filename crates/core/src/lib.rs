@@ -72,4 +72,4 @@ pub use experiments::{
 };
 pub use persist::CheckpointWriter;
 pub use runner::{Comparison, Experiment, RunReport, SimBackend, Suite};
-pub use technique::Technique;
+pub use technique::{RegistryError, Technique, TechniqueRegistry, TechniqueSpec};

@@ -135,11 +135,15 @@ impl Json {
 
     /// Field `key` of this object (an error if absent or not an object).
     pub fn get(&self, key: &str) -> Result<&Json, PersistError> {
-        self.obj()?
-            .iter()
-            .find(|(k, _)| k == key)
-            .map(|(_, v)| v)
+        self.opt(key)?
             .ok_or_else(|| PersistError::new(format!("missing field `{key}`")))
+    }
+
+    /// Field `key` of this object, or `None` if the field is absent (still
+    /// an error for a non-object). For fields added after format version 1
+    /// that default when missing, so old save files keep loading.
+    pub fn opt(&self, key: &str) -> Result<Option<&Json>, PersistError> {
+        Ok(self.obj()?.iter().find(|(k, _)| k == key).map(|(_, v)| v))
     }
 
     /// This number as a `u64`.
@@ -499,6 +503,15 @@ fn stats_to_json(stats: &ActivityStats) -> Json {
         };
     }
     for_each_stats_field!(emit);
+    // Technique-extension counters live *outside* the fixed block and are
+    // emitted only when set: the six paper techniques never set them, so
+    // their saved bytes are exactly the pre-registry format.
+    if stats.committed_low_energy != 0 {
+        fields.push((
+            "committed_low_energy".to_string(),
+            Json::of_u64(stats.committed_low_energy),
+        ));
+    }
     Json::Obj(fields)
 }
 
@@ -510,6 +523,11 @@ fn stats_from_json(json: &Json) -> Result<ActivityStats, PersistError> {
         };
     }
     for_each_stats_field!(read);
+    // Absent in pre-registry saves and for techniques that don't track it.
+    stats.committed_low_energy = match json.opt("committed_low_energy")? {
+        Some(value) => value.u64()?,
+        None => 0,
+    };
     Ok(stats)
 }
 

@@ -297,6 +297,16 @@ pub fn encode_report(out: &mut Vec<u8>, report: &RunReport) {
     put_str(out, &report.workload);
     put_str(out, report.technique.name());
     encode_stats(out, &report.stats);
+    // Technique-extension counters sit outside the fixed `encode_stats`
+    // block. The wire carries no field names, so presence must be
+    // *deterministic*: the counter is written iff the technique's registry
+    // spec declares it. The six paper techniques don't, keeping their
+    // encodings (and `report_fingerprint`s) byte-identical to the
+    // pre-registry format; version-skewed peers fail earlier, at the
+    // unknown technique name.
+    if report.technique.tracks_low_energy() {
+        put_varint(out, report.stats.committed_low_energy);
+    }
     encode_power(out, &report.power);
     match &report.compile {
         Some(stats) => {
@@ -322,7 +332,10 @@ pub fn decode_report(reader: &mut ByteReader<'_>) -> Result<RunReport, PersistEr
     let technique_name = reader.str()?;
     let technique = Technique::from_name(technique_name)
         .ok_or_else(|| PersistError::new(format!("unknown technique `{technique_name}`")))?;
-    let stats = decode_stats(reader)?;
+    let mut stats = decode_stats(reader)?;
+    if technique.tracks_low_energy() {
+        stats.committed_low_energy = reader.varint()?;
+    }
     let power = decode_power(reader)?;
     let compile = match reader.u8()? {
         0 => None,
@@ -535,6 +548,36 @@ mod tests {
             // (probabilistically — these three differ hugely).
             assert_eq!(report_fingerprint(&report), report_fingerprint(&back));
         }
+    }
+
+    #[test]
+    fn low_energy_counter_round_trips_only_for_tracking_techniques() {
+        use crate::persist::{report_from_json, report_to_json};
+        use crate::runner::Experiment;
+        use sdiq_workloads::Benchmark;
+        let exp = Experiment {
+            scale: 0.05,
+            ..Experiment::paper()
+        };
+
+        // A lowen-isa report carries a live counter through both codecs.
+        let report = exp.run(Benchmark::Gzip, Technique::LowenIsa);
+        assert!(report.stats.committed_low_energy > 0, "counter is live");
+        let back = report_from_bytes(&report_to_bytes(&report)).unwrap();
+        assert_eq!(back, report, "binary codec preserves the counter");
+        let via_json = report_from_json(&report_to_json(&report)).unwrap();
+        assert_eq!(via_json, report, "JSON codec preserves the counter");
+
+        // A non-tracking technique's encoding has no slot for the counter:
+        // smuggling a value in must not survive the round-trip, because
+        // that is exactly the byte layout pre-registry saves rely on.
+        let mut baseline = exp.run(Benchmark::Gzip, Technique::Baseline);
+        let clean = report_to_bytes(&baseline);
+        baseline.stats.committed_low_energy = 42;
+        let bytes = report_to_bytes(&baseline);
+        assert_eq!(bytes, clean, "non-tracking encodings are unchanged");
+        let back = report_from_bytes(&bytes).unwrap();
+        assert_eq!(back.stats.committed_low_energy, 0);
     }
 
     #[test]

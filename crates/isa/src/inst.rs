@@ -52,6 +52,11 @@ pub struct Instruction {
     ///   / *Improved* techniques: the decoder picks the value up without a
     ///   separate instruction.
     pub iq_hint: Option<u8>,
+    /// `true` if the instruction uses the profiled low-energy encoding
+    /// (the `lowen-isa` technique): a redundant-bit encoding that costs
+    /// nothing architecturally but reduces fetch/decode energy. Purely an
+    /// energy-accounting marker — timing is unaffected.
+    pub low_energy: bool,
 }
 
 impl Instruction {
@@ -66,6 +71,7 @@ impl Instruction {
             branch_target: None,
             call_target: None,
             iq_hint: None,
+            low_energy: false,
         }
     }
 
@@ -193,6 +199,13 @@ impl Instruction {
     /// Attaches an issue-queue tag (Extension technique) and returns `self`.
     pub fn with_iq_hint(mut self, hint: u8) -> Self {
         self.iq_hint = Some(hint);
+        self
+    }
+
+    /// Marks the instruction as using the profiled low-energy encoding
+    /// (`lowen-isa` technique) and returns `self`.
+    pub fn with_low_energy(mut self) -> Self {
+        self.low_energy = true;
         self
     }
 

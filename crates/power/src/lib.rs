@@ -23,8 +23,10 @@
 //! * [`WakeupScheme::Gated`] — empty *and* ready operands gated, the
 //!   assumption the paper's technique (and the Abella comparator) runs with.
 
+pub mod low_energy;
 pub mod model;
 pub mod savings;
+pub mod way_memo;
 
 pub use model::{EnergyModel, PowerBreakdown, StructurePower, WakeupScheme};
 pub use savings::{overall_processor_dynamic_savings, pct_saving, PowerSavings};

@@ -1,0 +1,71 @@
+//! Fetch/decode savings of the profiled low-energy instruction encoding
+//! (the `lowen-isa` technique).
+//!
+//! Sleeba et al. (see PAPERS.md) add a reduced-toggle encoding for the
+//! instructions a profile places on the hot path; fetching and decoding a
+//! re-encoded instruction costs a fixed fraction less energy than the
+//! conventional format, and nothing else changes. The compiler side lives
+//! in `sdiq_compiler::low_energy` (loop blocks are the profile proxy); the
+//! simulator counts the re-encoded commits in
+//! [`ActivityStats::committed_low_energy`]; this module prices that count
+//! at reporting time.
+
+use sdiq_sim::ActivityStats;
+
+/// Fraction of one instruction's fetch/decode energy the low-energy
+/// encoding saves (a relative weight, like every energy in this crate).
+pub const ENCODING_SAVING_FRACTION: f64 = 0.3;
+
+/// Fraction of committed instructions (hint NOOPs included — they are
+/// fetched and decoded too) that carried the low-energy encoding.
+pub fn low_energy_commit_fraction(stats: &ActivityStats) -> f64 {
+    let fetched = stats.committed + stats.committed_hints;
+    if fetched == 0 {
+        return 0.0;
+    }
+    stats.committed_low_energy as f64 / fetched as f64
+}
+
+/// Percentage of fetch/decode energy the run saved through the low-energy
+/// encoding: the re-encoded fraction of the committed stream times the
+/// per-instruction saving.
+pub fn fetch_decode_dynamic_savings_pct(stats: &ActivityStats) -> f64 {
+    100.0 * ENCODING_SAVING_FRACTION * low_energy_commit_fraction(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(committed: u64, hints: u64, low_energy: u64) -> ActivityStats {
+        ActivityStats {
+            committed,
+            committed_hints: hints,
+            committed_low_energy: low_energy,
+            ..ActivityStats::default()
+        }
+    }
+
+    #[test]
+    fn empty_run_saves_nothing() {
+        assert_eq!(fetch_decode_dynamic_savings_pct(&stats(0, 0, 0)), 0.0);
+    }
+
+    #[test]
+    fn untracked_run_saves_nothing() {
+        assert_eq!(fetch_decode_dynamic_savings_pct(&stats(1000, 10, 0)), 0.0);
+    }
+
+    #[test]
+    fn fully_re_encoded_run_saves_the_full_fraction() {
+        let pct = fetch_decode_dynamic_savings_pct(&stats(1000, 0, 1000));
+        assert!((pct - 100.0 * ENCODING_SAVING_FRACTION).abs() < 1e-12);
+    }
+
+    #[test]
+    fn savings_scale_with_the_re_encoded_fraction() {
+        let half = fetch_decode_dynamic_savings_pct(&stats(1000, 0, 500));
+        let full = fetch_decode_dynamic_savings_pct(&stats(1000, 0, 1000));
+        assert!((2.0 * half - full).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,95 @@
+//! Way-memoization savings for the L1 D-cache (the `way-memo` technique).
+//!
+//! Ishihara & Fallah (see PAPERS.md) store, per cache line, a link to the
+//! way the last access to that line resolved to. A memoized access drives
+//! only that one way's data array and skips the tag comparison entirely; a
+//! miss (or a cold link) falls back to the conventional parallel probe of
+//! every way. The technique is architecturally invisible — hit latency,
+//! miss handling and the pipeline are untouched — so the `way-memo`
+//! technique runs the *baseline* pipeline configuration and all the savings
+//! are computed here, at reporting time, from the activity counters the
+//! simulator already produces (`dcache_accesses` / `dcache_misses`).
+//!
+//! As everywhere in this crate the per-event energies are relative weights:
+//! the output is a *normalised saving* of D-cache read energy against the
+//! conventional set-associative access, which is what the figures need.
+
+use sdiq_sim::ActivityStats;
+
+/// Ways of the modelled L1 D-cache (Table 1's 4-way 64 KB cache; kept as a
+/// module constant because the cell-key fingerprint pins [`crate::EnergyModel`]
+/// to exactly its seven historical fields).
+pub const L1D_WAYS: u64 = 4;
+
+/// Relative energy of one way's data-array read (the unit of this model).
+pub const WAY_READ_ENERGY: f64 = 1.0;
+
+/// Relative energy of the tag match across all ways of a set, skipped
+/// entirely on a memoized access (the link register *is* the tag check).
+pub const TAG_MATCH_ENERGY: f64 = 0.4;
+
+/// D-cache read energy of one run under the conventional parallel probe:
+/// every access reads all ways and matches all tags.
+pub fn conventional_energy(stats: &ActivityStats) -> f64 {
+    stats.dcache_accesses as f64 * (L1D_WAYS as f64 * WAY_READ_ENERGY + TAG_MATCH_ENERGY)
+}
+
+/// D-cache read energy of the same run with way-memoization: hits read the
+/// one memoized way and skip the tag match; misses pay the conventional
+/// probe (the link is only valid when the line is resident).
+pub fn memoized_energy(stats: &ActivityStats) -> f64 {
+    let hits = stats.dcache_accesses.saturating_sub(stats.dcache_misses);
+    hits as f64 * WAY_READ_ENERGY
+        + stats.dcache_misses as f64 * (L1D_WAYS as f64 * WAY_READ_ENERGY + TAG_MATCH_ENERGY)
+}
+
+/// Percentage of D-cache read energy way-memoization saves for this run
+/// (0 when the run made no D-cache accesses).
+pub fn dcache_dynamic_savings_pct(stats: &ActivityStats) -> f64 {
+    let conventional = conventional_energy(stats);
+    if conventional == 0.0 {
+        return 0.0;
+    }
+    100.0 * (1.0 - memoized_energy(stats) / conventional)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(accesses: u64, misses: u64) -> ActivityStats {
+        ActivityStats {
+            dcache_accesses: accesses,
+            dcache_misses: misses,
+            ..ActivityStats::default()
+        }
+    }
+
+    #[test]
+    fn no_accesses_no_savings() {
+        assert_eq!(dcache_dynamic_savings_pct(&stats(0, 0)), 0.0);
+    }
+
+    #[test]
+    fn all_hits_saves_the_most() {
+        // Every access reads 1 way instead of 4 ways + tag match.
+        let pct = dcache_dynamic_savings_pct(&stats(1000, 0));
+        let expected = 100.0 * (1.0 - 1.0 / (4.0 + 0.4));
+        assert!((pct - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_misses_saves_nothing() {
+        assert_eq!(dcache_dynamic_savings_pct(&stats(1000, 1000)), 0.0);
+    }
+
+    #[test]
+    fn savings_shrink_monotonically_with_miss_rate() {
+        let mut last = f64::INFINITY;
+        for misses in [0, 100, 500, 900, 1000] {
+            let pct = dcache_dynamic_savings_pct(&stats(1000, misses));
+            assert!(pct < last);
+            last = pct;
+        }
+    }
+}

@@ -469,6 +469,9 @@ impl<'a> Simulator<'a> {
                 self.rf_for(prev.class).release(prev);
             }
             self.stats.committed += 1;
+            if self.decoded[inst.trace_idx].low_energy {
+                self.stats.committed_low_energy += 1;
+            }
             committed += 1;
         }
         committed

@@ -227,6 +227,9 @@ impl ExecPlan {
                 plan.baked.issued += 1;
                 plan.baked.iq_writes += 1;
                 plan.baked.iq_reads += 1;
+                if inst.low_energy {
+                    plan.baked.committed_low_energy += 1;
+                }
                 if let Some(dest) = inst.dest {
                     plan.baked.wakeup_broadcasts += 1;
                     match dest.class() {

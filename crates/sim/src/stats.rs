@@ -101,6 +101,17 @@ pub struct ActivityStats {
     pub rob_full_stall_cycles: u64,
     /// Cycles dispatch was blocked because no physical register was free.
     pub rename_stall_cycles: u64,
+
+    // --- technique extensions ------------------------------------------------
+    /// Committed instructions carrying the profiled low-energy encoding
+    /// (the `lowen-isa` technique). Zero for every technique whose compiler
+    /// pass does not run the low-energy re-encoding.
+    ///
+    /// Deliberately *not* part of the persist codecs' fixed counter block:
+    /// it is serialised only for techniques whose registry spec declares
+    /// `tracks_low_energy`, so the six paper techniques' saved bytes are
+    /// unchanged by its existence.
+    pub committed_low_energy: u64,
 }
 
 impl ActivityStats {

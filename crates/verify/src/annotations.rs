@@ -98,10 +98,47 @@ pub fn check_loop_precedence(program: &Program, annotations: &Annotations) -> Ve
     diags
 }
 
-/// Annotation legality over a compile result (`ANN001` + `ANN003`).
+/// `ANN004`: every block the low-energy encoding pass marked exists in the
+/// program and belongs to an analysed (non-library) procedure. Library
+/// routines are never analysed, so a library reference means the pass ran
+/// over stale or foreign analysis state.
+pub fn check_low_energy_blocks(program: &Program, annotations: &Annotations) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for block_ref in &annotations.low_energy_blocks {
+        let Some(proc) = program.procedures.get(block_ref.proc.0) else {
+            diags.push(Diagnostic::error(
+                codes::ANN004,
+                format!("proc #{} block b{}", block_ref.proc.0, block_ref.block.0),
+                "low-energy block references a procedure outside the program",
+            ));
+            continue;
+        };
+        if proc.blocks.get(block_ref.block.0).is_none() {
+            diags.push(Diagnostic::error(
+                codes::ANN004,
+                format!("proc `{}` block b{}", proc.name, block_ref.block.0),
+                "low-energy block references a block outside its procedure",
+            ));
+        } else if proc.is_library {
+            diags.push(Diagnostic::error(
+                codes::ANN004,
+                block_loc(program, block_ref),
+                "low-energy block marks a library routine, which the pass never analyses",
+            ));
+        }
+    }
+    diags
+}
+
+/// Annotation legality over a compile result (`ANN001` + `ANN003` +
+/// `ANN004`).
 pub fn verify_annotations(compiled: &CompiledProgram) -> Vec<Diagnostic> {
     let mut diags = check_window_ranges(&compiled.program, &compiled.annotations, &compiled.config);
     diags.extend(check_loop_precedence(
+        &compiled.program,
+        &compiled.annotations,
+    ));
+    diags.extend(check_low_energy_blocks(
         &compiled.program,
         &compiled.annotations,
     ));

@@ -124,6 +124,9 @@ pub mod codes {
     /// Precedence violation: the loop pre-header hint is not the last hint
     /// decoded in its block, so the loop would run under the wrong window.
     pub const ANN003: &str = "ANN003";
+    /// A low-energy-encoding mark references a block outside the program
+    /// or inside a library routine the pass never analyses.
+    pub const ANN004: &str = "ANN004";
     /// A DAG block's advertised window is below its recomputed demand: the
     /// monotone over-approximation (Graham-anomaly envelope) is violated.
     pub const ENV001: &str = "ENV001";

@@ -7,6 +7,8 @@
 //!   input program,
 //! * after each window-producing pass — advertised-window range legality
 //!   over the annotations accumulated so far,
+//! * after `low-energy-encode` — every marked block exists and belongs to
+//!   an analysed (non-library) procedure,
 //! * after `emit` — structural verification of the *output* program plus
 //!   the loop-precedence rule over the emitted hints.
 //!
@@ -17,7 +19,7 @@
 //! [`CompiledProgram`] / `ExecPlan` and therefore run after the pipeline —
 //! see [`crate::verify_compiled`] and [`crate::lint_plan`].
 
-use crate::annotations::{check_loop_precedence, check_window_ranges};
+use crate::annotations::{check_loop_precedence, check_low_energy_blocks, check_window_ranges};
 use crate::diag::{Diagnostic, Severity};
 use crate::structural::verify_program;
 use sdiq_compiler::{PassDiagnostic, PassState, PassVerifier};
@@ -35,6 +37,9 @@ impl PassVerifier for StandardVerifier {
             "loop-windows" | "dag-windows" | "call-windows" | "interprocedural-fu" => diags.extend(
                 check_window_ranges(state.program, &state.annotations, &state.config),
             ),
+            "low-energy-encode" => {
+                diags.extend(check_low_energy_blocks(state.program, &state.annotations))
+            }
             "emit" => {
                 if let Some(output) = &state.output {
                     diags.extend(verify_program(output));

@@ -236,6 +236,51 @@ fn stale_loop_preheader_value_is_ann003() {
 }
 
 #[test]
+fn dangling_low_energy_block_is_ann004() {
+    use sdiq_isa::ProcId;
+    use sdiq_verify::annotations::check_low_energy_blocks;
+    let mut compiled = CompilerPass::new(PassConfig::low_energy_encoding()).run(&program());
+    assert!(
+        !compiled.annotations.low_energy_blocks.is_empty(),
+        "gzip is loop-dominated, the pass marks its loop blocks"
+    );
+    assert!(
+        check_low_energy_blocks(&compiled.program, &compiled.annotations).is_empty(),
+        "a real compile's low-energy marks verify clean"
+    );
+    compiled
+        .annotations
+        .low_energy_blocks
+        .insert(sdiq_isa::BlockRef {
+            proc: ProcId(compiled.program.procedures.len()),
+            block: BlockId(0),
+        });
+    assert_code(
+        &check_low_energy_blocks(&compiled.program, &compiled.annotations),
+        codes::ANN004,
+    );
+}
+
+#[test]
+fn library_low_energy_block_is_ann004() {
+    use sdiq_verify::annotations::check_low_energy_blocks;
+    let mut compiled = CompilerPass::new(PassConfig::low_energy_encoding()).run(&program());
+    // Retroactively declare a marked procedure a library routine: the mark
+    // now points where the pass could never legitimately have looked.
+    let marked = *compiled
+        .annotations
+        .low_energy_blocks
+        .iter()
+        .next()
+        .expect("gzip is loop-dominated, the pass marks its loop blocks");
+    compiled.program.proc_mut(marked.proc).is_library = true;
+    assert_code(
+        &check_low_energy_blocks(&compiled.program, &compiled.annotations),
+        codes::ANN004,
+    );
+}
+
+#[test]
 fn window_below_recomputed_demand_is_env001() {
     let mut compiled = compiled();
     let cap = compiled.config.widths.iq_capacity as u32;

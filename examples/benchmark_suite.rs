@@ -25,9 +25,9 @@ fn main() {
     println!(
         "running {} benchmarks x {} techniques at scale {scale} ...",
         Benchmark::ALL.len(),
-        Technique::ALL.len()
+        Technique::all().len()
     );
-    let suite = experiment.run_matrix(&Benchmark::ALL, &Technique::ALL);
+    let suite = experiment.run_matrix(&Benchmark::ALL, &Technique::all());
 
     println!();
     println!(
@@ -51,7 +51,7 @@ fn main() {
 
     println!();
     println!("suite averages:");
-    for technique in Technique::EVALUATED {
+    for technique in Technique::evaluated() {
         let summary = experiments::summarise(&suite, technique);
         println!(
             "  {:10} IPC loss {:>5.1}%   IQ dyn {:>5.1}%   IQ stat {:>5.1}%   RF dyn {:>5.1}%   RF stat {:>5.1}%",

@@ -42,4 +42,5 @@ pub use sdiq_ir as ir;
 pub use sdiq_isa as isa;
 pub use sdiq_power as power;
 pub use sdiq_sim as sim;
+pub use sdiq_verify as verify;
 pub use sdiq_workloads as workloads;

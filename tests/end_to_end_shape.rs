@@ -23,7 +23,7 @@ fn suite() -> sdiq::core::Suite {
     };
     experiment.run_matrix(
         &[Benchmark::Gzip, Benchmark::Crafty, Benchmark::Mcf],
-        &Technique::ALL,
+        &Technique::all(),
     )
 }
 
@@ -33,7 +33,7 @@ fn software_resizing_beats_wakeup_gating_alone_and_preserves_work() {
 
     for benchmark in [Benchmark::Gzip, Benchmark::Crafty, Benchmark::Mcf] {
         let baseline = suite.get(benchmark, Technique::Baseline).unwrap();
-        for technique in Technique::EVALUATED {
+        for technique in Technique::evaluated() {
             let run = suite.get(benchmark, technique).unwrap();
             // 5. identical architectural work.
             assert_eq!(

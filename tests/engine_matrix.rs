@@ -393,6 +393,115 @@ fn negative_savings_survive_persist_round_trips() {
     assert!(after.savings.iq_dynamic_pct < 0.0, "still negative");
 }
 
+/// Forward compatibility across the registry refactor: a save file written
+/// by the pre-registry binary (checked in under `tests/fixtures/`, produced
+/// by `repro --scale 0.02 --benchmarks gzip,mcf --techniques
+/// baseline,noop,abella --save`) must seed the same matrix today with zero
+/// recomputation — every key matches, every report passes the integrity
+/// check, nothing is rebuilt.
+#[test]
+fn pre_registry_save_fixture_loads_and_recomputes_nothing() {
+    let saved = include_str!("fixtures/pre_registry_save.json");
+    let loaded = persist::load_cells(saved).expect("pre-registry save file parses");
+    assert_eq!(loaded.len(), 6, "2 benchmarks x 3 techniques");
+
+    let experiment = Experiment {
+        scale: 0.02,
+        ..Experiment::paper()
+    };
+    let matrix = Matrix::new(&experiment)
+        .benchmarks(&[Benchmark::Gzip, Benchmark::Mcf])
+        .techniques(&[Technique::Baseline, Technique::Noop, Technique::Abella]);
+    assert_eq!(
+        matrix.missing_cells(&loaded),
+        0,
+        "registry cell keys must match the pre-registry fixture exactly"
+    );
+
+    let cache = ArtifactCache::new();
+    let sweep = matrix.run_with(&cache, &loaded);
+    assert_eq!(cache.program_builds(), 0, "nothing was recomputed");
+    assert_eq!(cache.compile_runs(), 0, "nothing was recompiled");
+    for (key, report) in matrix.collect_cells(&sweep) {
+        assert_eq!(
+            loaded.get(&key),
+            Some(&report),
+            "{key} must come from the fixture verbatim"
+        );
+    }
+}
+
+/// The registry's acceptance claim: a ninth technique is one descriptor
+/// registration away from the full engine — matrix runs, save/load
+/// round-trips and the lint walk all pick it up with no other change.
+#[test]
+fn a_registered_toy_technique_runs_the_full_matrix_saveload_and_lint() {
+    use sdiq::compiler::{CompilerPass, PassConfig};
+    use sdiq::core::{TechniqueRegistry, TechniqueSpec};
+    use sdiq::power::WakeupScheme;
+    use sdiq::sim::ResizePolicy;
+
+    // One registration call. The shape deliberately composes existing
+    // machinery (the low-energy pass on a fixed-size queue) rather than a
+    // copy of a built-in spec.
+    let toy = TechniqueRegistry::register(TechniqueSpec {
+        name: "test-toy-matrix",
+        pass_config: Some(PassConfig::low_energy_encoding()),
+        resize_policy: ResizePolicy::Fixed,
+        wakeup_scheme: WakeupScheme::NonEmptyOnly,
+        bank_gating: false,
+        tracks_low_energy: true,
+    })
+    .expect("unique name registers");
+    assert_eq!(Technique::from_name("test-toy-matrix"), Some(toy));
+
+    // Full matrix, parallel, alongside a built-in.
+    let experiment = tiny_experiment();
+    let matrix = Matrix::new(&experiment)
+        .benchmarks(&[Benchmark::Gzip])
+        .techniques(&[Technique::Baseline, toy]);
+    let sweep = matrix.run();
+    let suite = sweep.suite(0);
+    let report = suite.get(Benchmark::Gzip, toy).expect("toy cell ran");
+    let baseline = suite.get(Benchmark::Gzip, Technique::Baseline).unwrap();
+    assert_eq!(
+        report.stats.committed, baseline.stats.committed,
+        "fixed-queue toy technique commits the baseline's work"
+    );
+    assert!(
+        report.stats.committed_low_energy > 0,
+        "the toy technique's pass really ran"
+    );
+
+    // Save/load round-trip through the cell-key and JSON codecs.
+    let cells = matrix.collect_cells(&sweep);
+    assert!(cells.keys().any(|k| k.contains("|test-toy-matrix|")));
+    let loaded = persist::load_cells(&persist::save_cells(&cells)).unwrap();
+    assert_eq!(matrix.missing_cells(&loaded), 0);
+    for (key, report) in &cells {
+        assert_eq!(loaded.get(key), Some(report), "{key} must round-trip");
+    }
+
+    // The lint walk's per-technique compile check (what `repro lint` runs).
+    let program = Benchmark::Gzip.build_scaled(experiment.scale);
+    let pass = toy
+        .pass_config_for(
+            experiment.sim_config.widths,
+            experiment.sim_config.fu_counts,
+        )
+        .expect("toy technique declares a pass");
+    let compiled = CompilerPass::new(pass)
+        .run_verified(&program, Box::new(sdiq::verify::StandardVerifier))
+        .expect("inter-pass verification is clean");
+    let diags = sdiq::verify::verify_compiled(&compiled);
+    assert!(
+        !diags
+            .iter()
+            .any(|d| d.severity == sdiq::verify::Severity::Error),
+        "lint finds no errors in the toy technique's compile: {diags:?}"
+    );
+}
+
 #[test]
 fn sweep_sensitivity_reports_every_variant() {
     let experiment = tiny_experiment();

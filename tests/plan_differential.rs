@@ -122,6 +122,44 @@ proptest! {
         prop_assert_eq!(&compiled, &interpreted);
     }
 
+    /// The two registry-landed techniques (`way-memo`, `lowen-isa`) must be
+    /// bit-identical across `--backend compiled|interpreted`, exactly like
+    /// the six paper techniques. `way-memo` runs the baseline pipeline
+    /// shape and prices savings at report time; `lowen-isa` additionally
+    /// tags loop blocks, whose `committed_low_energy` count is baked into
+    /// the plan and recounted at interpreted commit — the full-result
+    /// equality below covers that counter too.
+    #[test]
+    fn new_techniques_are_bit_identical_across_backends(
+        program in arb_loop_program(),
+        config in arb_config(),
+    ) {
+        use sdiq::core::Technique;
+        for technique in [Technique::WayMemo, Technique::LowenIsa] {
+            let prepared = match technique.pass_config_for(config.widths, config.fu_counts) {
+                Some(pass_config) => CompilerPass::new(pass_config).run(&program).program,
+                None => program.clone(),
+            };
+            let trace = Executor::new(&prepared).run(20_000).unwrap();
+            let policy = technique.resize_policy();
+
+            let interpreted = Simulator::new(config, &prepared, &trace, policy)
+                .run()
+                .unwrap();
+            let plan = ExecPlan::build(config, &prepared, &trace);
+            let compiled = PlanSimulator::new(&plan, policy).run().unwrap();
+
+            prop_assert_eq!(&compiled, &interpreted);
+            if technique == Technique::LowenIsa {
+                // Loop programs always have marked blocks: the counter the
+                // equality just compared is live, not vacuously zero.
+                prop_assert!(interpreted.stats.committed_low_energy > 0);
+            } else {
+                prop_assert_eq!(interpreted.stats.committed_low_energy, 0);
+            }
+        }
+    }
+
     /// One plan is shared across every policy of a cell shape (that is
     /// what makes the artifact cache effective), so building it once and
     /// replaying under each policy must match per-policy interpretation.
